@@ -1,0 +1,43 @@
+# Convenience targets for the IMT/AFT-ECC reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench repro repro-quick examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper table/figure into results/ (paper scale, ~3 min).
+repro:
+	$(GO) run ./cmd/imtrepro -out results
+
+repro-quick:
+	$(GO) run ./cmd/imtrepro -quick -out results-quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/overflowdetect
+	$(GO) run ./examples/useafterfree
+	$(GO) run ./examples/reliabilitystudy
+	$(GO) run ./examples/aftecc-extensions
+	$(GO) run ./examples/perfstudy
+
+# Short continuous-fuzzing smoke of the two fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeInvariants -fuzztime=30s ./internal/core
+	$(GO) test -fuzz=FuzzAllocatorScript -fuzztime=30s ./internal/tagalloc
+
+clean:
+	rm -rf results results-quick

@@ -1,0 +1,458 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per paper table/figure
+// (run with `go test -bench=. -benchmem`), plus throughput microbenches
+// for the encode/decode hot path and ablation benches for the design
+// choices DESIGN.md calls out. The per-experiment benches use
+// b.ReportMetric to surface the headline number each paper artifact
+// reports, so a bench run doubles as a compact results summary.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/experiments"
+	"repro/internal/gf2"
+	"repro/internal/gfp"
+	"repro/internal/gpusim"
+	"repro/internal/hwcost"
+	"repro/internal/reliability"
+	"repro/internal/security"
+	"repro/internal/symbolecc"
+	"repro/internal/tagalloc"
+	"repro/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	o := experiments.Quick()
+	o.WorkloadStride = 12 // 17 of the 193 workloads: keeps -bench=. minutes-scale
+	return o
+}
+
+// BenchmarkFig1CVEBreakdown regenerates Figure 1 (dataset validation).
+func BenchmarkFig1CVEBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Series[len(r.Series)-1]
+		b.ReportMetric(last.MemorySafetyPct(), "%mem-safety-2018")
+	}
+}
+
+// BenchmarkFig5TagSizeLimits regenerates Figure 5 (Eq 5b sweep plus
+// constructive verification of the starred codes).
+func BenchmarkFig5TagSizeLimits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			if p.K == 256 && p.R == 16 {
+				b.ReportMetric(float64(p.MaxTS), "maxTS@256,16")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8CarveOutSlowdown regenerates Figure 8 on a catalog subset
+// (full 193-workload runs live in cmd/imtrepro).
+func BenchmarkFig8CarveOutSlowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Suites() {
+			if s.Suite == "HPC+SLA" {
+				b.ReportMetric(100*s.HMeanLow, "%hmean-low-hpc")
+				b.ReportMetric(100*s.MaxLow, "%max-low-hpc")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9SDCvsRedundancy regenerates Figure 9.
+func BenchmarkFig9SDCvsRedundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Points[9].RandomSDC, "%randSDC-R10")
+		b.ReportMetric(100*r.Points[15].RandomSDC, "%randSDC-R16")
+	}
+}
+
+// BenchmarkTable1Comparison regenerates Table 1 (reusing a Fig8 subset).
+func BenchmarkTable1Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchOpts(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Schemes {
+			if s.Name == "ECC Stealing Iso-Security-16" {
+				b.ReportMetric(s.AddedSDCRisk, "xSDC-iso16-steal")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2ErrorPatterns regenerates Table 2 (sampled 4-bit rows).
+func BenchmarkTable2ErrorPatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Configs[0].Rows[3].Tally.SDCRate(), "%3bSDC-IMT10")
+		b.ReportMetric(100*r.Configs[1].Rows[3].Tally.SDCRate(), "%3bSDC-IMT16")
+	}
+}
+
+// BenchmarkTable3HardwareCost regenerates Table 3.
+func BenchmarkTable3HardwareCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[3].AreaOverheadPct, "%area-dec16")
+		b.ReportMetric(r.Rows[3].DelayOverheadNs, "ns-delay-dec16")
+	}
+}
+
+// BenchmarkFootprintBloat regenerates the §5 bloat statistics.
+func BenchmarkFootprintBloat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Bloat()
+		b.ReportMetric(100*r.Groups[0].HMean, "%hmean-small")
+		b.ReportMetric(100*r.Groups[1].HMean, "%hmean-large")
+	}
+}
+
+// BenchmarkSecurityDetection regenerates the §5.4 security evaluation.
+func BenchmarkSecurityDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Security(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ImprovementIMT16, "x-misdetect-impr")
+	}
+}
+
+// BenchmarkBoundsTableSlowdown regenerates the §6 GPUShield comparison.
+func BenchmarkBoundsTableSlowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Bounds(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MaxAffected, "%max-bounds")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks: encode/decode throughput of the AFT-ECC hot path.
+
+func benchCode(b *testing.B, r, ts int) (*core.Code, *gf2.BitVec, uint64) {
+	b.Helper()
+	code, err := core.NewCode(256, r, ts, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := gf2.NewBitVec(256)
+	for i := 0; i < 256; i++ {
+		data.Set(i, rng.Intn(2))
+	}
+	check := code.Encode(data, 0x1F)
+	return code, data, check
+}
+
+// BenchmarkAFTEncodeIMT16 measures 32B-sector encode throughput.
+func BenchmarkAFTEncodeIMT16(b *testing.B) {
+	code, data, _ := benchCode(b, 16, 15)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = code.Encode(data, 0x1F)
+	}
+}
+
+// BenchmarkAFTDecodeCleanIMT16 measures clean-path decode throughput.
+func BenchmarkAFTDecodeCleanIMT16(b *testing.B) {
+	code, data, check := benchCode(b, 16, 15)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := code.Decode(data, check, 0x1F); res.Status != core.StatusOK {
+			b.Fatal(res.Status)
+		}
+	}
+}
+
+// BenchmarkAFTDecodeTMMIMT16 measures the tag-mismatch decode path.
+func BenchmarkAFTDecodeTMMIMT16(b *testing.B) {
+	code, data, check := benchCode(b, 16, 15)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := code.Decode(data, check, 0x2A); res.Status != core.StatusTMM {
+			b.Fatal(res.Status)
+		}
+	}
+}
+
+// BenchmarkAllocatorMallocFree measures tagging-allocator round trips on
+// IMT memory (tag writes per granule included).
+func BenchmarkAllocatorMallocFree(b *testing.B) {
+	mem, drv, err := NewIMT16()
+	if err != nil {
+		b.Fatal(err)
+	}
+	heap, err := tagalloc.New(mem, drv, tagalloc.ScudoTagger{TagBits: 15}, 0, 1<<28, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := heap.Malloc(96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := heap.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks for the DESIGN.md design choices.
+
+// BenchmarkAblationStaircaseVsRandomTag compares encoder cost of the
+// Equation 6 staircase against a random alias-free even-weight tag
+// submatrix: the staircase buys ~zero extra depth and minimal area.
+func BenchmarkAblationStaircaseVsRandomTag(b *testing.B) {
+	base, err := ecc.NewHsiao(256, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := base.DataMatrix()
+	stair, err := core.StaircaseTagMatrix(16, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal := hwcost.Default16nm()
+	for i := 0; i < b.N; i++ {
+		randT, err := core.RandomEvenTagMatrix(16, 15, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := hwcost.EncoderTagged("staircase", data, stair, cal)
+		r := hwcost.EncoderTagged("random-even", data, randT, cal)
+		b.ReportMetric(s.AreaAND2, "and2-staircase")
+		b.ReportMetric(r.AreaAND2, "and2-random")
+		b.ReportMetric(float64(r.Gates.Depth-s.Gates.Depth), "extra-depth-random")
+	}
+}
+
+// BenchmarkAblationGeneticVsGreedy compares the §3.5 genetic data-
+// submatrix search against the greedy construction on exhaustive 3-bit
+// detection.
+func BenchmarkAblationGeneticVsGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		greedy, err := ecc.NewHsiao(64, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		genetic, err := ecc.NewGeneticSECDED(64, 8, ecc.GeneticOptions{
+			Population: 10, Generations: 8, TripleTrials: 5000, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*ecc.TripleDetectionRate(greedy), "%3bdet-greedy")
+		b.ReportMetric(100*ecc.TripleDetectionRate(genetic), "%3bdet-genetic")
+	}
+}
+
+// BenchmarkAblationTagShortening quantifies the Table 2 footnote: each
+// bit of tag-size reduction halves the even-weight-error misattribution
+// (2-bit errors reported as TMM instead of DUE).
+func BenchmarkAblationTagShortening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prev := -1.0
+		for _, ts := range []int{15, 13, 11, 9} {
+			code, err := core.NewCode(256, 16, ts, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tally, err := reliability.ExhaustiveKBit(reliability.TargetAFT(code), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mis := tally.TMMRate()
+			b.ReportMetric(100*mis, "%misattr-ts"+itoa(ts))
+			if prev >= 0 && mis > prev {
+				b.Fatalf("misattribution should shrink with TS (ts=%d: %v vs %v)", ts, mis, prev)
+			}
+			prev = mis
+		}
+	}
+}
+
+// BenchmarkAblationScudoVsGlibc contrasts the two allocator policies'
+// detection under identical tag budgets.
+func BenchmarkAblationScudoVsGlibc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := security.SimulateAttacks(tagalloc.GlibcTagger{TagBits: 9}, 32, 20000, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := security.SimulateAttacks(tagalloc.ScudoTagger{TagBits: 9}, 32, 20000, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*g.AdjacentDetected, "%adj-glibc")
+		b.ReportMetric(100*s.AdjacentDetected, "%adj-scudo")
+		b.ReportMetric(100*g.NonAdjacentDetected, "%nonadj-glibc")
+		b.ReportMetric(100*s.NonAdjacentDetected, "%nonadj-scudo")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkExtSymbolComparison regenerates the §7.1 extension study
+// (bit-oriented AFT-ECC vs tagged symbol SSC under byte/burst errors).
+func BenchmarkExtSymbolComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtSymbol(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Pattern == "byte (multi-bit in one byte)" {
+				b.ReportMetric(100*row.SymCE, "%byteCE-symbol")
+				b.ReportMetric(100*row.BitCE, "%byteCE-bit")
+			}
+		}
+	}
+}
+
+// BenchmarkExtCPUDeployment regenerates the §7.2 extension study
+// (64B-cacheline AFT-ECC and CPU-heap fragmentation).
+func BenchmarkExtCPUDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtCPU(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Bloat64, "%bloat-64B")
+		b.ReportMetric(100*r.RandomSDC64, "%randSDC-K512")
+	}
+}
+
+// BenchmarkSymbolEncodeDecode measures the GF(2^8) tagged-SSC hot path.
+func BenchmarkSymbolEncodeDecode(b *testing.B) {
+	f, err := gfp.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, err := symbolecc.NewTagged(f, 32, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]uint16, 32)
+	for i := range data {
+		data[i] = uint16(i * 7 % 256)
+	}
+	c0, c1, err := code.Encode(data, 0x5A)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := code.Decode(data, c0, c1, 0x5A)
+		if err != nil || res.Status != symbolecc.StatusOK {
+			b.Fatal(err, res.Status)
+		}
+	}
+}
+
+// BenchmarkExtAllocators regenerates the §7.3 improved-allocator study.
+func BenchmarkExtAllocators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtAlloc(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Rows[0].Deterministic, "%det-small-heap")
+		b.ReportMetric(100*r.Rows[len(r.Rows)-1].Deterministic, "%det-saturated")
+	}
+}
+
+// BenchmarkAblationCarveOutCoverage sweeps the carve-out tag density:
+// more tag bits per granule mean each 32B tag sector covers less data,
+// so tag traffic (and slowdown) grows — the design-space axis between
+// Figure 8's low- and high-tag-storage curves.
+func BenchmarkAblationCarveOutCoverage(b *testing.B) {
+	w := workload.Catalog()[100] // an SLA sparse kernel
+	w.OpsPerSM = 1500
+	for i := 0; i < b.N; i++ {
+		cfg := gpusim.DefaultConfig()
+		sim, err := gpusim.New(cfg, w.Traces(cfg.NumSMs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := sim.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tagBits := range []int{2, 4, 8, 16} {
+			cc := cfg
+			cc.Mode = gpusim.ModeCarveOut
+			cc.Carve = gpusim.CarveOut{TagBits: tagBits, GranuleBytes: 32}
+			sim, err := gpusim.New(cc, w.Traces(cc.NumSMs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := sim.Run(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*gpusim.Slowdown(base, st), "%slow-ts"+itoa(tagBits))
+		}
+	}
+}
+
+// BenchmarkExtVA57 regenerates the footnote-4 57-bit-VA evaluation.
+func BenchmarkExtVA57(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtVA57(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Det7, "%detect-imt7")
+		b.ReportMetric(100*r.RandTMM7, "%rand-misattr-imt7")
+	}
+}

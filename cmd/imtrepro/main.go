@@ -1,0 +1,196 @@
+// Command imtrepro regenerates every table and figure of the paper's
+// evaluation and writes them (text and CSV) under an output directory.
+//
+// Usage:
+//
+//	imtrepro [-out results] [-only fig5,table2,...] [-quick] [-stride N] [-trials N]
+//
+// Experiment ids: fig1, fig5, fig8, fig9, table1, table2, table3, bloat,
+// security, bounds, stealing, extsymbol (§7.1 symbol-code extension),
+// extcpu (§7.2 CPU-deployment extension), extalloc (§7.3 improved
+// allocators), extva57 (footnote-4 57-bit-VA evaluation). By default all run at paper
+// scale (fig8, table1 and bounds simulate all 193 workloads; expect a
+// few minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "results", "output directory")
+		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		quick  = flag.Bool("quick", false, "CI-scale trial counts and a workload subset")
+		stride = flag.Int("stride", 0, "override workload stride for fig8/table1/bounds")
+		trials = flag.Int("trials", 0, "override random-corruption trial count")
+	)
+	flag.Parse()
+
+	opts := experiments.Full()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *stride > 0 {
+		opts.WorkloadStride = *stride
+	}
+	if *trials > 0 {
+		opts.RandomTrials = *trials
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	emit := func(id string, tables ...report.Table) {
+		var text strings.Builder
+		for i, t := range tables {
+			if i > 0 {
+				text.WriteString("\n")
+			}
+			text.WriteString(t.Render())
+			csvPath := filepath.Join(*out, fmt.Sprintf("%s_%d.csv", id, i))
+			if len(tables) == 1 {
+				csvPath = filepath.Join(*out, id+".csv")
+			}
+			f, err := os.Create(csvPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(*out, id+".txt"), []byte(text.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(text.String())
+	}
+	timed := func(id string, fn func()) {
+		if !selected(id) {
+			return
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== %s ==\n", id)
+		fn()
+		fmt.Fprintf(os.Stderr, "== %s done in %v ==\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	timed("fig1", func() {
+		r, err := experiments.Fig1()
+		check(err)
+		emit("fig1", r.Table())
+	})
+	timed("fig5", func() {
+		r, err := experiments.Fig5()
+		check(err)
+		emit("fig5", r.Table())
+	})
+	timed("fig9", func() {
+		r, err := experiments.Fig9(opts)
+		check(err)
+		emit("fig9", r.Table())
+	})
+	timed("table2", func() {
+		r, err := experiments.Table2(opts)
+		check(err)
+		emit("table2", r.Tables()...)
+	})
+	timed("table3", func() {
+		r, err := experiments.Table3()
+		check(err)
+		emit("table3", r.Table())
+	})
+	timed("bloat", func() {
+		emit("bloat", experiments.Bloat().Table())
+	})
+	timed("security", func() {
+		r, err := experiments.Security(opts)
+		check(err)
+		emit("security", r.Table())
+		fmt.Printf("misdetection improvement vs 4-bit schemes: IMT-10 %.0fx, IMT-16 %.0fx\n\n",
+			r.ImprovementIMT10, r.ImprovementIMT16)
+	})
+	timed("stealing", func() {
+		rows, err := experiments.StealingRisk(opts)
+		check(err)
+		t := report.Table{
+			Title:  "Table 1 column check: ECC-stealing added SDC risk (analytic vs injected)",
+			Header: []string{"configuration", "analytic", "measured"},
+		}
+		for _, row := range rows {
+			t.AddRow(row.Name, fmt.Sprintf("%.3fx", row.Analytic), fmt.Sprintf("%.3fx", row.Measured))
+		}
+		emit("stealing", t)
+	})
+
+	timed("extsymbol", func() {
+		r, err := experiments.ExtSymbol(opts)
+		check(err)
+		emit("extsymbol", r.Table())
+	})
+	timed("extalloc", func() {
+		r, err := experiments.ExtAlloc(opts)
+		check(err)
+		emit("extalloc", r.Table())
+	})
+	timed("extva57", func() {
+		r, err := experiments.ExtVA57(opts)
+		check(err)
+		emit("extva57", r.Table())
+	})
+	timed("extcpu", func() {
+		r, err := experiments.ExtCPU(opts)
+		check(err)
+		emit("extcpu", r.Table())
+	})
+
+	// The simulation-heavy experiments share one Fig8 run.
+	var fig8 *experiments.Fig8Result
+	timed("fig8", func() {
+		r, err := experiments.Fig8(opts)
+		check(err)
+		fig8 = &r
+		emit("fig8", r.SuiteTable(), r.PerWorkloadTable(), r.AnalysisTable())
+		fmt.Printf("fig8c correlation (slowdown vs bloat x BW): %.2f\n\n", r.Correlation())
+	})
+	timed("table1", func() {
+		r, err := experiments.Table1(opts, fig8)
+		check(err)
+		emit("table1", r.Table())
+	})
+	timed("bounds", func() {
+		r, err := experiments.Bounds(opts)
+		check(err)
+		emit("bounds", r.Table())
+	})
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imtrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,180 @@
+// Command imtsim runs the GPU memory-hierarchy simulator on one catalog
+// workload (or a whole suite) under a chosen tagging mode and prints the
+// performance statistics.
+//
+// Usage:
+//
+//	imtsim -list
+//	imtsim -workload stream-triad-48MB -mode carve-low
+//	imtsim -suite STREAM -mode carve-high
+//	imtsim -workload sla-spmv13 -record spmv.trc
+//	imtsim -replay spmv.trc -mode carve-low
+//
+// Modes: none, imt, ecc-steal, carve-low, carve-high, carve-mte, bounds.
+// Every run also simulates the untagged baseline and reports the slowdown.
+// -record captures the workload's warp-op stream to a trace file;
+// -replay simulates a previously recorded trace instead of a generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gpusim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list catalog workloads and exit")
+		name   = flag.String("workload", "", "workload name to simulate")
+		suite  = flag.String("suite", "", "simulate every workload of a suite (MLPerf, HPC+SLA, STREAM)")
+		mode   = flag.String("mode", "carve-low", "tagging mode: none|imt|ecc-steal|carve-low|carve-high|carve-mte|bounds")
+		record = flag.String("record", "", "record the selected workload's trace to this file and exit")
+		replay = flag.String("replay", "", "simulate a recorded trace file instead of a catalog workload")
+	)
+	flag.Parse()
+
+	cat := workload.Catalog()
+	if *list {
+		for _, w := range cat {
+			fmt.Printf("%3d  %-24s %-8s %-12v footprint=%dMB ops/SM=%d compute=%d\n",
+				w.ID, w.Name, w.Suite, w.Pattern, w.FootprintBytes>>20, w.OpsPerSM, w.ComputePerOp)
+		}
+		return
+	}
+
+	tagMode, carve, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		traces, err := gpusim.ReadTraces(f)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := runTraces(traces, gpusim.ModeNone, gpusim.CarveOut{})
+		if err != nil {
+			fatal(err)
+		}
+		// Traces are one-shot: reload for the tagged run.
+		if _, err := f.Seek(0, 0); err != nil {
+			fatal(err)
+		}
+		traces, err = gpusim.ReadTraces(f)
+		if err != nil {
+			fatal(err)
+		}
+		tagged, err := runTraces(traces, tagMode, carve)
+		if err != nil {
+			fatal(err)
+		}
+		report(*replay, *mode, base, tagged)
+		return
+	}
+
+	var selected []workload.Workload
+	for _, w := range cat {
+		if (*name != "" && w.Name == *name) || (*suite != "" && w.Suite == *suite) {
+			selected = append(selected, w)
+		}
+	}
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("no workload matches -workload=%q -suite=%q (try -list)", *name, *suite))
+	}
+
+	if *record != "" {
+		if len(selected) != 1 {
+			fatal(fmt.Errorf("-record needs exactly one workload, got %d", len(selected)))
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := gpusim.DefaultConfig()
+		if err := gpusim.WriteTraces(f, selected[0].Traces(cfg.NumSMs)); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %s to %s\n", selected[0].Name, *record)
+		return
+	}
+
+	for _, w := range selected {
+		base, err := run(w, gpusim.ModeNone, gpusim.CarveOut{})
+		if err != nil {
+			fatal(err)
+		}
+		tagged, err := run(w, tagMode, carve)
+		if err != nil {
+			fatal(err)
+		}
+		report(w.Name, *mode, base, tagged)
+	}
+}
+
+func report(name, mode string, base, tagged gpusim.Stats) {
+	fmt.Printf("%-24s %-10s\n", name, mode)
+	fmt.Printf("  baseline: %v\n", base)
+	fmt.Printf("  tagged:   %v\n", tagged)
+	fmt.Printf("  slowdown: %.2f%%  read bloat: %.2f%%  baseline BW util: %.1f%%\n\n",
+		100*gpusim.Slowdown(base, tagged), 100*tagged.ReadBloat(),
+		100*base.BandwidthUtilization(gpusim.DefaultConfig()))
+}
+
+func runTraces(traces []gpusim.Trace, mode gpusim.TagMode, carve gpusim.CarveOut) (gpusim.Stats, error) {
+	cfg := gpusim.DefaultConfig()
+	cfg.Mode = mode
+	cfg.Carve = carve
+	sim, err := gpusim.New(cfg, traces)
+	if err != nil {
+		return gpusim.Stats{}, err
+	}
+	return sim.Run(0)
+}
+
+func parseMode(s string) (gpusim.TagMode, gpusim.CarveOut, error) {
+	switch s {
+	case "none":
+		return gpusim.ModeNone, gpusim.CarveOut{}, nil
+	case "imt":
+		return gpusim.ModeIMT, gpusim.CarveOut{}, nil
+	case "ecc-steal":
+		return gpusim.ModeECCSteal, gpusim.CarveOut{}, nil
+	case "carve-low":
+		return gpusim.ModeCarveOut, gpusim.CarveOutLow, nil
+	case "carve-high":
+		return gpusim.ModeCarveOut, gpusim.CarveOutHigh, nil
+	case "carve-mte":
+		return gpusim.ModeCarveOut, gpusim.CarveOutARMMTE, nil
+	case "bounds":
+		return gpusim.ModeBoundsTable, gpusim.CarveOut{}, nil
+	default:
+		return 0, gpusim.CarveOut{}, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func run(w workload.Workload, mode gpusim.TagMode, carve gpusim.CarveOut) (gpusim.Stats, error) {
+	cfg := gpusim.DefaultConfig()
+	cfg.Mode = mode
+	cfg.Carve = carve
+	sim, err := gpusim.New(cfg, w.Traces(cfg.NumSMs))
+	if err != nil {
+		return gpusim.Stats{}, err
+	}
+	return sim.Run(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imtsim:", err)
+	os.Exit(1)
+}

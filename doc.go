@@ -1,0 +1,93 @@
+// Package repro is a from-scratch Go reproduction of "Implicit Memory
+// Tagging: No-Overhead Memory Safety Using Alias-Free Tagged ECC"
+// (Sullivan, Tarek Ibn Ziad, Jaleel, Keckler — ISCA 2023).
+//
+// The paper's contribution is a class of error-correcting codes
+// (Alias-Free Tagged ECC) that embed a maximum-length memory tag in the
+// ECC check bits — unambiguously detecting tag mismatches while keeping
+// single-bit correction and double-bit detection — and a GPU memory-
+// safety system (Implicit Memory Tagging) built on them with zero
+// storage, traffic, and reliability overheads.
+//
+// The implementation is organized as focused internal packages:
+//
+//	internal/gf2         bit-packed GF(2) linear algebra
+//	internal/ecc         SEC / SEC-DED (Hsiao) code construction + decode
+//	internal/core        AFT-ECC: the paper's contribution (§3)
+//	internal/imt         the IMT system layer: pointers, memory, driver (§4)
+//	internal/tagalloc    glibc/Scudo-style tagging allocators (§2.3, §5.1)
+//	internal/baselines   ECC stealing / carve-out / bounds-table schemes (§4.1, §6)
+//	internal/reliability fault injection and SDC analysis (§5.3)
+//	internal/security    detection-probability evaluation (§5.4)
+//	internal/gpusim      trace-driven GPU memory-hierarchy simulator (§5.2)
+//	internal/workload    the 193-workload synthetic catalog (§5.1)
+//	internal/hwcost      gate-level encoder/decoder cost model (§5.5)
+//	internal/experiments one driver per paper table/figure
+//
+// This root package re-exports the handful of entry points a downstream
+// user needs; see the examples/ directory for runnable walkthroughs and
+// cmd/imtrepro for the full evaluation harness.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/imt"
+	"repro/internal/tagalloc"
+)
+
+// Re-exported core types: the AFT-ECC code and the IMT memory system.
+type (
+	// Code is an Alias-Free Tagged ECC code (§3).
+	Code = core.Code
+	// Memory is an IMT-protected sectored memory (§4).
+	Memory = imt.Memory
+	// Driver performs §4.3 precise fault diagnosis.
+	Driver = imt.Driver
+	// Allocator is a tagging heap allocator (§2.3).
+	Allocator = tagalloc.Allocator
+	// Fault is the hardware fault record handed to the driver.
+	Fault = imt.Fault
+)
+
+// NewAFTECC constructs an Alias-Free Tagged ECC code with k data bits,
+// r check bits and a ts-bit embedded tag, verifying the §3.3 invariants.
+func NewAFTECC(k, r, ts int) (*Code, error) {
+	c, err := core.NewCode(k, r, ts, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	core.MustVerify(c)
+	return c, nil
+}
+
+// MaxTagSize returns the Equation 5b bound: the largest alias-free tag
+// size that preserves single-bit correction at (k, r).
+func MaxTagSize(k, r int) (int, error) { return core.MaxTagSize(k, r) }
+
+// NewIMT10 builds an IMT-10 memory (256-bit sectors, 10 check bits,
+// 9-bit tags) with an attached driver.
+func NewIMT10() (*Memory, *Driver, error) { return newIMT(imt.IMT10) }
+
+// NewIMT16 builds an IMT-16 memory (256-bit sectors, 16 check bits,
+// 15-bit tags) with an attached driver.
+func NewIMT16() (*Memory, *Driver, error) { return newIMT(imt.IMT16) }
+
+func newIMT(cfg imt.Config) (*Memory, *Driver, error) {
+	m, err := imt.NewMemory(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, imt.NewDriver(m), nil
+}
+
+// NewScudoAllocator attaches a Scudo-style (odd/even alternating) tagging
+// allocator to an IMT memory over [heapBase, heapBase+heapSize).
+func NewScudoAllocator(m *Memory, d *Driver, heapBase, heapSize uint64, seed int64) (*Allocator, error) {
+	return tagalloc.New(m, d, tagalloc.ScudoTagger{TagBits: m.Config().TagBits}, heapBase, heapSize, seed)
+}
+
+// NewGlibcAllocator attaches a glibc-style (uniform random) tagging
+// allocator to an IMT memory over [heapBase, heapBase+heapSize).
+func NewGlibcAllocator(m *Memory, d *Driver, heapBase, heapSize uint64, seed int64) (*Allocator, error) {
+	return tagalloc.New(m, d, tagalloc.GlibcTagger{TagBits: m.Config().TagBits}, heapBase, heapSize, seed)
+}

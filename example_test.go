@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"errors"
+	"fmt"
+
+	repro "repro"
+	"repro/internal/gf2"
+)
+
+// ExampleNewAFTECC shows the core codec: the tag is folded into the
+// check bits at encode and checked implicitly at decode.
+func ExampleNewAFTECC() {
+	code, err := repro.NewAFTECC(256, 16, 15)
+	if err != nil {
+		panic(err)
+	}
+	data := gf2.BitVecFromBytes(256, []byte("hello, implicit tags"))
+	check := code.Encode(data, 0x1234) // lock tag never stored
+
+	fmt.Println(code.Decode(data.Clone(), check, 0x1234).Status) // matching key
+	res := code.Decode(data.Clone(), check, 0x4321)              // wrong key
+	fmt.Println(res.Status, res.LockTagEstimate == 0x1234)
+	// Output:
+	// OK
+	// TMM true
+}
+
+// ExampleNewScudoAllocator shows spatial memory safety end to end: an
+// adjacent heap overflow faults as a tag mismatch.
+func ExampleNewScudoAllocator() {
+	mem, drv, err := repro.NewIMT16()
+	if err != nil {
+		panic(err)
+	}
+	heap, err := repro.NewScudoAllocator(mem, drv, 0x10000, 1<<20, 1)
+	if err != nil {
+		panic(err)
+	}
+	buf, _ := heap.Malloc(64)
+	if _, err := heap.Malloc(64); err != nil { // the neighbor
+		panic(err)
+	}
+
+	_, err = mem.Read(mem.Config().WithOffset(buf, 64), 8) // one past the end
+	var fault *repro.Fault
+	fmt.Println(errors.As(err, &fault), fault.Kind)
+	// Output:
+	// true TMM
+}
+
+// ExampleMaxTagSize evaluates the Equation 5b bound at the paper's two
+// starred configurations.
+func ExampleMaxTagSize() {
+	for _, r := range []int{10, 16} {
+		ts, _ := repro.MaxTagSize(256, r)
+		fmt.Printf("K=256 R=%d -> TS=%d\n", r, ts)
+	}
+	// Output:
+	// K=256 R=10 -> TS=9
+	// K=256 R=16 -> TS=15
+}

@@ -1,0 +1,84 @@
+// Overflow detection: a Scudo-style tagging allocator on IMT memory
+// catches both adjacent and non-adjacent heap buffer overflows. This is
+// the threat the paper's Figure 1 motivates: an attacker-controlled
+// displacement (a[d]) reaching a neighboring or distant allocation.
+//
+// Run with: go run ./examples/overflowdetect
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/imt"
+	"repro/internal/tagalloc"
+)
+
+func main() {
+	mem, err := imt.NewMemory(imt.IMT16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	driver := imt.NewDriver(mem)
+	heap, err := tagalloc.New(mem, driver, tagalloc.ScudoTagger{TagBits: 15}, 0x10000, 1<<20, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A victim buffer and two neighbors, as a vulnerable kernel would
+	// allocate them.
+	victim, err := heap.Malloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := heap.Malloc(64); err != nil { // adjacent object
+		log.Fatal(err)
+	}
+	secret, err := heap.Malloc(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mem.Config()
+	if err := mem.Write(secret, []byte("s3cret")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim @%#x tag %#06x; secret @%#x tag %#06x\n\n",
+		cfg.Addr(victim), cfg.KeyTag(victim), cfg.Addr(secret), cfg.KeyTag(secret))
+
+	// In-bounds access: fine.
+	if err := mem.Write(victim, []byte("hello")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("in-bounds write:           OK")
+
+	// Adjacent overflow: one granule past the end (the classic memcpy
+	// off-by-N). Scudo's parity alternation makes this deterministic.
+	over := cfg.WithOffset(victim, 64)
+	_, err = mem.Read(over, 8)
+	reportFault("adjacent overflow read", err)
+
+	// Non-adjacent overflow: attacker-controlled displacement straight
+	// into the secret allocation.
+	displacement := int64(cfg.Addr(secret) - cfg.Addr(victim))
+	far := cfg.WithOffset(victim, displacement)
+	_, err = mem.Read(far, 6)
+	reportFault("non-adjacent overflow read", err)
+
+	// Driver-side precise diagnosis (§4.3, Equation 7).
+	var f *imt.Fault
+	if errors.As(err, &f) {
+		diag := driver.Diagnose(*f)
+		fmt.Printf("\ndriver diagnosis: kind=%v key=%#06x lock(extracted)=%#06x ref=%#06x\n",
+			diag.Kind, diag.KeyTag, diag.LockTag, diag.RefTag)
+	}
+}
+
+func reportFault(what string, err error) {
+	var f *imt.Fault
+	if errors.As(err, &f) {
+		fmt.Printf("%-26s CAUGHT: %v\n", what+":", f)
+		return
+	}
+	log.Fatalf("%s: NOT caught (err=%v) — memory safety violated silently", what, err)
+}

@@ -1,0 +1,67 @@
+// Performance study: reproduce the Figure 8 mechanism on a handful of
+// catalog workloads. For each one, run the baseline GPU, the low- and
+// high-tag-storage carve-outs, and the GPUShield-like bounds table, and
+// watch the pattern the paper reports: IMT is always free; carve-out
+// cost tracks tag read bloat times bandwidth pressure; streaming pays
+// ≈ TS/256 of its bandwidth; fine-grained irregular workloads pay the
+// most.
+//
+// Run with: go run ./examples/perfstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gpusim"
+	"repro/internal/workload"
+)
+
+func main() {
+	byName := map[string]workload.Workload{}
+	for _, w := range workload.Catalog() {
+		byName[w.Name] = w
+	}
+	picks := []string{
+		"stream-triad-48MB", // bandwidth-bound streaming
+		"mlperf-ssd-l0",     // compute-bound GEMM tile
+		"sla-spmv13",        // sparse gather
+		"graph-bfs7",        // the worst case: fine-grained random
+	}
+	fmt.Printf("%-20s %10s %10s %10s %10s %12s\n",
+		"workload", "IMT", "carve-low", "carve-high", "bounds", "low bloat")
+	for _, name := range picks {
+		w, ok := byName[name]
+		if !ok {
+			log.Fatalf("workload %s missing from catalog", name)
+		}
+		base := simulate(w, gpusim.ModeNone, gpusim.CarveOut{})
+		imt := simulate(w, gpusim.ModeIMT, gpusim.CarveOut{})
+		low := simulate(w, gpusim.ModeCarveOut, gpusim.CarveOutLow)
+		high := simulate(w, gpusim.ModeCarveOut, gpusim.CarveOutHigh)
+		bounds := simulate(w, gpusim.ModeBoundsTable, gpusim.CarveOut{})
+		fmt.Printf("%-20s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %11.1f%%\n",
+			w.Name,
+			100*gpusim.Slowdown(base, imt),
+			100*gpusim.Slowdown(base, low),
+			100*gpusim.Slowdown(base, high),
+			100*gpusim.Slowdown(base, bounds),
+			100*low.ReadBloat())
+	}
+	fmt.Println("\nIMT rides the existing ECC: no tag traffic, no slowdown — by construction.")
+}
+
+func simulate(w workload.Workload, mode gpusim.TagMode, carve gpusim.CarveOut) gpusim.Stats {
+	cfg := gpusim.DefaultConfig()
+	cfg.Mode = mode
+	cfg.Carve = carve
+	sim, err := gpusim.New(cfg, w.Traces(cfg.NumSMs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := sim.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,70 @@
+// Reliability study: quantify what ECC stealing costs. The example
+// injects the paper's §5.3 error patterns into three designs protecting
+// the same 32B sector —
+//
+//  1. full 16-bit SEC-DED ECC with a 15-bit implicit tag (IMT-16),
+//  2. SPARC-ADI-style stealing (4 tag bits, 12-bit SEC-DED left),
+//  3. iso-security stealing (15 tag bits, 1 parity bit left) —
+//
+// and reports corrected / detected / silent-corruption rates, reproducing
+// Table 1's "Added SDC Risk" column from first principles.
+//
+// Run with: go run ./examples/reliabilitystudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/reliability"
+)
+
+const trials = 300_000
+
+func main() {
+	imt16, err := core.NewCode(256, 16, 15, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adi, err := ecc.NewHsiao(256, 12) // 4 of 16 bits stolen for tags
+	if err != nil {
+		log.Fatal(err)
+	}
+	iso := ecc.NewParity(256) // 15 of 16 bits stolen: parity only
+
+	targets := []struct {
+		name string
+		t    reliability.Target
+	}{
+		{"IMT-16 (full 16b ECC + implicit 15b tag)", reliability.TargetAFT(imt16)},
+		{"ECC stealing, ADI-like (12b ECC left)", reliability.TargetECC(adi)},
+		{"ECC stealing, iso-security (1b parity left)", reliability.TargetECC(iso)},
+	}
+
+	fmt.Printf("%-44s %8s %8s %8s %10s\n", "design", "1b CE", "2b DE", "rand DE", "rand SDC")
+	var sdc []float64
+	for i, tg := range targets {
+		one, err := reliability.ExhaustiveKBit(tg.t, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		two, err := reliability.ExhaustiveKBit(tg.t, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rnd := reliability.RandomErrors(tg.t, trials, int64(i+1))
+		fmt.Printf("%-44s %7.2f%% %7.2f%% %7.2f%% %9.4f%%\n", tg.name,
+			100*one.CERate(), 100*two.DERate(), 100*rnd.DERate(), 100*rnd.SDCRate())
+		sdc = append(sdc, rnd.SDCRate())
+	}
+
+	fmt.Printf("\nmeasured SDC amplification vs IMT-16: ADI-like %.1fx, iso-security %.1fx\n",
+		sdc[1]/sdc[0], sdc[2]/sdc[0])
+	fmt.Printf("analytic (Table 1):                   ADI-like %.1fx, iso-security %.1fx\n",
+		reliability.StealingSDCAmplification(256, 16, 4),
+		reliability.StealingSDCAmplification(256, 16, 15))
+	fmt.Println("\nIMT-16 keeps full correction and detection while carrying a LARGER tag",
+		"\nthan ADI-like stealing — that asymmetry is the paper's core result.")
+}

@@ -1,0 +1,215 @@
+package repro
+
+// Whole-system integration scenarios: each test threads a single story
+// through many subsystems at once — construction, allocation, attack,
+// hardware fault, driver diagnosis, retirement, recovery — the way a
+// deployed IMT stack would experience them.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/endtoend"
+	"repro/internal/imt"
+	"repro/internal/retire"
+)
+
+func TestScenarioFullLifecycle(t *testing.T) {
+	// 1. Bring up an IMT-16 memory, driver, allocator and retirement
+	//    manager, as the GPU driver stack would.
+	mem, drv, err := NewIMT16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := NewScudoAllocator(mem, drv, 0x200000, 1<<20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retirer, err := retire.NewManager(retire.DefaultPolicy(), drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. A "kernel" allocates buffers and fills them.
+	var bufs []imt.Pointer
+	for i := 0; i < 20; i++ {
+		p, err := heap.Malloc(uint64(48 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.Write(p, []byte{byte(i), byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		bufs = append(bufs, p)
+	}
+	cp := mem.Snapshot() // checkpoint the healthy state
+
+	// 3. An exploit attempt: displaced overflow from buffer 2 into
+	//    buffer 17. Caught, diagnosed as TMM, page NOT retired.
+	cfg := mem.Config()
+	disp := int64(cfg.Addr(bufs[17])) - int64(cfg.Addr(bufs[2]))
+	_, aerr := mem.Read(cfg.WithOffset(bufs[2], disp), 1)
+	var fault *Fault
+	if !errors.As(aerr, &fault) {
+		t.Fatal("attack not caught")
+	}
+	diag := drv.Diagnose(*fault)
+	if diag.Kind != imt.DiagnosisTMM {
+		t.Fatalf("attack diagnosed as %v", diag.Kind)
+	}
+	retirer.RecordFault(*fault)
+	if retirer.RetiredPages() != 0 {
+		t.Fatal("attack retired a page")
+	}
+
+	// 4. A cosmic ray: single-bit upset, corrected transparently; the
+	//    patrol scrubber finds nothing left afterwards.
+	if err := mem.InjectError(cfg.Addr(bufs[5]), 42); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Read(bufs[5], 2)
+	if err != nil || got[0] != 5 {
+		t.Fatalf("corrected read: %v %v", got, err)
+	}
+	if rep := mem.Scrub(drv); rep.Corrected != 0 || len(rep.Faults) != 0 {
+		t.Fatalf("post-correction scrub: %+v", rep)
+	}
+
+	// 5. Hardware wear-out: a 3-bit error. DUE → diagnosed → page
+	//    retired → state recovered from the checkpoint.
+	if err := mem.InjectError(cfg.Addr(bufs[9]), 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	_, derr := mem.Read(bufs[9], 1)
+	if !errors.As(derr, &fault) {
+		t.Fatal("DUE not raised")
+	}
+	retirer.RecordFault(*fault)
+	if !retirer.Retired(cfg.Addr(bufs[9])) {
+		t.Fatal("DUE did not retire the page")
+	}
+	mem.Restore(cp)
+	got, err = mem.Read(bufs[9], 2)
+	if err != nil || got[0] != 9 {
+		t.Fatalf("post-rollback read: %v %v", got, err)
+	}
+
+	// 6. Cleanup: temporal safety on every free.
+	for _, p := range bufs {
+		if err := heap.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mem.Read(p, 1); err == nil {
+			t.Fatal("dangling pointer survived free")
+		}
+	}
+}
+
+// TestDifferentialMemoryVsHierarchy drives the flat imt.Memory and the
+// §4.2 end-to-end hierarchy with the same operation sequence and
+// requires identical outcomes: the hierarchy is an implementation
+// refinement, not a semantic change.
+func TestDifferentialMemoryVsHierarchy(t *testing.T) {
+	mem, _, err := NewIMT16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := endtoend.New(imt.IMT16, 4, 8) // tiny caches: lots of traffic
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mem.Config()
+	rng := rand.New(rand.NewSource(99))
+
+	type slot struct {
+		addr uint64
+		tag  uint64
+	}
+	slots := make([]slot, 32)
+	for i := range slots {
+		slots[i] = slot{addr: uint64(i) * 32, tag: uint64(rng.Intn(1 << 15))}
+	}
+
+	for op := 0; op < 3000; op++ {
+		s := slots[rng.Intn(len(slots))]
+		useTag := s.tag
+		if rng.Intn(8) == 0 {
+			useTag = uint64(rng.Intn(1 << 15)) // sometimes the wrong key
+		}
+		p := cfg.MakePointer(s.addr, useTag)
+		if rng.Intn(2) == 0 {
+			data := bytes.Repeat([]byte{byte(op)}, 32)
+			// Stores re-tag in both models (full-sector writes).
+			errA := mem.WriteSector(p, data)
+			errB := hier.Store(p, data)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("op %d: store divergence: %v vs %v", op, errA, errB)
+			}
+			if errA == nil {
+				// The store retagged the sector to useTag in both worlds.
+				for i := range slots {
+					if slots[i].addr == s.addr {
+						slots[i].tag = useTag
+					}
+				}
+			}
+		} else {
+			gotA, errA := mem.ReadSector(p)
+			gotB, errB := hier.Load(p)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("op %d: load divergence: %v vs %v", op, errA, errB)
+			}
+			if errA == nil && !bytes.Equal(gotA, gotB) {
+				t.Fatalf("op %d: data divergence", op)
+			}
+			if errA != nil {
+				var fa, fb *imt.Fault
+				if !errors.As(errA, &fa) || !errors.As(errB, &fb) || fa.Kind != fb.Kind {
+					t.Fatalf("op %d: fault divergence: %v vs %v", op, errA, errB)
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioSharedMemoryAlongsideGlobal exercises the Figure 2 SM:
+// tagged global memory and the ECC-only scratchpad working together.
+func TestScenarioSharedMemoryAlongsideGlobal(t *testing.T) {
+	mem, drv, err := NewIMT16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := NewGlibcAllocator(mem, drv, 0x10000, 1<<16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := imt.NewSharedMemory(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage data from global into shared (a classic GPU tile load).
+	src, err := heap.Malloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Write(src, []byte("tile row 0")); err != nil {
+		t.Fatal(err)
+	}
+	row, err := mem.Read(src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scratch.Write(0, row); err != nil {
+		t.Fatal(err)
+	}
+	// An upset in shared memory is corrected independently of tagging.
+	if err := scratch.InjectError(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := scratch.Read(0, 10)
+	if err != nil || string(got) != "tile row 0" {
+		t.Fatalf("scratch read: %q %v", got, err)
+	}
+}

@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestTable1SchemeCount(t *testing.T) {
+	schemes := Table1Schemes()
+	if len(schemes) != 8 {
+		t.Fatalf("schemes = %d, want the 8 Table 1 columns", len(schemes))
+	}
+}
+
+func TestTable1Anchors(t *testing.T) {
+	byName := map[string]Scheme{}
+	for _, s := range Table1Schemes() {
+		byName[s.Name] = s
+	}
+
+	adi := byName["ECC Stealing (SPARC ADI)"]
+	if adi.ECCRedundancy != 12 || !adi.ErrorCorrection {
+		t.Errorf("ADI: %+v", adi)
+	}
+	if math.Abs(adi.AddedSDCRisk-15.76) > 0.1 {
+		t.Errorf("ADI added SDC = %.2f, want ≈ 15.76", adi.AddedSDCRisk)
+	}
+	if adi.Glibc.NumTags != 14 || adi.Scudo.NumTags != 7 {
+		t.Errorf("ADI tags: glibc %d scudo %d", adi.Glibc.NumTags, adi.Scudo.NumTags)
+	}
+
+	mte := byName["Tag Carve-Out (ARM MTE)"]
+	if mte.TagGranuleBytes != 16 || mte.TagBits != 4 {
+		t.Errorf("MTE geometry: %+v", mte)
+	}
+	if math.Abs(mte.TagStoreOverhead-0.03125) > 1e-9 {
+		t.Errorf("MTE storage = %v, want 3.125%%", mte.TagStoreOverhead)
+	}
+	if mte.AddedSDCRisk != 1 || !mte.ErrorCorrection {
+		t.Error("carve-outs must not degrade reliability")
+	}
+
+	iso10s := byName["ECC Stealing Iso-Security-10"]
+	if iso10s.ECCRedundancy != 1 || iso10s.ErrorCorrection {
+		t.Errorf("iso-10 steal must leave 1 parity bit, no correction: %+v", iso10s)
+	}
+	if math.Abs(iso10s.AddedSDCRisk-1.917) > 0.01 {
+		t.Errorf("iso-10 added SDC = %.3f, want ≈ 1.917", iso10s.AddedSDCRisk)
+	}
+
+	iso16s := byName["ECC Stealing Iso-Security-16"]
+	if math.Abs(iso16s.AddedSDCRisk-120) > 0.5 {
+		t.Errorf("iso-16 added SDC = %.1f, want ≈ 120", iso16s.AddedSDCRisk)
+	}
+	if iso16s.Glibc.NumTags != 32766 {
+		t.Errorf("iso-16 steal tags = %d", iso16s.Glibc.NumTags)
+	}
+
+	imt10 := byName["Implicit Memory Tagging (IMT-10)"]
+	if imt10.TagBits != 9 || imt10.ECCRedundancy != 10 || imt10.AddedSDCRisk != 1 || !imt10.ErrorCorrection {
+		t.Errorf("IMT-10: %+v", imt10)
+	}
+	if imt10.Glibc.NumTags != 510 || imt10.Scudo.NumTags != 255 {
+		t.Errorf("IMT-10 tags: %d/%d", imt10.Glibc.NumTags, imt10.Scudo.NumTags)
+	}
+	if imt10.TagStoreOverhead != 0 || imt10.HasPerfOverhead() {
+		t.Error("IMT must be free in storage and traffic")
+	}
+
+	imt16 := byName["Implicit Memory Tagging (IMT-16)"]
+	if imt16.TagBits != 15 || imt16.Glibc.NumTags != 32766 || imt16.Scudo.NumTags != 16383 {
+		t.Errorf("IMT-16: %+v", imt16)
+	}
+
+	iso16c := byName["Tag Carve-Out Iso-Security-16"]
+	if math.Abs(iso16c.TagStoreOverhead-0.0625) > 1e-9 {
+		t.Errorf("iso-16 carve storage = %v, want 6.25%%", iso16c.TagStoreOverhead)
+	}
+	if iso16c.Carve != gpusim.CarveOutHigh {
+		t.Error("iso-16 carve must use the high-tag geometry")
+	}
+}
+
+func TestMechanismStrings(t *testing.T) {
+	if MechECCSteal.String() == "" || MechCarveOut.String() == "" || MechIMT.String() == "" {
+		t.Error("empty mechanism strings")
+	}
+}
+
+func TestOnlyCarveOutHasPerfOverhead(t *testing.T) {
+	for _, s := range Table1Schemes() {
+		if got, want := s.HasPerfOverhead(), s.Mechanism == MechCarveOut; got != want {
+			t.Errorf("%s: HasPerfOverhead = %v", s.Name, got)
+		}
+	}
+}

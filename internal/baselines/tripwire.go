@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/imt"
+)
+
+// TripwireHeap models SafeMem-style ECC-poisoning memory safety (§6
+// related work): red zones around every allocation are deliberately
+// poisoned so that touching them raises an ECC error. Like IMT it rides
+// the existing ECC machinery with no extra storage — but it protects
+// only the immediate neighborhood of each allocation: an
+// attacker-displaced (non-adjacent) access that lands inside another
+// live object hits validly-encoded memory and is never detected. That
+// asymmetry is exactly why the paper positions memory tagging, not
+// trip-wires, against Figure 1's growing non-adjacent share.
+//
+// Poisoning is modeled by retagging red-zone granules with a reserved
+// poison tag that no data pointer ever carries, which makes any access
+// through a normal (tag-0) pointer fault — the software-visible behavior
+// of an ECC-poisoned line without modeling vendor-specific poison
+// encodings.
+type TripwireHeap struct {
+	mem  *imt.Memory
+	base uint64
+	end  uint64
+	brk  uint64
+
+	poisonTag uint64
+	allocs    map[uint64]twAlloc
+}
+
+type twAlloc struct {
+	base, size uint64
+}
+
+// NewTripwireHeap manages [heapBase, heapBase+heapSize) on an IMT
+// memory, reserving the all-ones tag value as the poison pattern.
+func NewTripwireHeap(mem *imt.Memory, heapBase, heapSize uint64) (*TripwireHeap, error) {
+	g := uint64(mem.Config().GranuleBytes)
+	if heapBase%g != 0 || heapSize%g != 0 {
+		return nil, fmt.Errorf("baselines: tripwire heap not %d-byte aligned", g)
+	}
+	return &TripwireHeap{
+		mem:       mem,
+		base:      heapBase,
+		end:       heapBase + heapSize,
+		brk:       heapBase,
+		poisonTag: uint64(1)<<uint(mem.Config().TagBits) - 1,
+		allocs:    make(map[uint64]twAlloc),
+	}, nil
+}
+
+// Malloc allocates size bytes with poisoned red-zone granules on both
+// sides. Returned pointers carry tag 0 — trip-wires do not tag data.
+func (h *TripwireHeap) Malloc(size uint64) (imt.Pointer, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("baselines: zero-size allocation")
+	}
+	g := uint64(h.mem.Config().GranuleBytes)
+	footprint := (size + g - 1) / g * g
+	total := footprint + 2*g // leading and trailing red zones
+	if h.brk+total > h.end {
+		return 0, fmt.Errorf("baselines: tripwire heap exhausted")
+	}
+	lead := h.brk
+	base := lead + g
+	trail := base + footprint
+	h.brk += total
+
+	for _, rz := range []uint64{lead, trail} {
+		if err := h.mem.Retag(rz, h.poisonTag); err != nil {
+			return 0, err
+		}
+	}
+	// Data granules stay at tag 0: accessible through plain pointers.
+	for off := uint64(0); off < footprint; off += g {
+		if err := h.mem.Retag(base+off, 0); err != nil {
+			return 0, err
+		}
+	}
+	h.allocs[base] = twAlloc{base: base, size: size}
+	return h.mem.Config().MakePointer(base, 0), nil
+}
+
+// Free unpoisons nothing (SafeMem leaves trip-wires armed) but forgets
+// the allocation; the data granules remain readable — trip-wires give no
+// temporal protection, another gap tagging closes.
+func (h *TripwireHeap) Free(p imt.Pointer) error {
+	base := h.mem.Config().Addr(p)
+	if _, ok := h.allocs[base]; !ok {
+		return fmt.Errorf("baselines: free of unknown allocation %#x", base)
+	}
+	delete(h.allocs, base)
+	return nil
+}
+
+// Allocations returns the number of live allocations.
+func (h *TripwireHeap) Allocations() int { return len(h.allocs) }

@@ -1,0 +1,116 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/imt"
+)
+
+func tripHeap(t *testing.T) (*TripwireHeap, *imt.Memory) {
+	t.Helper()
+	mem, err := imt.NewMemory(imt.IMT16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewTripwireHeap(mem, 0x10000, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, mem
+}
+
+func TestTripwireCatchesAdjacentOverflow(t *testing.T) {
+	h, mem := tripHeap(t)
+	p, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-bounds access works through an untagged pointer.
+	if err := mem.Write(p, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// One granule past the end lands in the poisoned red zone.
+	over := mem.Config().WithOffset(p, 64)
+	_, rerr := mem.Read(over, 1)
+	var f *imt.Fault
+	if !errors.As(rerr, &f) {
+		t.Fatal("adjacent overflow not tripped")
+	}
+	// One granule before the start likewise.
+	under := mem.Config().WithOffset(p, -32)
+	if _, err := mem.Read(under, 1); err == nil {
+		t.Fatal("adjacent underflow not tripped")
+	}
+}
+
+func TestTripwireMissesNonAdjacentOverflow(t *testing.T) {
+	// The structural weakness vs memory tagging: a displaced access that
+	// lands inside ANOTHER live allocation is indistinguishable from a
+	// legitimate access.
+	h, mem := tripHeap(t)
+	victim, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Write(secret, []byte("classified")); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mem.Config()
+	displacement := int64(cfg.Addr(secret) - cfg.Addr(victim))
+	leak := cfg.WithOffset(victim, displacement)
+	got, err := mem.Read(leak, 10)
+	if err != nil {
+		t.Fatalf("trip-wires unexpectedly caught a non-adjacent access: %v", err)
+	}
+	if string(got) != "classified" {
+		t.Fatal("read wrong data")
+	}
+	// Contrast: an IMT tagging allocator catches this (covered by
+	// tagalloc tests and the overflowdetect example).
+}
+
+func TestTripwireNoTemporalProtection(t *testing.T) {
+	h, mem := tripHeap(t)
+	p, err := h.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Write(p, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// Use-after-free reads still succeed — no temporal safety.
+	if _, err := mem.Read(p, 5); err != nil {
+		t.Fatalf("trip-wires should not catch UAF (they don't retag): %v", err)
+	}
+	if err := h.Free(p); err == nil {
+		t.Fatal("double free should be reported by the allocator metadata")
+	}
+	if h.Allocations() != 0 {
+		t.Fatal("allocation accounting wrong")
+	}
+}
+
+func TestTripwireValidation(t *testing.T) {
+	mem, err := imt.NewMemory(imt.IMT16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTripwireHeap(mem, 0x11, 1<<10); err == nil {
+		t.Error("misaligned heap must fail")
+	}
+	h, _ := NewTripwireHeap(mem, 0x20, 256)
+	if _, err := h.Malloc(0); err == nil {
+		t.Error("zero malloc must fail")
+	}
+	if _, err := h.Malloc(1 << 20); err == nil {
+		t.Error("oversized malloc must fail")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// FuzzDecodeInvariants drives the IMT-16 decoder with arbitrary data,
+// tags, and up-to-two-bit corruption, asserting the §3.6 behavioral
+// contract on every input. Run with `go test -fuzz=FuzzDecodeInvariants`
+// for continuous fuzzing; the seed corpus runs under plain `go test`.
+func FuzzDecodeInvariants(f *testing.F) {
+	code, err := NewCode(256, 16, 15, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("seed data"), uint16(0x1234), uint16(0x1234), uint16(0), uint16(0))
+	f.Add([]byte{0xFF, 0x00, 0xAB}, uint16(0x7FFF), uint16(0x0001), uint16(3), uint16(3))
+	f.Add([]byte{}, uint16(0), uint16(0x4000), uint16(100), uint16(271))
+
+	f.Fuzz(func(t *testing.T, raw []byte, lock16, key16, flipA, flipB uint16) {
+		lock := uint64(lock16) & code.TagMask()
+		key := uint64(key16) & code.TagMask()
+		data := gf2.BitVecFromBytes(256, raw)
+		check := code.Encode(data, lock)
+
+		// Corrupt zero, one or two distinct physical bits.
+		a := int(flipA) % code.PhysicalBits()
+		b := int(flipB) % code.PhysicalBits()
+		flips := []int{}
+		if flipA%3 != 0 {
+			flips = append(flips, a)
+		}
+		if flipB%3 == 1 && b != a {
+			flips = append(flips, b)
+		}
+		rx := data.Clone()
+		rxCheck := check
+		for _, bit := range flips {
+			if bit < code.K() {
+				rx.Flip(bit)
+			} else {
+				rxCheck ^= 1 << uint(bit-code.K())
+			}
+		}
+
+		res := code.Decode(rx, rxCheck, key)
+		switch {
+		case len(flips) == 0 && lock == key:
+			if res.Status != StatusOK {
+				t.Fatalf("clean decode: %v", res.Status)
+			}
+		case len(flips) == 0 && lock != key:
+			if res.Status != StatusTMM || res.LockTagEstimate != lock {
+				t.Fatalf("pure mismatch: %+v (lock %#x key %#x)", res, lock, key)
+			}
+		case len(flips) == 1 && lock == key:
+			if res.Status != StatusCorrected || res.FlippedBit != flips[0] {
+				t.Fatalf("1-bit: %+v want corrected bit %d", res, flips[0])
+			}
+			if !rx.Equal(data) && flips[0] < code.K() {
+				t.Fatal("1-bit correction failed to restore data")
+			}
+		case len(flips) == 2 && lock == key:
+			// Table 2: 2-bit errors are always detected, never silent,
+			// never "corrected".
+			if res.Status == StatusOK || res.Status == StatusCorrected {
+				t.Fatalf("2-bit error silent: %v (flips %v)", res.Status, flips)
+			}
+		default:
+			// Mixed corruption + tag mismatch: §3.6 explicitly withdraws
+			// the guarantee here — "it cannot guarantee detection of all
+			// 1 or 2-bit data errors when combined with an arbitrary tag
+			// mismatch", because an even-weight data error can cancel the
+			// tag-difference syndrome exactly (the fuzzer found such a
+			// pair: flips {92,53} with lock 0x23 vs key 0x3fa8, kept in
+			// testdata as a regression seed). The only invariant is that
+			// decode returns a well-formed result.
+			if res.Status != StatusOK && res.Status != StatusCorrected &&
+				res.Status != StatusTMM && res.Status != StatusDUE {
+				t.Fatalf("invalid status %v", res.Status)
+			}
+		}
+	})
+}

@@ -1,0 +1,8 @@
+package core
+
+import "repro/internal/ecc"
+
+// geneticTestOpts returns a small, fast genetic configuration for tests.
+func geneticTestOpts() ecc.GeneticOptions {
+	return ecc.GeneticOptions{Population: 6, Generations: 3, TripleTrials: 2000, Seed: 7}
+}

@@ -1,0 +1,123 @@
+// Package core implements Alias-Free Tagged ECC (AFT-ECC), the central
+// contribution of the paper: a class of linear codes whose parity-check
+// matrix H = (T | D | I) embeds a TS-bit tag in the check bits such that
+//
+//  1. every tag mismatch maps to a nonzero syndrome (alias-free: the tag
+//     submatrix T has full column rank),
+//  2. single-bit data-error correction is preserved (the column space of T
+//     is disjoint from the data and identity columns), and
+//  3. the tag is as large as possible (TS = R−1 for common codeword sizes).
+//
+// The tag is never stored: the encoder folds the lock tag into the check
+// bits, and the decoder folds the key tag back in. A zero syndrome means
+// "no error and the tags match"; a syndrome inside the column space of T
+// means a tag mismatch (TMM); a syndrome matching an H column is a
+// correctable single-bit error; anything else is a detected-uncorrectable
+// error (DUE).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/gf2"
+)
+
+// MaxTagSize returns the largest alias-free tag size that still preserves
+// single-bit error correction for a code with k data bits and r check bits
+// (Equation 5b of the paper):
+//
+//	TS ≤ floor(log2(2^r − k − r))
+//
+// It returns 0 if no tag fits, and an error if (k, r) cannot support
+// single-bit correction at all (2^r − 1 < k + r).
+func MaxTagSize(k, r int) (int, error) {
+	if r < 1 || r > 62 {
+		return 0, fmt.Errorf("core: R=%d out of range [1,62]", r)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("core: K=%d must be positive", k)
+	}
+	syndromes := int64(1) << uint(r)
+	free := syndromes - int64(k) - int64(r)
+	if free < 1 {
+		return 0, fmt.Errorf("core: (K=%d, R=%d) is not single-error-correcting: needs %d syndromes, has %d", k, r, k+r+1, syndromes)
+	}
+	if free == 1 {
+		// Only the zero syndrome is spare: an unshortened code, no tag fits.
+		return 0, nil
+	}
+	ts := int(math.Floor(math.Log2(float64(free))))
+	// Guard against floating-point edge cases at exact powers of two.
+	for int64(1)<<uint(ts) > free {
+		ts--
+	}
+	for int64(1)<<uint(ts+1) <= free {
+		ts++
+	}
+	if ts > r-1 {
+		// dim(T) = 2^TS − 1 must leave room for correction; TS = R is never
+		// achievable (Section 3.4), and the bound above already enforces
+		// TS ≤ R−1 whenever k ≥ 1, so this is belt-and-braces.
+		ts = r - 1
+	}
+	return ts, nil
+}
+
+// StaircaseTagMatrix builds the recommended tag submatrix of Equation 6:
+// ts weight-2 "staircase" columns over r rows, where column j has ones in
+// rows j and j+1. The columns are linearly independent (alias-free), all
+// even weight (so their span is disjoint from odd-weight data columns,
+// preserving SEC-DED), and each row holds at most two ones (adding no
+// level to the encoder's XOR tree).
+//
+// As the paper notes, any column subset remains alias-free, and taking the
+// first ts columns and r rows of the full R=16 matrix yields the shortened
+// variants (the blue (R=10, TS=9) block in Equation 6).
+func StaircaseTagMatrix(r, ts int) (*gf2.Matrix, error) {
+	if ts < 0 {
+		return nil, fmt.Errorf("core: negative tag size %d", ts)
+	}
+	if ts > r-1 {
+		return nil, fmt.Errorf("core: staircase tag needs TS ≤ R−1, got TS=%d, R=%d", ts, r)
+	}
+	m := gf2.NewMatrix(r, ts)
+	for j := 0; j < ts; j++ {
+		m.SetCol(j, 3<<uint(j)) // rows j and j+1
+	}
+	return m, nil
+}
+
+// RandomEvenTagMatrix builds an alias-free tag submatrix from random
+// even-weight columns (kept only while linearly independent). It has the
+// same correctness properties as the Equation 6 staircase — alias-free and
+// SEC-preserving against odd-weight data columns — but much heavier rows,
+// which is exactly the design choice the staircase optimizes away; the
+// hardware-ablation benchmarks compare the two.
+func RandomEvenTagMatrix(r, ts int, seed int64) (*gf2.Matrix, error) {
+	if ts < 0 || ts > r-1 {
+		return nil, fmt.Errorf("core: alias-free tag needs 0 ≤ TS ≤ R−1, got TS=%d, R=%d", ts, r)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mask := uint64(1)<<uint(r) - 1
+	m := gf2.NewMatrix(r, 0)
+	cols := make([]uint64, 0, ts)
+	for len(cols) < ts {
+		c := rng.Uint64() & mask
+		if bits.OnesCount64(c)%2 != 0 || c == 0 {
+			continue
+		}
+		trial := gf2.FromColumns(r, append(append([]uint64(nil), cols...), c))
+		if !trial.HasFullColumnRank() {
+			continue
+		}
+		cols = append(cols, c)
+		m = trial
+	}
+	if ts == 0 {
+		return gf2.NewMatrix(r, 0), nil
+	}
+	return m, nil
+}

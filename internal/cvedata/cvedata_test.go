@@ -1,0 +1,50 @@
+package cvedata
+
+import "testing"
+
+func TestSeriesValid(t *testing.T) {
+	s := Series()
+	if len(s) != 13 {
+		t.Fatalf("series length = %d, want 13 (2006–2018)", len(s))
+	}
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Year != 2006 || s[len(s)-1].Year != 2018 {
+		t.Error("year range wrong")
+	}
+}
+
+func TestHeadlineShare(t *testing.T) {
+	// The paper's framing: memory safety ≈ 70% of exploitable CVEs.
+	for _, p := range Series() {
+		if ms := p.MemorySafetyPct(); ms < 65 || ms > 72 {
+			t.Errorf("%d: memory-safety share %.1f%% outside ~70%%", p.Year, ms)
+		}
+	}
+}
+
+func TestNonAdjacentTrend(t *testing.T) {
+	s := Series()
+	if !(s[len(s)-1].NonAdjacentPct > s[0].NonAdjacentPct) {
+		t.Error("non-adjacent share must grow over time (the Figure 1 trend)")
+	}
+	if !(s[len(s)-1].AdjacentPct < s[0].AdjacentPct) {
+		t.Error("adjacent share must shrink over time")
+	}
+}
+
+func TestValidateCatchesBadData(t *testing.T) {
+	bad := []Point{{2020, 10, 10, 10}}
+	if Validate(bad) == nil {
+		t.Error("shares not summing to 100 must fail")
+	}
+	bad = []Point{{2020, 10, 20, 70}}
+	if Validate(bad) == nil {
+		t.Error("memory-safety share far from 70% must fail")
+	}
+	bad = []Point{{2020, 40, 30, 30}, {2021, 45, 25, 30}}
+	if Validate(bad) == nil {
+		t.Error("shrinking non-adjacent share must fail")
+	}
+}

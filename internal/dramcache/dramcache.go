@@ -1,0 +1,191 @@
+// Package dramcache implements the paper's §7.4 "Tags for Low-Cost DRAM
+// Caches" extension: a direct-mapped, write-through DRAM cache with
+// fine-grained 32B lines whose cache tag (the upper address bits that
+// distinguish which backing line occupies a slot) is embedded in the ECC
+// check bits via AFT-ECC — so the tag check rides along with the regular
+// DRAM read and needs no tag storage at all.
+//
+// A lookup decodes the resident sector under the expected tag of the
+// requested address: StatusOK means hit; StatusTMM means a different
+// address is resident (miss, fill from backing); single-bit errors still
+// correct. Per the paper's constraint the cache is write-through — a
+// dirty line's tag could not be extracted safely on writeback, so writes
+// always update the backing store.
+package dramcache
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gf2"
+)
+
+// Backing is the slow memory behind the cache.
+type Backing interface {
+	ReadSector(addr uint64) ([]byte, error)
+	WriteSector(addr uint64, data []byte) error
+}
+
+// MapBacking is a simple in-memory Backing that counts accesses.
+type MapBacking struct {
+	sectors       map[uint64][]byte
+	Reads, Writes uint64
+	size          int
+}
+
+// NewMapBacking returns an empty backing store for sectorBytes sectors.
+func NewMapBacking(sectorBytes int) *MapBacking {
+	return &MapBacking{sectors: make(map[uint64][]byte), size: sectorBytes}
+}
+
+// ReadSector implements Backing (absent sectors read as zero).
+func (b *MapBacking) ReadSector(addr uint64) ([]byte, error) {
+	b.Reads++
+	if d, ok := b.sectors[addr]; ok {
+		return append([]byte(nil), d...), nil
+	}
+	return make([]byte, b.size), nil
+}
+
+// WriteSector implements Backing.
+func (b *MapBacking) WriteSector(addr uint64, data []byte) error {
+	b.Writes++
+	if len(data) != b.size {
+		return fmt.Errorf("dramcache: backing write of %d bytes, want %d", len(data), b.size)
+	}
+	b.sectors[addr] = append([]byte(nil), data...)
+	return nil
+}
+
+// Cache is the AFT-ECC-tagged DRAM cache.
+type Cache struct {
+	code    *core.Code
+	backing Backing
+	slots   []slot
+	nSlots  uint64
+
+	Hits, Misses, Conflicts uint64
+}
+
+type slot struct {
+	valid bool
+	data  []byte
+	check uint64
+}
+
+// New builds a cache with nSlots direct-mapped 32B lines over the
+// backing store. The addressable backing span is nSlots × 2^TS sectors:
+// beyond that, distinct addresses would share both slot and tag and
+// alias — New enforces the bound via MaxAddr.
+func New(code *core.Code, backing Backing, nSlots int) (*Cache, error) {
+	if nSlots < 1 {
+		return nil, fmt.Errorf("dramcache: need ≥ 1 slot")
+	}
+	return &Cache{
+		code:    code,
+		backing: backing,
+		slots:   make([]slot, nSlots),
+		nSlots:  uint64(nSlots),
+	}, nil
+}
+
+// SectorBytes returns the line size.
+func (c *Cache) SectorBytes() int { return c.code.K() / 8 }
+
+// MaxAddr returns the exclusive upper bound of cacheable byte addresses:
+// addresses at or above it cannot be disambiguated by the TS-bit tag.
+func (c *Cache) MaxAddr() uint64 {
+	return c.nSlots * (c.code.TagMask() + 1) * uint64(c.SectorBytes())
+}
+
+func (c *Cache) slotAndTag(addr uint64) (uint64, uint64, error) {
+	sb := uint64(c.SectorBytes())
+	if addr%sb != 0 {
+		return 0, 0, fmt.Errorf("dramcache: address %#x not %d-byte aligned", addr, sb)
+	}
+	if addr >= c.MaxAddr() {
+		return 0, 0, fmt.Errorf("dramcache: address %#x beyond the %#x tag-addressable bound", addr, c.MaxAddr())
+	}
+	sector := addr / sb
+	return sector % c.nSlots, (sector / c.nSlots) & c.code.TagMask(), nil
+}
+
+// Read returns the sector at addr, filling from backing on a miss. The
+// hit/miss decision is the AFT-ECC decode itself: no stored cache tags.
+func (c *Cache) Read(addr uint64) ([]byte, error) {
+	si, tag, err := c.slotAndTag(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &c.slots[si]
+	if s.valid {
+		bv := gf2.BitVecFromBytes(c.code.K(), s.data)
+		res := c.code.Decode(bv, s.check, tag)
+		switch res.Status {
+		case core.StatusOK:
+			c.Hits++
+			return append([]byte(nil), s.data...), nil
+		case core.StatusCorrected:
+			c.Hits++
+			corrected := bv.Bytes()[:c.SectorBytes()]
+			s.data = append([]byte(nil), corrected...)
+			if res.FlippedBit >= c.code.K() {
+				s.check ^= 1 << uint(res.FlippedBit-c.code.K())
+			}
+			return append([]byte(nil), corrected...), nil
+		case core.StatusTMM:
+			// A different backing line is resident: a conflict miss.
+			c.Conflicts++
+		default:
+			// Corrupted beyond repair: safe to refetch — write-through
+			// guarantees the backing copy is current.
+		}
+	}
+	c.Misses++
+	data, err := c.backing.ReadSector(addr)
+	if err != nil {
+		return nil, err
+	}
+	bv := gf2.BitVecFromBytes(c.code.K(), data)
+	*s = slot{valid: true, data: append([]byte(nil), data...), check: c.code.Encode(bv, tag)}
+	return data, nil
+}
+
+// Write stores a full sector write-through: the backing is always
+// updated, and the cache line is refreshed under the address's tag.
+func (c *Cache) Write(addr uint64, data []byte) error {
+	if len(data) != c.SectorBytes() {
+		return fmt.Errorf("dramcache: write of %d bytes, want %d", len(data), c.SectorBytes())
+	}
+	si, tag, err := c.slotAndTag(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.backing.WriteSector(addr, data); err != nil {
+		return err
+	}
+	bv := gf2.BitVecFromBytes(c.code.K(), data)
+	c.slots[si] = slot{valid: true, data: append([]byte(nil), data...), check: c.code.Encode(bv, tag)}
+	return nil
+}
+
+// InjectError flips a physical bit of the slot holding addr (tests).
+func (c *Cache) InjectError(addr uint64, bit int) error {
+	si, _, err := c.slotAndTag(addr)
+	if err != nil {
+		return err
+	}
+	s := &c.slots[si]
+	if !s.valid {
+		return fmt.Errorf("dramcache: slot for %#x is empty", addr)
+	}
+	if bit < 0 || bit >= c.code.PhysicalBits() {
+		return fmt.Errorf("dramcache: bit %d out of range", bit)
+	}
+	if bit < c.code.K() {
+		s.data[bit/8] ^= 1 << uint(bit%8)
+	} else {
+		s.check ^= 1 << uint(bit-c.code.K())
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package dramcache
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newCache(t *testing.T, slots int) (*Cache, *MapBacking) {
+	t.Helper()
+	code, err := core.NewCode(256, 16, 15, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing := NewMapBacking(32)
+	c, err := New(code, backing, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, backing
+}
+
+func sector(b byte) []byte {
+	d := make([]byte, 32)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestReadThroughAndHit(t *testing.T) {
+	c, backing := newCache(t, 64)
+	if err := backing.WriteSector(0x100, sector(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	backing.Writes = 0
+	got, err := c.Read(0x100)
+	if err != nil || !bytes.Equal(got, sector(0xAA)) {
+		t.Fatalf("first read: %v %v", got, err)
+	}
+	if c.Misses != 1 || backing.Reads != 1 {
+		t.Fatalf("first read should miss: %+v", c)
+	}
+	got, err = c.Read(0x100)
+	if err != nil || !bytes.Equal(got, sector(0xAA)) {
+		t.Fatal("second read failed")
+	}
+	if c.Hits != 1 || backing.Reads != 1 {
+		t.Fatalf("second read should hit without backing traffic: hits=%d reads=%d", c.Hits, backing.Reads)
+	}
+}
+
+func TestConflictDetectedByTMM(t *testing.T) {
+	c, backing := newCache(t, 4)
+	// Two addresses mapping to the same slot: they differ only in the
+	// implicit AFT-ECC tag.
+	a := uint64(0)
+	b := uint64(4 * 32) // same slot (nSlots=4), next tag
+	if err := backing.WriteSector(a, sector(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := backing.WriteSector(b, sector(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(b)
+	if err != nil || got[0] != 2 {
+		t.Fatalf("conflicting read: %v %v", got, err)
+	}
+	if c.Conflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1 (TMM-as-miss)", c.Conflicts)
+	}
+	// And back: a misses again, with the right data (no silent aliasing).
+	got, err = c.Read(a)
+	if err != nil || got[0] != 1 {
+		t.Fatalf("re-read of a: %v %v", got, err)
+	}
+	if c.Conflicts != 2 {
+		t.Fatalf("conflicts = %d", c.Conflicts)
+	}
+}
+
+func TestWriteThrough(t *testing.T) {
+	c, backing := newCache(t, 8)
+	if err := c.Write(0x40, sector(7)); err != nil {
+		t.Fatal(err)
+	}
+	if backing.Writes != 1 {
+		t.Fatal("write did not reach the backing store")
+	}
+	// Cached: reading hits without a backing read.
+	backing.Reads = 0
+	got, err := c.Read(0x40)
+	if err != nil || got[5] != 7 {
+		t.Fatal("read after write failed")
+	}
+	if backing.Reads != 0 || c.Hits != 1 {
+		t.Fatal("read after write should hit")
+	}
+	if err := c.Write(0x40, sector(7)[:8]); err == nil {
+		t.Error("short write must be rejected")
+	}
+}
+
+func TestSingleBitErrorCorrectedInCache(t *testing.T) {
+	c, _ := newCache(t, 8)
+	if err := c.Write(0x80, sector(0x55)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectError(0x80, 9); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(0x80)
+	if err != nil || !bytes.Equal(got, sector(0x55)) {
+		t.Fatal("cache-resident single-bit error not corrected")
+	}
+	if c.Hits != 1 {
+		t.Fatal("corrected read should count as a hit")
+	}
+}
+
+func TestCorruptedLineRefetched(t *testing.T) {
+	c, backing := newCache(t, 8)
+	if err := c.Write(0xC0, sector(0x66)); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{1, 2, 3} {
+		if err := c.InjectError(0xC0, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backing.Reads = 0
+	got, err := c.Read(0xC0)
+	if err != nil || !bytes.Equal(got, sector(0x66)) {
+		t.Fatal("corrupted line not recovered from write-through backing")
+	}
+	if backing.Reads != 1 || c.Misses != 1 {
+		t.Fatal("corrupted line should refetch")
+	}
+}
+
+func TestAddressBounds(t *testing.T) {
+	c, _ := newCache(t, 4)
+	if c.MaxAddr() != 4*(1<<15)*32 {
+		t.Fatalf("MaxAddr = %#x", c.MaxAddr())
+	}
+	if _, err := c.Read(c.MaxAddr()); err == nil {
+		t.Error("address beyond the tag-addressable bound must be rejected")
+	}
+	if _, err := c.Read(0x11); err == nil {
+		t.Error("unaligned address must be rejected")
+	}
+	if err := c.InjectError(0x0, 0); err == nil {
+		t.Error("inject into an empty slot must fail")
+	}
+	code, err := core.NewCode(256, 16, 15, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(code, NewMapBacking(32), 0); err == nil {
+		t.Error("zero slots must be rejected")
+	}
+}
+
+func TestSweepOverManyTags(t *testing.T) {
+	c, backing := newCache(t, 2)
+	// Walk 32 lines that all collide in 2 slots: every access after the
+	// first two is a conflict miss, and data never aliases.
+	for round := 0; round < 2; round++ {
+		for i := uint64(0); i < 32; i++ {
+			addr := i * 2 * 32 // all map to slot 0
+			if round == 0 {
+				if err := backing.WriteSector(addr, sector(byte(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := c.Read(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != byte(i) {
+				t.Fatalf("aliased data: addr %#x got %d", addr, got[0])
+			}
+		}
+	}
+	if c.Hits != 0 {
+		t.Fatalf("hits = %d, want 0 under pure conflicts", c.Hits)
+	}
+}

@@ -1,0 +1,238 @@
+// Package ecc implements linear block error-correcting codes over GF(2):
+// systematic parity-check-matrix construction, encoding, and syndrome
+// decoding.
+//
+// A code is described by its R×N parity-check matrix H = (D | I): the K data
+// columns D and the R×R identity over the check bits (Equation 3 of the
+// paper). Codeword bit positions are laid out data-first: bits [0,K) are
+// data, bits [K,K+R) are check bits.
+//
+// Three code families are provided, matching the paper's Figure 9 sweep:
+//
+//   - detect-only codes (including single-bit parity), which never correct;
+//   - SEC codes (unique nonzero columns), which correct single-bit errors;
+//   - SEC-DED Hsiao codes (unique minimum-odd-weight columns), which correct
+//     single-bit and detect all double-bit errors.
+//
+// The tagged AFT-ECC construction in internal/core builds on this package.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/gf2"
+)
+
+// Kind classifies the decode behavior of a code.
+type Kind int
+
+const (
+	// DetectOnly codes flag any nonzero syndrome as a detected,
+	// uncorrectable error; they never attempt correction.
+	DetectOnly Kind = iota
+	// SEC codes correct single-bit errors and detect (some) others.
+	SEC
+	// SECDED codes correct single-bit errors and are guaranteed to detect
+	// all double-bit errors.
+	SECDED
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DetectOnly:
+		return "detect-only"
+	case SEC:
+		return "SEC"
+	case SECDED:
+		return "SEC-DED"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Status is the outcome of decoding a possibly-corrupted codeword.
+type Status int
+
+const (
+	// StatusOK means the syndrome was zero: no error detected.
+	StatusOK Status = iota
+	// StatusCorrected means a single-bit error was identified and repaired.
+	StatusCorrected
+	// StatusDetected means an uncorrectable error was detected (a DUE).
+	StatusDetected
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusCorrected:
+		return "corrected"
+	case StatusDetected:
+		return "DUE"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Code is a systematic linear block code with K data bits and R check bits.
+type Code struct {
+	name     string
+	k, r     int
+	kind     Kind
+	dataCols []uint64       // the D submatrix, one R-bit column per data bit
+	synToBit map[uint64]int // single-bit-error syndrome -> codeword bit index
+}
+
+// New assembles a code from an explicit data submatrix. The identity
+// check-bit submatrix is implied. For SEC and SECDED kinds the single-bit
+// syndrome lookup table is built; construction fails if two correctable
+// columns collide (the code would not be SEC).
+func New(name string, kind Kind, r int, dataCols []uint64) (*Code, error) {
+	if r < 1 || r > 63 {
+		return nil, fmt.Errorf("ecc: R=%d out of range [1,63]", r)
+	}
+	mask := uint64(1)<<uint(r) - 1
+	for j, c := range dataCols {
+		if c&^mask != 0 {
+			return nil, fmt.Errorf("ecc: data column %d exceeds %d rows", j, r)
+		}
+	}
+	c := &Code{
+		name:     name,
+		k:        len(dataCols),
+		r:        r,
+		kind:     kind,
+		dataCols: append([]uint64(nil), dataCols...),
+	}
+	if kind != DetectOnly {
+		c.synToBit = make(map[uint64]int, c.N())
+		for i := 0; i < c.N(); i++ {
+			s := c.Column(i)
+			if s == 0 {
+				return nil, fmt.Errorf("ecc: column %d is zero; code cannot be %v", i, kind)
+			}
+			if prev, dup := c.synToBit[s]; dup {
+				return nil, fmt.Errorf("ecc: columns %d and %d collide (syndrome %#x); code cannot be %v", prev, i, s, kind)
+			}
+			c.synToBit[s] = i
+		}
+	}
+	return c, nil
+}
+
+// Name returns the code's human-readable name.
+func (c *Code) Name() string { return c.name }
+
+// K returns the number of data bits.
+func (c *Code) K() int { return c.k }
+
+// R returns the number of check bits (the redundancy).
+func (c *Code) R() int { return c.r }
+
+// N returns the codeword length K+R.
+func (c *Code) N() int { return c.k + c.r }
+
+// Kind returns the decode behavior class.
+func (c *Code) Kind() Kind { return c.kind }
+
+// Column returns the H-matrix column for codeword bit i: a data column for
+// i < K, an identity column for the check bits.
+func (c *Code) Column(i int) uint64 {
+	if i < c.k {
+		return c.dataCols[i]
+	}
+	return 1 << uint(i-c.k)
+}
+
+// DataMatrix returns the D submatrix as a gf2.Matrix (a copy).
+func (c *Code) DataMatrix() *gf2.Matrix {
+	return gf2.FromColumns(c.r, c.dataCols)
+}
+
+// H returns the full parity-check matrix (D | I) as a gf2.Matrix.
+func (c *Code) H() *gf2.Matrix {
+	return gf2.Concat(c.DataMatrix(), gf2.Identity(c.r))
+}
+
+// Encode computes the check bits for a K-bit data vector.
+func (c *Code) Encode(data *gf2.BitVec) uint64 {
+	if data.Len() != c.k {
+		panic(fmt.Sprintf("ecc: Encode expects %d data bits, got %d", c.k, data.Len()))
+	}
+	return c.DataSyndrome(data)
+}
+
+// DataSyndrome computes D*data, the contribution of the data bits to the
+// syndrome. For a freshly encoded word this equals the check bits.
+func (c *Code) DataSyndrome(data *gf2.BitVec) uint64 {
+	var s uint64
+	for w, word := range data.Words() {
+		base := w * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			s ^= c.dataCols[base+b]
+			word &= word - 1
+		}
+	}
+	return s
+}
+
+// Syndrome computes the decode syndrome for received data and check bits:
+// s = D*data ⊕ check.
+func (c *Code) Syndrome(data *gf2.BitVec, check uint64) uint64 {
+	return c.DataSyndrome(data) ^ check
+}
+
+// ErrorSyndrome computes H*e for an N-bit error pattern: the syndrome such
+// an error produces regardless of the underlying codeword (Equation 2).
+func (c *Code) ErrorSyndrome(err *gf2.BitVec) uint64 {
+	if err.Len() != c.N() {
+		panic(fmt.Sprintf("ecc: ErrorSyndrome expects %d bits, got %d", c.N(), err.Len()))
+	}
+	var s uint64
+	for _, i := range err.SetBits() {
+		s ^= c.Column(i)
+	}
+	return s
+}
+
+// Result describes the outcome of a Decode call.
+type Result struct {
+	Status   Status
+	Syndrome uint64
+	// FlippedBit is the codeword bit position repaired when
+	// Status == StatusCorrected, and -1 otherwise.
+	FlippedBit int
+}
+
+// Decode inspects received data and check bits. For SEC/SECDED codes a
+// syndrome matching a single H column is corrected in place (data is
+// mutated if the flipped bit is a data bit). Detect-only codes report any
+// nonzero syndrome as a DUE.
+func (c *Code) Decode(data *gf2.BitVec, check uint64) Result {
+	s := c.Syndrome(data, check)
+	if s == 0 {
+		return Result{Status: StatusOK, FlippedBit: -1}
+	}
+	if c.kind != DetectOnly {
+		if bit, ok := c.synToBit[s]; ok {
+			if bit < c.k {
+				data.Flip(bit)
+			}
+			return Result{Status: StatusCorrected, Syndrome: s, FlippedBit: bit}
+		}
+	}
+	return Result{Status: StatusDetected, Syndrome: s, FlippedBit: -1}
+}
+
+// CorrectableSyndrome reports whether s is the syndrome of a correctable
+// (single-bit) error, and which codeword bit it corresponds to.
+func (c *Code) CorrectableSyndrome(s uint64) (bit int, ok bool) {
+	if c.kind == DetectOnly {
+		return 0, false
+	}
+	bit, ok = c.synToBit[s]
+	return bit, ok
+}

@@ -1,0 +1,388 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf2"
+)
+
+func randData(rng *rand.Rand, k int) *gf2.BitVec {
+	v := gf2.NewBitVec(k)
+	for i := 0; i < k; i++ {
+		v.Set(i, rng.Intn(2))
+	}
+	return v
+}
+
+func TestHsiaoRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ k, r int }{{32, 7}, {64, 8}, {128, 9}, {256, 10}, {256, 16}} {
+		c, err := NewHsiao(cfg.k, cfg.r)
+		if err != nil {
+			t.Fatalf("NewHsiao(%d,%d): %v", cfg.k, cfg.r, err)
+		}
+		rng := rand.New(rand.NewSource(int64(cfg.k + cfg.r)))
+		for trial := 0; trial < 50; trial++ {
+			data := randData(rng, cfg.k)
+			check := c.Encode(data)
+			res := c.Decode(data.Clone(), check)
+			if res.Status != StatusOK {
+				t.Fatalf("(%d,%d) clean decode status %v", cfg.k, cfg.r, res.Status)
+			}
+		}
+	}
+}
+
+func TestHsiaoSingleBitCorrection(t *testing.T) {
+	c, err := NewHsiao(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		data := randData(rng, 64)
+		check := c.Encode(data)
+		bit := rng.Intn(c.N())
+		rx := data.Clone()
+		rxCheck := check
+		if bit < c.K() {
+			rx.Flip(bit)
+		} else {
+			rxCheck ^= 1 << uint(bit-c.K())
+		}
+		res := c.Decode(rx, rxCheck)
+		if res.Status != StatusCorrected {
+			t.Fatalf("bit %d: status %v, want corrected", bit, res.Status)
+		}
+		if res.FlippedBit != bit {
+			t.Fatalf("bit %d: corrected wrong bit %d", bit, res.FlippedBit)
+		}
+		if bit < c.K() && !rx.Equal(data) {
+			t.Fatalf("bit %d: data not restored", bit)
+		}
+	}
+}
+
+func TestHsiaoDoubleBitDetection(t *testing.T) {
+	c, err := NewHsiao(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := gf2.NewBitVec(64)
+	check := c.Encode(data)
+	// Exhaustive over all 2-bit error positions.
+	for i := 0; i < c.N(); i++ {
+		for j := i + 1; j < c.N(); j++ {
+			rx := data.Clone()
+			rxCheck := check
+			for _, b := range []int{i, j} {
+				if b < c.K() {
+					rx.Flip(b)
+				} else {
+					rxCheck ^= 1 << uint(b-c.K())
+				}
+			}
+			res := c.Decode(rx, rxCheck)
+			if res.Status != StatusDetected {
+				t.Fatalf("2-bit error (%d,%d): status %v, want DUE", i, j, res.Status)
+			}
+		}
+	}
+}
+
+func TestVerifyHsiao(t *testing.T) {
+	for _, cfg := range []struct{ k, r int }{{64, 8}, {256, 10}, {256, 16}} {
+		c, err := NewHsiao(cfg.k, cfg.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Verify(c)
+		if !p.SingleCorrecting {
+			t.Errorf("(%d,%d): not single-correcting", cfg.k, cfg.r)
+		}
+		if !p.DoubleDetecting {
+			t.Errorf("(%d,%d): not double-detecting", cfg.k, cfg.r)
+		}
+		if !p.AllOddColumns {
+			t.Errorf("(%d,%d): has even-weight columns", cfg.k, cfg.r)
+		}
+	}
+}
+
+func TestSECProperties(t *testing.T) {
+	c, err := NewSEC(64, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Verify(c)
+	if !p.SingleCorrecting {
+		t.Error("SEC code not single-correcting")
+	}
+	// Correct a single-bit error.
+	rng := rand.New(rand.NewSource(9))
+	data := randData(rng, 64)
+	check := c.Encode(data)
+	rx := data.Clone()
+	rx.Flip(17)
+	res := c.Decode(rx, check)
+	if res.Status != StatusCorrected || res.FlippedBit != 17 {
+		t.Errorf("SEC decode: %+v", res)
+	}
+}
+
+func TestSECCapacityBound(t *testing.T) {
+	// R=9 supports at most 2^9-1-9 = 502 data bits.
+	if _, err := NewSEC(502, 9, 1); err != nil {
+		t.Errorf("NewSEC(502,9) should fit: %v", err)
+	}
+	if _, err := NewSEC(503, 9, 1); err == nil {
+		t.Error("NewSEC(503,9) should exceed capacity")
+	}
+}
+
+func TestDetectOnlyNeverCorrects(t *testing.T) {
+	c, err := NewDetectOnly(64, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	data := randData(rng, 64)
+	check := c.Encode(data)
+	rx := data.Clone()
+	rx.Flip(5)
+	res := c.Decode(rx, check)
+	if res.Status != StatusDetected {
+		t.Errorf("detect-only decode status %v, want DUE", res.Status)
+	}
+	if rx.Get(5) == data.Get(5) {
+		t.Error("detect-only decode mutated data")
+	}
+}
+
+func TestParityDetectsOddErrors(t *testing.T) {
+	c := NewParity(32)
+	data := gf2.NewBitVec(32)
+	check := c.Encode(data)
+	if check != 0 {
+		t.Fatalf("zero data parity = %d", check)
+	}
+	rx := data.Clone()
+	rx.Flip(3)
+	if res := c.Decode(rx, check); res.Status != StatusDetected {
+		t.Error("parity missed 1-bit error")
+	}
+	rx.Flip(9) // now a 2-bit error: parity is blind to it
+	if res := c.Decode(rx, check); res.Status != StatusOK {
+		t.Error("parity should miss a 2-bit error (that is its weakness)")
+	}
+}
+
+func TestErrorSyndromeMatchesDecode(t *testing.T) {
+	c, err := NewHsiao(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := randData(rng, 64)
+		check := c.Encode(data)
+		errv := gf2.NewBitVec(c.N())
+		nerr := rng.Intn(5)
+		for e := 0; e < nerr; e++ {
+			errv.Set(rng.Intn(c.N()), 1)
+		}
+		rx := data.Clone()
+		rxCheck := check
+		for _, b := range errv.SetBits() {
+			if b < c.K() {
+				rx.Flip(b)
+			} else {
+				rxCheck ^= 1 << uint(b-c.K())
+			}
+		}
+		return c.Syndrome(rx, rxCheck) == c.ErrorSyndrome(errv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRejectsCollidingColumns(t *testing.T) {
+	// Two identical data columns cannot be SEC.
+	if _, err := New("bad", SEC, 4, []uint64{0b0011, 0b0011}); err == nil {
+		t.Error("New accepted duplicate columns for a SEC code")
+	}
+	// A data column equal to an identity column cannot be SEC either.
+	if _, err := New("bad", SEC, 4, []uint64{0b0001}); err == nil {
+		t.Error("New accepted a weight-1 data column for a SEC code")
+	}
+	// But detect-only codes tolerate both.
+	if _, err := New("ok", DetectOnly, 4, []uint64{0b0011, 0b0011}); err != nil {
+		t.Errorf("DetectOnly should tolerate duplicates: %v", err)
+	}
+}
+
+func TestTripleDetectionRateSmall(t *testing.T) {
+	c, err := NewHsiao(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := TripleDetectionRate(c)
+	if rate <= 0 || rate >= 1 {
+		t.Errorf("triple detection rate = %v, want in (0,1)", rate)
+	}
+	// Cross-check against brute-force injection on a real codeword.
+	data := gf2.NewBitVec(16)
+	check := c.Encode(data)
+	detected, total := 0, 0
+	for i := 0; i < c.N(); i++ {
+		for j := i + 1; j < c.N(); j++ {
+			for k := j + 1; k < c.N(); k++ {
+				rx := data.Clone()
+				rxCheck := check
+				for _, b := range []int{i, j, k} {
+					if b < c.K() {
+						rx.Flip(b)
+					} else {
+						rxCheck ^= 1 << uint(b-c.K())
+					}
+				}
+				total++
+				if c.Decode(rx, rxCheck).Status == StatusDetected {
+					detected++
+				}
+			}
+		}
+	}
+	bf := float64(detected) / float64(total)
+	if diff := rate - bf; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("TripleDetectionRate %v != brute force %v", rate, bf)
+	}
+}
+
+func TestGeneticSearchImprovesOrMatches(t *testing.T) {
+	base, err := NewHsiao(32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGeneticSECDED(32, 7, GeneticOptions{Population: 8, Generations: 6, TripleTrials: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Verify(gen)
+	if !p.SingleCorrecting || !p.DoubleDetecting || !p.AllOddColumns {
+		t.Fatalf("genetic code lost SEC-DED properties: %+v", p)
+	}
+	// The searched code must be a valid SEC-DED; its exact triple rate can
+	// fluctuate but should be in the same regime as the greedy baseline.
+	baseRate := TripleDetectionRate(base)
+	genRate := TripleDetectionRate(gen)
+	if genRate < baseRate-0.15 {
+		t.Errorf("genetic triple detection %v much worse than baseline %v", genRate, baseRate)
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	got := combinations(4, 2)
+	want := []uint64{0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100}
+	if len(got) != len(want) {
+		t.Fatalf("combinations(4,2) len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("combinations(4,2)[%d] = %04b, want %04b", i, got[i], want[i])
+		}
+	}
+	if n := len(combinations(16, 3)); n != 560 {
+		t.Errorf("C(16,3) = %d, want 560", n)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{{16, 3, 560}, {10, 5, 252}, {5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0}}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestKindAndStatusStrings(t *testing.T) {
+	if SECDED.String() != "SEC-DED" || DetectOnly.String() != "detect-only" || SEC.String() != "SEC" {
+		t.Error("Kind strings wrong")
+	}
+	if StatusOK.String() != "OK" || StatusCorrected.String() != "corrected" || StatusDetected.String() != "DUE" {
+		t.Error("Status strings wrong")
+	}
+}
+
+func TestHMatrixShape(t *testing.T) {
+	c, err := NewHsiao(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H()
+	if h.Rows() != 8 || h.Cols() != 72 {
+		t.Fatalf("H shape %dx%d, want 8x72", h.Rows(), h.Cols())
+	}
+	// The check-bit part must be the identity.
+	if !h.Submatrix(64, 72).Equal(gf2.Identity(8)) {
+		t.Error("check-bit submatrix is not the identity")
+	}
+}
+
+func TestTripleSDCConsistentWithWeight4Codewords(t *testing.T) {
+	// Coding-theory cross-check: for a distance-4 code, a 3-bit error is
+	// silently miscorrected exactly when it is "one column short" of a
+	// weight-4 codeword, so the number of undetected triples must equal
+	// 4·A4 (each weight-4 codeword contains four such triples). Verify by
+	// enumerating ALL 2^K codewords of a small Hsiao code.
+	c, err := NewHsiao(10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate codewords, count weight-4 ones.
+	a4 := 0
+	for d := uint64(0); d < 1<<10; d++ {
+		data := gf2.NewBitVec(10)
+		for i := 0; i < 10; i++ {
+			data.Set(i, int(d>>uint(i)&1))
+		}
+		check := c.Encode(data)
+		w := data.Weight() + popcount(check)
+		if w == 4 {
+			a4++
+		}
+	}
+	// Count undetected 3-bit errors directly.
+	undetected := 0
+	n := c.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				s := c.Column(i) ^ c.Column(j) ^ c.Column(k)
+				if _, corr := c.CorrectableSyndrome(s); corr || s == 0 {
+					undetected++
+				}
+			}
+		}
+	}
+	if undetected != 4*a4 {
+		t.Fatalf("undetected triples = %d, want 4·A4 = %d (A4=%d)", undetected, 4*a4, a4)
+	}
+	// And TripleDetectionRate agrees.
+	total := n * (n - 1) * (n - 2) / 6
+	wantRate := 1 - float64(undetected)/float64(total)
+	if got := TripleDetectionRate(c); got < wantRate-1e-12 || got > wantRate+1e-12 {
+		t.Fatalf("TripleDetectionRate = %v, want %v", got, wantRate)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package ecc
+
+import "math/bits"
+
+// Properties summarizes the structural guarantees of a code, established by
+// direct matrix checks rather than trusting the constructor.
+type Properties struct {
+	// SingleCorrecting: every H column is nonzero and unique, so every
+	// single-bit error maps to a distinct syndrome.
+	SingleCorrecting bool
+	// DoubleDetecting: no double-bit error aliases to a zero syndrome or to
+	// a correctable (single-column) syndrome — minimum distance ≥ 4.
+	DoubleDetecting bool
+	// AllOddColumns: every column of H has odd weight (the Hsiao property).
+	AllOddColumns bool
+	MaxRowWeight  int
+	TotalOnes     int
+}
+
+// Verify computes the structural properties of the code by exhaustive
+// column checks: O(N) for SEC, O(N²) for DED.
+func Verify(c *Code) Properties {
+	n := c.N()
+	var p Properties
+
+	colSet := make(map[uint64]bool, n)
+	p.SingleCorrecting = true
+	p.AllOddColumns = true
+	for i := 0; i < n; i++ {
+		col := c.Column(i)
+		if col == 0 || colSet[col] {
+			p.SingleCorrecting = false
+		}
+		colSet[col] = true
+		if bits.OnesCount64(col)%2 == 0 {
+			p.AllOddColumns = false
+		}
+	}
+
+	// Distance-4 check: for all pairs (i,j), H_i ⊕ H_j must be nonzero and
+	// must not equal any column (otherwise a 2-bit error is miscorrected or
+	// missed).
+	p.DoubleDetecting = p.SingleCorrecting
+	if p.DoubleDetecting {
+	pairs:
+		for i := 0; i < n && p.DoubleDetecting; i++ {
+			ci := c.Column(i)
+			for j := i + 1; j < n; j++ {
+				s := ci ^ c.Column(j)
+				if s == 0 || colSet[s] {
+					p.DoubleDetecting = false
+					break pairs
+				}
+			}
+		}
+	}
+
+	h := c.H()
+	p.MaxRowWeight = h.MaxRowWeight()
+	p.TotalOnes = h.TotalOnes()
+	return p
+}
+
+// TripleDetectionRate measures the fraction of 3-bit errors the code
+// detects (does not silently miscorrect), evaluated exhaustively over all
+// C(N,3) patterns. A 3-bit error is an SDC exactly when its syndrome equals
+// some H column (a plausible single-bit miscorrection) or is zero.
+// This is the fitness signal for the genetic data-submatrix search and the
+// source of the paper's Figure 9 "3b (SEC-DED)" series.
+func TripleDetectionRate(c *Code) float64 {
+	n := c.N()
+	detected, total := 0, 0
+	for i := 0; i < n; i++ {
+		si := c.Column(i)
+		for j := i + 1; j < n; j++ {
+			sij := si ^ c.Column(j)
+			for k := j + 1; k < n; k++ {
+				s := sij ^ c.Column(k)
+				total++
+				if s != 0 {
+					if _, corr := c.synToBit[s]; !corr {
+						detected++
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(detected) / float64(total)
+}

@@ -1,0 +1,298 @@
+// Package endtoend models the §4.2 "End-to-End ECC" organization of
+// Figure 6a: AFT-ECC check bits are generated once at the SM on a store
+// and travel WITH the data through the write-back L2, DRAM, and back up
+// through the L1; decoding happens only at the point of use, with the
+// key tag taken from the consuming pointer.
+//
+// The property this architecture exists to satisfy: "End-to-end ECC must
+// be used past the point of the first write-back cache … upon a dirty
+// writeback the ECC-embedded tag value cannot be safely extracted from
+// the AFT-ECC check-bits." A dirty line's lock tag is unknown to the
+// cache, so the hierarchy must never need to re-encode — and in this
+// model it never does: codewords move verbatim between levels, and the
+// package counts encode/decode invocations to prove it.
+package endtoend
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gf2"
+	"repro/internal/imt"
+)
+
+// Codeword is a sector's data plus its traveling check bits. The lock
+// tag is embedded in Check and deliberately NOT represented.
+type Codeword struct {
+	Data  []byte
+	Check uint64
+}
+
+func (c Codeword) clone() Codeword {
+	return Codeword{Data: append([]byte(nil), c.Data...), Check: c.Check}
+}
+
+// Hierarchy is a functional three-level memory: sectored write-through
+// L1 → write-back L2 → DRAM. Capacities are in sectors; both caches are
+// fully associative with FIFO eviction (this is a correctness model of
+// tag propagation, not a timing model — internal/gpusim owns timing).
+type Hierarchy struct {
+	cfg  imt.Config
+	code *core.Code
+
+	l1, l2 *level
+	dram   map[uint64]Codeword
+
+	// Encodes and Decodes count codec invocations: the end-to-end claim
+	// is that both happen only at the SM boundary, exactly once per
+	// store and once per load (plus RMW partials).
+	Encodes, Decodes uint64
+	// Writebacks counts dirty L2 evictions — each moves a codeword to
+	// DRAM without any decode.
+	Writebacks uint64
+	Corrected  uint64
+}
+
+type level struct {
+	capacity int
+	order    []uint64 // FIFO
+	lines    map[uint64]*line
+}
+
+type line struct {
+	cw    Codeword
+	dirty bool
+}
+
+func newLevel(capacity int) *level {
+	return &level{capacity: capacity, lines: make(map[uint64]*line)}
+}
+
+// New builds a hierarchy for an IMT configuration with the given cache
+// capacities in sectors.
+func New(cfg imt.Config, l1Sectors, l2Sectors int) (*Hierarchy, error) {
+	code, err := cfg.NewCode()
+	if err != nil {
+		return nil, err
+	}
+	if l1Sectors < 1 || l2Sectors < 1 {
+		return nil, fmt.Errorf("endtoend: cache capacities must be ≥ 1 sector")
+	}
+	return &Hierarchy{
+		cfg:  cfg,
+		code: code,
+		l1:   newLevel(l1Sectors),
+		l2:   newLevel(l2Sectors),
+		dram: make(map[uint64]Codeword),
+	}, nil
+}
+
+// Config returns the IMT configuration.
+func (h *Hierarchy) Config() imt.Config { return h.cfg }
+
+func (h *Hierarchy) sectorOf(addr uint64) (uint64, error) {
+	g := uint64(h.cfg.GranuleBytes)
+	if addr%g != 0 {
+		return 0, fmt.Errorf("endtoend: address %#x not %d-byte aligned", addr, g)
+	}
+	return addr / g, nil
+}
+
+// encodeAtSM is the single encoder of Figure 6a's SM box.
+func (h *Hierarchy) encodeAtSM(data []byte, keyTag uint64) Codeword {
+	h.Encodes++
+	bv := gf2.BitVecFromBytes(h.cfg.DataBits, data)
+	return Codeword{Data: append([]byte(nil), data...), Check: h.code.Encode(bv, keyTag)}
+}
+
+// Store writes a full sector: encode once at the SM, install in the L1
+// (write-through) and L2 (write-back dirty). No other level ever encodes.
+func (h *Hierarchy) Store(p imt.Pointer, data []byte) error {
+	if len(data) != h.cfg.GranuleBytes {
+		return fmt.Errorf("endtoend: store needs %d bytes", h.cfg.GranuleBytes)
+	}
+	sec, err := h.sectorOf(h.cfg.Addr(p))
+	if err != nil {
+		return err
+	}
+	cw := h.encodeAtSM(data, h.cfg.KeyTag(p))
+	h.installL1(sec, cw)
+	h.installL2(sec, cw, true)
+	return nil
+}
+
+// Load reads a full sector: the codeword is fetched (L1 → L2 → DRAM)
+// verbatim and decoded exactly once, at the SM, under p's key tag.
+func (h *Hierarchy) Load(p imt.Pointer) ([]byte, error) {
+	sec, err := h.sectorOf(h.cfg.Addr(p))
+	if err != nil {
+		return nil, err
+	}
+	cw, err := h.fetch(sec)
+	if err != nil {
+		return nil, err
+	}
+	h.Decodes++
+	bv := gf2.BitVecFromBytes(h.cfg.DataBits, cw.Data)
+	res := h.code.Decode(bv, cw.Check, h.cfg.KeyTag(p))
+	switch res.Status {
+	case core.StatusOK:
+		return append([]byte(nil), cw.Data...), nil
+	case core.StatusCorrected:
+		h.Corrected++
+		corrected := bv.Bytes()[:h.cfg.GranuleBytes]
+		// Scrub the repaired codeword back into the L1 copy.
+		fixed := Codeword{Data: append([]byte(nil), corrected...), Check: cw.Check}
+		if res.FlippedBit >= h.code.K() {
+			fixed.Check ^= 1 << uint(res.FlippedBit-h.code.K())
+		}
+		h.installL1(sec, fixed)
+		return append([]byte(nil), corrected...), nil
+	case core.StatusTMM:
+		return nil, &imt.Fault{
+			Kind: imt.FaultTMM, Addr: h.cfg.Addr(p), KeyTag: h.cfg.KeyTag(p),
+			Syndrome: res.Syndrome, LockTagEstimate: res.LockTagEstimate,
+		}
+	default:
+		return nil, &imt.Fault{
+			Kind: imt.FaultDUE, Addr: h.cfg.Addr(p), KeyTag: h.cfg.KeyTag(p),
+			Syndrome: res.Syndrome, LockTagEstimate: h.code.TagMask() + 1,
+		}
+	}
+}
+
+// fetch moves a codeword up the hierarchy without touching its bits.
+func (h *Hierarchy) fetch(sec uint64) (Codeword, error) {
+	if l, ok := h.l1.lines[sec]; ok {
+		return l.cw, nil
+	}
+	if l, ok := h.l2.lines[sec]; ok {
+		h.installL1(sec, l.cw)
+		return l.cw, nil
+	}
+	cw, ok := h.dram[sec]
+	if !ok {
+		// Scrubbed memory: zero data under tag 0, encoded lazily. This is
+		// initialization, not a datapath encode; count it anyway for
+		// strict accounting via a dedicated path.
+		zero := make([]byte, h.cfg.GranuleBytes)
+		bv := gf2.BitVecFromBytes(h.cfg.DataBits, zero)
+		cw = Codeword{Data: zero, Check: h.code.Encode(bv, 0)}
+		h.dram[sec] = cw
+	}
+	h.installL2(sec, cw, false)
+	h.installL1(sec, cw)
+	return cw, nil
+}
+
+func (h *Hierarchy) installL1(sec uint64, cw Codeword) {
+	if l, ok := h.l1.lines[sec]; ok {
+		l.cw = cw.clone()
+		return
+	}
+	if len(h.l1.lines) >= h.l1.capacity {
+		victim := h.l1.order[0]
+		h.l1.order = h.l1.order[1:]
+		// Write-through L1: evictions are silent drops.
+		delete(h.l1.lines, victim)
+	}
+	h.l1.lines[sec] = &line{cw: cw.clone()}
+	h.l1.order = append(h.l1.order, sec)
+}
+
+func (h *Hierarchy) installL2(sec uint64, cw Codeword, dirty bool) {
+	if l, ok := h.l2.lines[sec]; ok {
+		l.cw = cw.clone()
+		l.dirty = l.dirty || dirty
+		return
+	}
+	if len(h.l2.lines) >= h.l2.capacity {
+		victim := h.l2.order[0]
+		h.l2.order = h.l2.order[1:]
+		vl := h.l2.lines[victim]
+		delete(h.l2.lines, victim)
+		if vl.dirty {
+			// THE point of end-to-end ECC: the victim's lock tag is
+			// unknown here, and it does not matter — the codeword moves
+			// to DRAM verbatim, no decode, no re-encode.
+			h.Writebacks++
+			h.dram[victim] = vl.cw.clone()
+		}
+	}
+	h.l2.lines[sec] = &line{cw: cw.clone(), dirty: dirty}
+	h.l2.order = append(h.l2.order, sec)
+}
+
+// FlushAll writes every dirty L2 line back to DRAM (verbatim) and drops
+// both caches — a kernel-boundary flush.
+func (h *Hierarchy) FlushAll() {
+	for sec, l := range h.l2.lines {
+		if l.dirty {
+			h.Writebacks++
+			h.dram[sec] = l.cw.clone()
+		}
+	}
+	h.l1 = newLevel(h.l1.capacity)
+	h.l2 = newLevel(h.l2.capacity)
+}
+
+// InjectError flips a physical codeword bit at the given level ("l1",
+// "l2", or "dram"). The sector must be present at that level.
+func (h *Hierarchy) InjectError(levelName string, addr uint64, bit int) error {
+	sec, err := h.sectorOf(addr)
+	if err != nil {
+		return err
+	}
+	if bit < 0 || bit >= h.code.PhysicalBits() {
+		return fmt.Errorf("endtoend: bit %d out of range", bit)
+	}
+	var cw *Codeword
+	switch levelName {
+	case "l1":
+		if l, ok := h.l1.lines[sec]; ok {
+			cw = &l.cw
+		}
+	case "l2":
+		if l, ok := h.l2.lines[sec]; ok {
+			cw = &l.cw
+		}
+	case "dram":
+		if d, ok := h.dram[sec]; ok {
+			d = d.clone()
+			h.dram[sec] = d
+			cw = &d
+			defer func() { h.dram[sec] = *cw }()
+		}
+	default:
+		return fmt.Errorf("endtoend: unknown level %q", levelName)
+	}
+	if cw == nil {
+		return fmt.Errorf("endtoend: sector %#x not present in %s", addr, levelName)
+	}
+	if bit < h.code.K() {
+		cw.Data[bit/8] ^= 1 << uint(bit%8)
+	} else {
+		cw.Check ^= 1 << uint(bit-h.code.K())
+	}
+	return nil
+}
+
+// Present reports whether the sector is resident at the level.
+func (h *Hierarchy) Present(levelName string, addr uint64) bool {
+	sec, err := h.sectorOf(addr)
+	if err != nil {
+		return false
+	}
+	switch levelName {
+	case "l1":
+		_, ok := h.l1.lines[sec]
+		return ok
+	case "l2":
+		_, ok := h.l2.lines[sec]
+		return ok
+	case "dram":
+		_, ok := h.dram[sec]
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package endtoend
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/imt"
+)
+
+func newH(t *testing.T, l1, l2 int) *Hierarchy {
+	t.Helper()
+	h, err := New(imt.IMT16, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func sec(b byte) []byte {
+	d := make([]byte, 32)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestStoreLoadThroughHierarchy(t *testing.T) {
+	h := newH(t, 4, 8)
+	cfg := h.Config()
+	p := cfg.MakePointer(0x100, 0x77)
+	if err := h.Store(p, sec(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Load(p)
+	if err != nil || !bytes.Equal(got, sec(0xAB)) {
+		t.Fatalf("load: %v %v", got, err)
+	}
+	// Exactly one encode (the store) and one decode (the load).
+	if h.Encodes != 1 || h.Decodes != 1 {
+		t.Fatalf("codec counts: enc=%d dec=%d, want 1/1", h.Encodes, h.Decodes)
+	}
+}
+
+func TestDirtyWritebackCarriesTagImplicitly(t *testing.T) {
+	// THE §4.2 property: dirty lines with embedded (unknown) lock tags
+	// survive eviction to DRAM and decode correctly afterwards — with no
+	// intermediate encode/decode.
+	h := newH(t, 2, 4)
+	cfg := h.Config()
+	victim := cfg.MakePointer(0, 0x1111)
+	if err := h.Store(victim, sec(0x5A)); err != nil {
+		t.Fatal(err)
+	}
+	encsAfterStore := h.Encodes
+
+	// Evict it from the L2 by storing 4 more sectors under other tags.
+	for i := uint64(1); i <= 4; i++ {
+		if err := h.Store(cfg.MakePointer(i*32, 0x2000+i), sec(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !h.Present("dram", 0) {
+		t.Fatal("victim was not written back")
+	}
+	if h.Writebacks == 0 {
+		t.Fatal("no writeback counted")
+	}
+	// The writeback must not have encoded or decoded anything.
+	if h.Encodes != encsAfterStore+4 {
+		t.Fatalf("writeback path encoded: %d", h.Encodes)
+	}
+	if h.Decodes != 0 {
+		t.Fatalf("writeback path decoded: %d", h.Decodes)
+	}
+	// The tag survived the round trip implicitly.
+	got, err := h.Load(victim)
+	if err != nil || got[0] != 0x5A {
+		t.Fatalf("post-writeback load: %v %v", got, err)
+	}
+	// And a wrong key still faults on the DRAM copy.
+	_, err = h.Load(cfg.MakePointer(0, 0x2222))
+	var f *imt.Fault
+	if !errors.As(err, &f) || f.Kind != imt.FaultTMM {
+		t.Fatalf("wrong key on written-back line: %v", err)
+	}
+	if f.LockTagEstimate != 0x1111 {
+		t.Fatalf("lock estimate %#x", f.LockTagEstimate)
+	}
+}
+
+func TestErrorsInjectedAtAnyLevelCorrectAtSM(t *testing.T) {
+	// End-to-end decode means a single-bit flip anywhere — L1, L2 or
+	// DRAM — is corrected at the same single decode point.
+	for _, lvl := range []string{"l1", "l2", "dram"} {
+		h := newH(t, 2, 4)
+		cfg := h.Config()
+		p := cfg.MakePointer(0x40, 0x3)
+		if err := h.Store(p, sec(0xC3)); err != nil {
+			t.Fatal(err)
+		}
+		switch lvl {
+		case "dram":
+			h.FlushAll() // push the codeword to DRAM first
+		case "l2":
+			// Evict the clean L1 copy (capacity 2) so the load must come
+			// from the corrupted L2 line.
+			if _, err := h.Load(cfg.MakePointer(0x1000, 0)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Load(cfg.MakePointer(0x1020, 0)); err != nil {
+				t.Fatal(err)
+			}
+			if h.Present("l1", 0x40) {
+				t.Fatal("victim still resident in L1")
+			}
+		}
+		if err := h.InjectError(lvl, 0x40, 17); err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+		got, err := h.Load(p)
+		if err != nil || !bytes.Equal(got, sec(0xC3)) {
+			t.Fatalf("%s: corrupted load: %v %v", lvl, got, err)
+		}
+		if h.Corrected != 1 {
+			t.Fatalf("%s: corrected = %d", lvl, h.Corrected)
+		}
+	}
+}
+
+func TestFlushAllPreservesTags(t *testing.T) {
+	h := newH(t, 8, 16)
+	cfg := h.Config()
+	ptrs := make([]imt.Pointer, 10)
+	for i := range ptrs {
+		ptrs[i] = cfg.MakePointer(uint64(i)*32, uint64(0x100+i))
+		if err := h.Store(ptrs[i], sec(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.FlushAll()
+	for i, p := range ptrs {
+		if !h.Present("dram", uint64(i)*32) {
+			t.Fatalf("sector %d not flushed", i)
+		}
+		got, err := h.Load(p)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("sector %d after flush: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestUnwrittenMemoryTagZero(t *testing.T) {
+	h := newH(t, 2, 4)
+	cfg := h.Config()
+	if _, err := h.Load(cfg.MakePointer(0x1000, 0)); err != nil {
+		t.Fatalf("scrubbed memory under tag 0: %v", err)
+	}
+	if _, err := h.Load(cfg.MakePointer(0x1020, 5)); err == nil {
+		t.Fatal("scrubbed memory under nonzero tag should TMM")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(imt.IMT16, 0, 4); err == nil {
+		t.Error("zero-capacity cache must fail")
+	}
+	h := newH(t, 2, 4)
+	cfg := h.Config()
+	if err := h.Store(cfg.MakePointer(0x11, 0), sec(0)); err == nil {
+		t.Error("unaligned store must fail")
+	}
+	if err := h.Store(cfg.MakePointer(0x20, 0), []byte{1}); err == nil {
+		t.Error("short store must fail")
+	}
+	if err := h.InjectError("l3", 0, 0); err == nil {
+		t.Error("unknown level must fail")
+	}
+	if err := h.InjectError("l1", 0x20, 0); err == nil {
+		t.Error("absent sector must fail")
+	}
+	if err := h.InjectError("l1", 0x21, 0); err == nil {
+		t.Error("unaligned inject must fail")
+	}
+	if h.Present("l3", 0) || h.Present("l1", 3) {
+		t.Error("Present on bad input should be false")
+	}
+}

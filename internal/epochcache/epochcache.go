@@ -1,0 +1,136 @@
+// Package epochcache implements the paper's §7.4 "Bulk Cache
+// Invalidation" extension: a software-coherent cache (like the GPU L1)
+// whose ECC check bits embed an invalidation-epoch counter as an AFT-ECC
+// tag. A bulk invalidation is then a single epoch increment — entries
+// written in older epochs decode as tag mismatches and read as misses —
+// instead of a full cache crawl. A crawl is only needed once every 2^TS
+// invalidations, when the epoch counter wraps and stale entries could
+// otherwise alias back to validity. CARVE achieves the same with extra
+// per-line metadata; AFT-ECC gets it for free from the check bits.
+package epochcache
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gf2"
+)
+
+// Cache is an epoch-tagged, sector-granular cache. Lines are encoded
+// under the epoch current at insertion; lookups decode under the current
+// epoch, so stale lines surface as TMMs (= invalid) without any per-line
+// valid-bit sweep.
+type Cache struct {
+	code  *core.Code
+	epoch uint64
+	lines map[uint64]*eline
+
+	// Stats.
+	Hits, Misses     uint64
+	StaleEpochMisses uint64
+	Crawls           uint64
+	Corrupted        uint64
+}
+
+type eline struct {
+	data  []byte
+	check uint64
+}
+
+// New builds an epoch cache using the given AFT-ECC code (the tag size
+// sets the crawl period to 2^TS invalidations).
+func New(code *core.Code) *Cache {
+	return &Cache{code: code, lines: make(map[uint64]*eline)}
+}
+
+// Epoch returns the current invalidation epoch.
+func (c *Cache) Epoch() uint64 { return c.epoch }
+
+// CrawlPeriod returns how many bulk invalidations fit between full
+// crawls: 2^TS.
+func (c *Cache) CrawlPeriod() uint64 { return c.code.TagMask() + 1 }
+
+// Put inserts (or overwrites) a line under the current epoch. The data
+// must match the code's sector size.
+func (c *Cache) Put(key uint64, data []byte) error {
+	if len(data)*8 != c.code.K() {
+		return fmt.Errorf("epochcache: line must be %d bytes, got %d", c.code.K()/8, len(data))
+	}
+	bv := gf2.BitVecFromBytes(c.code.K(), data)
+	c.lines[key] = &eline{
+		data:  append([]byte(nil), data...),
+		check: c.code.Encode(bv, c.epoch&c.code.TagMask()),
+	}
+	return nil
+}
+
+// Get looks a line up under the current epoch. Stale-epoch lines decode
+// as TMMs and are treated (and counted) as misses; their storage is
+// lazily reclaimed.
+func (c *Cache) Get(key uint64) ([]byte, bool) {
+	l, ok := c.lines[key]
+	if !ok {
+		c.Misses++
+		return nil, false
+	}
+	bv := gf2.BitVecFromBytes(c.code.K(), l.data)
+	res := c.code.Decode(bv, l.check, c.epoch&c.code.TagMask())
+	switch res.Status {
+	case core.StatusOK:
+		c.Hits++
+		return append([]byte(nil), l.data...), true
+	case core.StatusCorrected:
+		c.Hits++
+		corrected := bv.Bytes()[:c.code.K()/8]
+		l.data = append([]byte(nil), corrected...)
+		if res.FlippedBit >= c.code.K() {
+			l.check ^= 1 << uint(res.FlippedBit-c.code.K())
+		}
+		return append([]byte(nil), corrected...), true
+	case core.StatusTMM:
+		// Written in an older epoch: logically invalid.
+		c.StaleEpochMisses++
+		delete(c.lines, key)
+		c.Misses++
+		return nil, false
+	default:
+		c.Corrupted++
+		delete(c.lines, key)
+		c.Misses++
+		return nil, false
+	}
+}
+
+// BulkInvalidate invalidates every line in O(1) by advancing the epoch.
+// When the epoch space wraps it falls back to one full crawl (dropping
+// all lines) so that ancient entries cannot alias back to validity.
+func (c *Cache) BulkInvalidate() {
+	c.epoch++
+	if c.epoch%(c.code.TagMask()+1) == 0 {
+		// Wrap: entries tagged with this epoch value 2^TS invalidations
+		// ago would decode as valid again. Crawl once.
+		c.lines = make(map[uint64]*eline)
+		c.Crawls++
+	}
+}
+
+// Len returns the number of physically resident lines (including
+// not-yet-reclaimed stale ones).
+func (c *Cache) Len() int { return len(c.lines) }
+
+// InjectError flips a physical bit of a resident line (for tests).
+func (c *Cache) InjectError(key uint64, bit int) error {
+	l, ok := c.lines[key]
+	if !ok {
+		return fmt.Errorf("epochcache: no line at key %#x", key)
+	}
+	if bit < 0 || bit >= c.code.PhysicalBits() {
+		return fmt.Errorf("epochcache: bit %d out of range", bit)
+	}
+	if bit < c.code.K() {
+		l.data[bit/8] ^= 1 << uint(bit%8)
+	} else {
+		l.check ^= 1 << uint(bit-c.code.K())
+	}
+	return nil
+}

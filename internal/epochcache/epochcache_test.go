@@ -1,0 +1,166 @@
+package epochcache
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newCache(t *testing.T) *Cache {
+	t.Helper()
+	code, err := core.NewCode(256, 16, 15, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(code)
+}
+
+func line(b byte) []byte {
+	d := make([]byte, 32)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestPutGet(t *testing.T) {
+	c := newCache(t)
+	if err := c.Put(1, line(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(1)
+	if !ok || !bytes.Equal(got, line(0xAB)) {
+		t.Fatal("round trip failed")
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("phantom hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("stats: %+v", c)
+	}
+	if err := c.Put(1, line(0x01)[:16]); err == nil {
+		t.Error("short line must be rejected")
+	}
+}
+
+func TestBulkInvalidateIsO1(t *testing.T) {
+	c := newCache(t)
+	for k := uint64(0); k < 50; k++ {
+		if err := c.Put(k, line(byte(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.BulkInvalidate()
+	// Nothing was crawled, yet every lookup misses.
+	if c.Crawls != 0 {
+		t.Fatal("bulk invalidation should not crawl")
+	}
+	for k := uint64(0); k < 50; k++ {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("stale line %d survived invalidation", k)
+		}
+	}
+	if c.StaleEpochMisses != 50 {
+		t.Fatalf("stale misses = %d", c.StaleEpochMisses)
+	}
+	// Fresh inserts under the new epoch hit again.
+	if err := c.Put(7, line(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(7); !ok {
+		t.Fatal("fresh line missed")
+	}
+}
+
+func TestMultipleEpochsCoexist(t *testing.T) {
+	c := newCache(t)
+	if err := c.Put(1, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.BulkInvalidate()
+	if err := c.Put(2, line(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Line 2 (current epoch) hits; line 1 (previous epoch) misses.
+	if _, ok := c.Get(2); !ok {
+		t.Error("current-epoch line missed")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Error("stale-epoch line hit")
+	}
+}
+
+func TestCrawlOnEpochWrap(t *testing.T) {
+	// Use a small tag (TS=5 → 32 epochs) to exercise the wrap.
+	code, err := core.NewCode(64, 8, 5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(code)
+	if c.CrawlPeriod() != 32 {
+		t.Fatalf("crawl period = %d", c.CrawlPeriod())
+	}
+	if err := c.Put(1, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 31; i++ {
+		c.BulkInvalidate()
+		if c.Crawls != 0 {
+			t.Fatalf("crawled early at invalidation %d", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatal("line should still be resident (lazily reclaimed)")
+	}
+	c.BulkInvalidate() // 32nd: wrap → crawl
+	if c.Crawls != 1 {
+		t.Fatalf("crawls = %d, want 1", c.Crawls)
+	}
+	if c.Len() != 0 {
+		t.Fatal("crawl should drop all lines")
+	}
+}
+
+func TestSingleBitErrorStillCorrected(t *testing.T) {
+	c := newCache(t)
+	if err := c.Put(3, line(0x3C)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectError(3, 17); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(3)
+	if !ok || !bytes.Equal(got, line(0x3C)) {
+		t.Fatal("epoch tagging must not break single-bit correction")
+	}
+	// Scrubbed: still hits.
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("scrub failed")
+	}
+}
+
+func TestCorruptedLineDropped(t *testing.T) {
+	c := newCache(t)
+	if err := c.Put(4, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Odd multi-bit error → DUE → dropped (write-through cache can refetch).
+	for _, b := range []int{1, 2, 3} {
+		if err := c.InjectError(4, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(4); ok {
+		t.Fatal("corrupted line returned data")
+	}
+	if c.Corrupted != 1 {
+		t.Fatalf("corrupted = %d", c.Corrupted)
+	}
+	if err := c.InjectError(99, 0); err == nil {
+		t.Error("inject into absent key must fail")
+	}
+	if err := c.InjectError(4, -1); err == nil {
+		t.Error("bad bit must fail") // key 4 was dropped; absent-key error also fine
+	}
+}

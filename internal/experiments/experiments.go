@@ -1,0 +1,90 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver runs the relevant subsystems and
+// returns renderable tables (internal/report) so that cmd/imtrepro and
+// the repository benchmarks can regenerate every result:
+//
+//	Fig1    — CVE breakdown over time (embedded dataset)
+//	Fig5    — maximum alias-free tag size across (K, R)
+//	Fig8    — tag carve-out slowdowns over the 193-workload catalog
+//	Fig9    — SDC probability vs ECC redundancy
+//	Table1  — cross-scheme comparison of tagging approaches
+//	Table2  — per-error-pattern behavior of AFT-ECC
+//	Table3  — encoder/decoder hardware overheads
+//	Bloat   — §5 footprint bloat of 32B-granule tagging
+//	Security— §5.4 detection guarantees (closed form vs Monte Carlo)
+//	Bounds  — §6 tagged base-and-bounds (GPUShield-like) comparison
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/gpusim"
+)
+
+// Options tunes experiment cost. The zero value runs paper-scale
+// parameters; Quick() runs CI-scale ones.
+type Options struct {
+	// RandomTrials for Monte-Carlo corruption campaigns (paper: 1e8).
+	RandomTrials int
+	// Exhaustive4Bit runs all C(N,4) patterns for Table 2 (a few seconds
+	// per code); otherwise 4-bit errors are sampled with Sampled4Bit
+	// trials.
+	Exhaustive4Bit bool
+	Sampled4Bit    int
+	// WorkloadStride simulates every n-th catalog workload (1 = all 193).
+	WorkloadStride int
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// GPU is the simulated machine (zero value → gpusim.DefaultConfig).
+	GPU gpusim.Config
+	// SecurityTrials for the attack Monte Carlo.
+	SecurityTrials int
+	Seed           int64
+}
+
+// Full returns paper-scale options (minutes of runtime).
+func Full() Options {
+	return Options{
+		RandomTrials:   2_000_000,
+		Exhaustive4Bit: true,
+		WorkloadStride: 1,
+		SecurityTrials: 200_000,
+		Seed:           1,
+	}
+}
+
+// Quick returns CI-scale options (seconds of runtime).
+func Quick() Options {
+	return Options{
+		RandomTrials:   100_000,
+		Sampled4Bit:    200_000,
+		WorkloadStride: 16,
+		SecurityTrials: 20_000,
+		Seed:           1,
+	}
+}
+
+func (o Options) fill() Options {
+	if o.RandomTrials == 0 {
+		o.RandomTrials = 100_000
+	}
+	if o.Sampled4Bit == 0 {
+		o.Sampled4Bit = 200_000
+	}
+	if o.WorkloadStride == 0 {
+		o.WorkloadStride = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.GPU.NumSMs == 0 {
+		o.GPU = gpusim.DefaultConfig()
+	}
+	if o.SecurityTrials == 0 {
+		o.SecurityTrials = 20_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gfp"
+	"repro/internal/reliability"
+	"repro/internal/report"
+	"repro/internal/symbolecc"
+)
+
+// ExtSymbolRow compares one error pattern across the two code families.
+type ExtSymbolRow struct {
+	Pattern string
+	// Bit-oriented AFT-ECC (IMT-16) outcome rates.
+	BitCE, BitDE, BitSDC float64
+	// Symbol-oriented tagged SSC outcome rates.
+	SymCE, SymDE, SymSDC float64
+}
+
+// ExtSymbolResult is the §7.1 extension study: AFT-ECC on a bit-oriented
+// SEC-DED (IMT-16) versus the tagged single-symbol-correcting code over
+// GF(2^8) — both protecting a 32B sector with 16 redundant bits — under
+// the structured error patterns the paper's future-work section names:
+// byte errors (DRAM) and burst errors (SRAM).
+type ExtSymbolResult struct {
+	Rows []ExtSymbolRow
+	// MaxTagBit / MaxTagSym are the alias-free tag limits of the two
+	// families (15 vs 8): the symbol code buys byte correction at the
+	// cost of roughly half the tag.
+	MaxTagBit, MaxTagSym int
+	// CountingBoundSym documents that the Eq 5b-style counting bound (15)
+	// is NOT achievable for the symbol code (subspace intersections cap
+	// the tag at m=8) — see internal/symbolecc.
+	CountingBoundSym int
+}
+
+// ExtSymbol runs the comparison.
+func ExtSymbol(opts Options) (ExtSymbolResult, error) {
+	opts = opts.fill()
+	var res ExtSymbolResult
+
+	aft, err := core.NewCode(256, 16, 15, core.Options{})
+	if err != nil {
+		return res, err
+	}
+	bitTarget := reliability.TargetAFT(aft)
+	res.MaxTagBit = aft.TS()
+
+	field, err := gfp.New(8)
+	if err != nil {
+		return res, err
+	}
+	sym, err := symbolecc.NewTagged(field, 32, 8)
+	if err != nil {
+		return res, err
+	}
+	res.MaxTagSym = sym.TS()
+	res.CountingBoundSym = symbolecc.CountingBound(field, 32)
+
+	type pattern struct {
+		name string
+		bit  func() (reliability.Tally, error)
+		sym  func() (reliability.Tally, error)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	patterns := []pattern{
+		{
+			name: "1-bit",
+			bit:  func() (reliability.Tally, error) { return reliability.ExhaustiveKBit(bitTarget, 1) },
+			sym:  func() (reliability.Tally, error) { return symbolInject(sym, rng, opts.RandomTrials/10, injectOneBit) },
+		},
+		{
+			name: "byte (multi-bit in one byte)",
+			bit:  func() (reliability.Tally, error) { return reliability.ExhaustiveByteErrors(bitTarget), nil },
+			sym:  func() (reliability.Tally, error) { return symbolInject(sym, rng, opts.RandomTrials/10, injectByte) },
+		},
+		{
+			name: "burst-4",
+			bit:  func() (reliability.Tally, error) { return reliability.ExhaustiveBurstErrors(bitTarget, 4) },
+			sym:  func() (reliability.Tally, error) { return symbolInject(sym, rng, opts.RandomTrials/10, injectBurst4) },
+		},
+		{
+			name: "2 random bytes",
+			bit: func() (reliability.Tally, error) {
+				return reliability.SampledKBitBytes(bitTarget, opts.RandomTrials/10, opts.Seed)
+			},
+			sym: func() (reliability.Tally, error) { return symbolInject(sym, rng, opts.RandomTrials/10, injectTwoBytes) },
+		},
+		{
+			name: "random",
+			bit: func() (reliability.Tally, error) {
+				return reliability.RandomErrors(bitTarget, opts.RandomTrials/10, opts.Seed), nil
+			},
+			sym: func() (reliability.Tally, error) { return symbolInject(sym, rng, opts.RandomTrials/10, injectRandom) },
+		},
+	}
+	for _, p := range patterns {
+		bt, err := p.bit()
+		if err != nil {
+			return res, err
+		}
+		st, err := p.sym()
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, ExtSymbolRow{
+			Pattern: p.name,
+			BitCE:   bt.CERate(), BitDE: bt.DERate(), BitSDC: bt.SDCRate(),
+			SymCE: st.CERate(), SymDE: st.DERate(), SymSDC: st.SDCRate(),
+		})
+	}
+	return res, nil
+}
+
+// symbol-level injection helpers. Each injector corrupts a fresh
+// codeword (32 data symbols + 2 check symbols) in place.
+
+type symbolInjector func(rng *rand.Rand, data []uint16, c0, c1 *uint16)
+
+func injectOneBit(rng *rand.Rand, data []uint16, c0, c1 *uint16) {
+	bit := rng.Intn((len(data) + 2) * 8)
+	flipSymBit(data, c0, c1, bit)
+}
+
+func injectByte(rng *rand.Rand, data []uint16, c0, c1 *uint16) {
+	pos := rng.Intn(len(data) + 2)
+	e := uint16(1 + rng.Intn(255))
+	xorSym(data, c0, c1, pos, e)
+}
+
+func injectBurst4(rng *rand.Rand, data []uint16, c0, c1 *uint16) {
+	n := (len(data) + 2) * 8
+	start := rng.Intn(n - 3)
+	flipSymBit(data, c0, c1, start)
+	flipSymBit(data, c0, c1, start+3)
+	for i := 1; i <= 2; i++ {
+		if rng.Intn(2) == 1 {
+			flipSymBit(data, c0, c1, start+i)
+		}
+	}
+}
+
+func injectTwoBytes(rng *rand.Rand, data []uint16, c0, c1 *uint16) {
+	i := rng.Intn(len(data) + 2)
+	j := rng.Intn(len(data) + 2)
+	for j == i {
+		j = rng.Intn(len(data) + 2)
+	}
+	xorSym(data, c0, c1, i, uint16(1+rng.Intn(255)))
+	xorSym(data, c0, c1, j, uint16(1+rng.Intn(255)))
+}
+
+func injectRandom(rng *rand.Rand, data []uint16, c0, c1 *uint16) {
+	for pos := 0; pos < len(data)+2; pos++ {
+		xorSym(data, c0, c1, pos, uint16(rng.Intn(256)))
+	}
+}
+
+func xorSym(data []uint16, c0, c1 *uint16, pos int, e uint16) {
+	switch {
+	case pos < len(data):
+		data[pos] ^= e
+	case pos == len(data):
+		*c0 ^= e
+	default:
+		*c1 ^= e
+	}
+}
+
+func flipSymBit(data []uint16, c0, c1 *uint16, bit int) {
+	xorSym(data, c0, c1, bit/8, uint16(1)<<uint(bit%8))
+}
+
+// symbolInject runs trials of an injector against the tagged SSC code,
+// classifying against ground truth (a "corrected" status only counts as
+// CE when the codeword is actually restored).
+func symbolInject(code *symbolecc.Code, rng *rand.Rand, trials int, inject symbolInjector) (reliability.Tally, error) {
+	var tally reliability.Tally
+	data := make([]uint16, code.K())
+	for trial := 0; trial < trials; trial++ {
+		for i := range data {
+			data[i] = uint16(rng.Intn(256))
+		}
+		tag := rng.Uint64() & code.TagMask()
+		c0, c1, err := code.Encode(data, tag)
+		if err != nil {
+			return tally, err
+		}
+		rx := append([]uint16(nil), data...)
+		rc0, rc1 := c0, c1
+		inject(rng, rx, &rc0, &rc1)
+		res, err := code.Decode(rx, rc0, rc1, tag)
+		if err != nil {
+			return tally, err
+		}
+		var o reliability.Outcome
+		switch res.Status {
+		case symbolecc.StatusOK:
+			if equalSym(rx, data) && rc0 == c0 && rc1 == c1 {
+				o = reliability.OutcomeOK
+			} else {
+				o = reliability.OutcomeSDC
+			}
+		case symbolecc.StatusCorrected:
+			// Decode repaired data in place; check symbols are repaired
+			// implicitly (Pos ≥ K means the check symbol was wrong, and
+			// the data was already intact).
+			restored := equalSym(rx, data) && (res.Pos >= code.K() || (rc0 == c0 && rc1 == c1))
+			if restored {
+				o = reliability.OutcomeCE
+			} else {
+				o = reliability.OutcomeSDC
+			}
+		case symbolecc.StatusTMM:
+			o = reliability.OutcomeTMM
+		default:
+			o = reliability.OutcomeDUE
+		}
+		tally = tally.Add(o)
+	}
+	return tally, nil
+}
+
+func equalSym(a, b []uint16) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the comparison.
+func (r ExtSymbolResult) Table() report.Table {
+	t := report.Table{
+		Title: fmt.Sprintf("§7.1 extension: bit-oriented AFT-ECC (TS=%d) vs tagged symbol SSC over GF(2^8) (TS=%d; counting bound %d unachievable)",
+			r.MaxTagBit, r.MaxTagSym, r.CountingBoundSym),
+		Header: []string{"pattern", "bit CE", "bit DE", "bit SDC", "sym CE", "sym DE", "sym SDC"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Pattern,
+			report.Pct(row.BitCE, 2), report.Pct(row.BitDE, 2), report.Pct(row.BitSDC, 3),
+			report.Pct(row.SymCE, 2), report.Pct(row.SymDE, 2), report.Pct(row.SymSDC, 3))
+	}
+	return t
+}
+
+// newRandSource is a tiny shim so extension drivers share deterministic
+// seeding with the rest of the package.
+func newRandSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

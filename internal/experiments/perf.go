@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// WorkloadPerf is one workload's Figure 8 measurement.
+type WorkloadPerf struct {
+	W                 workload.Workload
+	Base, Low, High   gpusim.Stats
+	SlowLow, SlowHigh float64
+	BloatLow, BloatHi float64
+	BandwidthUtilBase float64
+}
+
+// Fig8Result reproduces Figures 8a/8b/8c.
+type Fig8Result struct {
+	Per []WorkloadPerf
+	GPU gpusim.Config
+}
+
+// SuiteAgg aggregates one suite (a Figure 8b bar pair).
+type SuiteAgg struct {
+	Suite              string
+	Count              int
+	HMeanLow, MaxLow   float64
+	HMeanHigh, MaxHigh float64
+}
+
+// Fig8 simulates every (stride-selected) catalog workload under the
+// baseline and the low/high-tag-storage carve-outs.
+func Fig8(opts Options) (Fig8Result, error) {
+	opts = opts.fill()
+	cat := workload.Catalog()
+	var selected []workload.Workload
+	for i := 0; i < len(cat); i += opts.WorkloadStride {
+		selected = append(selected, cat[i])
+	}
+	res := Fig8Result{GPU: opts.GPU, Per: make([]WorkloadPerf, len(selected))}
+	err := forEachParallel(len(selected), opts.Parallelism, func(i int) error {
+		w := selected[i]
+		base, err := simulate(opts.GPU, w, gpusim.ModeNone, gpusim.CarveOut{})
+		if err != nil {
+			return err
+		}
+		low, err := simulate(opts.GPU, w, gpusim.ModeCarveOut, gpusim.CarveOutLow)
+		if err != nil {
+			return err
+		}
+		high, err := simulate(opts.GPU, w, gpusim.ModeCarveOut, gpusim.CarveOutHigh)
+		if err != nil {
+			return err
+		}
+		res.Per[i] = WorkloadPerf{
+			W: w, Base: base, Low: low, High: high,
+			SlowLow:           gpusim.Slowdown(base, low),
+			SlowHigh:          gpusim.Slowdown(base, high),
+			BloatLow:          low.ReadBloat(),
+			BloatHi:           high.ReadBloat(),
+			BandwidthUtilBase: base.BandwidthUtilization(opts.GPU),
+		}
+		return nil
+	})
+	return res, err
+}
+
+func simulate(cfg gpusim.Config, w workload.Workload, mode gpusim.TagMode, carve gpusim.CarveOut) (gpusim.Stats, error) {
+	cfg.Mode = mode
+	cfg.Carve = carve
+	sim, err := gpusim.New(cfg, w.Traces(cfg.NumSMs))
+	if err != nil {
+		return gpusim.Stats{}, err
+	}
+	st, err := sim.Run(0)
+	if err != nil {
+		return gpusim.Stats{}, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return st, nil
+}
+
+func forEachParallel(n, parallelism int, fn func(i int) error) error {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	sem := make(chan struct{}, parallelism)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// Suites computes the Figure 8b aggregates.
+func (r Fig8Result) Suites() []SuiteAgg {
+	bySuite := map[string][]WorkloadPerf{}
+	for _, p := range r.Per {
+		bySuite[p.W.Suite] = append(bySuite[p.W.Suite], p)
+	}
+	var out []SuiteAgg
+	for _, suite := range []string{workload.SuiteMLPerf, workload.SuiteHPC, workload.SuiteStream} {
+		ps := bySuite[suite]
+		if len(ps) == 0 {
+			continue
+		}
+		var lows, highs []float64
+		for _, p := range ps {
+			lows = append(lows, p.SlowLow)
+			highs = append(highs, p.SlowHigh)
+		}
+		out = append(out, SuiteAgg{
+			Suite: suite, Count: len(ps),
+			HMeanLow: report.HMeanSlowdown(lows), MaxLow: report.Max(lows),
+			HMeanHigh: report.HMeanSlowdown(highs), MaxHigh: report.Max(highs),
+		})
+	}
+	return out
+}
+
+// SuiteTable renders Figure 8b.
+func (r Fig8Result) SuiteTable() report.Table {
+	t := report.Table{
+		Title:  "Figure 8b: tag carve-out slowdown by suite (low = TS8/TG32, high = TS16/TG32)",
+		Header: []string{"suite", "n", "hmean low", "max low", "hmean high", "max high"},
+	}
+	for _, a := range r.Suites() {
+		t.AddRow(a.Suite, fmt.Sprint(a.Count),
+			report.Pct(a.HMeanLow, 1), report.Pct(a.MaxLow, 1),
+			report.Pct(a.HMeanHigh, 1), report.Pct(a.MaxHigh, 1))
+	}
+	return t
+}
+
+// PerWorkloadTable renders Figure 8a (one row per workload).
+func (r Fig8Result) PerWorkloadTable() report.Table {
+	t := report.Table{
+		Title:  "Figure 8a: slowdown across workloads",
+		Header: []string{"#", "workload", "suite", "low-tag slowdown", "high-tag slowdown"},
+	}
+	for i, p := range r.Per {
+		t.AddRow(fmt.Sprint(i+1), p.W.Name, p.W.Suite,
+			report.Pct(p.SlowLow, 1), report.Pct(p.SlowHigh, 1))
+	}
+	return t
+}
+
+// AnalysisTable renders Figure 8c: workloads sorted by low-tag slowdown
+// with their read bloat and baseline DRAM bandwidth utilization.
+func (r Fig8Result) AnalysisTable() report.Table {
+	sorted := append([]WorkloadPerf(nil), r.Per...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SlowLow < sorted[j].SlowLow })
+	t := report.Table{
+		Title:  "Figure 8c: low-tag-storage slowdown vs read bloat vs DRAM bandwidth",
+		Header: []string{"workload", "slowdown", "read bloat", "baseline BW util"},
+	}
+	for _, p := range sorted {
+		t.AddRow(p.W.Name, report.Pct(p.SlowLow, 1), report.Pct(p.BloatLow, 1), report.Pct(p.BandwidthUtilBase, 1))
+	}
+	return t
+}
+
+// BoundsResult reproduces the §6 GPUShield-like comparison.
+type BoundsResult struct {
+	Per []BoundsPerf
+	// AffectedCount is the number of workloads slower than 0.5%.
+	AffectedCount int
+	// HMeanAffected / MaxAffected aggregate only the affected workloads,
+	// as the paper reports (hmean 0.96%, max 14%).
+	HMeanAffected, MaxAffected float64
+}
+
+// BoundsPerf is one workload's bounds-check slowdown.
+type BoundsPerf struct {
+	W        workload.Workload
+	Slowdown float64
+}
+
+// Bounds simulates the tagged base-and-bounds mode across the catalog.
+func Bounds(opts Options) (BoundsResult, error) {
+	opts = opts.fill()
+	cat := workload.Catalog()
+	var selected []workload.Workload
+	for i := 0; i < len(cat); i += opts.WorkloadStride {
+		selected = append(selected, cat[i])
+	}
+	res := BoundsResult{Per: make([]BoundsPerf, len(selected))}
+	err := forEachParallel(len(selected), opts.Parallelism, func(i int) error {
+		w := selected[i]
+		base, err := simulate(opts.GPU, w, gpusim.ModeNone, gpusim.CarveOut{})
+		if err != nil {
+			return err
+		}
+		bounds, err := simulate(opts.GPU, w, gpusim.ModeBoundsTable, gpusim.CarveOut{})
+		if err != nil {
+			return err
+		}
+		res.Per[i] = BoundsPerf{W: w, Slowdown: gpusim.Slowdown(base, bounds)}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	var affected []float64
+	for _, p := range res.Per {
+		if p.Slowdown > 0.005 {
+			affected = append(affected, p.Slowdown)
+		}
+	}
+	res.AffectedCount = len(affected)
+	res.HMeanAffected = report.HMeanSlowdown(affected)
+	res.MaxAffected = report.Max(affected)
+	return res, nil
+}
+
+// Table renders the comparison summary.
+func (r BoundsResult) Table() report.Table {
+	t := report.Table{
+		Title:  "§6: tagged base-and-bounds (GPUShield-like) slowdowns",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("workloads simulated", fmt.Sprint(len(r.Per)))
+	t.AddRow("workloads with >0.5% slowdown", fmt.Sprint(r.AffectedCount))
+	t.AddRow("hmean slowdown (affected)", report.Pct(r.HMeanAffected, 2))
+	t.AddRow("max slowdown", report.Pct(r.MaxAffected, 1))
+	t.AddRow("IMT slowdown (all workloads)", "0.0% (no extra traffic by construction)")
+	return t
+}
+
+// Correlation returns the Pearson correlation between per-workload
+// low-tag slowdown and the product of read bloat and baseline bandwidth
+// utilization — the quantitative form of Figure 8c's qualitative claim
+// that "slowdowns grow with either increasing read bloat or for
+// bandwidth-constrained programs, and especially if both are present".
+func (r Fig8Result) Correlation() float64 {
+	var xs, ys []float64
+	for _, p := range r.Per {
+		xs = append(xs, p.BloatLow*p.BandwidthUtilBase)
+		ys = append(ys, p.SlowLow)
+	}
+	return pearson(xs, ys)
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cvedata"
+	"repro/internal/hwcost"
+	"repro/internal/report"
+)
+
+// Fig1Result reproduces Figure 1.
+type Fig1Result struct {
+	Series []cvedata.Point
+}
+
+// Fig1 loads and validates the CVE dataset.
+func Fig1() (Fig1Result, error) {
+	s := cvedata.Series()
+	if err := cvedata.Validate(s); err != nil {
+		return Fig1Result{}, err
+	}
+	return Fig1Result{Series: s}, nil
+}
+
+// Table renders the stacked series.
+func (r Fig1Result) Table() report.Table {
+	t := report.Table{
+		Title:  "Figure 1: Breakdown of exploitable CVEs over time",
+		Header: []string{"year", "adjacent-mem%", "non-adjacent-mem%", "not-mem-safety%", "mem-safety-total%"},
+	}
+	for _, p := range r.Series {
+		t.AddRow(fmt.Sprint(p.Year),
+			fmt.Sprintf("%.0f", p.AdjacentPct),
+			fmt.Sprintf("%.0f", p.NonAdjacentPct),
+			fmt.Sprintf("%.0f", p.OtherPct),
+			fmt.Sprintf("%.0f", p.MemorySafetyPct()))
+	}
+	return t
+}
+
+// Fig5Point is one cell of the Figure 5 sweep.
+type Fig5Point struct {
+	K, R        int
+	MaxTS       int
+	SECCapable  bool
+	Unshortened bool
+}
+
+// Fig5Result reproduces Figure 5: the maximum alias-free tag size across
+// data sizes and redundancies, with the two starred IMT points verified
+// constructively (a code is actually built and its invariants checked).
+type Fig5Result struct {
+	Points []Fig5Point
+	Ks     []int
+	Rs     []int
+}
+
+// Fig5 evaluates the Equation 5b bound over the figure's grid.
+func Fig5() (Fig5Result, error) {
+	res := Fig5Result{
+		Ks: []int{32, 64, 128, 256, 512},
+		Rs: []int{6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+	}
+	for _, r := range res.Rs {
+		for _, k := range res.Ks {
+			pt := Fig5Point{K: k, R: r}
+			ts, err := core.MaxTagSize(k, r)
+			if err != nil {
+				pt.SECCapable = false
+			} else {
+				pt.SECCapable = true
+				pt.MaxTS = ts
+				pt.Unshortened = int64(k) == (int64(1)<<uint(r))-1-int64(r)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	// Constructive verification of the starred configurations: build the
+	// maximal-tag codes and check every AFT-ECC invariant.
+	for _, cfg := range []struct{ k, r, wantTS int }{{256, 10, 9}, {256, 16, 15}} {
+		ts, err := core.MaxTagSize(cfg.k, cfg.r)
+		if err != nil {
+			return res, err
+		}
+		if ts != cfg.wantTS {
+			return res, fmt.Errorf("fig5: MaxTagSize(%d,%d) = %d, want %d", cfg.k, cfg.r, ts, cfg.wantTS)
+		}
+		code, err := core.NewCode(cfg.k, cfg.r, ts, core.Options{})
+		if err != nil {
+			return res, err
+		}
+		core.MustVerify(code)
+	}
+	return res, nil
+}
+
+// Table renders the grid with R as rows and K as columns, matching the
+// figure's axes ("x" marks non-SEC-capable white space).
+func (r Fig5Result) Table() report.Table {
+	t := report.Table{
+		Title:  "Figure 5: maximum alias-free tag size TS at (K data bits, R check bits)",
+		Header: []string{"R\\K"},
+	}
+	for _, k := range r.Ks {
+		t.Header = append(t.Header, fmt.Sprint(k))
+	}
+	byRK := map[[2]int]Fig5Point{}
+	for _, p := range r.Points {
+		byRK[[2]int{p.R, p.K}] = p
+	}
+	for _, rr := range r.Rs {
+		row := []string{fmt.Sprint(rr)}
+		for _, k := range r.Ks {
+			p := byRK[[2]int{rr, k}]
+			switch {
+			case !p.SECCapable:
+				row = append(row, "x")
+			case p.Unshortened:
+				row = append(row, "0◄")
+			default:
+				cell := fmt.Sprint(p.MaxTS)
+				if (k == 256 && rr == 10) || (k == 256 && rr == 16) {
+					cell += "*"
+				}
+				row = append(row, cell)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table3Result reproduces Table 3.
+type Table3Result struct {
+	Rows []hwcost.Table3Row
+}
+
+// Table3 runs the gate-cost model on the four encoder/decoder pairs.
+func Table3() (Table3Result, error) {
+	rows, err := hwcost.Table3(256, hwcost.Default16nm())
+	if err != nil {
+		return Table3Result{}, err
+	}
+	return Table3Result{Rows: rows}, nil
+}
+
+// Table renders the comparison.
+func (r Table3Result) Table() report.Table {
+	t := report.Table{
+		Title:  "Table 3: hardware overheads of IMT/AFT-ECC (model, AND2-equivalents)",
+		Header: []string{"unit", "SEC-DED area", "AFT-ECC area", "area overhead", "SEC-DED delay", "AFT-ECC delay", "delay overhead"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Unit,
+			fmt.Sprintf("%.0f", row.Baseline.AreaAND2),
+			fmt.Sprintf("%.0f", row.Tagged.AreaAND2),
+			fmt.Sprintf("+%.2f%%", row.AreaOverheadPct),
+			fmt.Sprintf("%.2f ns", row.Baseline.DelayNs),
+			fmt.Sprintf("%.2f ns", row.Tagged.DelayNs),
+			fmt.Sprintf("%+.2f ns", row.DelayOverheadNs))
+	}
+	return t
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Table1Result reproduces Table 1: the cross-scheme comparison. The
+// performance columns are filled from a Fig8 run (the carve-out schemes
+// map onto its low/high-tag-storage configurations; ECC stealing and IMT
+// are traffic-free by construction).
+type Table1Result struct {
+	Schemes []baselines.Scheme
+	// AvgPerf / MaxPerf are per-scheme workload slowdowns (fractions).
+	AvgPerf, MaxPerf map[string]float64
+}
+
+// Table1 assembles the comparison, running Fig8 if a result is not
+// supplied.
+func Table1(opts Options, fig8 *Fig8Result) (Table1Result, error) {
+	opts = opts.fill()
+	if fig8 == nil {
+		f, err := Fig8(opts)
+		if err != nil {
+			return Table1Result{}, err
+		}
+		fig8 = &f
+	}
+	res := Table1Result{
+		Schemes: baselines.Table1Schemes(),
+		AvgPerf: map[string]float64{},
+		MaxPerf: map[string]float64{},
+	}
+	var lows, highs []float64
+	for _, p := range fig8.Per {
+		lows = append(lows, p.SlowLow)
+		highs = append(highs, p.SlowHigh)
+	}
+	for _, s := range res.Schemes {
+		if !s.HasPerfOverhead() {
+			res.AvgPerf[s.Name], res.MaxPerf[s.Name] = 0, 0
+			continue
+		}
+		// The ARM-MTE and iso-security-10 geometries share the low-tag
+		// coverage; iso-security-16 is the high-tag configuration.
+		if s.Carve == gpusim.CarveOutHigh {
+			res.AvgPerf[s.Name] = report.HMeanSlowdown(highs)
+			res.MaxPerf[s.Name] = report.Max(highs)
+		} else {
+			res.AvgPerf[s.Name] = report.HMeanSlowdown(lows)
+			res.MaxPerf[s.Name] = report.Max(lows)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the comparison with schemes as rows (the paper's columns,
+// transposed for terminal readability).
+func (r Table1Result) Table() report.Table {
+	t := report.Table{
+		Title: "Table 1: comparison of memory tagging implementations",
+		Header: []string{
+			"scheme", "mech", "TG", "TS", "tag store", "avg perf", "max perf",
+			"ECC bits", "corr?", "added SDC", "#tags(glibc)", "non-adj sec(glibc)", "#tags(scudo)", "adj sec(scudo)", "non-adj sec(scudo)",
+		},
+	}
+	for _, s := range r.Schemes {
+		perfAvg, perfMax := "none", "none"
+		if s.HasPerfOverhead() {
+			perfAvg = report.Pct(r.AvgPerf[s.Name], 1)
+			perfMax = report.Pct(r.MaxPerf[s.Name], 1)
+		}
+		corr := "yes"
+		if !s.ErrorCorrection {
+			corr = "NO"
+		}
+		sdc := "none"
+		if s.AddedSDCRisk > 1.0001 {
+			sdc = fmt.Sprintf("%.3gx", s.AddedSDCRisk)
+		}
+		store := "0%"
+		if s.TagStoreOverhead > 0 {
+			store = report.Pct(s.TagStoreOverhead, 3)
+		}
+		t.AddRow(s.Name, s.Mechanism.String(),
+			fmt.Sprintf("%dB", s.TagGranuleBytes),
+			fmt.Sprintf("%db", s.TagBits),
+			store, perfAvg, perfMax,
+			fmt.Sprintf("%db", s.ECCRedundancy), corr, sdc,
+			fmt.Sprint(s.Glibc.NumTags), report.Pct(s.Glibc.NonAdjacent, 3),
+			fmt.Sprint(s.Scudo.NumTags), report.Pct(s.Scudo.Adjacent, 1), report.Pct(s.Scudo.NonAdjacent, 3))
+	}
+	return t
+}
+
+// BloatGroup aggregates footprint bloat for one footprint class.
+type BloatGroup struct {
+	Label      string
+	Count      int
+	HMean, Max float64
+}
+
+// BloatResult reproduces the §5 footprint-bloat statistics.
+type BloatResult struct {
+	Groups []BloatGroup
+	// PerWorkload maps workload name → bloat fraction.
+	PerWorkload map[string]float64
+}
+
+// Bloat evaluates the 32B-granule rounding overhead of every catalog
+// workload's allocation model, split at the paper's 1MB boundary.
+func Bloat() BloatResult {
+	res := BloatResult{PerWorkload: map[string]float64{}}
+	var small, large []float64
+	for _, w := range workload.Catalog() {
+		b := w.FootprintBloat(32)
+		res.PerWorkload[w.Name] = b
+		if w.TotalAllocBytes() <= 1<<20 {
+			small = append(small, b)
+		} else {
+			large = append(large, b)
+		}
+	}
+	res.Groups = []BloatGroup{
+		{Label: "workloads using ≤ 1MB", Count: len(small), HMean: report.HMean(small), Max: report.Max(small)},
+		{Label: "workloads using > 1MB", Count: len(large), HMean: report.HMean(large), Max: report.Max(large)},
+	}
+	return res
+}
+
+// Table renders the two groups.
+func (r BloatResult) Table() report.Table {
+	t := report.Table{
+		Title:  "§5: memory footprint bloat of TG=32B tagging",
+		Header: []string{"group", "n", "hmean bloat", "max bloat"},
+	}
+	for _, g := range r.Groups {
+		t.AddRow(g.Label, fmt.Sprint(g.Count), report.Pct(g.HMean, 2), report.Pct(g.Max, 1))
+	}
+	return t
+}

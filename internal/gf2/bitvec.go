@@ -1,0 +1,159 @@
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitVec is an arbitrary-length bit vector over GF(2), used for codewords
+// and error patterns whose length exceeds 64 bits.
+type BitVec struct {
+	n     int
+	words []uint64
+}
+
+// NewBitVec returns a zero vector of length n.
+func NewBitVec(n int) *BitVec {
+	if n < 0 {
+		panic("gf2: negative BitVec length")
+	}
+	return &BitVec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// BitVecFromBytes builds an n-bit vector from little-endian bytes: bit i of
+// the vector is bit (i%8) of data[i/8]. Bytes beyond n bits are ignored;
+// missing bytes are treated as zero.
+func BitVecFromBytes(n int, data []byte) *BitVec {
+	v := NewBitVec(n)
+	for i := 0; i < len(data) && i*8 < n; i++ {
+		v.words[i/8] |= uint64(data[i]) << uint(8*(i%8))
+	}
+	v.maskTail()
+	return v
+}
+
+// Bytes returns the vector as little-endian bytes (ceil(n/8) of them).
+func (v *BitVec) Bytes() []byte {
+	out := make([]byte, (v.n+7)/8)
+	for i := range out {
+		out[i] = byte(v.words[i/8] >> uint(8*(i%8)))
+	}
+	return out
+}
+
+func (v *BitVec) maskTail() {
+	if r := v.n % 64; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Len returns the vector length in bits.
+func (v *BitVec) Len() int { return v.n }
+
+// Words exposes the backing 64-bit words (bit i of the vector is bit i%64
+// of word i/64). The slice aliases the vector's storage and must not be
+// modified; it exists for hot paths such as syndrome computation.
+func (v *BitVec) Words() []uint64 { return v.words }
+
+// Get returns bit i.
+func (v *BitVec) Get(i int) int {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gf2: BitVec index %d out of range [0,%d)", i, v.n))
+	}
+	return int(v.words[i/64] >> uint(i%64) & 1)
+}
+
+// Set assigns bit i.
+func (v *BitVec) Set(i, b int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gf2: BitVec index %d out of range [0,%d)", i, v.n))
+	}
+	if b&1 == 1 {
+		v.words[i/64] |= 1 << uint(i%64)
+	} else {
+		v.words[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Flip toggles bit i.
+func (v *BitVec) Flip(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gf2: BitVec index %d out of range [0,%d)", i, v.n))
+	}
+	v.words[i/64] ^= 1 << uint(i%64)
+}
+
+// Xor sets v = v ⊕ o. The lengths must match.
+func (v *BitVec) Xor(o *BitVec) {
+	if v.n != o.n {
+		panic("gf2: BitVec Xor length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+}
+
+// Weight returns the number of set bits.
+func (v *BitVec) Weight() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsZero reports whether every bit is clear.
+func (v *BitVec) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and o have identical length and bits.
+func (v *BitVec) Equal(o *BitVec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (v *BitVec) Clone() *BitVec {
+	c := NewBitVec(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// SetBits returns the indices of the set bits in ascending order.
+func (v *BitVec) SetBits() []int {
+	out := make([]int, 0, v.Weight())
+	for w, word := range v.words {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// String renders the vector with bit 0 rightmost.
+func (v *BitVec) String() string {
+	var sb strings.Builder
+	for i := v.n - 1; i >= 0; i-- {
+		if v.Get(i) == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,392 @@
+// Package gf2 provides bit-packed linear algebra over the binary finite
+// field GF(2), where addition is XOR and multiplication is AND.
+//
+// It is the foundation for all error-correcting-code construction in this
+// repository. Two representations are provided:
+//
+//   - Matrix: a column-major matrix with at most 64 rows. Each column is a
+//     single uint64 bit-vector, which makes syndrome computation (the XOR of
+//     the columns selected by an error pattern) a tight loop. Parity-check
+//     matrices have R ≤ 16 rows in this project, so the 64-row limit is
+//     never a constraint in practice.
+//   - BitVec: an arbitrary-length bit vector used for codewords and error
+//     patterns (N can exceed 64; e.g. a 32B codeword with 16 check bits and
+//     a 15-bit tag spans 287 bit positions).
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Matrix is a column-major binary matrix with Rows ≤ 64.
+// Column j is stored as the uint64 Col[j]; bit i of Col[j] is entry (i, j).
+type Matrix struct {
+	rows int
+	cols []uint64
+}
+
+// NewMatrix returns a zero matrix with the given dimensions.
+// It panics if rows is not in [0, 64] or cols is negative.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || rows > 64 {
+		panic(fmt.Sprintf("gf2: row count %d out of range [0,64]", rows))
+	}
+	if cols < 0 {
+		panic(fmt.Sprintf("gf2: negative column count %d", cols))
+	}
+	return &Matrix{rows: rows, cols: make([]uint64, cols)}
+}
+
+// FromColumns builds a matrix from explicit column bit-vectors.
+// The columns are copied.
+func FromColumns(rows int, cols []uint64) *Matrix {
+	m := NewMatrix(rows, len(cols))
+	mask := m.rowMask()
+	for j, c := range cols {
+		if c&^mask != 0 {
+			panic(fmt.Sprintf("gf2: column %d has bits above row %d", j, rows))
+		}
+		m.cols[j] = c
+	}
+	return m
+}
+
+// Identity returns the r×r identity matrix.
+func Identity(r int) *Matrix {
+	m := NewMatrix(r, r)
+	for i := 0; i < r; i++ {
+		m.cols[i] = 1 << uint(i)
+	}
+	return m
+}
+
+func (m *Matrix) rowMask() uint64 {
+	if m.rows == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(m.rows)) - 1
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return len(m.cols) }
+
+// Col returns column j as a bit-vector (bit i = entry (i,j)).
+func (m *Matrix) Col(j int) uint64 { return m.cols[j] }
+
+// SetCol replaces column j.
+func (m *Matrix) SetCol(j int, v uint64) {
+	if v&^m.rowMask() != 0 {
+		panic("gf2: SetCol value has bits above the row count")
+	}
+	m.cols[j] = v
+}
+
+// Get returns entry (i, j) as 0 or 1.
+func (m *Matrix) Get(i, j int) int {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("gf2: row index %d out of range", i))
+	}
+	return int(m.cols[j] >> uint(i) & 1)
+}
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j, v int) {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("gf2: row index %d out of range", i))
+	}
+	if v&1 == 1 {
+		m.cols[j] |= 1 << uint(i)
+	} else {
+		m.cols[j] &^= 1 << uint(i)
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, len(m.cols))
+	copy(c.cols, m.cols)
+	return c
+}
+
+// Equal reports whether m and o have identical shape and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || len(m.cols) != len(o.cols) {
+		return false
+	}
+	for j := range m.cols {
+		if m.cols[j] != o.cols[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat returns the horizontal concatenation [m | others...].
+// All operands must have the same row count.
+func Concat(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("gf2: Concat of nothing")
+	}
+	rows := ms[0].rows
+	total := 0
+	for _, m := range ms {
+		if m.rows != rows {
+			panic("gf2: Concat row-count mismatch")
+		}
+		total += len(m.cols)
+	}
+	out := NewMatrix(rows, total)
+	j := 0
+	for _, m := range ms {
+		copy(out.cols[j:], m.cols)
+		j += len(m.cols)
+	}
+	return out
+}
+
+// Submatrix returns the column slice [lo, hi) as a new matrix.
+func (m *Matrix) Submatrix(lo, hi int) *Matrix {
+	out := NewMatrix(m.rows, hi-lo)
+	copy(out.cols, m.cols[lo:hi])
+	return out
+}
+
+// MulVec computes m * x over GF(2), where x is a length-Cols bit vector.
+// The result is the XOR of the columns of m selected by the set bits of x.
+func (m *Matrix) MulVec(x *BitVec) uint64 {
+	if x.Len() != len(m.cols) {
+		panic(fmt.Sprintf("gf2: MulVec length mismatch: %d columns, %d-bit vector", len(m.cols), x.Len()))
+	}
+	var s uint64
+	for w, word := range x.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			s ^= m.cols[w*64+b]
+			word &= word - 1
+		}
+	}
+	return s
+}
+
+// MulBits computes m * x where x is given as the low Cols bits of a uint64.
+// It panics if Cols > 64.
+func (m *Matrix) MulBits(x uint64) uint64 {
+	if len(m.cols) > 64 {
+		panic("gf2: MulBits requires ≤64 columns")
+	}
+	var s uint64
+	for x != 0 {
+		b := bits.TrailingZeros64(x)
+		s ^= m.cols[b]
+		x &= x - 1
+	}
+	return s
+}
+
+// Rank returns the rank of the matrix over GF(2).
+func (m *Matrix) Rank() int {
+	// Gaussian elimination over the column vectors: maintain a basis in
+	// row-echelon form keyed by leading (lowest) set bit.
+	var basis [64]uint64
+	rank := 0
+	for _, c := range m.cols {
+		v := c
+		for v != 0 {
+			lead := bits.TrailingZeros64(v)
+			if basis[lead] == 0 {
+				basis[lead] = v
+				rank++
+				break
+			}
+			v ^= basis[lead]
+		}
+	}
+	return rank
+}
+
+// HasFullColumnRank reports whether the columns are linearly independent.
+func (m *Matrix) HasFullColumnRank() bool {
+	return m.Rank() == len(m.cols)
+}
+
+// ColumnSpace enumerates every vector in the column space of m, i.e. the
+// XOR of every subset of columns, including the zero vector (the empty
+// subset). The result has 2^rank distinct values but is returned with
+// duplicates removed. It panics if Cols > 24 to bound the enumeration.
+func (m *Matrix) ColumnSpace() []uint64 {
+	if len(m.cols) > 24 {
+		panic("gf2: ColumnSpace limited to ≤24 columns")
+	}
+	// Build from a reduced basis to avoid 2^cols duplicates when the
+	// columns are dependent.
+	var basisList []uint64
+	var basis [64]uint64
+	for _, c := range m.cols {
+		v := c
+		for v != 0 {
+			lead := bits.TrailingZeros64(v)
+			if basis[lead] == 0 {
+				basis[lead] = v
+				basisList = append(basisList, v)
+				break
+			}
+			v ^= basis[lead]
+		}
+	}
+	out := make([]uint64, 1, 1<<uint(len(basisList)))
+	out[0] = 0
+	for _, b := range basisList {
+		for _, v := range out[:len(out):len(out)] {
+			out = append(out, v^b)
+		}
+	}
+	return out
+}
+
+// ColumnSpaceContains reports whether v is a linear combination of the
+// columns of m. Unlike ColumnSpace it works for any column count.
+func (m *Matrix) ColumnSpaceContains(v uint64) bool {
+	var basis [64]uint64
+	for _, c := range m.cols {
+		x := c
+		for x != 0 {
+			lead := bits.TrailingZeros64(x)
+			if basis[lead] == 0 {
+				basis[lead] = x
+				break
+			}
+			x ^= basis[lead]
+		}
+	}
+	for v != 0 {
+		lead := bits.TrailingZeros64(v)
+		if basis[lead] == 0 {
+			return false
+		}
+		v ^= basis[lead]
+	}
+	return true
+}
+
+// SolveColumns finds x such that m * x = v, expressing v as a combination
+// of the columns of m. It returns the combination as a column-index bitmask
+// (bit j set means column j participates) and ok=false if v is not in the
+// column space. It panics if Cols > 64.
+func (m *Matrix) SolveColumns(v uint64) (x uint64, ok bool) {
+	if len(m.cols) > 64 {
+		panic("gf2: SolveColumns requires ≤64 columns")
+	}
+	// basis[lead] holds a reduced vector; comb[lead] records which original
+	// columns XOR together to form it.
+	var basis, comb [64]uint64
+	for j, c := range m.cols {
+		vec, cmb := c, uint64(1)<<uint(j)
+		for vec != 0 {
+			lead := bits.TrailingZeros64(vec)
+			if basis[lead] == 0 {
+				basis[lead] = vec
+				comb[lead] = cmb
+				break
+			}
+			vec ^= basis[lead]
+			cmb ^= comb[lead]
+		}
+	}
+	for v != 0 {
+		lead := bits.TrailingZeros64(v)
+		if basis[lead] == 0 {
+			return 0, false
+		}
+		v ^= basis[lead]
+		x ^= comb[lead]
+	}
+	return x, true
+}
+
+// RowWeights returns the number of ones in each row.
+func (m *Matrix) RowWeights() []int {
+	w := make([]int, m.rows)
+	for _, c := range m.cols {
+		for v := c; v != 0; v &= v - 1 {
+			w[bits.TrailingZeros64(v)]++
+		}
+	}
+	return w
+}
+
+// MaxRowWeight returns the largest row weight (0 for an empty matrix).
+func (m *Matrix) MaxRowWeight() int {
+	max := 0
+	for _, w := range m.RowWeights() {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// TotalOnes returns the number of ones in the matrix.
+func (m *Matrix) TotalOnes() int {
+	n := 0
+	for _, c := range m.cols {
+		n += bits.OnesCount64(c)
+	}
+	return n
+}
+
+// AllColumnsOddWeight reports whether every column has odd weight.
+func (m *Matrix) AllColumnsOddWeight() bool {
+	for _, c := range m.cols {
+		if bits.OnesCount64(c)%2 == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllColumnsEvenWeight reports whether every column has even weight.
+func (m *Matrix) AllColumnsEvenWeight() bool {
+	for _, c := range m.cols {
+		if bits.OnesCount64(c)%2 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnsDistinct reports whether all columns are pairwise distinct.
+func (m *Matrix) ColumnsDistinct() bool {
+	seen := make(map[uint64]struct{}, len(m.cols))
+	for _, c := range m.cols {
+		if _, dup := seen[c]; dup {
+			return false
+		}
+		seen[c] = struct{}{}
+	}
+	return true
+}
+
+// String renders the matrix as rows of 0/1 characters, one row per line,
+// column 0 rightmost — matching the parity-check-matrix layout used in the
+// paper's Equation 6.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := len(m.cols) - 1; j >= 0; j-- {
+			if m.Get(i, j) == 1 {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		if i != m.rows-1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

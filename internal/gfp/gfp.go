@@ -1,0 +1,128 @@
+// Package gfp implements arithmetic in the binary extension fields
+// GF(2^m) for m ≤ 16, the substrate for symbol-based error-correcting
+// codes (Reed-Solomon-style), which the paper's §7.1 identifies as the
+// necessary next step for AFT-ECC on CPUs (chipkill) and against the
+// byte/burst error patterns dominant in real DRAM and SRAM.
+//
+// Elements are represented as uint16 bit-vectors of polynomial
+// coefficients; multiplication uses log/antilog tables built from a
+// primitive polynomial, so all operations are table lookups.
+package gfp
+
+import "fmt"
+
+// Field is GF(2^m) under a primitive polynomial.
+type Field struct {
+	m    int
+	size int // 2^m
+	poly uint32
+	log  []uint16 // log[x] = discrete log base α (log[0] unused)
+	exp  []uint16 // exp[i] = α^i, doubled to avoid mod in Mul
+}
+
+// Default primitive polynomials per field size (x^m + ... + 1).
+var primitivePolys = map[int]uint32{
+	2:  0x7,     // x^2+x+1
+	3:  0xB,     // x^3+x+1
+	4:  0x13,    // x^4+x+1
+	8:  0x11D,   // x^8+x^4+x^3+x^2+1 (the AES/RS classic)
+	10: 0x409,   // x^10+x^3+1
+	12: 0x1053,  // x^12+x^6+x^4+x+1
+	16: 0x1100B, // x^16+x^12+x^3+x+1
+}
+
+// New builds GF(2^m) with a standard primitive polynomial. Supported m:
+// 2, 3, 4, 8, 10, 12, 16.
+func New(m int) (*Field, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("gfp: no primitive polynomial registered for m=%d", m)
+	}
+	return NewWithPoly(m, poly)
+}
+
+// NewWithPoly builds GF(2^m) from an explicit degree-m polynomial. It
+// fails if the polynomial is not primitive (α must generate the whole
+// multiplicative group).
+func NewWithPoly(m int, poly uint32) (*Field, error) {
+	if m < 2 || m > 16 {
+		return nil, fmt.Errorf("gfp: m=%d out of range [2,16]", m)
+	}
+	if poly>>uint(m) != 1 {
+		return nil, fmt.Errorf("gfp: polynomial %#x does not have degree %d", poly, m)
+	}
+	f := &Field{m: m, size: 1 << uint(m), poly: poly}
+	f.log = make([]uint16, f.size)
+	f.exp = make([]uint16, 2*f.size)
+	x := uint32(1)
+	for i := 0; i < f.size-1; i++ {
+		if x == 1 && i > 0 {
+			return nil, fmt.Errorf("gfp: polynomial %#x is not primitive for m=%d (order %d)", poly, m, i)
+		}
+		f.exp[i] = uint16(x)
+		f.exp[i+f.size-1] = uint16(x)
+		f.log[x] = uint16(i)
+		x <<= 1
+		if x>>uint(m) != 0 {
+			x ^= poly
+		}
+	}
+	if x != 1 {
+		return nil, fmt.Errorf("gfp: polynomial %#x is not primitive for m=%d", poly, m)
+	}
+	return f, nil
+}
+
+// M returns the extension degree.
+func (f *Field) M() int { return f.m }
+
+// Size returns the field order 2^m.
+func (f *Field) Size() int { return f.size }
+
+// Add is addition (XOR).
+func (f *Field) Add(a, b uint16) uint16 { return a ^ b }
+
+// Mul multiplies via log tables.
+func (f *Field) Mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// Inv returns the multiplicative inverse; it panics on 0.
+func (f *Field) Inv(a uint16) uint16 {
+	if a == 0 {
+		panic("gfp: inverse of zero")
+	}
+	return f.exp[f.size-1-int(f.log[a])]
+}
+
+// Div returns a/b; it panics when b is 0.
+func (f *Field) Div(a, b uint16) uint16 {
+	if b == 0 {
+		panic("gfp: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+f.size-1-int(f.log[b])]
+}
+
+// Pow returns α^i (i may exceed the group order).
+func (f *Field) Pow(i int) uint16 {
+	n := f.size - 1
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete log of a (a ≠ 0).
+func (f *Field) Log(a uint16) int {
+	if a == 0 {
+		panic("gfp: log of zero")
+	}
+	return int(f.log[a])
+}

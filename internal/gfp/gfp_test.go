@@ -1,0 +1,147 @@
+package gfp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func field(t *testing.T, m int) *Field {
+	t.Helper()
+	f, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConstruction(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 8, 10, 12, 16} {
+		f := field(t, m)
+		if f.M() != m || f.Size() != 1<<uint(m) {
+			t.Errorf("m=%d: wrong accessors", m)
+		}
+	}
+	if _, err := New(5); err == nil {
+		t.Error("unsupported m should fail")
+	}
+	if _, err := NewWithPoly(4, 0x10); err == nil {
+		t.Error("x^4 alone is not primitive (not even irreducible)")
+	}
+	if _, err := NewWithPoly(4, 0x1F); err == nil {
+		t.Error("x^4+x^3+x^2+x+1 has order 5, not primitive")
+	}
+	if _, err := NewWithPoly(4, 0x23); err == nil {
+		t.Error("degree mismatch should fail")
+	}
+	if _, err := NewWithPoly(1, 0x3); err == nil {
+		t.Error("m=1 out of range")
+	}
+}
+
+func TestFieldAxiomsGF16(t *testing.T) {
+	// Exhaustive over GF(2^4).
+	f := field(t, 4)
+	n := uint16(f.Size())
+	for a := uint16(0); a < n; a++ {
+		for b := uint16(0); b < n; b++ {
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("mul not commutative at %d,%d", a, b)
+			}
+			for c := uint16(0); c < n; c++ {
+				if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+					t.Fatalf("mul not associative at %d,%d,%d", a, b, c)
+				}
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("not distributive at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+	for a := uint16(1); a < n; a++ {
+		if f.Mul(a, f.Inv(a)) != 1 {
+			t.Fatalf("inverse wrong for %d", a)
+		}
+		if f.Mul(a, 1) != a {
+			t.Fatalf("1 not identity for %d", a)
+		}
+		if f.Mul(a, 0) != 0 {
+			t.Fatalf("0 not absorbing for %d", a)
+		}
+	}
+}
+
+func TestFieldAxiomsGF256Quick(t *testing.T) {
+	f := field(t, 8)
+	prop := func(a, b, c uint8) bool {
+		x, y, z := uint16(a), uint16(b), uint16(c)
+		if f.Mul(x, y) != f.Mul(y, x) {
+			return false
+		}
+		if f.Mul(x, f.Mul(y, z)) != f.Mul(f.Mul(x, y), z) {
+			return false
+		}
+		if f.Mul(x, f.Add(y, z)) != f.Add(f.Mul(x, y), f.Mul(x, z)) {
+			return false
+		}
+		if y != 0 && f.Mul(f.Div(x, y), y) != x {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaGeneratesGroup(t *testing.T) {
+	for _, m := range []int{4, 8, 16} {
+		f := field(t, m)
+		seen := map[uint16]bool{}
+		for i := 0; i < f.Size()-1; i++ {
+			v := f.Pow(i)
+			if v == 0 || seen[v] {
+				t.Fatalf("m=%d: α^%d = %d repeats or is zero", m, i, v)
+			}
+			seen[v] = true
+		}
+		if f.Pow(f.Size()-1) != 1 {
+			t.Errorf("m=%d: α^(2^m−1) ≠ 1", m)
+		}
+		if f.Pow(-1) != f.Inv(f.Pow(1)) {
+			t.Errorf("m=%d: negative exponent wrong", m)
+		}
+	}
+}
+
+func TestLogExpRoundTrip(t *testing.T) {
+	f := field(t, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := uint16(1 + rng.Intn(255))
+		if f.Pow(f.Log(a)) != a {
+			t.Fatalf("exp(log(%d)) != %d", a, a)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	f := field(t, 4)
+	for name, fn := range map[string]func(){
+		"Inv(0)":   func() { f.Inv(0) },
+		"Div(1,0)": func() { f.Div(1, 0) },
+		"Log(0)":   func() { f.Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if f.Div(0, 3) != 0 {
+		t.Error("0/x should be 0")
+	}
+}

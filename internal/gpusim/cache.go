@@ -1,0 +1,78 @@
+package gpusim
+
+// cache is a sector-granular set-associative cache with LRU replacement.
+// Entries are keyed by sector id (address / 32). Modeling at sector
+// granularity matches the fine-grained sectored caches of §2.4.
+type cache struct {
+	numSets int
+	assoc   int
+	sets    []line
+	clock   uint64
+}
+
+type line struct {
+	sector uint64
+	valid  bool
+	dirty  bool
+	lru    uint64
+}
+
+func newCache(sizeBytes, sectorSize, assoc int) *cache {
+	numSets := sizeBytes / sectorSize / assoc
+	if numSets < 1 {
+		numSets = 1
+	}
+	return &cache{
+		numSets: numSets,
+		assoc:   assoc,
+		sets:    make([]line, numSets*assoc),
+	}
+}
+
+func (c *cache) set(sector uint64) []line {
+	i := int(sector % uint64(c.numSets))
+	return c.sets[i*c.assoc : (i+1)*c.assoc]
+}
+
+// lookup probes for a sector; on a hit the entry's recency is refreshed
+// and, if markDirty, the line is dirtied.
+func (c *cache) lookup(sector uint64, markDirty bool) bool {
+	c.clock++
+	set := c.set(sector)
+	for i := range set {
+		if set[i].valid && set[i].sector == sector {
+			set[i].lru = c.clock
+			if markDirty {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// insert fills a sector, evicting the LRU victim if needed. It returns
+// whether a dirty victim was evicted (requiring a writeback).
+func (c *cache) insert(sector uint64, dirty bool) (evictedDirty bool) {
+	c.clock++
+	set := c.set(sector)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].sector == sector {
+			// Refill of a present line (e.g. a racing fill): refresh.
+			set[i].lru = c.clock
+			set[i].dirty = set[i].dirty || dirty
+			return false
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evictedDirty = set[victim].valid && set[victim].dirty
+	set[victim] = line{sector: sector, valid: true, dirty: dirty, lru: c.clock}
+	return evictedDirty
+}

@@ -1,0 +1,170 @@
+// Package gpusim is a trace-driven, cycle-approximate simulator of a
+// GPU memory hierarchy in the style of §2.4's Figure 2: per-SM coalescers
+// and sectored L1 caches with MSHRs, a crossbar to address-interleaved L2
+// slices, and DRAM channels with finite bandwidth.
+//
+// It exists to reproduce the paper's performance evaluation (§5.2,
+// Figure 8): the tag carve-out baseline issues parallel lock-tag lookups
+// on L2 data misses and caches tag sectors in the L2 (pressuring its
+// capacity and the DRAM channels), while IMT and ECC stealing add no
+// traffic at all, and a GPUShield-like tagged base-and-bounds scheme adds
+// a fixed per-access check latency. The simulator reports cycles, DRAM
+// traffic, read bloat, and bandwidth so Figure 8a/8b/8c and the §6
+// comparison can be regenerated.
+//
+// The paper ran the proprietary NVAS simulator on a GV100 with 193
+// application traces; this package plus internal/workload is the
+// substitution documented in DESIGN.md — same structural mechanisms,
+// synthetic traces.
+package gpusim
+
+import "fmt"
+
+// TagMode selects the memory-safety mechanism being simulated.
+type TagMode int
+
+const (
+	// ModeNone: no memory tagging (the performance baseline).
+	ModeNone TagMode = iota
+	// ModeIMT: Implicit Memory Tagging. Tags ride in the ECC check bits,
+	// so the memory system behaves identically to ModeNone — the paper's
+	// "no storage or memory traffic overheads" claim is structural, and
+	// the simulator treats it as such (ECC encode/decode latency is part
+	// of the baseline pipeline either way).
+	ModeIMT
+	// ModeECCSteal: tags stored in stolen ECC check bits. Also traffic-
+	// free; the cost is reliability, not performance (see reliability).
+	ModeECCSteal
+	// ModeCarveOut: tags in a dedicated memory carve-out, fetched on L2
+	// data misses and cached in the L2 (the ARM-MTE/LAK-like baseline).
+	ModeCarveOut
+	// ModeBoundsTable: a GPUShield-like tagged base-and-bounds check on
+	// every memory instruction (no extra memory traffic, small fixed
+	// per-access latency in the LD/ST path).
+	ModeBoundsTable
+)
+
+func (m TagMode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeIMT:
+		return "imt"
+	case ModeECCSteal:
+		return "ecc-steal"
+	case ModeCarveOut:
+		return "carve-out"
+	case ModeBoundsTable:
+		return "bounds-table"
+	default:
+		return fmt.Sprintf("TagMode(%d)", int(m))
+	}
+}
+
+// CarveOut describes the tag-store geometry for ModeCarveOut.
+type CarveOut struct {
+	// TagBits per granule and the granule size determine how much data
+	// one 32B tag sector covers: 32*8/TagBits granules × GranuleBytes.
+	TagBits      int
+	GranuleBytes int
+}
+
+// CoverageBytes returns the span of data covered by one 32B tag sector.
+func (c CarveOut) CoverageBytes() uint64 {
+	return uint64(32*8/c.TagBits) * uint64(c.GranuleBytes)
+}
+
+// StorageOverhead returns the carve-out's share of total memory
+// (TagBits per GranuleBytes of data), e.g. 3.125% for (8b, 32B).
+func (c CarveOut) StorageOverhead() float64 {
+	return float64(c.TagBits) / 8 / float64(c.GranuleBytes)
+}
+
+// Standard carve-out geometries from Table 1 / §5.2.
+var (
+	// CarveOutARMMTE: TS=4b per TG=16B granule (the ARM MTE layout);
+	// tag-traffic-wise equivalent to the low-tag-storage configuration.
+	CarveOutARMMTE = CarveOut{TagBits: 4, GranuleBytes: 16}
+	// CarveOutLow: iso-security-10 (TS=8b, TG=32B) — the paper's
+	// "low-tag-storage" curve in Figure 8.
+	CarveOutLow = CarveOut{TagBits: 8, GranuleBytes: 32}
+	// CarveOutHigh: iso-security-16 (TS=16b, TG=32B) — "high-tag-storage".
+	CarveOutHigh = CarveOut{TagBits: 16, GranuleBytes: 32}
+)
+
+// Config sizes the simulated GPU. The defaults model a quarter-scale
+// GV100-class part: scaling SM count, L2 slices and DRAM channels together
+// preserves the per-SM bandwidth balance that drives the Figure 8 shapes.
+type Config struct {
+	NumSMs     int
+	NumSlices  int // L2 slices, one DRAM channel each
+	SectorSize int // bytes; the GPU access granularity (32)
+
+	L1SizeBytes int
+	L1Assoc     int
+	L1MSHRs     int
+
+	L2SliceBytes int
+	L2Assoc      int
+
+	L1Latency   int // cycles from L2 hit to L1 fill
+	DRAMLatency int // additional cycles for a DRAM access
+	// DRAMCyclesPerSector is each channel's occupancy per 32B transfer;
+	// it sets the per-channel bandwidth (32B / cycles).
+	DRAMCyclesPerSector int
+
+	// MaxOutstandingOps bounds per-SM memory-level parallelism.
+	MaxOutstandingOps int
+
+	Mode     TagMode
+	Carve    CarveOut
+	BoundsCk int // extra issue cycles per memory op in ModeBoundsTable
+
+	// InterleaveSectors: consecutive groups of this many sectors map to
+	// the same L2 slice (256B groups by default).
+	InterleaveSectors int
+}
+
+// DefaultConfig returns the quarter-GV100 model used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:              4,
+		NumSlices:           4,
+		SectorSize:          32,
+		L1SizeBytes:         64 << 10,
+		L1Assoc:             4,
+		L1MSHRs:             48,
+		L2SliceBytes:        768 << 10,
+		L2Assoc:             16,
+		L1Latency:           30,
+		DRAMLatency:         200,
+		DRAMCyclesPerSector: 4,
+		MaxOutstandingOps:   16,
+		Mode:                ModeNone,
+		BoundsCk:            1,
+		InterleaveSectors:   8,
+	}
+}
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.NumSMs < 1 || c.NumSlices < 1 {
+		return fmt.Errorf("gpusim: need ≥1 SM and ≥1 slice")
+	}
+	if c.SectorSize != 32 {
+		return fmt.Errorf("gpusim: sector size must be 32 bytes (got %d)", c.SectorSize)
+	}
+	if c.L1SizeBytes%(c.SectorSize*c.L1Assoc) != 0 || c.L2SliceBytes%(c.SectorSize*c.L2Assoc) != 0 {
+		return fmt.Errorf("gpusim: cache sizes must divide into assoc×sector sets")
+	}
+	if c.Mode == ModeCarveOut && c.Carve.TagBits == 0 {
+		return fmt.Errorf("gpusim: carve-out mode requires a carve-out geometry")
+	}
+	if c.InterleaveSectors < 1 || c.MaxOutstandingOps < 1 || c.L1MSHRs < 1 {
+		return fmt.Errorf("gpusim: interleave, outstanding ops and MSHRs must be ≥ 1")
+	}
+	if c.DRAMCyclesPerSector < 1 || c.DRAMLatency < 1 || c.L1Latency < 1 {
+		return fmt.Errorf("gpusim: latencies must be ≥ 1")
+	}
+	return nil
+}

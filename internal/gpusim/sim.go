@@ -1,0 +1,558 @@
+package gpusim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// tagRegionSector places carve-out tag storage in a disjoint sector-id
+// region. Data sectors derived from a 49-bit VA occupy ids below 2^44
+// (addr/32); sector ids carrying key tags occupy bits ≥ TagShift. Basing
+// the tag region at 2^44 keeps it disjoint from both: untagged data ids
+// stay below it, and tag-region ids for tagged sectors land strictly
+// below 2^49 (tag<<49 / 32 = tag<<44, plus the base), never colliding
+// with the tagged data ids they cover.
+const tagRegionSector = uint64(1) << 44
+
+// Sim is one simulation instance. Create with New, drive with Run.
+type Sim struct {
+	cfg    Config
+	sms    []*smState
+	slices []*sliceState
+	events eventHeap
+	stats  Stats
+	now    uint64
+}
+
+type smState struct {
+	id          int
+	trace       Trace
+	l1          *cache
+	nextReady   uint64
+	outstanding int
+	mshr        map[uint64]*mshrEntry
+	mshrCount   int
+	// blocked holds the remainder of an op that ran out of MSHRs.
+	blocked *pendingIssue
+	done    bool
+	scratch []uint64
+	// boundsToggle alternates bounds-table port conflicts (ModeBoundsTable).
+	boundsToggle uint64
+}
+
+type mshrEntry struct {
+	waiters []*opState
+}
+
+type opState struct {
+	pending int
+	sm      *smState
+}
+
+type pendingIssue struct {
+	op      *opState
+	sectors []uint64
+	compute int
+	started bool // outstanding already incremented
+}
+
+type sliceState struct {
+	id        int
+	l2        *cache
+	queue     []request
+	dramQueue []dramReq
+	busyUntil uint64
+	// L2-level miss merging (the slice's MSHRs): concurrent misses to the
+	// same data or tag sector share one DRAM fetch.
+	pendingData map[uint64][]*l2Miss
+	pendingTag  map[uint64][]*l2Miss
+}
+
+type request struct {
+	sector uint64
+	sm     int
+	store  bool
+	atomic bool
+	op     *opState
+}
+
+type dramKind uint8
+
+const (
+	dramDataRead dramKind = iota
+	dramTagRead
+	dramWrite
+)
+
+type dramReq struct {
+	kind   dramKind
+	slice  int
+	sector uint64
+}
+
+type l2Miss struct {
+	sector      uint64
+	slice       int
+	sm          int
+	store       bool
+	atomic      bool
+	op          *opState
+	needTag     bool
+	dataArrived bool
+	tagArrived  bool
+	tagSector   uint64
+}
+
+type eventKind uint8
+
+const (
+	evL1Fill eventKind = iota
+	evDRAMData
+	evDRAMTag
+	evAtomicDone
+)
+
+type event struct {
+	cycle  uint64
+	kind   eventKind
+	sm     int
+	slice  int
+	sector uint64
+	op     *opState
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New builds a simulator for the configuration with one trace per SM
+// (traces[i] drives SM i; missing entries idle the SM).
+func New(cfg Config, traces []Trace) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg}
+	for i := 0; i < cfg.NumSMs; i++ {
+		sm := &smState{
+			id:      i,
+			l1:      newCache(cfg.L1SizeBytes, cfg.SectorSize, cfg.L1Assoc),
+			mshr:    make(map[uint64]*mshrEntry),
+			scratch: make([]uint64, 0, 64),
+		}
+		if i < len(traces) && traces[i] != nil {
+			sm.trace = traces[i]
+		} else {
+			sm.done = true
+		}
+		s.sms = append(s.sms, sm)
+	}
+	for i := 0; i < cfg.NumSlices; i++ {
+		s.slices = append(s.slices, &sliceState{
+			id:          i,
+			l2:          newCache(cfg.L2SliceBytes, cfg.SectorSize, cfg.L2Assoc),
+			pendingData: make(map[uint64][]*l2Miss),
+			pendingTag:  make(map[uint64][]*l2Miss),
+		})
+	}
+	heap.Init(&s.events)
+	return s, nil
+}
+
+func (s *Sim) sliceOf(sector uint64) *sliceState {
+	group := sector / uint64(s.cfg.InterleaveSectors)
+	return s.slices[group%uint64(s.cfg.NumSlices)]
+}
+
+func (s *Sim) tagSectorOf(sector uint64) uint64 {
+	span := s.cfg.Carve.CoverageBytes() / uint64(s.cfg.SectorSize)
+	return tagRegionSector + sector/span
+}
+
+// Run executes to completion and returns the statistics. maxCycles guards
+// against pathological configurations (0 means a generous default).
+func (s *Sim) Run(maxCycles uint64) (Stats, error) {
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	for {
+		progressed := s.step()
+		if s.finished() {
+			s.stats.Cycles = s.now
+			return s.stats, nil
+		}
+		if !progressed {
+			s.fastForward()
+		} else {
+			s.now++
+		}
+		if s.now > maxCycles {
+			return s.stats, fmt.Errorf("gpusim: exceeded %d cycles (deadlock or runaway workload)", maxCycles)
+		}
+	}
+}
+
+// step performs one cycle of work; it reports whether anything happened
+// (used to fast-forward idle stretches).
+func (s *Sim) step() bool {
+	progressed := false
+
+	// 1. Deliver due events.
+	for len(s.events) > 0 && s.events[0].cycle <= s.now {
+		e := heap.Pop(&s.events).(event)
+		progressed = true
+		switch e.kind {
+		case evL1Fill:
+			s.l1Fill(e.sm, e.sector)
+		case evDRAMData:
+			s.dataArrived(e.slice, e.sector)
+		case evDRAMTag:
+			s.tagArrived(e.slice, e.sector)
+		case evAtomicDone:
+			s.opSectorDone(e.op)
+		}
+	}
+
+	// 2. Each L2 slice services one request and starts DRAM transfers.
+	for _, sl := range s.slices {
+		if len(sl.queue) > 0 {
+			req := sl.queue[0]
+			sl.queue = sl.queue[1:]
+			s.serviceL2(sl, req)
+			progressed = true
+		}
+		if len(sl.dramQueue) > 0 && sl.busyUntil <= s.now {
+			dr := sl.dramQueue[0]
+			sl.dramQueue = sl.dramQueue[1:]
+			sl.busyUntil = s.now + uint64(s.cfg.DRAMCyclesPerSector)
+			progressed = true
+			switch dr.kind {
+			case dramWrite:
+				s.stats.DRAMWrites++
+			case dramDataRead:
+				s.stats.DRAMDataReads++
+				heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.DRAMLatency), kind: evDRAMData, slice: dr.slice, sector: dr.sector})
+			case dramTagRead:
+				s.stats.DRAMTagReads++
+				heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.DRAMLatency), kind: evDRAMTag, slice: dr.slice, sector: dr.sector})
+			}
+		}
+	}
+
+	// 3. SMs issue.
+	for _, sm := range s.sms {
+		if s.issue(sm) {
+			progressed = true
+		}
+	}
+	return progressed
+}
+
+// issue advances one SM by at most one op (or one blocked-op retry).
+func (s *Sim) issue(sm *smState) bool {
+	if sm.blocked != nil {
+		return s.issueSectors(sm, sm.blocked)
+	}
+	if sm.done || s.now < sm.nextReady || sm.outstanding >= s.cfg.MaxOutstandingOps {
+		return false
+	}
+	op, ok := sm.trace.Next()
+	if !ok {
+		sm.done = true
+		return false
+	}
+	s.stats.WarpOps++
+	sectors := coalesce(op.Addrs, s.cfg.SectorSize, sm.scratch)
+	sm.scratch = sectors[:0]
+
+	compute := op.Compute
+	if s.cfg.Mode == ModeBoundsTable {
+		// The bounds-table lookup is pipelined with the LD/ST path, so
+		// most checks hide completely; every other memory instruction,
+		// however, conflicts on the table port and stalls issue by
+		// BoundsCk cycles. This reproduces the §6 observation that a
+		// GPUShield-like scheme is nearly free for most workloads but
+		// penalizes access-rate-bound ones by up to ~14%.
+		sm.boundsToggle++
+		if sm.boundsToggle%2 == 0 {
+			compute += s.cfg.BoundsCk
+		}
+	}
+
+	if op.Atomic {
+		// Near-memory atomics (§4.2, Figure 6a): serviced at the L2 slice
+		// behind an ECC decode/encode pair, bypassing the L1 entirely. The
+		// warp waits for the returned old value, so atomics count against
+		// outstanding ops like loads; under a carve-out the lock tag must
+		// be fetched for the check, just as for loads and stores.
+		s.stats.Atomics++
+		st := &opState{sm: sm, pending: len(sectors)}
+		for _, sec := range sectors {
+			s.sliceOf(sec).queue = append(s.sliceOf(sec).queue, request{sector: sec, sm: sm.id, atomic: true, op: st})
+		}
+		if st.pending > 0 {
+			sm.outstanding++
+		}
+		sm.nextReady = s.now + 1 + uint64(compute)
+		return true
+	}
+
+	if op.Store {
+		s.stats.Stores++
+		for _, sec := range sectors {
+			// Write-through, no-allocate L1: stores stream to the L2.
+			s.sliceOf(sec).queue = append(s.sliceOf(sec).queue, request{sector: sec, sm: sm.id, store: true})
+		}
+		sm.nextReady = s.now + 1 + uint64(compute)
+		return true
+	}
+
+	s.stats.Loads++
+	pi := &pendingIssue{
+		op:      &opState{sm: sm},
+		sectors: append([]uint64(nil), sectors...),
+		compute: compute,
+	}
+	return s.issueSectors(sm, pi)
+}
+
+// issueSectors pushes a load's sectors into the L1/MSHR machinery,
+// blocking (and resuming later) when MSHRs run out.
+func (s *Sim) issueSectors(sm *smState, pi *pendingIssue) bool {
+	progressed := false
+	for len(pi.sectors) > 0 {
+		sec := pi.sectors[0]
+		if sm.l1.lookup(sec, false) {
+			s.stats.L1Hits++
+			pi.sectors = pi.sectors[1:]
+			progressed = true
+			continue
+		}
+		if entry, ok := sm.mshr[sec]; ok {
+			// Merge into the outstanding miss.
+			s.stats.L1Hits++ // an MSHR merge costs no extra traffic
+			entry.waiters = append(entry.waiters, pi.op)
+			pi.op.pending++
+			pi.sectors = pi.sectors[1:]
+			progressed = true
+			continue
+		}
+		if sm.mshrCount >= s.cfg.L1MSHRs {
+			sm.blocked = pi
+			return progressed
+		}
+		s.stats.L1Misses++
+		sm.mshr[sec] = &mshrEntry{waiters: []*opState{pi.op}}
+		sm.mshrCount++
+		pi.op.pending++
+		sl := s.sliceOf(sec)
+		sl.queue = append(sl.queue, request{sector: sec, sm: sm.id, store: false, op: pi.op})
+		pi.sectors = pi.sectors[1:]
+		progressed = true
+	}
+	// Fully issued.
+	sm.blocked = nil
+	if pi.op.pending > 0 && !pi.started {
+		sm.outstanding++
+		pi.started = true
+	}
+	sm.nextReady = s.now + 1 + uint64(pi.compute)
+	return progressed
+}
+
+// serviceL2 handles one request at an L2 slice.
+func (s *Sim) serviceL2(sl *sliceState, req request) {
+	if req.atomic {
+		if sl.l2.lookup(req.sector, true) {
+			s.stats.L2Hits++
+			heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.L1Latency), kind: evAtomicDone, op: req.op})
+			return
+		}
+		s.stats.L2Misses++
+		miss := &l2Miss{sector: req.sector, slice: sl.id, sm: req.sm, atomic: true, op: req.op}
+		if waiters, inflight := sl.pendingData[req.sector]; inflight {
+			sl.pendingData[req.sector] = append(waiters, miss)
+		} else {
+			sl.pendingData[req.sector] = []*l2Miss{miss}
+			sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramDataRead, slice: sl.id, sector: req.sector})
+		}
+		if s.cfg.Mode == ModeCarveOut {
+			s.fetchTagIfMissing(miss)
+		}
+		return
+	}
+	if req.store {
+		if sl.l2.lookup(req.sector, true) {
+			s.stats.L2Hits++
+			return
+		}
+		s.stats.L2Misses++
+		// Full-sector store: write-allocate without fetching the data.
+		if sl.l2.insert(req.sector, true) {
+			sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramWrite})
+		}
+		// The carve-out still needs the lock tag for the store-side check.
+		if s.cfg.Mode == ModeCarveOut {
+			s.fetchTagIfMissing(&l2Miss{sector: req.sector, slice: sl.id, store: true})
+		}
+		return // stores complete at the SM; only traffic is modeled
+	}
+
+	if sl.l2.lookup(req.sector, false) {
+		s.stats.L2Hits++
+		heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.L1Latency), kind: evL1Fill, sm: req.sm, sector: req.sector})
+		return
+	}
+	s.stats.L2Misses++
+	miss := &l2Miss{sector: req.sector, slice: sl.id, sm: req.sm, op: req.op}
+	if waiters, inflight := sl.pendingData[req.sector]; inflight {
+		sl.pendingData[req.sector] = append(waiters, miss)
+	} else {
+		sl.pendingData[req.sector] = []*l2Miss{miss}
+		sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramDataRead, slice: sl.id, sector: req.sector})
+	}
+	if s.cfg.Mode == ModeCarveOut {
+		s.fetchTagIfMissing(miss)
+	}
+}
+
+// fetchTagIfMissing performs the parallel lock-tag lookup of §5.1: the
+// probe is routed over the crossbar to the tag sector's own home slice,
+// where tag sectors are cached in that slice's L2. On a miss it merges
+// into any in-flight tag fetch or issues a DRAM tag read (linked to the
+// data miss for loads so the response waits for both).
+func (s *Sim) fetchTagIfMissing(miss *l2Miss) {
+	miss.tagSector = s.tagSectorOf(miss.sector)
+	tsl := s.sliceOf(miss.tagSector)
+	if tsl.l2.lookup(miss.tagSector, false) {
+		s.stats.TagL2Hits++
+		return
+	}
+	s.stats.TagL2Misses++
+	miss.needTag = true
+	if waiters, inflight := tsl.pendingTag[miss.tagSector]; inflight {
+		tsl.pendingTag[miss.tagSector] = append(waiters, miss)
+		return
+	}
+	tsl.pendingTag[miss.tagSector] = []*l2Miss{miss}
+	tsl.dramQueue = append(tsl.dramQueue, dramReq{kind: dramTagRead, slice: tsl.id, sector: miss.tagSector})
+}
+
+func (s *Sim) dataArrived(slice int, sector uint64) {
+	sl := s.slices[slice]
+	waiters := sl.pendingData[sector]
+	delete(sl.pendingData, sector)
+	if sl.l2.insert(sector, false) {
+		sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramWrite, slice: slice})
+	}
+	for _, m := range waiters {
+		m.dataArrived = true
+		s.maybeCompleteMiss(m)
+	}
+}
+
+func (s *Sim) tagArrived(slice int, tagSector uint64) {
+	sl := s.slices[slice]
+	waiters := sl.pendingTag[tagSector]
+	delete(sl.pendingTag, tagSector)
+	if sl.l2.insert(tagSector, false) {
+		sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramWrite, slice: slice})
+	}
+	for _, m := range waiters {
+		m.tagArrived = true
+		s.maybeCompleteMiss(m)
+	}
+}
+
+func (s *Sim) maybeCompleteMiss(miss *l2Miss) {
+	if miss.store {
+		return // store misses already write-allocated; the tag fill is enough
+	}
+	if !miss.dataArrived || (miss.needTag && !miss.tagArrived) {
+		return
+	}
+	if miss.atomic {
+		// The L2 performs the RMW: dirty the freshly filled line and
+		// return the old value to the SM without filling the L1.
+		s.slices[miss.slice].l2.lookup(miss.sector, true)
+		heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.L1Latency), kind: evAtomicDone, op: miss.op})
+		return
+	}
+	heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.L1Latency), kind: evL1Fill, sm: miss.sm, sector: miss.sector})
+}
+
+// opSectorDone retires one completed sector of a non-L1 (atomic) op.
+func (s *Sim) opSectorDone(op *opState) {
+	op.pending--
+	if op.pending == 0 {
+		op.sm.outstanding--
+	}
+}
+
+func (s *Sim) l1Fill(smID int, sector uint64) {
+	sm := s.sms[smID]
+	sm.l1.insert(sector, false) // write-through L1: evictions are silent
+	entry, ok := sm.mshr[sector]
+	if !ok {
+		return
+	}
+	delete(sm.mshr, sector)
+	sm.mshrCount--
+	for _, op := range entry.waiters {
+		op.pending--
+		if op.pending == 0 {
+			op.sm.outstanding--
+		}
+	}
+}
+
+func (s *Sim) finished() bool {
+	if len(s.events) > 0 {
+		return false
+	}
+	for _, sl := range s.slices {
+		if len(sl.queue) > 0 || len(sl.dramQueue) > 0 {
+			return false
+		}
+	}
+	for _, sm := range s.sms {
+		if !sm.done || sm.blocked != nil || sm.outstanding > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fastForward jumps to the next time anything can happen: the earliest
+// event, DRAM channel free time, or SM ready time.
+func (s *Sim) fastForward() {
+	next := s.now + 1
+	best := ^uint64(0)
+	if len(s.events) > 0 && s.events[0].cycle > s.now {
+		best = s.events[0].cycle
+	}
+	for _, sl := range s.slices {
+		if len(sl.dramQueue) > 0 && sl.busyUntil > s.now && sl.busyUntil < best {
+			best = sl.busyUntil
+		}
+	}
+	for _, sm := range s.sms {
+		if !sm.done && sm.outstanding < s.cfg.MaxOutstandingOps && sm.blocked == nil &&
+			sm.nextReady > s.now && sm.nextReady < best {
+			best = sm.nextReady
+		}
+	}
+	if best != ^uint64(0) && best > next {
+		next = best
+	}
+	s.now = next
+}

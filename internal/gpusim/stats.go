@@ -1,0 +1,75 @@
+package gpusim
+
+import "fmt"
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	Cycles uint64
+
+	WarpOps, Loads, Stores, Atomics uint64
+
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+
+	// DRAM sector transfers by cause.
+	DRAMDataReads uint64
+	DRAMTagReads  uint64
+	DRAMWrites    uint64
+
+	TagL2Hits, TagL2Misses uint64
+}
+
+// ReadBloat is the fraction of extra DRAM read traffic caused by tag
+// fetches: tag reads / data reads (Figure 8c's "% Read Bloat").
+func (s Stats) ReadBloat() float64 {
+	if s.DRAMDataReads == 0 {
+		return 0
+	}
+	return float64(s.DRAMTagReads) / float64(s.DRAMDataReads)
+}
+
+// DRAMBytes is the total DRAM traffic in bytes.
+func (s Stats) DRAMBytes() uint64 {
+	return 32 * (s.DRAMDataReads + s.DRAMTagReads + s.DRAMWrites)
+}
+
+// BandwidthUtilization is achieved DRAM bandwidth relative to the
+// configured peak (0..1); the x-coordinate of the Figure 8c analysis.
+func (s Stats) BandwidthUtilization(cfg Config) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	peakBytesPerCycle := float64(cfg.NumSlices) * 32 / float64(cfg.DRAMCyclesPerSector)
+	return float64(s.DRAMBytes()) / float64(s.Cycles) / peakBytesPerCycle
+}
+
+// L1HitRate and L2HitRate are convenience accessors.
+func (s Stats) L1HitRate() float64 {
+	if t := s.L1Hits + s.L1Misses; t > 0 {
+		return float64(s.L1Hits) / float64(t)
+	}
+	return 0
+}
+
+// L2HitRate returns the L2 data hit rate.
+func (s Stats) L2HitRate() float64 {
+	if t := s.L2Hits + s.L2Misses; t > 0 {
+		return float64(s.L2Hits) / float64(t)
+	}
+	return 0
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d ops=%d L1=%.1f%% L2=%.1f%% dram(data=%d tag=%d wr=%d) bloat=%.1f%%",
+		s.Cycles, s.WarpOps, 100*s.L1HitRate(), 100*s.L2HitRate(),
+		s.DRAMDataReads, s.DRAMTagReads, s.DRAMWrites, 100*s.ReadBloat())
+}
+
+// Slowdown compares two runs of the same workload: how much slower
+// `tagged` is than `baseline`, as a fraction (0.05 = 5% slower).
+func Slowdown(baseline, tagged Stats) float64 {
+	if baseline.Cycles == 0 {
+		return 0
+	}
+	return float64(tagged.Cycles)/float64(baseline.Cycles) - 1
+}

@@ -1,0 +1,93 @@
+package gpusim
+
+// WarpOp is one warp-wide memory instruction after address generation:
+// the per-thread addresses it touches, whether it stores, and the compute
+// cycles separating it from the next memory instruction (the workload's
+// arithmetic intensity).
+type WarpOp struct {
+	Store bool
+	// Atomic marks a near-memory read-modify-write serviced at the L2
+	// (atomicAdd and friends); mutually exclusive with Store.
+	Atomic bool
+	// Addrs are the byte addresses the 32 threads access (duplicates and
+	// fewer-than-32 entries allowed; the coalescer reduces them to
+	// distinct sectors). Bits [TagShift, 64) optionally carry the
+	// per-thread key tag: §4.2 requires the coalescer to split apart
+	// neighboring addresses whose key tags differ, and the simulator
+	// honors that by coalescing on (tag, sector) pairs.
+	Addrs []uint64
+	// Compute is the issue gap to the next op in cycles.
+	Compute int
+}
+
+// TagShift is the bit position where WarpOp addresses carry key tags
+// (mirroring the 49-bit VA of imt.Config; tags above, address below).
+const TagShift = 49
+
+// Trace yields a stream of warp ops for one SM.
+type Trace interface {
+	// Next returns the next op; ok=false when the stream is exhausted.
+	Next() (op WarpOp, ok bool)
+}
+
+// SliceTrace adapts a materialized op list to the Trace interface.
+type SliceTrace struct {
+	Ops []WarpOp
+	pos int
+}
+
+// Next implements Trace.
+func (s *SliceTrace) Next() (WarpOp, bool) {
+	if s.pos >= len(s.Ops) {
+		return WarpOp{}, false
+	}
+	op := s.Ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+// FuncTrace adapts a generator function yielding n ops.
+type FuncTrace struct {
+	N   int
+	Gen func(i int) WarpOp
+	pos int
+}
+
+// Next implements Trace.
+func (f *FuncTrace) Next() (WarpOp, bool) {
+	if f.pos >= f.N {
+		return WarpOp{}, false
+	}
+	op := f.Gen(f.pos)
+	f.pos++
+	return op, true
+}
+
+// coalesce reduces per-thread addresses to the distinct (key tag,
+// sector) pairs they touch, preserving first-touch order. This is the
+// §4.2 coalescer: the upper VA bits are extracted BEFORE coalescing so
+// that neighboring addresses with differing key tags are never merged
+// into one request — two threads touching the same 32B sector under
+// different tags produce two sector requests (each needing its own tag
+// check downstream). The returned values keep the tag in the high bits;
+// the memory system's sector identity is the full tagged value, which
+// also means differently-tagged aliases occupy distinct cache entries,
+// a conservative model of the per-request tag plumbing.
+func coalesce(addrs []uint64, sectorSize int, out []uint64) []uint64 {
+	out = out[:0]
+	for _, a := range addrs {
+		tag := a >> TagShift << TagShift
+		s := tag | (a&(1<<TagShift-1))/uint64(sectorSize)
+		dup := false
+		for _, prev := range out {
+			if prev == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}

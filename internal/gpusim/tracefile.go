@@ -1,0 +1,141 @@
+package gpusim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace files let a workload's warp-op stream be recorded once and
+// replayed deterministically — the "trace-driven" half of a trace-driven
+// simulator. The format is a compact varint stream:
+//
+//	magic "IMTTRC1\n"
+//	numSMs  uvarint
+//	per SM: numOps uvarint, then per op:
+//	  flags   byte (bit0 store, bit1 atomic)
+//	  compute uvarint
+//	  nAddrs  uvarint
+//	  addrs   uvarint each (raw; generators emit small, local values)
+const traceMagic = "IMTTRC1\n"
+
+// WriteTraces drains the given traces and writes them to w. The traces
+// are consumed in the process (Trace is a one-shot stream).
+func WriteTraces(w io.Writer, traces []Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(traces))); err != nil {
+		return err
+	}
+	for _, tr := range traces {
+		var ops []WarpOp
+		if tr != nil {
+			for {
+				op, ok := tr.Next()
+				if !ok {
+					break
+				}
+				ops = append(ops, op)
+			}
+		}
+		if err := putUvarint(uint64(len(ops))); err != nil {
+			return err
+		}
+		for _, op := range ops {
+			var flags byte
+			if op.Store {
+				flags |= 1
+			}
+			if op.Atomic {
+				flags |= 2
+			}
+			if err := bw.WriteByte(flags); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(op.Compute)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(len(op.Addrs))); err != nil {
+				return err
+			}
+			for _, a := range op.Addrs {
+				if err := putUvarint(a); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraces loads a trace file into replayable per-SM traces.
+func ReadTraces(r io.Reader) ([]Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("gpusim: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("gpusim: not a trace file (magic %q)", magic)
+	}
+	numSMs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if numSMs > 1<<16 {
+		return nil, fmt.Errorf("gpusim: implausible SM count %d", numSMs)
+	}
+	out := make([]Trace, numSMs)
+	for sm := range out {
+		numOps, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("gpusim: SM %d op count: %w", sm, err)
+		}
+		if numOps > 1<<28 {
+			return nil, fmt.Errorf("gpusim: implausible op count %d", numOps)
+		}
+		ops := make([]WarpOp, numOps)
+		for i := range ops {
+			flags, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("gpusim: SM %d op %d flags: %w", sm, i, err)
+			}
+			compute, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			nAddrs, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if nAddrs > 1024 {
+				return nil, fmt.Errorf("gpusim: implausible address count %d", nAddrs)
+			}
+			op := WarpOp{
+				Store:   flags&1 != 0,
+				Atomic:  flags&2 != 0,
+				Compute: int(compute),
+				Addrs:   make([]uint64, nAddrs),
+			}
+			for j := range op.Addrs {
+				a, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				op.Addrs[j] = a
+			}
+			ops[i] = op
+		}
+		out[sm] = &SliceTrace{Ops: ops}
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+// Package hwcost estimates encoder/decoder hardware costs from parity-
+// check matrices, reproducing the paper's Table 3 methodology in model
+// form: the paper synthesized Verilog with a 16nm standard-cell library;
+// we count the gates the matrices imply — XOR trees for syndrome
+// generation, a column-match array for correction, and the extra
+// even-parity TMM detector for AFT-ECC — and convert them to
+// AND2-equivalent area and gate-level delay with a 16nm-class calibration.
+//
+// The reproduction target is Table 3's structural claims: AFT-ECC adds a
+// few percent of area (<200 AND2-equivalents per encoder, <400 per
+// decoder in the paper) and zero delay, because the weight-2 staircase tag
+// columns add at most two ones per row and therefore never deepen the XOR
+// trees.
+package hwcost
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+)
+
+// Calibration converts gate counts to area/delay. Defaults approximate a
+// 16nm standard-cell library in the units the paper reports.
+type Calibration struct {
+	// XOR2Area etc. are AND2-equivalent areas per gate.
+	XOR2Area, AND2Area, OR2Area, INVArea float64
+	// LevelDelayNs is the delay of one 2-input gate level.
+	LevelDelayNs float64
+	// MatchSharing models synthesis-time logic sharing across the
+	// column-match AND array (common subterms between columns): the
+	// effective per-column cost is scaled by this factor.
+	MatchSharing float64
+}
+
+// Default16nm is the calibration used throughout the repository.
+func Default16nm() Calibration {
+	return Calibration{
+		XOR2Area:     2.0,
+		AND2Area:     1.0,
+		OR2Area:      1.0,
+		INVArea:      0.5,
+		LevelDelayNs: 0.016,
+		MatchSharing: 0.75,
+	}
+}
+
+// Gates is a raw gate inventory.
+type Gates struct {
+	XOR2, AND2, OR2, INV int
+	// Depth is the critical path length in 2-input gate levels.
+	Depth int
+}
+
+// Add accumulates another inventory, taking the max depth.
+func (g Gates) Add(o Gates) Gates {
+	d := g.Depth
+	if o.Depth > d {
+		d = o.Depth
+	}
+	return Gates{
+		XOR2: g.XOR2 + o.XOR2, AND2: g.AND2 + o.AND2,
+		OR2: g.OR2 + o.OR2, INV: g.INV + o.INV, Depth: d,
+	}
+}
+
+// Estimate is a calibrated cost.
+type Estimate struct {
+	Unit     string
+	Gates    Gates
+	AreaAND2 float64
+	DelayNs  float64
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s: area %.0f AND2-eq, delay %.2f ns (xor2=%d and2=%d or2=%d inv=%d depth=%d)",
+		e.Unit, e.AreaAND2, e.DelayNs, e.Gates.XOR2, e.Gates.AND2, e.Gates.OR2, e.Gates.INV, e.Gates.Depth)
+}
+
+func (c Calibration) estimate(unit string, g Gates) Estimate {
+	area := float64(g.XOR2)*c.XOR2Area + float64(g.AND2)*c.AND2Area +
+		float64(g.OR2)*c.OR2Area + float64(g.INV)*c.INVArea
+	return Estimate{
+		Unit:     unit,
+		Gates:    g,
+		AreaAND2: math.Round(area),
+		DelayNs:  math.Round(float64(g.Depth)*c.LevelDelayNs*100) / 100,
+	}
+}
+
+func treeDepth(fanin int) int {
+	if fanin <= 1 {
+		return 0
+	}
+	return bits.Len(uint(fanin - 1))
+}
+
+// encoderGates counts the XOR trees generating R check bits from the
+// given H-row fanins (number of ones per row over the encoded columns).
+func encoderGates(rowFanin []int) Gates {
+	var g Gates
+	for _, f := range rowFanin {
+		if f > 1 {
+			g.XOR2 += f - 1
+		}
+		if d := treeDepth(f); d > g.Depth {
+			g.Depth = d
+		}
+	}
+	return g
+}
+
+// decoderExtraGates counts the correction-side logic beyond the syndrome
+// trees: the column-match AND array (with input inverters for the zero
+// bits), the per-data-bit correction XORs, the syndrome-nonzero OR tree,
+// and the match-combining OR tree plus flag formation. outputFormation
+// adds the fixed mux/flag levels on the critical path.
+const outputFormationLevels = 3
+
+func decoderMatchGates(cols []uint64, r, dataBits int, sharing float64) Gates {
+	var g Gates
+	perColumnAND := r - 1
+	totalAND := float64(len(cols)*perColumnAND) * sharing
+	g.AND2 = int(totalAND)
+	for _, c := range cols {
+		g.INV += r - bits.OnesCount64(c)
+	}
+	g.XOR2 += dataBits // correction XOR per data bit
+	g.OR2 += r - 1     // syndrome-nonzero detect
+	if len(cols) > 1 {
+		g.OR2 += len(cols) - 1 // any-match OR tree
+	}
+	g.AND2 += 2 // DUE = nonzero ∧ ¬match, plus flag gating
+	g.Depth = treeDepth(r) + 1 + outputFormationLevels
+	return g
+}
+
+// EncoderECC estimates a plain SEC-DED/SEC encoder for the code.
+func EncoderECC(c *ecc.Code, cal Calibration) Estimate {
+	fanins := rowFanins(c.DataMatrix())
+	return cal.estimate(fmt.Sprintf("%s encoder", c.Name()), encoderGates(fanins))
+}
+
+// DecoderECC estimates a plain decoder: syndrome regeneration (data trees
+// plus the received check bit per row) and the match/correct array.
+func DecoderECC(c *ecc.Code, cal Calibration) Estimate {
+	fanins := rowFanins(c.DataMatrix())
+	for i := range fanins {
+		fanins[i]++ // received check bit folded into each syndrome row
+	}
+	g := encoderGates(fanins)
+	cols := allColumns(c)
+	m := decoderMatchGates(cols, c.R(), c.K(), cal.MatchSharing)
+	m.Depth += g.Depth
+	return cal.estimate(fmt.Sprintf("%s decoder", c.Name()), Gates{
+		XOR2: g.XOR2 + m.XOR2, AND2: m.AND2, OR2: m.OR2, INV: m.INV, Depth: m.Depth,
+	})
+}
+
+// EncoderAFT estimates the AFT-ECC encoder: the data trees widened by the
+// tag-column ones (≤ 2 per row for the staircase, so depth is unchanged
+// whenever any row already has ≥ 3 inputs).
+func EncoderAFT(c *core.Code, cal Calibration) Estimate {
+	fanins := rowFanins(c.DataMatrix())
+	addRowFanins(fanins, c.TagMatrix())
+	return cal.estimate(fmt.Sprintf("%v encoder", c), encoderGates(fanins))
+}
+
+// DecoderAFT estimates the AFT-ECC decoder: the widened syndrome trees
+// (data + received check bit + key-tag columns), the same match array,
+// and the TMM detector. For a maximum-length staircase tag the column
+// space of T is exactly the even-weight subspace, so TMM detection is a
+// single even-parity tree over the syndrome plus flag gating — this is
+// why the paper's decoder adds no delay.
+func DecoderAFT(c *core.Code, cal Calibration) Estimate {
+	fanins := rowFanins(c.DataMatrix())
+	addRowFanins(fanins, c.TagMatrix())
+	for i := range fanins {
+		fanins[i]++ // received check bit
+	}
+	g := encoderGates(fanins)
+	cols := make([]uint64, c.PhysicalBits())
+	for i := range cols {
+		cols[i] = c.Column(c.TS() + i)
+	}
+	m := decoderMatchGates(cols, c.R(), c.K(), cal.MatchSharing)
+	m.Depth += g.Depth
+	// TMM detector: syndrome parity tree + TMM = even ∧ nonzero ∧ ¬match.
+	tmm := Gates{XOR2: c.R() - 1, AND2: 2}
+	return cal.estimate(fmt.Sprintf("%v decoder", c), Gates{
+		XOR2:  g.XOR2 + m.XOR2 + tmm.XOR2,
+		AND2:  m.AND2 + tmm.AND2,
+		OR2:   m.OR2,
+		INV:   m.INV,
+		Depth: m.Depth,
+	})
+}
+
+// EncoderTagged estimates an encoder for arbitrary data and tag
+// submatrices — used by the ablation benchmarks to compare the Equation 6
+// staircase against heavier alias-free tag constructions.
+func EncoderTagged(name string, data, tag *gf2.Matrix, cal Calibration) Estimate {
+	fanins := rowFanins(data)
+	addRowFanins(fanins, tag)
+	return cal.estimate(name, encoderGates(fanins))
+}
+
+func rowFanins(m *gf2.Matrix) []int {
+	return m.RowWeights()
+}
+
+func addRowFanins(fanins []int, m *gf2.Matrix) {
+	for i, w := range m.RowWeights() {
+		fanins[i] += w
+	}
+}
+
+func allColumns(c *ecc.Code) []uint64 {
+	cols := make([]uint64, c.N())
+	for i := range cols {
+		cols[i] = c.Column(i)
+	}
+	return cols
+}
+
+// Table3Row compares the SEC-DED baseline against AFT-ECC for one unit.
+type Table3Row struct {
+	Unit             string
+	Baseline, Tagged Estimate
+	AreaOverheadPct  float64
+	DelayOverheadNs  float64
+}
+
+// Table3 produces the four comparisons of the paper's Table 3 for a data
+// size and the two GPU redundancies (encoders and decoders at R=10 and
+// R=16, SEC-DED vs AFT-ECC with the maximum tag).
+func Table3(k int, cal Calibration) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, r := range []int{10, 16} {
+		base, err := ecc.NewHsiao(k, r)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := core.MaxTagSize(k, r)
+		if err != nil {
+			return nil, err
+		}
+		aft, err := core.NewCode(k, r, ts, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		encB, encA := EncoderECC(base, cal), EncoderAFT(aft, cal)
+		decB, decA := DecoderECC(base, cal), DecoderAFT(aft, cal)
+		rows = append(rows,
+			newRow(fmt.Sprintf("encoder (%db)", r), encB, encA),
+			newRow(fmt.Sprintf("decoder (%db)", r), decB, decA),
+		)
+	}
+	return rows, nil
+}
+
+func newRow(unit string, base, tagged Estimate) Table3Row {
+	return Table3Row{
+		Unit:            unit,
+		Baseline:        base,
+		Tagged:          tagged,
+		AreaOverheadPct: 100 * (tagged.AreaAND2 - base.AreaAND2) / base.AreaAND2,
+		DelayOverheadNs: tagged.DelayNs - base.DelayNs,
+	}
+}

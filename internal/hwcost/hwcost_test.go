@@ -1,0 +1,143 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+)
+
+func codes(t *testing.T, k, r, ts int) (*ecc.Code, *core.Code) {
+	t.Helper()
+	base, err := ecc.NewHsiao(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aft, err := core.NewCode(k, r, ts, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, aft
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(256, Default16nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		// Table 3's structural claims: modest area overhead, zero delay.
+		if row.AreaOverheadPct <= 0 {
+			t.Errorf("%s: AFT should cost some extra area, got %+.2f%%", row.Unit, row.AreaOverheadPct)
+		}
+		if row.AreaOverheadPct > 12 {
+			t.Errorf("%s: area overhead %.2f%% exceeds the ~10%% regime of Table 3", row.Unit, row.AreaOverheadPct)
+		}
+		if row.DelayOverheadNs != 0 {
+			t.Errorf("%s: AFT must add no delay, got %+.3f ns", row.Unit, row.DelayOverheadNs)
+		}
+		added := row.Tagged.AreaAND2 - row.Baseline.AreaAND2
+		limit := 200.0
+		if strings.Contains(row.Unit, "decoder") {
+			limit = 400
+		}
+		if added > limit {
+			t.Errorf("%s: added area %.0f exceeds the paper's <%g AND2 bound", row.Unit, added, limit)
+		}
+	}
+}
+
+func TestAbsoluteNumbersInPaperRegime(t *testing.T) {
+	// The paper's absolute Table 3 values (AND2-equivalents): encoders
+	// 1483–2559, decoders 4109–4967; delays 0.10–0.23 ns. Our model should
+	// land in the same order of magnitude.
+	cal := Default16nm()
+	base16, aft16 := codes(t, 256, 16, 15)
+	enc := EncoderECC(base16, cal)
+	if enc.AreaAND2 < 800 || enc.AreaAND2 > 3000 {
+		t.Errorf("16b encoder area %.0f out of regime", enc.AreaAND2)
+	}
+	if enc.DelayNs < 0.05 || enc.DelayNs > 0.2 {
+		t.Errorf("16b encoder delay %.2f out of regime", enc.DelayNs)
+	}
+	dec := DecoderAFT(aft16, cal)
+	if dec.AreaAND2 < 2500 || dec.AreaAND2 > 8000 {
+		t.Errorf("16b AFT decoder area %.0f out of regime", dec.AreaAND2)
+	}
+	if dec.DelayNs < 0.15 || dec.DelayNs > 0.35 {
+		t.Errorf("16b AFT decoder delay %.2f out of regime", dec.DelayNs)
+	}
+	// The 10b code's rows are heavier (weight-5 columns needed), so its
+	// encoder must cost more than the 16b one — the counterintuitive
+	// ordering visible in Table 3.
+	base10, _ := codes(t, 256, 10, 9)
+	enc10 := EncoderECC(base10, cal)
+	if enc10.AreaAND2 <= enc.AreaAND2 {
+		t.Errorf("10b encoder (%.0f) should out-cost 16b (%.0f)", enc10.AreaAND2, enc.AreaAND2)
+	}
+}
+
+func TestStaircaseAddsNoDepth(t *testing.T) {
+	cal := Default16nm()
+	base, aft := codes(t, 256, 16, 15)
+	if EncoderAFT(aft, cal).Gates.Depth != EncoderECC(base, cal).Gates.Depth {
+		t.Error("tag columns deepened the encoder XOR tree")
+	}
+	if DecoderAFT(aft, cal).Gates.Depth != DecoderECC(base, cal).Gates.Depth {
+		t.Error("tag columns deepened the decoder critical path")
+	}
+}
+
+func TestEncoderGateAccounting(t *testing.T) {
+	// A matrix with row fanins {3, 1, 0} needs (3-1)+(1-1)+0 = 2 XOR2 and
+	// depth ceil(log2 3) = 2.
+	g := encoderGates([]int{3, 1, 0})
+	if g.XOR2 != 2 {
+		t.Errorf("XOR2 = %d, want 2", g.XOR2)
+	}
+	if g.Depth != 2 {
+		t.Errorf("depth = %d, want 2", g.Depth)
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := []struct{ fanin, want int }{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {48, 6}, {64, 6}, {65, 7}, {106, 7}}
+	for _, c := range cases {
+		if got := treeDepth(c.fanin); got != c.want {
+			t.Errorf("treeDepth(%d) = %d, want %d", c.fanin, got, c.want)
+		}
+	}
+}
+
+func TestGatesAdd(t *testing.T) {
+	a := Gates{XOR2: 1, AND2: 2, OR2: 3, INV: 4, Depth: 5}
+	b := Gates{XOR2: 10, Depth: 2}
+	s := a.Add(b)
+	if s.XOR2 != 11 || s.AND2 != 2 || s.Depth != 5 {
+		t.Errorf("Add = %+v", s)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	cal := Default16nm()
+	base, _ := codes(t, 64, 8, 5)
+	if EncoderECC(base, cal).String() == "" {
+		t.Error("empty estimate string")
+	}
+}
+
+func TestCalibrationScalesArea(t *testing.T) {
+	base, _ := codes(t, 64, 8, 5)
+	cheap := Default16nm()
+	costly := cheap
+	costly.XOR2Area *= 2
+	a := EncoderECC(base, cheap).AreaAND2
+	b := EncoderECC(base, costly).AreaAND2
+	if b <= a {
+		t.Error("doubling XOR2 area should increase encoder cost")
+	}
+}

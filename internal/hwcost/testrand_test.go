@@ -1,0 +1,5 @@
+package hwcost
+
+import "math/rand"
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,189 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gf2"
+)
+
+func aft(t *testing.T, k, r, ts int) *core.Code {
+	t.Helper()
+	c, err := core.NewCode(k, r, ts, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEncoderVerilogStructure(t *testing.T) {
+	c := aft(t, 256, 16, 15)
+	v := EncoderVerilog(c)
+	if !strings.Contains(v, "module aft_ecc_encoder_k256_r16_ts15") {
+		t.Error("module name wrong")
+	}
+	if !strings.Contains(v, "input  wire [255:0] data") ||
+		!strings.Contains(v, "input  wire [14:0] lock_tag") ||
+		!strings.Contains(v, "output wire [15:0] check") {
+		t.Error("port list wrong")
+	}
+	// One reduction-XOR assign per check bit.
+	if n := strings.Count(v, "assign check["); n != 16 {
+		t.Errorf("check assigns = %d, want 16", n)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(v), "endmodule") {
+		t.Error("missing endmodule")
+	}
+	// The staircase means row 0's tag mask is exactly tag bit 0 (column 0
+	// touches rows 0 and 1): check[0] line must AND the tag with 15'h0001.
+	line0 := v[strings.Index(v, "assign check[0]"):]
+	line0 = line0[:strings.Index(line0, "\n")]
+	if !strings.Contains(line0, "15'h0001") {
+		t.Errorf("row 0 tag mask wrong: %s", line0)
+	}
+}
+
+func TestDecoderVerilogStructure(t *testing.T) {
+	c := aft(t, 256, 16, 15)
+	v := DecoderVerilog(c)
+	for _, want := range []string{
+		"module aft_ecc_decoder_k256_r16_ts15",
+		"output wire dce", "output wire due", "output wire tmm",
+		"wire in_tag_space = ~(^syndrome);",
+		"assign corrected = data ^ match_data;",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("decoder missing %q", want)
+		}
+	}
+	if n := strings.Count(v, "assign match_data["); n != 256 {
+		t.Errorf("data match assigns = %d, want 256", n)
+	}
+	if n := strings.Count(v, "assign match_check["); n != 16 {
+		t.Errorf("check match assigns = %d, want 16", n)
+	}
+	if n := strings.Count(v, "assign syndrome["); n != 16 {
+		t.Errorf("syndrome assigns = %d, want 16", n)
+	}
+}
+
+func TestDecoderVerilogShortenedTag(t *testing.T) {
+	c := aft(t, 256, 16, 9)
+	v := DecoderVerilog(c)
+	// Shortened tag: membership adds the upper-rows-zero term.
+	if !strings.Contains(v, "~(^syndrome[9:0]) & ~(|syndrome[15:10])") {
+		t.Errorf("shortened-tag membership logic missing:\n%s", v[:600])
+	}
+}
+
+func TestMaskLiteral(t *testing.T) {
+	if got := maskLiteral(15, []uint64{0x0001}); got != "15'h0001" {
+		t.Errorf("maskLiteral = %q", got)
+	}
+	if got := maskLiteral(16, []uint64{0x8001}); got != "16'h8001" {
+		t.Errorf("maskLiteral = %q", got)
+	}
+	// 68-bit mask spanning two words.
+	if got := maskLiteral(68, []uint64{1, 0xF}); got != "68'hf0000000000000001" {
+		t.Errorf("maskLiteral = %q", got)
+	}
+	m := gf2.FromColumns(4, []uint64{0b1010})
+	if got := verilogMaskFromMatrixCol(m, 0); got != "4'ha" {
+		t.Errorf("column mask = %q", got)
+	}
+}
+
+// TestVerilogSemanticsAgainstSoftwareDecoder interprets the generated
+// assigns on random inputs and cross-checks every flag against the Go
+// decoder — a software "simulation" of the RTL.
+func TestVerilogSemanticsAgainstSoftwareDecoder(t *testing.T) {
+	c := aft(t, 64, 8, 5)
+	dataMasks, tagMasks := rowMasks(c)
+	evalSyndrome := func(data *gf2.BitVec, check uint64, key uint64) uint64 {
+		var s uint64
+		words := data.Words()
+		for row := 0; row < c.R(); row++ {
+			var bit uint64
+			for w, m := range dataMasks[row] {
+				bit ^= parity64(words[w] & m)
+			}
+			bit ^= check >> uint(row) & 1
+			for _, m := range tagMasks[row] {
+				bit ^= parity64(key & m)
+			}
+			s |= (bit & 1) << uint(row)
+		}
+		return s
+	}
+	rng := newTestRand(7)
+	for trial := 0; trial < 400; trial++ {
+		data := gf2.NewBitVec(64)
+		for i := 0; i < 64; i++ {
+			data.Set(i, rng.Intn(2))
+		}
+		lock := uint64(rng.Intn(32))
+		key := uint64(rng.Intn(32))
+		check := c.Encode(data, lock)
+		rx := data.Clone()
+		rxCheck := check
+		for e := rng.Intn(3); e > 0; e-- {
+			b := rng.Intn(c.PhysicalBits())
+			if b < c.K() {
+				rx.Flip(b)
+			} else {
+				rxCheck ^= 1 << uint(b-c.K())
+			}
+		}
+		// "RTL" path.
+		s := evalSyndrome(rx, rxCheck, key)
+		// Go decoder path.
+		res := c.DecodeSyndrome(s, key)
+		if s != c.Decode(rx.Clone(), rxCheck, key).Syndrome && s != 0 {
+			t.Fatalf("trial %d: RTL syndrome %#x diverges from decoder", trial, s)
+		}
+		// Flag semantics: recompute the RTL flags and compare classes.
+		anyMatch := false
+		for i := 0; i < c.PhysicalBits(); i++ {
+			col := c.Column(c.TS() + i)
+			if s == col {
+				anyMatch = true
+			}
+		}
+		nonzero := s != 0
+		inTag := false
+		if nonzero && !anyMatch {
+			low := s & (1<<uint(c.TS()+1) - 1)
+			high := s >> uint(c.TS()+1)
+			inTag = parity64(low) == 0 && high == 0
+		}
+		switch {
+		case !nonzero:
+			if res.Status != core.StatusOK {
+				t.Fatalf("trial %d: flag OK vs %v", trial, res.Status)
+			}
+		case anyMatch:
+			if res.Status != core.StatusCorrected {
+				t.Fatalf("trial %d: flag DCE vs %v", trial, res.Status)
+			}
+		case inTag:
+			if res.Status != core.StatusTMM {
+				t.Fatalf("trial %d: flag TMM vs %v (s=%#x)", trial, res.Status, s)
+			}
+		default:
+			if res.Status != core.StatusDUE {
+				t.Fatalf("trial %d: flag DUE vs %v (s=%#x)", trial, res.Status, s)
+			}
+		}
+	}
+}
+
+func parity64(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}

@@ -1,0 +1,95 @@
+package imt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AtomicOp identifies a near-memory atomic operation. GPUs service these
+// in the L2 cache; §4.2 notes the atomic datapath sits between an ECC
+// decoder and encoder, so IMT must route the key tag to both — meaning
+// every atomic is tag-checked exactly like a load, and the result is
+// re-encoded under the same tag.
+type AtomicOp int
+
+const (
+	// AtomicAdd: fetch-and-add on a 32-bit word.
+	AtomicAdd AtomicOp = iota
+	// AtomicExch: atomic exchange of a 32-bit word.
+	AtomicExch
+	// AtomicCAS: compare-and-swap on a 32-bit word.
+	AtomicCAS
+	// AtomicMax: fetch-and-max (unsigned) on a 32-bit word.
+	AtomicMax
+)
+
+func (op AtomicOp) String() string {
+	switch op {
+	case AtomicAdd:
+		return "atomicAdd"
+	case AtomicExch:
+		return "atomicExch"
+	case AtomicCAS:
+		return "atomicCAS"
+	case AtomicMax:
+		return "atomicMax"
+	default:
+		return fmt.Sprintf("AtomicOp(%d)", int(op))
+	}
+}
+
+// Atomic performs a near-memory atomic on the 4-byte word at p (which
+// must be 4-byte aligned and lie within one sector). The full sector is
+// decoded with p's key tag — so a mismatched atomic faults before any
+// modification — the operation is applied, and the sector is re-encoded
+// under the same key tag. It returns the word's previous value.
+//
+// The compare argument is used only by AtomicCAS.
+func (m *Memory) Atomic(p Pointer, op AtomicOp, val uint32, compare uint32) (old uint32, err error) {
+	addr := m.cfg.Addr(p)
+	if addr%4 != 0 {
+		return 0, fmt.Errorf("imt: atomic at %#x not 4-byte aligned", addr)
+	}
+	g := uint64(m.cfg.GranuleBytes)
+	off := addr % g
+	base := m.cfg.MakePointer(addr-off, m.cfg.KeyTag(p))
+
+	// Serialize against other composite RMW operations: near-memory
+	// atomics are serviced one at a time per L2 slice.
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+
+	// Decode + tag check (the decoder in front of the atomic datapath).
+	sectorData, err := m.ReadSector(base)
+	if err != nil {
+		return 0, err
+	}
+	word := sectorData[off : off+4]
+	old = binary.LittleEndian.Uint32(word)
+	newVal := old
+	switch op {
+	case AtomicAdd:
+		newVal = old + val
+	case AtomicExch:
+		newVal = val
+	case AtomicCAS:
+		if old == compare {
+			newVal = val
+		}
+	case AtomicMax:
+		if val > old {
+			newVal = val
+		}
+	default:
+		return 0, fmt.Errorf("imt: unknown atomic op %v", op)
+	}
+	if newVal == old {
+		return old, nil
+	}
+	binary.LittleEndian.PutUint32(word, newVal)
+	// Re-encode under the same key tag (the encoder behind the datapath).
+	if err := m.WriteSector(base, sectorData); err != nil {
+		return 0, err
+	}
+	return old, nil
+}

@@ -1,0 +1,136 @@
+package imt
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAtomicAddExchCASMax(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	if err := m.Retag(0xA000, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.MakePointer(0xA004, 0x77)
+
+	old, err := m.Atomic(p, AtomicAdd, 5, 0)
+	if err != nil || old != 0 {
+		t.Fatalf("add: old=%d err=%v", old, err)
+	}
+	old, err = m.Atomic(p, AtomicAdd, 3, 0)
+	if err != nil || old != 5 {
+		t.Fatalf("add2: old=%d err=%v", old, err)
+	}
+	old, err = m.Atomic(p, AtomicExch, 100, 0)
+	if err != nil || old != 8 {
+		t.Fatalf("exch: old=%d err=%v", old, err)
+	}
+	// Failed CAS leaves the value alone.
+	old, err = m.Atomic(p, AtomicCAS, 7, 42)
+	if err != nil || old != 100 {
+		t.Fatalf("cas-fail: old=%d err=%v", old, err)
+	}
+	// Successful CAS swaps.
+	old, err = m.Atomic(p, AtomicCAS, 7, 100)
+	if err != nil || old != 100 {
+		t.Fatalf("cas-ok: old=%d err=%v", old, err)
+	}
+	old, err = m.Atomic(p, AtomicMax, 3, 0)
+	if err != nil || old != 7 {
+		t.Fatalf("max-noop: old=%d err=%v", old, err)
+	}
+	old, err = m.Atomic(p, AtomicMax, 99, 0)
+	if err != nil || old != 7 {
+		t.Fatalf("max: old=%d err=%v", old, err)
+	}
+	got, err := m.Read(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 99 {
+		t.Fatalf("final value = %d, want 99", got[0])
+	}
+}
+
+func TestAtomicTagCheck(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	if err := m.Retag(0xB000, 0x11); err != nil {
+		t.Fatal(err)
+	}
+	// §4.2: the key tag reaches the atomic datapath's decoder, so a
+	// mismatched atomic faults before modifying memory.
+	evil := cfg.MakePointer(0xB000, 0x22)
+	_, err := m.Atomic(evil, AtomicAdd, 1, 0)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultTMM {
+		t.Fatalf("mismatched atomic: err = %v, want TMM", err)
+	}
+	// Memory unchanged: the rightful owner reads 0.
+	owner := cfg.MakePointer(0xB000, 0x11)
+	got, err := m.Read(owner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("mismatched atomic modified memory")
+		}
+	}
+}
+
+func TestAtomicAlignment(t *testing.T) {
+	m := newMem(t, IMT10)
+	p := m.Config().MakePointer(0xC001, 0)
+	if _, err := m.Atomic(p, AtomicAdd, 1, 0); err == nil {
+		t.Error("unaligned atomic must fail")
+	}
+	if _, err := m.Atomic(m.Config().MakePointer(0xC000, 0), AtomicOp(99), 1, 0); err == nil {
+		t.Error("unknown op must fail")
+	}
+}
+
+func TestAtomicOpString(t *testing.T) {
+	for op, want := range map[AtomicOp]string{
+		AtomicAdd: "atomicAdd", AtomicExch: "atomicExch", AtomicCAS: "atomicCAS", AtomicMax: "atomicMax",
+	} {
+		if op.String() != want {
+			t.Errorf("%d = %q", int(op), op.String())
+		}
+	}
+}
+
+func TestAtomicConcurrentCounters(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	if err := m.Retag(0xD000, 0x3C); err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.MakePointer(0xD000, 0x3C)
+	const workers, perWorker = 8, 200
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < perWorker; i++ {
+				if _, err := m.Atomic(p, AtomicAdd, 1, 0); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Read(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint32(got[0]) | uint32(got[1])<<8 | uint32(got[2])<<16 | uint32(got[3])<<24
+	if total != workers*perWorker {
+		t.Fatalf("counter = %d, want %d (atomicity violated)", total, workers*perWorker)
+	}
+}

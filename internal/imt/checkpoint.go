@@ -1,0 +1,49 @@
+package imt
+
+// Checkpoint is a consistent snapshot of a tagged memory, enabling the
+// recovery path §3.6 describes: the fatal-TMM constraint can be relaxed
+// if the system has "some recovery action that also works for recovering
+// from data errors (e.g., rollback and restart from an error-free
+// checkpoint)" — because then a multi-bit DUE misattributed as a TMM is
+// repaired by the same rollback that handles real DUEs.
+type Checkpoint struct {
+	sectors                  map[uint64]sector
+	reads, writes, corrected uint64
+}
+
+// Snapshot captures the current memory contents (deep copy) along with
+// the access counters.
+func (m *Memory) Snapshot() *Checkpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := &Checkpoint{
+		sectors:   make(map[uint64]sector, len(m.sectors)),
+		reads:     m.Reads,
+		writes:    m.Writes,
+		corrected: m.Corrected,
+	}
+	for idx, s := range m.sectors {
+		cp.sectors[idx] = sector{data: append([]byte(nil), s.data...), check: s.check}
+	}
+	return cp
+}
+
+// Restore rolls the memory back to the checkpointed state, discarding
+// any corruption (and any attacker-induced writes) since the snapshot.
+// The fault log is preserved — diagnosis evidence must survive recovery.
+func (m *Memory) Restore(cp *Checkpoint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sectors = make(map[uint64]*sector, len(cp.sectors))
+	for idx, s := range cp.sectors {
+		m.sectors[idx] = &sector{data: append([]byte(nil), s.data...), check: s.check}
+	}
+	m.Reads, m.Writes, m.Corrected = cp.reads, cp.writes, cp.corrected
+}
+
+// SectorCount reports the number of materialized sectors (diagnostics).
+func (m *Memory) SectorCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sectors)
+}

@@ -1,0 +1,72 @@
+// Package imt implements Implicit Memory Tagging (Section 4 of the paper):
+// the system layer that applies Alias-Free Tagged ECC to a GPU-style
+// memory. It provides
+//
+//   - tagged 49-bit-VA pointers with the key tag in the unused upper bits,
+//   - a sectored (32B-codeword) tagged memory with AFT-ECC encode on write
+//     and decode+tag-check on read,
+//   - fault reporting with fatal-TMM semantics plus the §4.3 debug mode,
+//   - the driver-side diagnosis of §4.3: lock-tag extraction through the
+//     syndrome lookup table and the optional precise TMM/DUE/BOTH
+//     classification against a reference-tag allocation map (Equation 7).
+package imt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Config describes an IMT deployment point (§4.4).
+type Config struct {
+	Name string
+	// DataBits per ECC codeword; GPUs form one codeword per 32B sector.
+	DataBits int
+	// CheckBits of ECC redundancy per codeword.
+	CheckBits int
+	// TagBits embedded in the check bits (TS).
+	TagBits int
+	// GranuleBytes is the tagging granularity TG; it equals the codeword
+	// data size on GPUs (32B).
+	GranuleBytes int
+	// VABits is the virtual address width; the key tag lives above it.
+	VABits int
+}
+
+// The two GPU configurations evaluated in the paper (§4.4): IMT-16 uses
+// the full 2B-per-32B DRAM-provided redundancy; IMT-10 uses the minimum
+// SEC-DED redundancy.
+var (
+	IMT10 = Config{Name: "IMT-10", DataBits: 256, CheckBits: 10, TagBits: 9, GranuleBytes: 32, VABits: 49}
+	IMT16 = Config{Name: "IMT-16", DataBits: 256, CheckBits: 16, TagBits: 15, GranuleBytes: 32, VABits: 49}
+)
+
+// Validate checks internal consistency, including that the tag fits both
+// the ECC bound (Eq 5b) and the pointer's spare upper bits.
+func (c Config) Validate() error {
+	if c.DataBits != c.GranuleBytes*8 {
+		return fmt.Errorf("imt: %s: codeword data (%db) must cover the %dB granule", c.Name, c.DataBits, c.GranuleBytes)
+	}
+	maxTS, err := core.MaxTagSize(c.DataBits, c.CheckBits)
+	if err != nil {
+		return fmt.Errorf("imt: %s: %v", c.Name, err)
+	}
+	if c.TagBits > maxTS {
+		return fmt.Errorf("imt: %s: TS=%d exceeds alias-free bound %d", c.Name, c.TagBits, maxTS)
+	}
+	if c.TagBits < 1 {
+		return fmt.Errorf("imt: %s: TS=%d must be ≥ 1", c.Name, c.TagBits)
+	}
+	if spare := 64 - c.VABits; c.TagBits > spare {
+		return fmt.Errorf("imt: %s: TS=%d does not fit the %d unused pointer bits above a %db VA", c.Name, c.TagBits, spare, c.VABits)
+	}
+	return nil
+}
+
+// NewCode constructs the AFT-ECC code for this configuration.
+func (c Config) NewCode() (*core.Code, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return core.NewCode(c.DataBits, c.CheckBits, c.TagBits, core.Options{})
+}

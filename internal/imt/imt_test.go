@@ -1,0 +1,445 @@
+package imt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newMem(t *testing.T, cfg Config) *Memory {
+	t.Helper()
+	m, err := NewMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigsValidate(t *testing.T) {
+	for _, cfg := range []Config{IMT10, IMT16} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	bad := IMT10
+	bad.TagBits = 10 // exceeds Eq 5b bound for (256,10)
+	if err := bad.Validate(); err == nil {
+		t.Error("TagBits=R must be rejected")
+	}
+	bad = IMT16
+	bad.VABits = 57 // only 7 spare bits: a 15-bit tag cannot fit
+	if err := bad.Validate(); err == nil {
+		t.Error("15-bit tag must not fit a 57-bit VA")
+	}
+	bad = IMT10
+	bad.DataBits = 128
+	if err := bad.Validate(); err == nil {
+		t.Error("codeword/granule mismatch must be rejected")
+	}
+}
+
+func TestPointerPacking(t *testing.T) {
+	cfg := IMT16
+	p := cfg.MakePointer(0x1234_5678_9ABC, 0x7FFF)
+	if cfg.Addr(p) != 0x1234_5678_9ABC {
+		t.Errorf("Addr = %#x", cfg.Addr(p))
+	}
+	if cfg.KeyTag(p) != 0x7FFF {
+		t.Errorf("KeyTag = %#x", cfg.KeyTag(p))
+	}
+	q := cfg.WithOffset(p, 64)
+	if cfg.Addr(q) != 0x1234_5678_9ABC+64 || cfg.KeyTag(q) != 0x7FFF {
+		t.Error("WithOffset lost the address or tag")
+	}
+	q = cfg.WithOffset(p, -32)
+	if cfg.Addr(q) != 0x1234_5678_9ABC-32 {
+		t.Error("negative offset wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized tag should panic")
+			}
+		}()
+		cfg.MakePointer(0, 1<<15)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized address should panic")
+			}
+		}()
+		cfg.MakePointer(1<<49, 0)
+	}()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{IMT10, IMT16} {
+		m := newMem(t, cfg)
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 50; trial++ {
+			addr := uint64(rng.Intn(1<<20)) &^ 31
+			tag := rng.Uint64() & (1<<uint(cfg.TagBits) - 1)
+			p := cfg.MakePointer(addr, tag)
+			data := make([]byte, 32)
+			rng.Read(data)
+			if err := m.WriteSector(p, data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.ReadSector(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s: round-trip mismatch", cfg.Name)
+			}
+		}
+	}
+}
+
+func TestTagMismatchFaultsOnRead(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	p := cfg.MakePointer(0x1000, 0x00AA)
+	data := make([]byte, 32)
+	data[0] = 0xDE
+	if err := m.WriteSector(p, data); err != nil {
+		t.Fatal(err)
+	}
+	// Read with a wrong key tag: must fault with an exact lock estimate.
+	evil := cfg.MakePointer(0x1000, 0x0055)
+	_, err := m.ReadSector(evil)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("expected *Fault, got %v", err)
+	}
+	if f.Kind != FaultTMM {
+		t.Fatalf("kind = %v, want TMM", f.Kind)
+	}
+	if f.LockTagEstimate != 0x00AA {
+		t.Fatalf("lock estimate %#x, want 0xAA", f.LockTagEstimate)
+	}
+	if f.Addr != 0x1000 || f.KeyTag != 0x0055 {
+		t.Fatalf("fault fields: %+v", f)
+	}
+	if f.Error() == "" {
+		t.Error("empty fault message")
+	}
+}
+
+func TestSingleBitErrorCorrectedAndScrubbed(t *testing.T) {
+	m := newMem(t, IMT10)
+	cfg := m.Config()
+	p := cfg.MakePointer(0x2000, 0x1F)
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := m.WriteSector(p, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectError(0x2000, 77); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadSector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("single-bit error not corrected")
+	}
+	if m.Corrected != 1 {
+		t.Fatalf("Corrected = %d, want 1", m.Corrected)
+	}
+	// The scrub must have repaired the stored copy: a second read is clean.
+	if _, err := m.ReadSector(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Corrected != 1 {
+		t.Fatalf("scrub failed: Corrected = %d after second read", m.Corrected)
+	}
+	// Check-bit errors are corrected too.
+	if err := m.InjectError(0x2000, m.Code().K()+3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadSector(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Corrected != 2 {
+		t.Fatalf("check-bit correction failed: Corrected = %d", m.Corrected)
+	}
+}
+
+func TestMultiBitErrorIsFatal(t *testing.T) {
+	m := newMem(t, IMT10)
+	cfg := m.Config()
+	p := cfg.MakePointer(0x3000, 0x05)
+	if err := m.WriteSector(p, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	// Odd-weight multi-bit data errors surface as DUEs under Hsiao codes.
+	if err := m.InjectError(0x3000, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.ReadSector(p)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("expected fault, got %v", err)
+	}
+	if f.Kind == FaultTMM && f.LockTagEstimate == 0x05 {
+		t.Error("a 3-bit error must not quietly look like a clean tag match")
+	}
+}
+
+func TestDebugModeLogsInsteadOfFaulting(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	m.SetDebugMode(true)
+	p := cfg.MakePointer(0x4000, 0x0001)
+	if err := m.WriteSector(p, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	evil := cfg.MakePointer(0x4000, 0x0002)
+	if _, err := m.ReadSector(evil); err != nil {
+		t.Fatalf("debug mode must not fault: %v", err)
+	}
+	log := m.FaultLog()
+	if len(log) != 1 || log[0].Kind != FaultTMM || log[0].LockTagEstimate != 0x0001 {
+		t.Fatalf("fault log = %+v", log)
+	}
+}
+
+func TestSubSectorReadWrite(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	// The allocator retags a granule before handing it out; without this,
+	// the very first partial (read-modify-write) store would itself TMM
+	// against the scrubbed tag-0 state.
+	if err := m.Retag(0x5000, 0x0042); err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.MakePointer(0x5000, 0x0042)
+	if err := m.Write(p, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	q := cfg.WithOffset(p, 8)
+	if err := m.Write(q, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4, 0, 0, 0, 0, 9, 9}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Read = %v, want %v", got, want)
+	}
+	// A partial store with the wrong key tag is caught immediately (RMW).
+	evil := cfg.MakePointer(0x5004, 0x0013)
+	err = m.Write(evil, []byte{7})
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultTMM {
+		t.Fatalf("partial store with wrong tag: err = %v", err)
+	}
+	// Cross-sector accesses are rejected.
+	if _, err := m.Read(cfg.MakePointer(0x5010, 0x42), 32); err == nil {
+		t.Error("cross-sector read must fail")
+	}
+	if err := m.Write(cfg.MakePointer(0x501E, 0x42), []byte{1, 2, 3, 4}); err == nil {
+		t.Error("cross-sector write must fail")
+	}
+}
+
+func TestUnalignedSectorAccessRejected(t *testing.T) {
+	m := newMem(t, IMT10)
+	cfg := m.Config()
+	p := cfg.MakePointer(0x1001, 0)
+	if err := m.WriteSector(p, make([]byte, 32)); err == nil {
+		t.Error("unaligned WriteSector must fail")
+	}
+	if _, err := m.ReadSector(p); err == nil {
+		t.Error("unaligned ReadSector must fail")
+	}
+	if err := m.WriteSector(cfg.MakePointer(0, 0), make([]byte, 16)); err == nil {
+		t.Error("short WriteSector must fail")
+	}
+}
+
+func TestRetagPreservesData(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	p := cfg.MakePointer(0x6000, 0x0007)
+	data := []byte("hello, tagged world! 0123456789a")
+	if err := m.WriteSector(p, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Retag(0x6000, 0x0099); err != nil {
+		t.Fatal(err)
+	}
+	// Old tag now faults; new tag reads the same bytes.
+	if _, err := m.ReadSector(p); err == nil {
+		t.Error("old key tag should fault after retag")
+	}
+	got, err := m.ReadSector(cfg.MakePointer(0x6000, 0x0099))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("retag corrupted data")
+	}
+}
+
+func TestUnwrittenMemoryReadsZeroWithTagZero(t *testing.T) {
+	m := newMem(t, IMT10)
+	cfg := m.Config()
+	got, err := m.ReadSector(cfg.MakePointer(0x7000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten memory not zero")
+		}
+	}
+	if _, err := m.ReadSector(cfg.MakePointer(0x7020, 3)); err == nil {
+		t.Error("unwritten memory carries tag 0; a nonzero key must fault")
+	}
+}
+
+func TestInjectErrorValidation(t *testing.T) {
+	m := newMem(t, IMT10)
+	if err := m.InjectError(0x8000, -1); err == nil {
+		t.Error("negative bit position must fail")
+	}
+	if err := m.InjectError(0x8000, m.Code().PhysicalBits()); err == nil {
+		t.Error("out-of-range bit position must fail")
+	}
+	if err := m.InjectError(0x8001, 0); err == nil {
+		t.Error("unaligned address must fail")
+	}
+}
+
+func TestDriverDiagnosisEquation7(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	d := NewDriver(m)
+	if err := d.RegisterAllocation(0x9000, 64, 0x0011); err != nil {
+		t.Fatal(err)
+	}
+	owner := cfg.MakePointer(0x9000, 0x0011)
+	if err := m.WriteSector(owner, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Case 1: pure TMM. Attacker key 0x22 hits lock 0x11.
+	_, err := m.ReadSector(cfg.MakePointer(0x9000, 0x0022))
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatal("expected fault")
+	}
+	diag := d.Diagnose(*f)
+	if diag.Kind != DiagnosisTMM {
+		t.Fatalf("case 1: %v (%+v)", diag.Kind, diag)
+	}
+	if diag.LockTag != 0x0011 || diag.RefTag != 0x0011 {
+		t.Fatalf("case 1 tags: %+v", diag)
+	}
+
+	// Case 2: pure DUE. Owner reads after an odd multi-bit data error.
+	if err := m.InjectError(0x9000, 10, 20, 30); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.ReadSector(owner)
+	if !errors.As(err, &f) {
+		t.Fatal("expected fault")
+	}
+	diag = d.Diagnose(*f)
+	if diag.Kind != DiagnosisDUE {
+		t.Fatalf("case 2: %v (%+v)", diag.Kind, diag)
+	}
+
+	// Repair the sector for case 3.
+	if err := m.WriteSector(owner, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Case 3: BOTH — wrong key and a data error. The syndrome may decode
+	// as either fault kind, but Eq 7 must not classify it as a pure TMM
+	// with a matching lock estimate unless aliasing conspires; we assert
+	// only that diagnosis runs and yields a defined kind with RefTag set.
+	if err := m.InjectError(0x9000, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.ReadSector(cfg.MakePointer(0x9000, 0x0033))
+	if !errors.As(err, &f) {
+		t.Fatal("expected fault")
+	}
+	diag = d.Diagnose(*f)
+	if diag.RefTag != 0x0011 {
+		t.Fatalf("case 3 ref tag: %+v", diag)
+	}
+	if diag.Kind == DiagnosisUnknown {
+		t.Fatal("case 3 should have a reference tag")
+	}
+
+	// Unregistered addresses yield UNKNOWN.
+	f2 := Fault{Addr: 0xF0000, KeyTag: 1, Syndrome: 0x3}
+	if d.Diagnose(f2).Kind != DiagnosisUnknown {
+		t.Error("unregistered address should be UNKNOWN")
+	}
+}
+
+func TestDriverAllocationMap(t *testing.T) {
+	m := newMem(t, IMT10)
+	d := NewDriver(m)
+	if err := d.RegisterAllocation(0x100, 0x100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterAllocation(0x300, 0x40, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterAllocation(0x1F0, 0x20, 3); err == nil {
+		t.Error("overlap must be rejected")
+	}
+	if err := d.RegisterAllocation(0x200, 0x100, 3); err != nil {
+		t.Fatalf("adjacent allocation should fit: %v", err)
+	}
+	if tag, ok := d.ReferenceTag(0x2FF); !ok || tag != 3 {
+		t.Errorf("ReferenceTag(0x2FF) = %d,%v", tag, ok)
+	}
+	if _, ok := d.ReferenceTag(0x400); ok {
+		t.Error("0x400 should be uncovered")
+	}
+	if err := d.UpdateTag(0x150, 9); err != nil {
+		t.Fatal(err)
+	}
+	if tag, _ := d.ReferenceTag(0x100); tag != 9 {
+		t.Error("UpdateTag did not stick")
+	}
+	if err := d.UpdateTag(0x400, 1); err == nil {
+		t.Error("UpdateTag outside any allocation must fail")
+	}
+	if err := d.UnregisterAllocation(0x300); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.ReferenceTag(0x320); ok {
+		t.Error("unregistered range still resolves")
+	}
+	if err := d.UnregisterAllocation(0x300); err == nil {
+		t.Error("double unregister must fail")
+	}
+	if err := d.RegisterAllocation(0x500, 0, 1); err == nil {
+		t.Error("zero-size allocation must fail")
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if FaultTMM.String() != "TMM" || FaultDUE.String() != "DUE" {
+		t.Error("FaultKind strings wrong")
+	}
+	if DiagnosisTMM.String() != "TMM" || DiagnosisDUE.String() != "DUE" ||
+		DiagnosisBoth.String() != "BOTH" || DiagnosisUnknown.String() != "UNKNOWN" {
+		t.Error("DiagnosisKind strings wrong")
+	}
+}

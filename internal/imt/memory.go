@@ -1,0 +1,283 @@
+package imt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gf2"
+)
+
+// FaultKind distinguishes the fatal error classes the hardware reports.
+type FaultKind int
+
+const (
+	// FaultTMM is a tag mismatch: the decode syndrome fell in the tag
+	// column space.
+	FaultTMM FaultKind = iota
+	// FaultDUE is a detected-uncorrectable data error.
+	FaultDUE
+)
+
+func (k FaultKind) String() string {
+	if k == FaultTMM {
+		return "TMM"
+	}
+	return "DUE"
+}
+
+// Fault is the error record the hardware hands to the driver on a fatal
+// event: faulting address, key tag, and raw ECC syndrome (§4.3).
+type Fault struct {
+	Kind     FaultKind
+	Addr     uint64
+	KeyTag   uint64
+	Syndrome uint64
+	// LockTagEstimate is the hardware-extracted stored-tag estimate for
+	// TMMs (key ⊕ syndrome-table pattern); InvalidTag for DUEs.
+	LockTagEstimate uint64
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("imt: fatal %v at %#x (key tag %#x, syndrome %#x)", f.Kind, f.Addr, f.KeyTag, f.Syndrome)
+}
+
+// Memory is an AFT-ECC-protected sectored memory: one codeword per 32B
+// sector, with the lock tag implicit in the check bits. It models the
+// paper's fatal-TMM contract: by default any TMM or DUE is returned as a
+// *Fault error; in debug mode (§4.3) faults are logged and reads return
+// the (possibly wrong) raw data, mirroring the privileged non-fatal
+// logging mode the paper envisions via nvidia-smi.
+type Memory struct {
+	cfg  Config
+	code *core.Code
+
+	mu      sync.Mutex
+	sectors map[uint64]*sector
+	// opMu serializes composite read-modify-write operations (partial
+	// stores and atomics) that span two sector-level critical sections.
+	opMu sync.Mutex
+
+	debug    bool
+	faultLog []Fault
+
+	// Stats observable by tests and experiments (guarded by mu; read
+	// them only when no accesses are in flight).
+	Reads, Writes, Corrected uint64
+}
+
+type sector struct {
+	data  []byte // GranuleBytes long
+	check uint64
+}
+
+// NewMemory builds a tagged memory for the configuration. The backing
+// store is sparse: only sectors ever written exist.
+func NewMemory(cfg Config) (*Memory, error) {
+	code, err := cfg.NewCode()
+	if err != nil {
+		return nil, err
+	}
+	return &Memory{cfg: cfg, code: code, sectors: make(map[uint64]*sector)}, nil
+}
+
+// Config returns the memory's configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Code returns the underlying AFT-ECC code (shared, read-only).
+func (m *Memory) Code() *core.Code { return m.code }
+
+// SetDebugMode toggles §4.3's passive-logging mode. In debug mode faults
+// do not abort accesses; they accumulate in FaultLog.
+func (m *Memory) SetDebugMode(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.debug = on
+}
+
+// FaultLog returns the faults recorded in debug mode (oldest first).
+func (m *Memory) FaultLog() []Fault {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Fault(nil), m.faultLog...)
+}
+
+// InvalidTag is the always-invalid lock-tag sentinel used when no tag can
+// be extracted (one more than any representable tag value).
+func (m *Memory) InvalidTag() uint64 { return m.code.TagMask() + 1 }
+
+func (m *Memory) sectorIndex(addr uint64) (uint64, error) {
+	g := uint64(m.cfg.GranuleBytes)
+	if addr%g != 0 {
+		return 0, fmt.Errorf("imt: address %#x not %d-byte aligned", addr, g)
+	}
+	return addr / g, nil
+}
+
+// WriteSector stores a full sector through pointer p, encoding the data
+// with p's key tag as the new lock tag. A full-sector store needs no
+// read-modify-write, so — as in real ECC memories — it re-encodes
+// unconditionally; a mismatched store is caught on the victim's next read.
+func (m *Memory) WriteSector(p Pointer, data []byte) error {
+	if len(data) != m.cfg.GranuleBytes {
+		return fmt.Errorf("imt: WriteSector needs %d bytes, got %d", m.cfg.GranuleBytes, len(data))
+	}
+	idx, err := m.sectorIndex(m.cfg.Addr(p))
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Writes++
+	bv := gf2.BitVecFromBytes(m.cfg.DataBits, data)
+	m.sectors[idx] = &sector{
+		data:  append([]byte(nil), data...),
+		check: m.code.Encode(bv, m.cfg.KeyTag(p)),
+	}
+	return nil
+}
+
+// ReadSector loads the full sector at p, running AFT-ECC decode with p's
+// key tag. Single-bit errors are corrected transparently; TMMs and DUEs
+// are fatal (or logged in debug mode). Reading an untouched sector returns
+// zeroes: unwritten memory is defined to carry tag 0 with zero data, like
+// a freshly-scrubbed ECC memory.
+func (m *Memory) ReadSector(p Pointer) ([]byte, error) {
+	addr := m.cfg.Addr(p)
+	idx, err := m.sectorIndex(addr)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Reads++
+	s, ok := m.sectors[idx]
+	if !ok {
+		zero := make([]byte, m.cfg.GranuleBytes)
+		bv := gf2.BitVecFromBytes(m.cfg.DataBits, zero)
+		s = &sector{data: zero, check: m.code.Encode(bv, 0)}
+		m.sectors[idx] = s
+	}
+	bv := gf2.BitVecFromBytes(m.cfg.DataBits, s.data)
+	key := m.cfg.KeyTag(p)
+	res := m.code.Decode(bv, s.check, key)
+	switch res.Status {
+	case core.StatusOK:
+		return append([]byte(nil), s.data...), nil
+	case core.StatusCorrected:
+		m.Corrected++
+		// Scrub: persist the repaired codeword.
+		corrected := bv.Bytes()[:m.cfg.GranuleBytes]
+		s.data = append([]byte(nil), corrected...)
+		if res.FlippedBit >= m.code.K() {
+			s.check ^= 1 << uint(res.FlippedBit-m.code.K())
+		}
+		return append([]byte(nil), corrected...), nil
+	}
+	f := Fault{Addr: addr, KeyTag: key, Syndrome: res.Syndrome, LockTagEstimate: m.InvalidTag()}
+	if res.Status == core.StatusTMM {
+		f.Kind = FaultTMM
+		f.LockTagEstimate = res.LockTagEstimate
+	} else {
+		f.Kind = FaultDUE
+	}
+	if m.debug {
+		m.faultLog = append(m.faultLog, f)
+		return append([]byte(nil), s.data...), nil
+	}
+	return nil, &f
+}
+
+// Read performs a sub-sector load of length n at p (which may be
+// unaligned within the sector but must not cross sectors). The whole
+// codeword is decoded — GPU ECC checks the full sector on any access.
+func (m *Memory) Read(p Pointer, n int) ([]byte, error) {
+	addr := m.cfg.Addr(p)
+	g := uint64(m.cfg.GranuleBytes)
+	off := addr % g
+	if int(off)+n > m.cfg.GranuleBytes {
+		return nil, fmt.Errorf("imt: read of %d bytes at %#x crosses a sector boundary", n, addr)
+	}
+	base := m.cfg.MakePointer(addr-off, m.cfg.KeyTag(p))
+	full, err := m.ReadSector(base)
+	if err != nil {
+		return nil, err
+	}
+	return full[off : int(off)+n], nil
+}
+
+// Write performs a sub-sector store. Partial stores are read-modify-write
+// in a sectored ECC memory, so — unlike full-sector stores — the tag check
+// happens immediately: a mismatched partial store faults before merging.
+func (m *Memory) Write(p Pointer, data []byte) error {
+	addr := m.cfg.Addr(p)
+	g := uint64(m.cfg.GranuleBytes)
+	off := addr % g
+	if int(off)+len(data) > m.cfg.GranuleBytes {
+		return fmt.Errorf("imt: write of %d bytes at %#x crosses a sector boundary", len(data), addr)
+	}
+	base := m.cfg.MakePointer(addr-off, m.cfg.KeyTag(p))
+	if int(off) == 0 && len(data) == m.cfg.GranuleBytes {
+		return m.WriteSector(base, data)
+	}
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	full, err := m.ReadSector(base)
+	if err != nil {
+		return err
+	}
+	copy(full[off:], data)
+	return m.WriteSector(base, full)
+}
+
+// Retag re-encodes the sector at addr with a new lock tag, preserving its
+// data. This models the privileged tagging instructions the allocator
+// runtime uses when objects are allocated and freed (§2.3); it is trusted
+// and performs no tag check.
+func (m *Memory) Retag(addr uint64, newTag uint64) error {
+	idx, err := m.sectorIndex(addr)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sectors[idx]
+	if !ok {
+		s = &sector{data: make([]byte, m.cfg.GranuleBytes)}
+		m.sectors[idx] = s
+	}
+	bv := gf2.BitVecFromBytes(m.cfg.DataBits, s.data)
+	s.check = m.code.Encode(bv, newTag)
+	return nil
+}
+
+// InjectError flips physical codeword bits of the sector at addr: bit
+// positions [0, K) are data bits, [K, K+R) are check bits. The sector is
+// materialized if it has never been written. Used by the fault-injection
+// and example code.
+func (m *Memory) InjectError(addr uint64, bitPositions ...int) error {
+	idx, err := m.sectorIndex(addr)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sectors[idx]
+	if !ok {
+		zero := make([]byte, m.cfg.GranuleBytes)
+		bv := gf2.BitVecFromBytes(m.cfg.DataBits, zero)
+		s = &sector{data: zero, check: m.code.Encode(bv, 0)}
+		m.sectors[idx] = s
+	}
+	for _, b := range bitPositions {
+		switch {
+		case b < 0 || b >= m.code.PhysicalBits():
+			return fmt.Errorf("imt: bit position %d out of range [0,%d)", b, m.code.PhysicalBits())
+		case b < m.code.K():
+			s.data[b/8] ^= 1 << uint(b%8)
+		default:
+			s.check ^= 1 << uint(b-m.code.K())
+		}
+	}
+	return nil
+}

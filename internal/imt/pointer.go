@@ -1,0 +1,40 @@
+package imt
+
+import "fmt"
+
+// Pointer is a 64-bit virtual address whose unused upper bits carry the
+// key tag (§4.2). With the paper's 49-bit VA assumption there is room for
+// up to a 15-bit key tag in bits [49, 64).
+type Pointer uint64
+
+// MakePointer packs an address and key tag. It panics if the address
+// overflows the VA or the tag overflows the configured tag width —
+// allocator bugs here would silently corrupt addresses.
+func (c Config) MakePointer(addr uint64, tag uint64) Pointer {
+	if addr>>uint(c.VABits) != 0 {
+		panic(fmt.Sprintf("imt: address %#x exceeds %d-bit VA", addr, c.VABits))
+	}
+	if tag>>uint(c.TagBits) != 0 {
+		panic(fmt.Sprintf("imt: tag %#x exceeds %d bits", tag, c.TagBits))
+	}
+	return Pointer(addr | tag<<uint(c.VABits))
+}
+
+// Addr extracts the virtual address (the low VABits bits).
+func (c Config) Addr(p Pointer) uint64 {
+	return uint64(p) & (1<<uint(c.VABits) - 1)
+}
+
+// KeyTag extracts the key tag from the upper pointer bits.
+func (c Config) KeyTag(p Pointer) uint64 {
+	return uint64(p) >> uint(c.VABits) & (1<<uint(c.TagBits) - 1)
+}
+
+// WithOffset returns the pointer advanced by delta bytes, preserving the
+// key tag. This mirrors ordinary pointer arithmetic: an out-of-bounds
+// offset keeps the original allocation's key tag, which is exactly how a
+// buffer overflow carries the wrong key to a neighboring granule.
+func (c Config) WithOffset(p Pointer, delta int64) Pointer {
+	addr := uint64(int64(c.Addr(p)) + delta)
+	return c.MakePointer(addr&(1<<uint(c.VABits)-1), c.KeyTag(p))
+}

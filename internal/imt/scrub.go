@@ -1,0 +1,66 @@
+package imt
+
+import "sort"
+
+// ScrubReport summarizes one patrol-scrub pass.
+type ScrubReport struct {
+	Scanned   int
+	Corrected int
+	// Faults lists sectors whose decode was fatal even under the driver's
+	// reference tag (genuine uncorrectable damage, or damage in an
+	// unregistered region scanned under tag 0).
+	Faults []Fault
+	// Skipped counts sectors with no reference tag that also fail under
+	// tag 0 — the scrubber cannot tell corruption from an unknown tag and
+	// leaves them alone.
+	Skipped int
+}
+
+// Scrub performs a patrol-scrubbing pass over every materialized sector,
+// the standard ECC-memory hygiene that keeps single-bit upsets from
+// accumulating into uncorrectable double errors. Because IMT memory is
+// tagged, the scrubber — privileged software in the driver — needs a tag
+// to decode with: it uses the driver's §4.3 reference-tag map, falling
+// back to tag 0 for unregistered sectors. Correctable errors are
+// repaired in place (the decode path already scrubs); fatal syndromes
+// are reported, never modified.
+func (m *Memory) Scrub(d *Driver) ScrubReport {
+	m.mu.Lock()
+	indices := make([]uint64, 0, len(m.sectors))
+	for idx := range m.sectors {
+		indices = append(indices, idx)
+	}
+	m.mu.Unlock()
+	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+
+	var rep ScrubReport
+	g := uint64(m.cfg.GranuleBytes)
+	for _, idx := range indices {
+		addr := idx * g
+		tag := uint64(0)
+		known := false
+		if d != nil {
+			if t, ok := d.ReferenceTag(addr); ok {
+				tag, known = t, true
+			}
+		}
+		rep.Scanned++
+		before := m.Corrected
+		_, err := m.ReadSector(m.cfg.MakePointer(addr, tag))
+		if m.Corrected > before {
+			rep.Corrected++
+		}
+		if err != nil {
+			if f, ok := err.(*Fault); ok {
+				if !known && f.Kind == FaultTMM {
+					// Unregistered sector under a non-zero (unknown) tag:
+					// not scrubbable, not necessarily an error.
+					rep.Skipped++
+					continue
+				}
+				rep.Faults = append(rep.Faults, *f)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,102 @@
+package imt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestScrubRepairsLatentSingleBitErrors(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	d := NewDriver(m)
+
+	// Three registered allocations with data and distinct tags.
+	for i, tag := range []uint64{0x11, 0x22, 0x33} {
+		base := uint64(0x1000 + i*0x100)
+		if err := d.RegisterAllocation(base, 0x100, tag); err != nil {
+			t.Fatal(err)
+		}
+		for off := uint64(0); off < 0x100; off += 32 {
+			p := cfg.MakePointer(base+off, tag)
+			if err := m.WriteSector(p, bytes.Repeat([]byte{byte(i + 1)}, 32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Latent single-bit upsets in two sectors of different allocations.
+	if err := m.InjectError(0x1000, 13); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectError(0x1120, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := m.Scrub(d)
+	if rep.Scanned != 24 {
+		t.Fatalf("scanned = %d, want 24 sectors", rep.Scanned)
+	}
+	if rep.Corrected != 2 {
+		t.Fatalf("corrected = %d, want 2", rep.Corrected)
+	}
+	if len(rep.Faults) != 0 || rep.Skipped != 0 {
+		t.Fatalf("unexpected faults/skips: %+v", rep)
+	}
+	// A second pass finds nothing: the errors were scrubbed away.
+	rep = m.Scrub(d)
+	if rep.Corrected != 0 {
+		t.Fatalf("second pass corrected = %d", rep.Corrected)
+	}
+	// Data intact for the owners.
+	got, err := m.ReadSector(cfg.MakePointer(0x1000, 0x11))
+	if err != nil || got[0] != 1 {
+		t.Fatalf("owner read after scrub: %v %v", got, err)
+	}
+}
+
+func TestScrubReportsUncorrectableDamage(t *testing.T) {
+	m := newMem(t, IMT10)
+	cfg := m.Config()
+	d := NewDriver(m)
+	if err := d.RegisterAllocation(0x2000, 32, 0x7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteSector(cfg.MakePointer(0x2000, 0x7), make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectError(0x2000, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Scrub(d)
+	if len(rep.Faults) != 1 {
+		t.Fatalf("faults = %d, want 1", len(rep.Faults))
+	}
+	if rep.Faults[0].Addr != 0x2000 {
+		t.Fatalf("fault at %#x", rep.Faults[0].Addr)
+	}
+}
+
+func TestScrubSkipsUnregisteredTaggedSectors(t *testing.T) {
+	m := newMem(t, IMT16)
+	cfg := m.Config()
+	// A sector tagged 0x42 but never registered with the driver: the
+	// scrubber cannot decode it and must leave it alone.
+	if err := m.WriteSector(cfg.MakePointer(0x3000, 0x42), make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	// And one legitimately tag-0 sector it can scrub.
+	if err := m.WriteSector(cfg.MakePointer(0x3020, 0), make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Scrub(NewDriver(m))
+	if rep.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", rep.Skipped)
+	}
+	if len(rep.Faults) != 0 {
+		t.Fatalf("faults = %v", rep.Faults)
+	}
+	// Works without a driver at all (all sectors treated as tag 0).
+	rep = m.Scrub(nil)
+	if rep.Skipped != 1 {
+		t.Fatalf("driverless skipped = %d", rep.Skipped)
+	}
+}

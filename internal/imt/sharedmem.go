@@ -1,0 +1,122 @@
+package imt
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+)
+
+// SharedMemory is the SM-local scratchpad of Figure 2: ECC-protected
+// like every major GPU storage structure, but NOT tagged — shared memory
+// is thread-block-private, so memory tagging does not apply (§2.4 notes
+// the exclusive scratchpad requires error correction, unlike CPU L1s
+// that can fall back on replication). It uses an untagged SEC-DED code
+// per 32B row and exists so the repository models the full Figure 2
+// hierarchy, not just the global-memory path.
+type SharedMemory struct {
+	code *ecc.Code
+	rows []sharedRow
+
+	Reads, Writes, Corrected uint64
+}
+
+type sharedRow struct {
+	data  []byte
+	check uint64
+}
+
+// NewSharedMemory builds a scratchpad of the given size (a multiple of
+// 32 bytes; GV100-class SMs configure up to 96KB).
+func NewSharedMemory(sizeBytes int) (*SharedMemory, error) {
+	if sizeBytes <= 0 || sizeBytes%32 != 0 {
+		return nil, fmt.Errorf("imt: shared memory size %d must be a positive multiple of 32", sizeBytes)
+	}
+	code, err := ecc.NewHsiao(256, 10)
+	if err != nil {
+		return nil, err
+	}
+	sm := &SharedMemory{code: code, rows: make([]sharedRow, sizeBytes/32)}
+	zero := make([]byte, 32)
+	bv := gf2.BitVecFromBytes(256, zero)
+	check := code.Encode(bv)
+	for i := range sm.rows {
+		sm.rows[i] = sharedRow{data: append([]byte(nil), zero...), check: check}
+	}
+	return sm, nil
+}
+
+// Size returns the scratchpad capacity in bytes.
+func (s *SharedMemory) Size() int { return len(s.rows) * 32 }
+
+func (s *SharedMemory) row(offset uint64, n int) (int, int, error) {
+	if int(offset)+n > s.Size() {
+		return 0, 0, fmt.Errorf("imt: shared access [%d,+%d) beyond %dB scratchpad", offset, n, s.Size())
+	}
+	if int(offset%32)+n > 32 {
+		return 0, 0, fmt.Errorf("imt: shared access [%d,+%d) crosses a 32B row", offset, n)
+	}
+	return int(offset / 32), int(offset % 32), nil
+}
+
+// Write stores bytes (within one 32B row) with read-modify-write ECC.
+func (s *SharedMemory) Write(offset uint64, data []byte) error {
+	ri, off, err := s.row(offset, len(data))
+	if err != nil {
+		return err
+	}
+	row := &s.rows[ri]
+	// Verify the resident row before merging, like hardware RMW.
+	bv := gf2.BitVecFromBytes(256, row.data)
+	if res := s.code.Decode(bv, row.check); res.Status == ecc.StatusDetected {
+		return fmt.Errorf("imt: uncorrectable shared-memory error in row %d", ri)
+	} else if res.Status == ecc.StatusCorrected {
+		s.Corrected++
+		copy(row.data, bv.Bytes()[:32])
+	}
+	s.Writes++
+	copy(row.data[off:], data)
+	row.check = s.code.Encode(gf2.BitVecFromBytes(256, row.data))
+	return nil
+}
+
+// Read loads bytes (within one 32B row), correcting single-bit upsets.
+func (s *SharedMemory) Read(offset uint64, n int) ([]byte, error) {
+	ri, off, err := s.row(offset, n)
+	if err != nil {
+		return nil, err
+	}
+	row := &s.rows[ri]
+	s.Reads++
+	bv := gf2.BitVecFromBytes(256, row.data)
+	switch res := s.code.Decode(bv, row.check); res.Status {
+	case ecc.StatusOK:
+	case ecc.StatusCorrected:
+		s.Corrected++
+		copy(row.data, bv.Bytes()[:32])
+		if res.FlippedBit >= s.code.K() {
+			row.check ^= 1 << uint(res.FlippedBit-s.code.K())
+		}
+	default:
+		return nil, fmt.Errorf("imt: uncorrectable shared-memory error in row %d", ri)
+	}
+	return append([]byte(nil), row.data[off:off+n]...), nil
+}
+
+// InjectError flips a physical codeword bit of the row containing offset.
+func (s *SharedMemory) InjectError(offset uint64, bit int) error {
+	ri := int(offset / 32)
+	if ri >= len(s.rows) {
+		return fmt.Errorf("imt: offset %d beyond scratchpad", offset)
+	}
+	if bit < 0 || bit >= s.code.N() {
+		return fmt.Errorf("imt: bit %d out of range", bit)
+	}
+	row := &s.rows[ri]
+	if bit < s.code.K() {
+		row.data[bit/8] ^= 1 << uint(bit%8)
+	} else {
+		row.check ^= 1 << uint(bit-s.code.K())
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package imt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSharedMemoryRoundTrip(t *testing.T) {
+	sm, err := NewSharedMemory(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Size() != 4096 {
+		t.Fatalf("size = %d", sm.Size())
+	}
+	if err := sm.Write(64, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sm.Read(64, 4)
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("read: %v %v", got, err)
+	}
+	// Fresh rows read as zero.
+	got, err = sm.Read(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("fresh row not zero")
+		}
+	}
+}
+
+func TestSharedMemoryCorrection(t *testing.T) {
+	sm, err := NewSharedMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Write(0, bytes.Repeat([]byte{0xAA}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.InjectError(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sm.Read(0, 32)
+	if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{0xAA}, 32)) {
+		t.Fatal("single-bit upset not corrected")
+	}
+	if sm.Corrected != 1 {
+		t.Fatalf("corrected = %d", sm.Corrected)
+	}
+	// Scrub-on-read: the second read is clean.
+	if _, err := sm.Read(0, 32); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Corrected != 1 {
+		t.Fatal("row not scrubbed")
+	}
+}
+
+func TestSharedMemoryUncorrectable(t *testing.T) {
+	sm, err := NewSharedMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{1, 2, 3} {
+		if err := sm.InjectError(32, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sm.Read(32, 4); err == nil {
+		t.Fatal("3-bit shared-memory error undetected")
+	}
+	// RMW writes also verify the resident row first.
+	if err := sm.Write(40, []byte{9}); err == nil {
+		t.Fatal("write into a corrupted row must fail")
+	}
+}
+
+func TestSharedMemoryBounds(t *testing.T) {
+	if _, err := NewSharedMemory(0); err == nil {
+		t.Error("zero size must fail")
+	}
+	if _, err := NewSharedMemory(100); err == nil {
+		t.Error("non-multiple-of-32 size must fail")
+	}
+	sm, err := NewSharedMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Read(40, 32); err == nil {
+		t.Error("row-crossing read must fail")
+	}
+	if _, err := sm.Read(64, 1); err == nil {
+		t.Error("out-of-bounds read must fail")
+	}
+	if err := sm.Write(62, []byte{1, 2, 3}); err == nil {
+		t.Error("row-crossing write must fail")
+	}
+	if err := sm.InjectError(4096, 0); err == nil {
+		t.Error("out-of-range inject must fail")
+	}
+	if err := sm.InjectError(0, 999); err == nil {
+		t.Error("bad bit must fail")
+	}
+}

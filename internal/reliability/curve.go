@@ -1,0 +1,100 @@
+package reliability
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/ecc"
+)
+
+// CurvePoint is one point of the Figure 9 sweep: the SDC probability of a
+// K-data-bit code with R check bits under random corruption and (for
+// correcting codes) exhaustive 3-bit errors.
+type CurvePoint struct {
+	R    int
+	Kind ecc.Kind
+	// RandomSDC is the silent-corruption probability under uniformly
+	// random corruption.
+	RandomSDC float64
+	// ThreeBitSDC is the exhaustive 3-bit-error SDC probability; NaN-free:
+	// it is 0 for detect-only codes, which detect all odd-weight errors
+	// only when R=1 parity — so we simply don't report it (HasThreeBit).
+	ThreeBitSDC float64
+	HasThreeBit bool
+}
+
+// SDCCurve reproduces the Figure 9 methodology for K data bits and
+// redundancies 1..maxR: detect-only codes up to R=8, a SEC code at R=9,
+// and SEC-DED codes from R=10 (matching the paper's sweep for K=256,
+// where R=9 is the first SEC-capable and R=10 the first SEC-DED-capable
+// redundancy). Random corruption uses `trials` samples; 3-bit errors are
+// exhaustive.
+func SDCCurve(k, maxR, trials int, seed int64) ([]CurvePoint, error) {
+	var out []CurvePoint
+	for r := 1; r <= maxR; r++ {
+		var (
+			code *ecc.Code
+			err  error
+		)
+		switch {
+		case r >= 10:
+			code, err = ecc.NewHsiao(k, r)
+		case r == 9:
+			code, err = ecc.NewSEC(k, r, seed)
+		case r == 1:
+			code = ecc.NewParity(k)
+		default:
+			code, err = ecc.NewDetectOnly(k, r, seed+int64(r))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reliability: R=%d: %w", r, err)
+		}
+		t := TargetECC(code)
+		pt := CurvePoint{R: r, Kind: code.Kind()}
+		pt.RandomSDC = RandomErrorsParallel(t, trials, runtime.GOMAXPROCS(0), seed+int64(100+r)).SDCRate()
+		if code.Kind() != ecc.DetectOnly {
+			tally, err := ExhaustiveKBit(t, 3)
+			if err != nil {
+				return nil, err
+			}
+			pt.ThreeBitSDC = tally.SDCRate()
+			pt.HasThreeBit = true
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AnalyticRandomSDC returns the closed-form random-corruption SDC
+// probability used as a test oracle:
+//
+//   - detect-only: 2^-R (only the zero syndrome aliases);
+//   - correcting codes: (N+1)/2^R (zero syndrome plus N miscorrecting
+//     column syndromes — a uniformly random error yields a uniformly
+//     random syndrome).
+func AnalyticRandomSDC(k, r int, kind ecc.Kind) float64 {
+	total := float64(uint64(1) << uint(r))
+	if kind == ecc.DetectOnly {
+		return 1 / total
+	}
+	return float64(k+r+1) / total
+}
+
+// StealingSDCAmplification returns the paper's "Added SDC Risk" factor:
+// the random-corruption SDC probability of the post-stealing code relative
+// to the full-redundancy SEC-DED baseline (e.g. stealing 4 of 16 bits →
+// ≈15.8×; stealing down to 1 parity bit from 16 → 120×).
+func StealingSDCAmplification(k, fullR, stolenBits int) float64 {
+	remaining := fullR - stolenBits
+	baseline := AnalyticRandomSDC(k, fullR, ecc.SECDED)
+	var stolen float64
+	switch {
+	case remaining <= 0:
+		return 0 // nothing left: no code, risk undefined here
+	case remaining < 9:
+		stolen = AnalyticRandomSDC(k, remaining, ecc.DetectOnly)
+	default:
+		stolen = AnalyticRandomSDC(k, remaining, ecc.SECDED)
+	}
+	return stolen / baseline
+}

@@ -1,0 +1,395 @@
+// Package reliability implements the paper's fault-injection methodology
+// (§5.1, §5.3): exhaustive enumeration of k-bit error patterns and
+// Monte-Carlo random-corruption campaigns against software ECC decoders,
+// classifying each injection as corrected (CE), detected (DE — split into
+// DUE and misattributed TMM), or silent data corruption (SDC).
+//
+// It reproduces Figure 9 (SDC probability vs. redundancy) and Table 2
+// (per-error-pattern behavior of AFT-ECC).
+package reliability
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+)
+
+// Outcome classifies a single injection.
+type Outcome uint8
+
+const (
+	// OutcomeOK: zero error, zero syndrome (only from the empty pattern).
+	OutcomeOK Outcome = iota
+	// OutcomeCE: a single-bit error corrected to the right bit.
+	OutcomeCE
+	// OutcomeDUE: detected uncorrectable error.
+	OutcomeDUE
+	// OutcomeTMM: detected, but attributed to a tag mismatch (for data
+	// errors this is the misattribution risk of §3.6 — still detected).
+	OutcomeTMM
+	// OutcomeSDC: silent data corruption — a zero syndrome from a nonzero
+	// error, or a miscorrection (syndrome matched the wrong column).
+	OutcomeSDC
+)
+
+// Tally accumulates injection outcomes.
+type Tally struct {
+	Total, CE, DUE, TMM, SDC uint64
+}
+
+// DE returns detected errors: DUEs plus TMM-attributed detections.
+func (t Tally) DE() uint64 { return t.DUE + t.TMM }
+
+// Rate helpers return fractions of Total (0 when Total is 0).
+func (t Tally) rate(x uint64) float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	return float64(x) / float64(t.Total)
+}
+
+// CERate is the corrected fraction.
+func (t Tally) CERate() float64 { return t.rate(t.CE) }
+
+// DERate is the detected fraction (DUE + TMM).
+func (t Tally) DERate() float64 { return t.rate(t.DE()) }
+
+// TMMRate is the fraction detected via tag-mismatch attribution.
+func (t Tally) TMMRate() float64 { return t.rate(t.TMM) }
+
+// SDCRate is the silent-corruption fraction.
+func (t Tally) SDCRate() float64 { return t.rate(t.SDC) }
+
+func (t Tally) String() string {
+	return fmt.Sprintf("total=%d CE=%.4f%% DE=%.4f%% (TMM=%.4f%%) SDC=%.4f%%",
+		t.Total, 100*t.CERate(), 100*t.DERate(), 100*t.TMMRate(), 100*t.SDCRate())
+}
+
+// Target is an injectable decoder: N physical bit positions, their H
+// columns, and a syndrome classification table.
+type Target struct {
+	Name  string
+	NPhys int
+	R     int
+	cols  []uint64
+	// class maps each of the 2^R syndromes to its decode class.
+	class []synClass
+}
+
+type synClass uint8
+
+const (
+	classZero synClass = iota
+	classCorrectable
+	classTag
+	classOther
+)
+
+// TargetECC wraps an untagged linear code for injection.
+func TargetECC(c *ecc.Code) Target {
+	t := Target{Name: c.Name(), NPhys: c.N(), R: c.R()}
+	t.cols = make([]uint64, t.NPhys)
+	for i := range t.cols {
+		t.cols[i] = c.Column(i)
+	}
+	t.class = make([]synClass, 1<<uint(c.R()))
+	t.class[0] = classZero
+	for s := uint64(1); s < uint64(len(t.class)); s++ {
+		if _, ok := c.CorrectableSyndrome(s); ok {
+			t.class[s] = classCorrectable
+		} else {
+			t.class[s] = classOther
+		}
+	}
+	return t
+}
+
+// TargetAFT wraps an AFT-ECC code for physical (data+check) injection.
+// Injections model data errors under matching key/lock tags, so the tag
+// contributions cancel and only the physical columns matter; syndromes in
+// the tag column space classify as TMM.
+func TargetAFT(c *core.Code) Target {
+	t := Target{Name: c.String(), NPhys: c.PhysicalBits(), R: c.R()}
+	t.cols = make([]uint64, t.NPhys)
+	for i := range t.cols {
+		t.cols[i] = c.Column(c.TS() + i)
+	}
+	t.class = make([]synClass, 1<<uint(c.R()))
+	t.class[0] = classZero
+	for s := uint64(1); s < uint64(len(t.class)); s++ {
+		switch {
+		case correctableAFT(c, s):
+			t.class[s] = classCorrectable
+		case isTagSyn(c, s):
+			t.class[s] = classTag
+		default:
+			t.class[s] = classOther
+		}
+	}
+	return t
+}
+
+func correctableAFT(c *core.Code, s uint64) bool {
+	res := c.DecodeSyndrome(s, 0)
+	return res.Status == core.StatusCorrected
+}
+
+func isTagSyn(c *core.Code, s uint64) bool {
+	_, ok := c.IsTagSyndrome(s)
+	return ok
+}
+
+// classify maps (syndrome, error weight) to an outcome.
+func (t Target) classify(s uint64, weight int) Outcome {
+	switch t.class[s] {
+	case classZero:
+		if weight == 0 {
+			return OutcomeOK
+		}
+		return OutcomeSDC
+	case classCorrectable:
+		if weight == 1 {
+			return OutcomeCE
+		}
+		return OutcomeSDC // miscorrection of a multi-bit error
+	case classTag:
+		return OutcomeTMM
+	default:
+		return OutcomeDUE
+	}
+}
+
+// Add returns the tally with one outcome accumulated.
+func (t Tally) Add(o Outcome) Tally {
+	t.Total++
+	switch o {
+	case OutcomeCE:
+		t.CE++
+	case OutcomeDUE:
+		t.DUE++
+	case OutcomeTMM:
+		t.TMM++
+	case OutcomeSDC:
+		t.SDC++
+	}
+	return t
+}
+
+// ExhaustiveKBit enumerates every k-bit error pattern (k in 1..4) over the
+// target's physical bits, classifying each. The paper evaluates these
+// patterns exhaustively; C(272,4) ≈ 2.3e8 patterns run in a few seconds
+// thanks to incremental syndrome updates.
+func ExhaustiveKBit(t Target, k int) (Tally, error) {
+	var tally Tally
+	n := t.NPhys
+	switch k {
+	case 1:
+		for i := 0; i < n; i++ {
+			tally = tally.Add(t.classify(t.cols[i], 1))
+		}
+	case 2:
+		for i := 0; i < n; i++ {
+			si := t.cols[i]
+			for j := i + 1; j < n; j++ {
+				tally = tally.Add(t.classify(si^t.cols[j], 2))
+			}
+		}
+	case 3:
+		// Hot loop: count outcomes via the class array directly.
+		var zero, corr, tag uint64
+		var total uint64
+		for i := 0; i < n; i++ {
+			si := t.cols[i]
+			for j := i + 1; j < n; j++ {
+				sij := si ^ t.cols[j]
+				for l := j + 1; l < n; l++ {
+					s := sij ^ t.cols[l]
+					total++
+					switch t.class[s] {
+					case classZero:
+						zero++
+					case classCorrectable:
+						corr++
+					case classTag:
+						tag++
+					}
+				}
+			}
+		}
+		tally = Tally{Total: total, SDC: zero + corr, TMM: tag, DUE: total - zero - corr - tag}
+	case 4:
+		var zero, corr, tag uint64
+		var total uint64
+		for i := 0; i < n; i++ {
+			si := t.cols[i]
+			for j := i + 1; j < n; j++ {
+				sij := si ^ t.cols[j]
+				for l := j + 1; l < n; l++ {
+					sijl := sij ^ t.cols[l]
+					for m := l + 1; m < n; m++ {
+						s := sijl ^ t.cols[m]
+						total++
+						switch t.class[s] {
+						case classZero:
+							zero++
+						case classCorrectable:
+							corr++
+						case classTag:
+							tag++
+						}
+					}
+				}
+			}
+		}
+		tally = Tally{Total: total, SDC: zero + corr, TMM: tag, DUE: total - zero - corr - tag}
+	default:
+		return Tally{}, fmt.Errorf("reliability: ExhaustiveKBit supports k in [1,4], got %d", k)
+	}
+	return tally, nil
+}
+
+// SampledKBit estimates the k-bit tally from `trials` uniformly sampled
+// k-subsets — used when exhaustive enumeration is too expensive for the
+// caller's budget.
+func SampledKBit(t Target, k, trials int, seed int64) (Tally, error) {
+	if k < 1 || k > t.NPhys {
+		return Tally{}, fmt.Errorf("reliability: k=%d out of range", k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tally Tally
+	idx := make([]int, k)
+	for trial := 0; trial < trials; trial++ {
+		// Floyd's algorithm for a uniform k-subset.
+		chosen := make(map[int]bool, k)
+		for i := t.NPhys - k; i < t.NPhys; i++ {
+			j := rng.Intn(i + 1)
+			if chosen[j] {
+				j = i
+			}
+			chosen[j] = true
+		}
+		idx = idx[:0]
+		var s uint64
+		for b := range chosen {
+			idx = append(idx, b)
+			s ^= t.cols[b]
+		}
+		tally = tally.Add(t.classify(s, k))
+	}
+	return tally, nil
+}
+
+// RandomErrors injects `trials` uniformly random error patterns (each bit
+// flipped with probability ½ — the paper's "random data corruption",
+// equivalent to replacing the codeword with random bits). Per §3.6 /
+// Table 2, this also models a simultaneous tag mismatch plus data error.
+func RandomErrors(t Target, trials int, seed int64) Tally {
+	rng := rand.New(rand.NewSource(seed))
+	var tally Tally
+	words := (t.NPhys + 63) / 64
+	for trial := 0; trial < trials; trial++ {
+		var s uint64
+		weight := 0
+		for w := 0; w < words; w++ {
+			word := rng.Uint64()
+			if w == words-1 && t.NPhys%64 != 0 {
+				word &= 1<<uint(t.NPhys%64) - 1
+			}
+			weight += bits.OnesCount64(word)
+			base := w * 64
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				s ^= t.cols[base+b]
+				word &= word - 1
+			}
+		}
+		tally = tally.Add(t.classify(s, weight))
+	}
+	return tally
+}
+
+// TagCorruptions verifies the alias-free guarantee by decoding every (or,
+// above `limit` pairs, a sampled set of) lock/key mismatches with no data
+// error. For a correct AFT-ECC construction the result is 100% TMM.
+func TagCorruptions(c *core.Code, limit int, seed int64) Tally {
+	var tally Tally
+	space := uint64(1) << uint(c.TS())
+	if total := space * (space - 1); limit <= 0 || uint64(limit) >= total {
+		for lock := uint64(0); lock < space; lock++ {
+			for key := uint64(0); key < space; key++ {
+				if key == lock {
+					continue
+				}
+				s := c.TagSyndrome(lock) ^ c.TagSyndrome(key)
+				tally = tally.Add(classifyTagOnly(c, s))
+			}
+		}
+		return tally
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < limit; trial++ {
+		lock := rng.Uint64() & c.TagMask()
+		key := rng.Uint64() & c.TagMask()
+		for key == lock {
+			key = rng.Uint64() & c.TagMask()
+		}
+		s := c.TagSyndrome(lock) ^ c.TagSyndrome(key)
+		tally = tally.Add(classifyTagOnly(c, s))
+	}
+	return tally
+}
+
+func classifyTagOnly(c *core.Code, s uint64) Outcome {
+	res := c.DecodeSyndrome(s, 0)
+	switch res.Status {
+	case core.StatusTMM:
+		return OutcomeTMM
+	case core.StatusDUE:
+		return OutcomeDUE
+	case core.StatusCorrected:
+		return OutcomeSDC // a tag mismatch flipping a data bit would be silent corruption
+	default:
+		return OutcomeSDC // undetected mismatch: the alias the construction forbids
+	}
+}
+
+// newRand builds the package's deterministic RNG (wrapped for reuse by
+// the pattern injectors).
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// RandomErrorsParallel splits a random-corruption campaign across
+// workers (deterministic per-worker seeds, tallies summed). Use for
+// paper-scale (1e8) trial counts.
+func RandomErrorsParallel(t Target, trials, workers int, seed int64) Tally {
+	if workers < 2 || trials < workers {
+		return RandomErrors(t, trials, seed)
+	}
+	tallies := make([]Tally, workers)
+	var wg sync.WaitGroup
+	per := trials / workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w == workers-1 {
+			n = trials - per*(workers-1)
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			tallies[w] = RandomErrors(t, n, seed+int64(w)*7919)
+		}(w, n)
+	}
+	wg.Wait()
+	var sum Tally
+	for _, x := range tallies {
+		sum.Total += x.Total
+		sum.CE += x.CE
+		sum.DUE += x.DUE
+		sum.TMM += x.TMM
+		sum.SDC += x.SDC
+	}
+	return sum
+}

@@ -1,0 +1,88 @@
+package reliability
+
+import "testing"
+
+func TestByteErrorsDetectedByAFT(t *testing.T) {
+	// A bit-oriented SEC-DED AFT code cannot correct byte errors, but it
+	// must never be silent on 2-bit ones, and overall byte-error SDC must
+	// be small (most patterns are detected, 1-bit ones corrected).
+	tgt := TargetAFT(aftCode(t, 256, 16, 15))
+	tally := ExhaustiveByteErrors(tgt)
+	wantTotal := uint64(272 / 8 * 255)
+	if tally.Total != wantTotal {
+		t.Fatalf("total = %d, want %d", tally.Total, wantTotal)
+	}
+	// Exactly the single-bit patterns are corrected: 8 per byte.
+	if tally.CE != uint64(272/8*8) {
+		t.Errorf("byte CE = %d, want %d", tally.CE, 272/8*8)
+	}
+	if tally.SDCRate() > 0.06 {
+		t.Errorf("byte SDC = %.4f, unexpectedly high", tally.SDCRate())
+	}
+	if tally.DERate()+tally.CERate()+tally.SDCRate() < 0.9999 {
+		t.Error("rates do not sum to 1")
+	}
+}
+
+func TestBurstErrors(t *testing.T) {
+	tgt := TargetAFT(aftCode(t, 64, 8, 5))
+	// b=1 degenerates to single-bit errors: all corrected.
+	tally, err := ExhaustiveBurstErrors(tgt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.CERate() != 1 {
+		t.Errorf("burst-1 CE = %v", tally.CERate())
+	}
+	// b=2: adjacent double-bit errors — all detected under SEC-DED.
+	tally, err = ExhaustiveBurstErrors(tgt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Total != uint64(72-1) {
+		t.Fatalf("burst-2 total = %d, want %d", tally.Total, 71)
+	}
+	if tally.DERate() != 1 {
+		t.Errorf("burst-2 DE = %v, want 1", tally.DERate())
+	}
+	// b=4: spans×2^2 patterns; never OK-silent beyond genuine aliasing.
+	tally, err = ExhaustiveBurstErrors(tgt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Total != uint64((72-3)*4) {
+		t.Fatalf("burst-4 total = %d", tally.Total)
+	}
+	if tally.CE != 0 {
+		t.Error("burst-4 cannot correct correctly")
+	}
+	if _, err := ExhaustiveBurstErrors(tgt, 0); err == nil {
+		t.Error("b=0 must fail")
+	}
+	if _, err := ExhaustiveBurstErrors(tgt, 25); err == nil {
+		t.Error("b=25 must fail")
+	}
+}
+
+func TestSampledKBitBytes(t *testing.T) {
+	tgt := TargetAFT(aftCode(t, 256, 16, 15))
+	tally, err := SampledKBitBytes(tgt, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Total != 20000 {
+		t.Fatalf("total = %d", tally.Total)
+	}
+	// Two corrupted bytes: nothing is correctly correctable; detection
+	// should dominate.
+	if tally.CE != 0 {
+		t.Error("double-byte errors cannot be correctly corrected")
+	}
+	if tally.DERate() < 0.9 {
+		t.Errorf("double-byte DE = %v, want ≥ 0.9", tally.DERate())
+	}
+	small := TargetAFT(aftCode(t, 8, 5, 1))
+	if _, err := SampledKBitBytes(small, 10, 1); err == nil {
+		t.Error("tiny targets must be rejected")
+	}
+}

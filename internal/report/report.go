@@ -1,0 +1,180 @@
+// Package report provides the small formatting toolkit shared by the
+// experiment drivers: aligned ASCII tables, CSV emission, and the
+// aggregate statistics the paper reports (harmonic-mean slowdowns,
+// maxima, percentiles).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple titled grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the table as CSV (quoting cells containing commas).
+func (t Table) WriteCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeLine(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HMeanSlowdown computes the harmonic-mean slowdown of a set of per-
+// workload slowdowns, the aggregate the paper reports for Figure 8b:
+// the harmonic mean is taken over the runtime ratios (1+s), matching the
+// standard "hmean of speedups" convention, then converted back.
+func HMeanSlowdown(slowdowns []float64) float64 {
+	if len(slowdowns) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range slowdowns {
+		sum += 1 / (1 + s)
+	}
+	return float64(len(slowdowns))/sum - 1
+}
+
+// HMean is the plain harmonic mean of positive values (used for the
+// footprint-bloat aggregate, which the paper reports as a harmonic mean).
+// Non-positive values are clamped to eps to keep the statistic defined.
+func HMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	const eps = 1e-9
+	sum := 0.0
+	for _, x := range xs {
+		if x < eps {
+			x = eps
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Pct formats a fraction as a percentage with the given decimals.
+func Pct(x float64, decimals int) string {
+	return fmt.Sprintf("%.*f%%", decimals, 100*x)
+}

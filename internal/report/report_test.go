@@ -1,0 +1,103 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	out := tbl.Render()
+	if !strings.Contains(out, "T\n=") {
+		t.Error("missing title underline")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "a  ") {
+		t.Errorf("header misaligned: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[5], "333") {
+		t.Errorf("row order wrong: %q", lines[5])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := Table{Header: []string{"x", "y"}}
+	tbl.AddRow("a,b", `say "hi"`)
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestHMeanSlowdown(t *testing.T) {
+	// Identical slowdowns: hmean equals them.
+	if got := HMeanSlowdown([]float64{0.1, 0.1}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("hmean of equal = %v", got)
+	}
+	// hmean of ratios {1.0, 2.0} = 2/(1+0.5) = 4/3 → slowdown 1/3.
+	if got := HMeanSlowdown([]float64{0, 1}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("hmean = %v, want 1/3", got)
+	}
+	if HMeanSlowdown(nil) != 0 {
+		t.Error("empty hmean should be 0")
+	}
+	// HMean slowdown is ≤ arithmetic mean.
+	xs := []float64{0.01, 0.2, 0.5}
+	if HMeanSlowdown(xs) > Mean(xs) {
+		t.Error("hmean should not exceed mean")
+	}
+}
+
+func TestHMean(t *testing.T) {
+	if got := HMean([]float64{1, 1}); got != 1 {
+		t.Errorf("HMean = %v", got)
+	}
+	if got := HMean([]float64{1, 3}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("HMean(1,3) = %v, want 1.5", got)
+	}
+	if HMean(nil) != 0 {
+		t.Error("empty HMean should be 0")
+	}
+	// Zero values are clamped, not crashing.
+	if got := HMean([]float64{0, 1}); got <= 0 {
+		t.Errorf("HMean with zero = %v", got)
+	}
+}
+
+func TestMaxMeanPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Max(xs) != 3 || Max(nil) != 0 {
+		t.Error("Max wrong")
+	}
+	if Mean(xs) != 2 || Mean(nil) != 0 {
+		t.Error("Mean wrong")
+	}
+	if Percentile(xs, 50) != 2 {
+		t.Errorf("P50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 100) != 3 || Percentile(xs, 0) != 1 {
+		t.Error("extreme percentiles wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.1234, 1) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.1234, 1))
+	}
+	if Pct(1, 0) != "100%" {
+		t.Errorf("Pct = %q", Pct(1, 0))
+	}
+}

@@ -1,0 +1,120 @@
+// Package retire models NVIDIA-style dynamic page retirement and the
+// security property §3.6 derives from alias-free tagging: "if a TMM
+// could be misattributed as a DUE, an attacker could maliciously trigger
+// the GPU persistent error retirement mechanisms to make them unusable."
+//
+// The retirement policy follows the published A100 memory-error
+// management rules in spirit: a page is retired after a single
+// uncorrectable (DUE) error or after repeated correctable errors. The
+// crucial input is the driver's Equation 7 diagnosis: faults classified
+// as tag mismatches are SECURITY events, not RELIABILITY events, and
+// must never count toward retirement — AFT-ECC makes that separation
+// sound because a pure TMM can never surface as a DUE.
+package retire
+
+import (
+	"fmt"
+
+	"repro/internal/imt"
+)
+
+// Policy decides when a page is retired.
+type Policy struct {
+	// PageBytes is the retirement granularity (64KB by default).
+	PageBytes uint64
+	// CEThreshold retires a page after this many corrected errors
+	// (NVIDIA documents multiple-SBE retirement; 2 by default).
+	CEThreshold int
+	// DUERetires: one uncorrectable error retires the page (true by
+	// default, as on A100-class parts).
+	DUERetires bool
+}
+
+// DefaultPolicy mirrors the documented dynamic-page-retirement behavior.
+func DefaultPolicy() Policy {
+	return Policy{PageBytes: 64 << 10, CEThreshold: 2, DUERetires: true}
+}
+
+// Manager tracks per-page error history and retirement state.
+type Manager struct {
+	policy Policy
+	driver *imt.Driver
+
+	ceCount map[uint64]int
+	retired map[uint64]bool
+
+	// Counters for the security analysis.
+	DUEEvents, CEEvents uint64
+	TMMEvents           uint64 // diagnosed tag mismatches: never retire
+	UnknownEvents       uint64 // no reference tag: conservatively counted
+}
+
+// NewManager builds a retirement manager. The driver supplies Equation 7
+// diagnosis; it may be nil, in which case every fatal fault counts as a
+// reliability event (the unsafe pre-IMT behavior the paper warns about).
+func NewManager(policy Policy, driver *imt.Driver) (*Manager, error) {
+	if policy.PageBytes == 0 || policy.PageBytes%4096 != 0 {
+		return nil, fmt.Errorf("retire: page size %d must be a positive multiple of 4096", policy.PageBytes)
+	}
+	if policy.CEThreshold < 1 {
+		return nil, fmt.Errorf("retire: CE threshold must be ≥ 1")
+	}
+	return &Manager{
+		policy:  policy,
+		driver:  driver,
+		ceCount: make(map[uint64]int),
+		retired: make(map[uint64]bool),
+	}, nil
+}
+
+func (m *Manager) page(addr uint64) uint64 { return addr / m.policy.PageBytes }
+
+// Retired reports whether the page containing addr has been retired.
+func (m *Manager) Retired(addr uint64) bool { return m.retired[m.page(addr)] }
+
+// RetiredPages returns the number of retired pages.
+func (m *Manager) RetiredPages() int { return len(m.retired) }
+
+// RecordCorrected feeds a corrected (single-bit) error at addr.
+func (m *Manager) RecordCorrected(addr uint64) {
+	m.CEEvents++
+	p := m.page(addr)
+	m.ceCount[p]++
+	if m.ceCount[p] >= m.policy.CEThreshold {
+		m.retired[p] = true
+	}
+}
+
+// RecordFault feeds a fatal fault through driver diagnosis. Faults the
+// driver attributes to tag mismatches (pure TMMs) are security events
+// and never advance retirement; DUEs and BOTHs do. Without a driver (or
+// without a reference tag) the hardware attribution is trusted — which
+// is exactly the misattribution channel AFT-ECC closes, since its
+// hardware attribution can misreport a DUE as TMM but never a TMM as
+// DUE (§3.6).
+func (m *Manager) RecordFault(f imt.Fault) {
+	kind := f.Kind
+	if m.driver != nil {
+		switch diag := m.driver.Diagnose(f); diag.Kind {
+		case imt.DiagnosisTMM:
+			m.TMMEvents++
+			return // a security event: page stays in service
+		case imt.DiagnosisDUE, imt.DiagnosisBoth:
+			kind = imt.FaultDUE
+		default:
+			m.UnknownEvents++
+			// No reference tag: fall back to the hardware attribution.
+		}
+	}
+	if kind == imt.FaultTMM {
+		// Hardware says TMM. With AFT-ECC this is either a real mismatch
+		// or a misattributed even-weight data error; treating it as a
+		// security event is safe for retirement (a flaky page will keep
+		// producing odd-weight DUEs and CEs too) and is what keeps
+		// attacker-induced TMMs out of the reliability statistics.
+		m.TMMEvents++
+		return
+	}
+	m.DUEEvents++
+	m.retired[m.page(f.Addr)] = true
+}

@@ -1,0 +1,170 @@
+package retire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/imt"
+	"repro/internal/tagalloc"
+)
+
+func setup(t *testing.T) (*imt.Memory, *imt.Driver, *Manager, *tagalloc.Allocator) {
+	t.Helper()
+	mem, err := imt.NewMemory(imt.IMT16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := imt.NewDriver(mem)
+	mgr, err := NewManager(DefaultPolicy(), drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := tagalloc.New(mem, drv, tagalloc.ScudoTagger{TagBits: 15}, 0x100000, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, drv, mgr, heap
+}
+
+func TestAttackerCannotRetirePages(t *testing.T) {
+	// The §3.6 security argument: an attacker spamming tag mismatches
+	// must not be able to poison the reliability statistics or retire
+	// pages.
+	mem, _, mgr, heap := setup(t)
+	victim, err := heap.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mem.Config()
+	for i := 0; i < 100; i++ {
+		evil := cfg.MakePointer(cfg.Addr(victim), cfg.KeyTag(victim)^uint64(1+i%1000))
+		_, rerr := mem.Read(evil, 1)
+		var f *imt.Fault
+		if !errors.As(rerr, &f) {
+			t.Fatal("attack read did not fault")
+		}
+		mgr.RecordFault(*f)
+	}
+	if mgr.RetiredPages() != 0 {
+		t.Fatalf("attacker retired %d pages", mgr.RetiredPages())
+	}
+	if mgr.TMMEvents != 100 || mgr.DUEEvents != 0 {
+		t.Fatalf("attribution: TMM=%d DUE=%d", mgr.TMMEvents, mgr.DUEEvents)
+	}
+	if mgr.Retired(cfg.Addr(victim)) {
+		t.Fatal("victim page retired")
+	}
+}
+
+func TestGenuineDUERetiresPage(t *testing.T) {
+	mem, _, mgr, heap := setup(t)
+	p, err := heap.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mem.Config()
+	addr := cfg.Addr(p)
+	// An odd multi-bit error: a genuine uncorrectable hardware fault.
+	if err := mem.InjectError(addr, 3, 30, 60); err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := mem.Read(p, 1)
+	var f *imt.Fault
+	if !errors.As(rerr, &f) {
+		t.Fatal("expected fault")
+	}
+	mgr.RecordFault(*f)
+	if !mgr.Retired(addr) {
+		t.Fatal("genuine DUE did not retire the page")
+	}
+	if mgr.DUEEvents != 1 || mgr.TMMEvents != 0 {
+		t.Fatalf("attribution: %+v", mgr)
+	}
+}
+
+func TestRepeatedCorrectablesRetire(t *testing.T) {
+	_, _, mgr, _ := setup(t)
+	mgr.RecordCorrected(0x12345)
+	if mgr.RetiredPages() != 0 {
+		t.Fatal("one CE should not retire")
+	}
+	mgr.RecordCorrected(0x12400) // same 64KB page
+	if !mgr.Retired(0x12345) {
+		t.Fatal("second CE on the page should retire it")
+	}
+	if mgr.CEEvents != 2 {
+		t.Fatalf("CE events = %d", mgr.CEEvents)
+	}
+}
+
+func TestMisattributedDataErrorStaysSafe(t *testing.T) {
+	// An even-weight (2-bit) data error decodes as a TMM in hardware.
+	// With driver diagnosis it is precisely reclassified as a DUE (Ref =
+	// Key ≠ Lock-estimate) and retires the page — misattribution costs
+	// nothing when Equation 7 runs.
+	mem, _, mgr, heap := setup(t)
+	p, err := heap.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mem.Config()
+	addr := cfg.Addr(p)
+	if err := mem.InjectError(addr, 7, 19); err != nil { // even weight
+		t.Fatal(err)
+	}
+	_, rerr := mem.Read(p, 1)
+	var f *imt.Fault
+	if !errors.As(rerr, &f) {
+		t.Fatal("expected fault")
+	}
+	if f.Kind != imt.FaultTMM {
+		t.Fatalf("hardware should misattribute an even error as TMM, got %v", f.Kind)
+	}
+	mgr.RecordFault(*f)
+	if !mgr.Retired(addr) {
+		t.Fatal("driver diagnosis should reclassify the misattributed DUE and retire")
+	}
+	if mgr.DUEEvents != 1 {
+		t.Fatalf("DUE events = %d", mgr.DUEEvents)
+	}
+}
+
+func TestWithoutDriverHardwareAttributionStillSafe(t *testing.T) {
+	// Even without precise diagnosis, AFT-ECC's one-way misattribution
+	// (never TMM→DUE) means attacker TMMs cannot retire pages.
+	mem, err := imt.NewMemory(imt.IMT16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mem.Config()
+	if err := mem.Retag(0x4000, 0x11); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		_, rerr := mem.Read(cfg.MakePointer(0x4000, 0x22), 1)
+		var f *imt.Fault
+		if !errors.As(rerr, &f) {
+			t.Fatal("expected fault")
+		}
+		mgr.RecordFault(*f)
+	}
+	if mgr.RetiredPages() != 0 {
+		t.Fatal("driverless TMMs retired pages")
+	}
+	if mgr.TMMEvents != 50 {
+		t.Fatalf("TMM events = %d", mgr.TMMEvents)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := NewManager(Policy{PageBytes: 100, CEThreshold: 2}, nil); err == nil {
+		t.Error("unaligned page size must fail")
+	}
+	if _, err := NewManager(Policy{PageBytes: 4096, CEThreshold: 0}, nil); err == nil {
+		t.Error("zero CE threshold must fail")
+	}
+}

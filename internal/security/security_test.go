@@ -1,0 +1,167 @@
+package security
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imt"
+	"repro/internal/tagalloc"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.6f, want %.6f ± %.6f", name, got, want, tol)
+	}
+}
+
+func TestClosedFormsMatchTable1(t *testing.T) {
+	// Table 1's security rows.
+	cases := []struct {
+		tagBits                       int
+		glibcTags, scudoTags          int
+		glibcDetect, scudoNonAdjacent float64
+	}{
+		{4, 14, 7, 0.92857, 0.85714},         // SPARC ADI / ARM MTE
+		{9, 510, 255, 0.99804, 0.99608},      // IMT-10
+		{8, 254, 127, 0.99606, 0.99212},      // iso-security-10 carve-out
+		{15, 32766, 16383, 0.99997, 0.99994}, // IMT-16
+		{16, 65534, 32767, 0.99998, 0.99997}, // iso-security-16 carve-out
+	}
+	for _, c := range cases {
+		g := Glibc(c.tagBits)
+		if g.NumTags != c.glibcTags {
+			t.Errorf("glibc(%d) NumTags = %d, want %d", c.tagBits, g.NumTags, c.glibcTags)
+		}
+		approx(t, "glibc adjacent", g.Adjacent, c.glibcDetect, 1e-4)
+		approx(t, "glibc non-adjacent", g.NonAdjacent, c.glibcDetect, 1e-4)
+
+		s := Scudo(c.tagBits)
+		if s.NumTags != c.scudoTags {
+			t.Errorf("scudo(%d) NumTags = %d, want %d", c.tagBits, s.NumTags, c.scudoTags)
+		}
+		if s.Adjacent != 1 {
+			t.Errorf("scudo(%d) adjacent = %v, want 1", c.tagBits, s.Adjacent)
+		}
+		approx(t, "scudo non-adjacent", s.NonAdjacent, c.scudoNonAdjacent, 1e-4)
+	}
+}
+
+func TestMisdetectionImprovementMatchesPaper(t *testing.T) {
+	// §5.4: IMT-10 has 36× and IMT-16 2340× lower misdetection than the
+	// 4-bit industry schemes.
+	mte := Glibc(4)
+	if f := MisdetectionImprovement(mte, Glibc(9)); math.Abs(f-510.0/14) > 0.5 {
+		t.Errorf("IMT-10 improvement = %.1f, want ≈ %.1f", f, 510.0/14)
+	}
+	if f := MisdetectionImprovement(mte, Glibc(15)); math.Abs(f-32766.0/14) > 5 {
+		t.Errorf("IMT-16 improvement = %.1f, want ≈ %.1f", f, 32766.0/14)
+	}
+}
+
+func TestForgedKeyTagDegradesScudo(t *testing.T) {
+	s := Scudo(15)
+	if ForgedKeyTag(s) != s.NonAdjacent {
+		t.Error("forged key tags should reduce Scudo to its probabilistic rate")
+	}
+}
+
+func TestSimulationMatchesClosedFormGlibc(t *testing.T) {
+	for _, tb := range []int{4, 9} {
+		g := Glibc(tb)
+		res, err := SimulateAttacks(tagalloc.GlibcTagger{TagBits: tb}, 32, 20000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Monte-Carlo tolerance ~4σ of a Bernoulli with p = 1/NumTags.
+		p := 1 / float64(g.NumTags)
+		tol := 4 * math.Sqrt(p*(1-p)/20000)
+		approx(t, "glibc sim adjacent", res.AdjacentDetected, g.Adjacent, tol+1e-3)
+		approx(t, "glibc sim non-adjacent", res.NonAdjacentDetected, g.NonAdjacent, tol+1e-3)
+		approx(t, "glibc sim UAF", res.UseAfterFreeCaught, g.NonAdjacent, tol+1e-3)
+	}
+}
+
+func TestSimulationMatchesClosedFormScudo(t *testing.T) {
+	for _, tb := range []int{4, 9, 15} {
+		s := Scudo(tb)
+		res, err := SimulateAttacks(tagalloc.ScudoTagger{TagBits: tb}, 32, 20000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AdjacentDetected != 1 {
+			t.Errorf("scudo(%d) sim adjacent = %v, want exactly 1", tb, res.AdjacentDetected)
+		}
+		p := 1 / float64(s.NumTags)
+		tol := 4*math.Sqrt(p*(1-p)/20000) + 1e-3
+		approx(t, "scudo sim non-adjacent", res.NonAdjacentDetected, s.NonAdjacent, tol)
+	}
+}
+
+func TestSimulateAttacksValidation(t *testing.T) {
+	if _, err := SimulateAttacks(tagalloc.GlibcTagger{TagBits: 4}, 1, 10, 1); err == nil {
+		t.Error("objects < 2 must be rejected")
+	}
+}
+
+func TestScudoBeatsGlibcAdjacentButNotNonAdjacent(t *testing.T) {
+	// The §5.4 trade-off: Scudo trades 2× non-adjacent misdetection for a
+	// deterministic adjacent guarantee.
+	g, s := Glibc(15), Scudo(15)
+	if !(s.Adjacent > g.Adjacent) {
+		t.Error("Scudo should dominate on adjacent overflows")
+	}
+	if !(s.NonAdjacent < g.NonAdjacent) {
+		t.Error("Scudo should trail on non-adjacent overflows")
+	}
+	ratio := (1 - s.NonAdjacent) / (1 - g.NonAdjacent)
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("misdetection penalty = %.3f, want ≈ 2", ratio)
+	}
+}
+
+func TestEndToEndCampaignScudo(t *testing.T) {
+	res, err := RunHeapCampaign(imt.IMT16, tagalloc.ScudoTagger{TagBits: 15}, 16, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scudo: adjacent overflows always caught, end to end.
+	if res.AdjacentDetected != 1 {
+		t.Errorf("adjacent = %v, want exactly 1", res.AdjacentDetected)
+	}
+	// Non-adjacent: probabilistic near 1 − 1/16383; with 300 trials a
+	// single miss is already unlikely, so require ≥ 0.99.
+	if res.NonAdjacentDetected < 0.99 {
+		t.Errorf("non-adjacent = %v", res.NonAdjacentDetected)
+	}
+	// UAF: quarantine retag makes pre-reuse dangling reads deterministic.
+	if res.UAFDetected != 1 {
+		t.Errorf("UAF = %v, want exactly 1", res.UAFDetected)
+	}
+	// Every detected attack is a pure tag mismatch and the driver must
+	// classify it as such (no attacker-visible DUEs — the §3.6 property).
+	if res.DiagnosedTMM != 1 {
+		t.Errorf("precise TMM diagnosis = %v, want 1", res.DiagnosedTMM)
+	}
+}
+
+func TestEndToEndCampaignSmallTags(t *testing.T) {
+	// With 4-bit tags the misses become visible at campaign scale.
+	res, err := RunHeapCampaign(imt.IMT16, tagalloc.GlibcTagger{TagBits: 4}, 16, 800, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Glibc(4)
+	tol := 4*math.Sqrt((1-g.NonAdjacent)*g.NonAdjacent/800) + 0.01
+	approx(t, "e2e adjacent (4b)", res.AdjacentDetected, g.Adjacent, tol)
+	approx(t, "e2e non-adjacent (4b)", res.NonAdjacentDetected, g.NonAdjacent, tol)
+	if res.DiagnosedTMM != 1 {
+		t.Errorf("diagnosis = %v", res.DiagnosedTMM)
+	}
+}
+
+func TestRunHeapCampaignValidation(t *testing.T) {
+	if _, err := RunHeapCampaign(imt.IMT16, tagalloc.GlibcTagger{TagBits: 4}, 2, 5, 1); err == nil {
+		t.Error("too few objects must fail")
+	}
+}

@@ -1,0 +1,267 @@
+package tagalloc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/imt"
+)
+
+// Object describes one heap allocation.
+type Object struct {
+	Base uint64 // granule-aligned start address
+	Size uint64 // requested size in bytes
+	// GranuleSize is the footprint after rounding Size up to the tagging
+	// granularity — the source of the paper's §5 footprint-bloat numbers.
+	GranuleSize uint64
+	Tag         uint64
+	Live        bool
+}
+
+// Allocator is a tagging heap allocator over an IMT memory. It hands out
+// tagged pointers, retags granules on allocation and free, and keeps the
+// driver's reference-tag map in sync (enabling §4.3 precise diagnosis).
+//
+// Freed regions are retagged immediately with a fresh tag, so dangling
+// pointers fault until the memory is reused by an allocation that happens
+// to draw the old tag — the temporal-safety guarantee of memory tagging.
+type Allocator struct {
+	mu     sync.Mutex
+	mem    *imt.Memory
+	driver *imt.Driver
+	tagger Tagger
+	rng    *rand.Rand
+
+	base, end, brk uint64
+	objects        []*Object // sorted by Base; includes dead objects until reuse
+	objCount       int
+
+	// RequestedBytes and FootprintBytes accumulate live totals for bloat
+	// accounting.
+	RequestedBytes, FootprintBytes uint64
+}
+
+// New creates an allocator managing [heapBase, heapBase+heapSize). The
+// driver may be nil if precise diagnosis is not needed.
+func New(mem *imt.Memory, driver *imt.Driver, tagger Tagger, heapBase, heapSize uint64, seed int64) (*Allocator, error) {
+	g := uint64(mem.Config().GranuleBytes)
+	if heapBase%g != 0 || heapSize%g != 0 {
+		return nil, fmt.Errorf("tagalloc: heap [%#x,+%#x) not %d-byte aligned", heapBase, heapSize, g)
+	}
+	return &Allocator{
+		mem:    mem,
+		driver: driver,
+		tagger: tagger,
+		rng:    rand.New(rand.NewSource(seed)),
+		base:   heapBase,
+		end:    heapBase + heapSize,
+		brk:    heapBase,
+	}, nil
+}
+
+// Memory returns the backing tagged memory.
+func (a *Allocator) Memory() *imt.Memory { return a.mem }
+
+// Tagger returns the retagging policy in use.
+func (a *Allocator) Tagger() Tagger { return a.tagger }
+
+// releaser is an optional Tagger extension: taggers that maintain a
+// checked-out tag pool (DeterministicTagger) reclaim tags here.
+type releaser interface {
+	Release(tag uint64)
+}
+
+// slotTagger is an optional Tagger extension: taggers whose tag is a
+// function of the slot identity (GenerationTagger) implement it.
+type slotTagger interface {
+	TagFor(slotBase uint64) uint64
+}
+
+// chooseTag picks a tag for the object at base, honoring slot-aware
+// taggers.
+func (a *Allocator) chooseTag(base uint64, leftTag uint64, hasLeft bool) uint64 {
+	if st, ok := a.tagger.(slotTagger); ok {
+		return st.TagFor(base)
+	}
+	return a.tagger.NextTag(a.rng, leftTag, hasLeft, a.objCount)
+}
+
+// granules rounds size up to whole granules.
+func (a *Allocator) granules(size uint64) uint64 {
+	g := uint64(a.mem.Config().GranuleBytes)
+	return (size + g - 1) / g * g
+}
+
+// Malloc allocates size bytes and returns a pointer carrying the object's
+// key tag. The backing granules are retagged to the new lock tag.
+func (a *Allocator) Malloc(size uint64) (imt.Pointer, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("tagalloc: zero-size allocation")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	footprint := a.granules(size)
+
+	// First fit over dead objects whose footprint fits, else bump.
+	var obj *Object
+	for _, o := range a.objects {
+		if !o.Live && o.GranuleSize >= footprint {
+			obj = o
+			break
+		}
+	}
+	if obj == nil {
+		if a.brk+footprint > a.end {
+			return 0, fmt.Errorf("tagalloc: out of memory (%d bytes requested, %d free)", size, a.end-a.brk)
+		}
+		obj = &Object{Base: a.brk, GranuleSize: footprint}
+		a.brk += footprint
+		i := sort.Search(len(a.objects), func(i int) bool { return a.objects[i].Base >= obj.Base })
+		a.objects = append(a.objects, nil)
+		copy(a.objects[i+1:], a.objects[i:])
+		a.objects[i] = obj
+	}
+
+	obj.Size = size
+	reused := obj.Live == false && obj.Tag != 0
+	obj.Live = true
+	leftTag, hasLeft := a.leftNeighborTag(obj.Base)
+	oldTag := obj.Tag
+	obj.Tag = a.chooseTag(obj.Base, leftTag, hasLeft)
+	if rel, ok := a.tagger.(releaser); ok && reused {
+		// Reclaim the quarantine tag of the slot being reused — after the
+		// new draw, so a LIFO pool cannot hand the stale tag straight back.
+		rel.Release(oldTag)
+	}
+	a.objCount++
+
+	g := uint64(a.mem.Config().GranuleBytes)
+	for off := uint64(0); off < obj.GranuleSize; off += g {
+		if err := a.mem.Retag(obj.Base+off, obj.Tag); err != nil {
+			return 0, err
+		}
+	}
+	if a.driver != nil {
+		// A reused slot is still registered; refresh its tag instead.
+		if _, ok := a.driver.ReferenceTag(obj.Base); ok {
+			if err := a.driver.UpdateTag(obj.Base, obj.Tag); err != nil {
+				return 0, err
+			}
+		} else if err := a.driver.RegisterAllocation(obj.Base, obj.GranuleSize, obj.Tag); err != nil {
+			return 0, err
+		}
+	}
+	a.RequestedBytes += size
+	a.FootprintBytes += obj.GranuleSize
+	return a.mem.Config().MakePointer(obj.Base, obj.Tag), nil
+}
+
+// Free releases the allocation addressed by p. The pointer's key tag must
+// match the object's current lock tag — a mismatched or double free is
+// reported as an error. The granules are immediately retagged with a fresh
+// tag so stale pointers fault.
+func (a *Allocator) Free(p imt.Pointer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cfg := a.mem.Config()
+	addr, key := cfg.Addr(p), cfg.KeyTag(p)
+	obj := a.objectAt(addr)
+	if obj == nil || obj.Base != addr {
+		return fmt.Errorf("tagalloc: free of non-allocation address %#x", addr)
+	}
+	if !obj.Live {
+		return fmt.Errorf("tagalloc: double free at %#x", addr)
+	}
+	if obj.Tag != key {
+		return fmt.Errorf("tagalloc: free with stale key tag %#x (lock %#x) at %#x", key, obj.Tag, addr)
+	}
+	obj.Live = false
+	a.RequestedBytes -= obj.Size
+	a.FootprintBytes -= obj.GranuleSize
+
+	// Quarantine retag: pick a fresh tag different from the old one so the
+	// freed region is unreachable through stale pointers. The old tag is
+	// released (for pool-based taggers) only after the quarantine draw.
+	leftTag, hasLeft := a.leftNeighborTag(obj.Base)
+	newTag := obj.Tag
+	for attempts := 0; newTag == obj.Tag; attempts++ {
+		newTag = a.chooseTag(obj.Base, leftTag, hasLeft)
+		if attempts > 1<<16 {
+			break // degenerate single-tag configurations
+		}
+	}
+	if rel, ok := a.tagger.(releaser); ok {
+		rel.Release(obj.Tag)
+	}
+	obj.Tag = newTag
+	g := uint64(cfg.GranuleBytes)
+	for off := uint64(0); off < obj.GranuleSize; off += g {
+		if err := a.mem.Retag(obj.Base+off, newTag); err != nil {
+			return err
+		}
+	}
+	if a.driver != nil {
+		if err := a.driver.UpdateTag(obj.Base, newTag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// objectAt returns the object (live or dead) containing addr.
+func (a *Allocator) objectAt(addr uint64) *Object {
+	i := sort.Search(len(a.objects), func(i int) bool {
+		return a.objects[i].Base+a.objects[i].GranuleSize > addr
+	})
+	if i < len(a.objects) && a.objects[i].Base <= addr {
+		return a.objects[i]
+	}
+	return nil
+}
+
+// leftNeighborTag finds the tag of the object immediately preceding base.
+func (a *Allocator) leftNeighborTag(base uint64) (uint64, bool) {
+	i := sort.Search(len(a.objects), func(i int) bool { return a.objects[i].Base >= base })
+	if i > 0 && a.objects[i-1].Base+a.objects[i-1].GranuleSize == base {
+		return a.objects[i-1].Tag, true
+	}
+	return 0, false
+}
+
+// Objects returns a snapshot of all tracked objects in address order.
+func (a *Allocator) Objects() []Object {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Object, len(a.objects))
+	for i, o := range a.objects {
+		out[i] = *o
+	}
+	return out
+}
+
+// LiveCount returns the number of live allocations.
+func (a *Allocator) LiveCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, o := range a.objects {
+		if o.Live {
+			n++
+		}
+	}
+	return n
+}
+
+// FootprintBloat returns the relative overhead of granule rounding for the
+// currently live allocations: footprint/requested − 1. This is the
+// quantity behind the paper's §5 "memory footprint bloat" discussion.
+func (a *Allocator) FootprintBloat() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.RequestedBytes == 0 {
+		return 0
+	}
+	return float64(a.FootprintBytes)/float64(a.RequestedBytes) - 1
+}

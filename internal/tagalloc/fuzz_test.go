@@ -1,0 +1,94 @@
+package tagalloc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/imt"
+)
+
+// FuzzAllocatorScript interprets an arbitrary byte string as a sequence
+// of heap operations (malloc / free / write / read / stale access) and
+// asserts the allocator+memory invariants hold for every interleaving:
+// live pointers always work, freed pointers always fault, and internal
+// accounting never diverges.
+func FuzzAllocatorScript(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 3, 4})
+	f.Add([]byte{4, 4, 4})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		mem, err := imt.NewMemory(imt.IMT16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv := imt.NewDriver(mem)
+		heap, err := New(mem, drv, ScudoTagger{TagBits: 15}, 0x100000, 1<<20, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var live []imt.Pointer
+		var freed []imt.Pointer
+		for i, op := range script {
+			switch op % 5 {
+			case 0: // malloc
+				size := uint64(8 + int(op)*3%200)
+				p, err := heap.Malloc(size)
+				if err != nil {
+					continue // heap exhaustion is legitimate
+				}
+				live = append(live, p)
+			case 1: // free the oldest live pointer
+				if len(live) == 0 {
+					continue
+				}
+				p := live[0]
+				live = live[1:]
+				if err := heap.Free(p); err != nil {
+					t.Fatalf("op %d: free of live pointer failed: %v", i, err)
+				}
+				freed = append(freed, p)
+			case 2: // write through a live pointer
+				if len(live) == 0 {
+					continue
+				}
+				p := live[int(op)%len(live)]
+				if err := mem.Write(p, []byte{op, op ^ 0xFF}); err != nil {
+					t.Fatalf("op %d: write through live pointer faulted: %v", i, err)
+				}
+			case 3: // read through a live pointer
+				if len(live) == 0 {
+					continue
+				}
+				p := live[int(op)%len(live)]
+				if _, err := mem.Read(p, 2); err != nil {
+					t.Fatalf("op %d: read through live pointer faulted: %v", i, err)
+				}
+			case 4: // stale access must fault (until the slot is reused,
+				// which the allocator may do — then the tag still differs)
+				if len(freed) == 0 {
+					continue
+				}
+				p := freed[int(op)%len(freed)]
+				_, err := mem.Read(p, 1)
+				var fault *imt.Fault
+				if err == nil {
+					t.Fatalf("op %d: stale pointer read succeeded", i)
+				}
+				if !errors.As(err, &fault) {
+					t.Fatalf("op %d: stale read returned non-fault error %v", i, err)
+				}
+			}
+		}
+		if heap.LiveCount() != len(live) {
+			t.Fatalf("live accounting: allocator %d vs script %d", heap.LiveCount(), len(live))
+		}
+		if drv.TrackedAllocations() < heap.LiveCount() {
+			t.Fatal("driver lost reference-tag records")
+		}
+	})
+}

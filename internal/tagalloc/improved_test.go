@@ -1,0 +1,198 @@
+package tagalloc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imt"
+)
+
+func detAlloc(t *testing.T, tagBits int) *Allocator {
+	t.Helper()
+	mem, err := imt.NewMemory(imt.IMT16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(mem, nil, &DeterministicTagger{TagBits: tagBits}, 0x10000, 1<<20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDeterministicAllLiveTagsDistinct(t *testing.T) {
+	// §7.3: deterministic detection while live allocations ≤ NumTags —
+	// every pair of live objects must differ, not just with probability
+	// 1−1/NumTags.
+	a := detAlloc(t, 6) // 62 usable tags
+	cfg := a.Memory().Config()
+	var ptrs []imt.Pointer
+	for i := 0; i < 62; i++ {
+		p, err := a.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	seen := map[uint64]bool{}
+	for _, p := range ptrs {
+		tag := cfg.KeyTag(p)
+		if seen[tag] {
+			t.Fatalf("duplicate live tag %#x — deterministic guarantee broken", tag)
+		}
+		seen[tag] = true
+	}
+	// Every cross-object overflow is therefore detected.
+	for i := 0; i < 10; i++ {
+		victim, target := ptrs[i], ptrs[61-i]
+		displacement := int64(cfg.Addr(target) - cfg.Addr(victim))
+		_, err := a.Memory().Read(cfg.WithOffset(victim, displacement), 1)
+		var f *imt.Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("overflow %d→%d undetected under deterministic tagging", i, 61-i)
+		}
+	}
+}
+
+func TestDeterministicRecyclesOnFree(t *testing.T) {
+	a := detAlloc(t, 6)
+	dt := a.Tagger().(*DeterministicTagger)
+	var ptrs []imt.Pointer
+	for i := 0; i < 30; i++ {
+		p, err := a.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	// Free draws a quarantine tag and releases the live one: live count
+	// stays bounded by allocations + quarantined slots.
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dt.Saturated != 0 {
+		t.Fatalf("pool saturated unexpectedly: %d", dt.Saturated)
+	}
+	// Churn well past the tag count: recycling must keep the pool alive.
+	for i := 0; i < 300; i++ {
+		p, err := a.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dt.Saturated != 0 {
+		t.Fatalf("recycling failed: %d saturated draws over churn", dt.Saturated)
+	}
+}
+
+func TestDeterministicSaturationFallback(t *testing.T) {
+	d := &DeterministicTagger{TagBits: 4} // 14 usable tags
+	rng := rand.New(rand.NewSource(1))
+	seen := map[uint64]bool{}
+	for i := 0; i < 14; i++ {
+		tag := d.NextTag(rng, 0, false, i)
+		if seen[tag] {
+			t.Fatalf("pool handed out duplicate %#x", tag)
+		}
+		seen[tag] = true
+	}
+	if d.LiveTags() != 14 {
+		t.Fatalf("LiveTags = %d", d.LiveTags())
+	}
+	// Pool dry: falls back to random, never reserved, never left neighbor.
+	for i := 0; i < 200; i++ {
+		tag := d.NextTag(rng, 0x5, true, i)
+		if tag == 0 || tag == 0xF || tag == 0x5 {
+			t.Fatalf("saturated draw returned invalid tag %#x", tag)
+		}
+	}
+	if d.Saturated != 200 {
+		t.Fatalf("Saturated = %d", d.Saturated)
+	}
+	d.Release(0x3)
+	if d.LiveTags() != 13 {
+		t.Fatalf("LiveTags after release = %d", d.LiveTags())
+	}
+	if (&DeterministicTagger{TagBits: 4}).Name() != "deterministic" {
+		t.Error("name wrong")
+	}
+}
+
+func TestGenerationTaggerUAFWindow(t *testing.T) {
+	// §7.3: a dangling pointer faults until the slot's generation wraps —
+	// NumTags reallocations, deterministically.
+	mem, err := imt.NewMemory(imt.IMT16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := &GenerationTagger{TagBits: 4} // tiny window (14) so the test can wrap it
+	a, err := New(mem, nil, gt, 0x20000, 1<<16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := a.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mem.Config()
+	base := cfg.Addr(p0)
+	if err := a.Free(p0); err != nil {
+		t.Fatal(err)
+	}
+	// Reallocate the same slot repeatedly; the stale p0 must fault for
+	// every generation except when the cycle returns to p0's tag.
+	faults, aliases := 0, 0
+	for i := 0; i < 40; i++ {
+		q, err := a.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Addr(q) != base {
+			t.Fatal("expected slot reuse")
+		}
+		if _, err := mem.Read(p0, 1); err != nil {
+			faults++
+		} else {
+			aliases++
+		}
+		if err := a.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aliases == 0 {
+		t.Fatal("generation cycle should eventually revisit the stale tag (period 14)")
+	}
+	if faults < 30 {
+		t.Fatalf("faults = %d, want the vast majority of the window", faults)
+	}
+	// The generation counter advanced twice per malloc/free cycle.
+	if gt.Generation(base) == 0 {
+		t.Fatal("generation not tracked")
+	}
+	if gt.Name() != "generation" {
+		t.Error("name wrong")
+	}
+}
+
+func TestGenerationTaggerDeterministicSequence(t *testing.T) {
+	g := &GenerationTagger{TagBits: 15}
+	first := g.TagFor(0x40)
+	second := g.TagFor(0x40)
+	other := g.TagFor(0x80)
+	if first == second {
+		t.Error("generations must advance per slot")
+	}
+	if other != first {
+		t.Error("distinct slots start from the same generation baseline")
+	}
+	// NextTag interface path derives a slot from the object index.
+	if g.NextTag(nil, 0, false, 7) == 0 {
+		t.Error("interface path returned reserved tag")
+	}
+}

@@ -1,0 +1,333 @@
+// Package tagtree implements the driver-side reference-tag store of
+// §4.3: the GPU driver "can be optionally augmented to precisely track
+// the tags associated with each memory object (perhaps through a
+// storage-efficient tree structure)". This is that structure — a
+// left-leaning red-black tree keyed by allocation base address, with
+// non-overlapping [base, base+size) intervals carrying a tag.
+//
+// Lookups are O(log n) and, as the paper notes, only run on the rare
+// fatal-error path; inserts and removes run on every allocation and
+// free, so balance matters for allocation-heavy GPU programs with
+// millions of live objects.
+package tagtree
+
+import "fmt"
+
+// Tree is a balanced interval→tag map. The zero value is an empty tree.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	base, size  uint64
+	tag         uint64
+	red         bool
+	left, right *node
+	// maxEnd is the subtree-augmented maximum interval end, used to prune
+	// stabbing queries.
+	maxEnd uint64
+}
+
+func (n *node) end() uint64 { return n.base + n.size }
+
+func isRed(n *node) bool { return n != nil && n.red }
+
+func (n *node) fix() *node {
+	n.maxEnd = n.end()
+	if n.left != nil && n.left.maxEnd > n.maxEnd {
+		n.maxEnd = n.left.maxEnd
+	}
+	if n.right != nil && n.right.maxEnd > n.maxEnd {
+		n.maxEnd = n.right.maxEnd
+	}
+	return n
+}
+
+func rotateLeft(h *node) *node {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	h.fix()
+	return x.fix()
+}
+
+func rotateRight(h *node) *node {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	h.fix()
+	return x.fix()
+}
+
+func flipColors(h *node) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+func balance(h *node) *node {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h.fix()
+}
+
+// Len returns the number of tracked allocations.
+func (t *Tree) Len() int { return t.size }
+
+// Insert records [base, base+size) with the tag. Overlap with an
+// existing interval is an error (allocations never overlap).
+func (t *Tree) Insert(base, size, tag uint64) error {
+	if size == 0 {
+		return fmt.Errorf("tagtree: zero-size interval at %#x", base)
+	}
+	if base+size < base {
+		return fmt.Errorf("tagtree: interval [%#x,+%#x) wraps the address space", base, size)
+	}
+	if n := t.stab(base); n != nil {
+		return fmt.Errorf("tagtree: [%#x,+%#x) overlaps [%#x,+%#x)", base, size, n.base, n.size)
+	}
+	if n := t.firstAtOrAfter(base); n != nil && n.base < base+size {
+		return fmt.Errorf("tagtree: [%#x,+%#x) overlaps [%#x,+%#x)", base, size, n.base, n.size)
+	}
+	t.root = insert(t.root, base, size, tag)
+	t.root.red = false
+	t.size++
+	return nil
+}
+
+func insert(h *node, base, size, tag uint64) *node {
+	if h == nil {
+		return &node{base: base, size: size, tag: tag, red: true, maxEnd: base + size}
+	}
+	switch {
+	case base < h.base:
+		h.left = insert(h.left, base, size, tag)
+	case base > h.base:
+		h.right = insert(h.right, base, size, tag)
+	default:
+		// Insert pre-checks overlap, so equal bases are unreachable; keep
+		// the tree consistent anyway by replacing.
+		h.size, h.tag = size, tag
+	}
+	return balance(h)
+}
+
+// Lookup returns the tag of the interval containing addr.
+func (t *Tree) Lookup(addr uint64) (tag uint64, ok bool) {
+	if n := t.stab(addr); n != nil {
+		return n.tag, true
+	}
+	return 0, false
+}
+
+// stab finds the interval containing addr (nil if none).
+func (t *Tree) stab(addr uint64) *node {
+	h := t.root
+	for h != nil {
+		if h.maxEnd <= addr {
+			return nil
+		}
+		if addr < h.base {
+			h = h.left
+			continue
+		}
+		if addr < h.end() {
+			return h
+		}
+		// addr ≥ h.end(): the match, if any, is in either subtree whose
+		// maxEnd exceeds addr; bases > addr cannot contain it, so only
+		// the left subtree and right subtree with base ≤ addr qualify.
+		if h.left != nil && h.left.maxEnd > addr {
+			// A left-subtree interval could still span addr.
+			if n := stabIn(h.left, addr); n != nil {
+				return n
+			}
+		}
+		h = h.right
+	}
+	return nil
+}
+
+func stabIn(h *node, addr uint64) *node {
+	for h != nil {
+		if h.maxEnd <= addr {
+			return nil
+		}
+		if addr < h.base {
+			h = h.left
+			continue
+		}
+		if addr < h.end() {
+			return h
+		}
+		if h.left != nil && h.left.maxEnd > addr {
+			if n := stabIn(h.left, addr); n != nil {
+				return n
+			}
+		}
+		h = h.right
+	}
+	return nil
+}
+
+// firstAtOrAfter returns the interval with the smallest base ≥ addr.
+func (t *Tree) firstAtOrAfter(addr uint64) *node {
+	var best *node
+	h := t.root
+	for h != nil {
+		if h.base >= addr {
+			best = h
+			h = h.left
+		} else {
+			h = h.right
+		}
+	}
+	return best
+}
+
+// UpdateTag changes the tag of the interval containing addr.
+func (t *Tree) UpdateTag(addr, tag uint64) error {
+	if n := t.stab(addr); n != nil {
+		n.tag = tag
+		return nil
+	}
+	return fmt.Errorf("tagtree: no interval covers %#x", addr)
+}
+
+// Remove deletes the interval whose base is exactly base.
+func (t *Tree) Remove(base uint64) error {
+	if t.root == nil {
+		return fmt.Errorf("tagtree: no interval based at %#x", base)
+	}
+	if !contains(t.root, base) {
+		return fmt.Errorf("tagtree: no interval based at %#x", base)
+	}
+	t.root = remove(t.root, base)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return nil
+}
+
+func contains(h *node, base uint64) bool {
+	for h != nil {
+		switch {
+		case base < h.base:
+			h = h.left
+		case base > h.base:
+			h = h.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func moveRedLeft(h *node) *node {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight(h *node) *node {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func minNode(h *node) *node {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func removeMin(h *node) *node {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = removeMin(h.left)
+	return balance(h)
+}
+
+func remove(h *node, base uint64) *node {
+	if base < h.base {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = remove(h.left, base)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if base == h.base && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if base == h.base {
+			m := minNode(h.right)
+			h.base, h.size, h.tag = m.base, m.size, m.tag
+			h.right = removeMin(h.right)
+		} else {
+			h.right = remove(h.right, base)
+		}
+	}
+	return balance(h)
+}
+
+// Walk visits every interval in base order; fn returning false stops.
+func (t *Tree) Walk(fn func(base, size, tag uint64) bool) {
+	walk(t.root, fn)
+}
+
+func walk(h *node, fn func(base, size, tag uint64) bool) bool {
+	if h == nil {
+		return true
+	}
+	if !walk(h.left, fn) {
+		return false
+	}
+	if !fn(h.base, h.size, h.tag) {
+		return false
+	}
+	return walk(h.right, fn)
+}
+
+// Height returns the tree height (for balance diagnostics and tests).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(h *node) int {
+	if h == nil {
+		return 0
+	}
+	l, r := height(h.left), height(h.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

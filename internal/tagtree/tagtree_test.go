@@ -1,0 +1,244 @@
+package tagtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBasicInsertLookup(t *testing.T) {
+	var tr Tree
+	if err := tr.Insert(0x100, 0x40, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(0x200, 0x20, 9); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	cases := []struct {
+		addr uint64
+		tag  uint64
+		ok   bool
+	}{
+		{0x100, 7, true}, {0x13F, 7, true}, {0x140, 0, false},
+		{0x0FF, 0, false}, {0x200, 9, true}, {0x21F, 9, true}, {0x220, 0, false},
+	}
+	for _, c := range cases {
+		tag, ok := tr.Lookup(c.addr)
+		if ok != c.ok || (ok && tag != c.tag) {
+			t.Errorf("Lookup(%#x) = %d,%v want %d,%v", c.addr, tag, ok, c.tag, c.ok)
+		}
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	var tr Tree
+	if err := tr.Insert(0x100, 0x100, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ base, size uint64 }{
+		{0x100, 0x100}, // identical
+		{0x180, 0x10},  // inside
+		{0x0C0, 0x80},  // spans the start
+		{0x1F0, 0x20},  // spans the end
+		{0x080, 0x200}, // engulfs
+	} {
+		if err := tr.Insert(c.base, c.size, 2); err == nil {
+			t.Errorf("overlap [%#x,+%#x) accepted", c.base, c.size)
+		}
+	}
+	// Adjacent is fine.
+	if err := tr.Insert(0x200, 0x10, 2); err != nil {
+		t.Errorf("adjacent insert rejected: %v", err)
+	}
+	if err := tr.Insert(0x0F0, 0x10, 3); err != nil {
+		t.Errorf("left-adjacent insert rejected: %v", err)
+	}
+	if err := tr.Insert(0x300, 0, 1); err == nil {
+		t.Error("zero-size must fail")
+	}
+	if err := tr.Insert(^uint64(0)-4, 64, 1); err == nil {
+		t.Error("wrapping interval must fail")
+	}
+}
+
+func TestUpdateAndRemove(t *testing.T) {
+	var tr Tree
+	if err := tr.Insert(0x40, 0x40, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.UpdateTag(0x50, 42); err != nil {
+		t.Fatal(err)
+	}
+	if tag, _ := tr.Lookup(0x7F); tag != 42 {
+		t.Error("UpdateTag did not stick")
+	}
+	if err := tr.UpdateTag(0x100, 1); err == nil {
+		t.Error("UpdateTag outside intervals must fail")
+	}
+	if err := tr.Remove(0x40); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Lookup(0x50); ok {
+		t.Error("removed interval still resolves")
+	}
+	if err := tr.Remove(0x40); err == nil {
+		t.Error("double remove must fail")
+	}
+	if err := tr.Remove(0x999); err == nil {
+		t.Error("removing unknown base must fail")
+	}
+}
+
+// TestRandomizedAgainstReference drives the tree with a random workload
+// and cross-checks every operation against a naive map-based oracle.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tr Tree
+	type ival struct{ base, size, tag uint64 }
+	ref := map[uint64]ival{}
+
+	overlaps := func(base, size uint64) bool {
+		for _, iv := range ref {
+			if base < iv.base+iv.size && iv.base < base+size {
+				return true
+			}
+		}
+		return false
+	}
+	refLookup := func(addr uint64) (uint64, bool) {
+		for _, iv := range ref {
+			if addr >= iv.base && addr < iv.base+iv.size {
+				return iv.tag, true
+			}
+		}
+		return 0, false
+	}
+
+	const span = 1 << 16
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			base := uint64(rng.Intn(span)) * 32
+			size := uint64(1+rng.Intn(8)) * 32
+			tag := rng.Uint64() & 0x7FFF
+			err := tr.Insert(base, size, tag)
+			if overlaps(base, size) {
+				if err == nil {
+					t.Fatalf("op %d: overlap accepted at %#x", op, base)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("op %d: valid insert rejected: %v", op, err)
+				}
+				ref[base] = ival{base, size, tag}
+			}
+		case 2: // remove a random existing interval
+			if len(ref) == 0 {
+				continue
+			}
+			var base uint64
+			for b := range ref {
+				base = b
+				break
+			}
+			if err := tr.Remove(base); err != nil {
+				t.Fatalf("op %d: remove(%#x): %v", op, base, err)
+			}
+			delete(ref, base)
+		case 3: // lookup a random address
+			addr := uint64(rng.Intn(span * 32))
+			gotTag, gotOK := tr.Lookup(addr)
+			wantTag, wantOK := refLookup(addr)
+			if gotOK != wantOK || (gotOK && gotTag != wantTag) {
+				t.Fatalf("op %d: Lookup(%#x) = %d,%v want %d,%v", op, addr, gotTag, gotOK, wantTag, wantOK)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: len %d vs ref %d", op, tr.Len(), len(ref))
+		}
+	}
+
+	// Walk visits everything in base order.
+	var bases []uint64
+	tr.Walk(func(base, size, tag uint64) bool {
+		bases = append(bases, base)
+		return true
+	})
+	if len(bases) != len(ref) {
+		t.Fatalf("walk visited %d of %d", len(bases), len(ref))
+	}
+	if !sort.SliceIsSorted(bases, func(i, j int) bool { return bases[i] < bases[j] }) {
+		t.Fatal("walk out of order")
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	var tr Tree
+	// Sorted insertion is the classic BST worst case; an LLRB must stay
+	// logarithmic: height ≤ 2·log2(n+1).
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(uint64(i)*64, 64, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := tr.Height(); float64(h) > 2*math.Log2(n+1)+1 {
+		t.Errorf("height %d too tall for n=%d", h, n)
+	}
+	// Spot-check lookups across the range.
+	for i := 0; i < n; i += 997 {
+		tag, ok := tr.Lookup(uint64(i)*64 + 13)
+		if !ok || tag != uint64(i) {
+			t.Fatalf("lookup %d = %d,%v", i, tag, ok)
+		}
+	}
+	// Delete every other interval and re-verify.
+	for i := 0; i < n; i += 2 {
+		if err := tr.Remove(uint64(i) * 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Lookup(uint64(i) * 64)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("after deletion: lookup %d ok=%v", i, ok)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(uint64(i)*32, 32, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	tr.Walk(func(base, size, tag uint64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if _, ok := tr.Lookup(0); ok {
+		t.Error("empty tree lookup")
+	}
+	if err := tr.Remove(0); err == nil {
+		t.Error("empty tree remove must fail")
+	}
+	if tr.Height() != 0 || tr.Len() != 0 {
+		t.Error("empty tree dimensions")
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestCatalogPopulation(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != CatalogSize {
+		t.Fatalf("catalog = %d, want %d", len(cat), CatalogSize)
+	}
+	suites := BySuite(cat)
+	if n := len(suites[SuiteStream]); n != 8 {
+		t.Errorf("STREAM = %d, want 8", n)
+	}
+	if n := len(suites[SuiteMLPerf]); n != 60 {
+		t.Errorf("MLPerf = %d, want 60", n)
+	}
+	if n := len(suites[SuiteHPC]); n != 125 {
+		t.Errorf("HPC+SLA = %d, want 125", n)
+	}
+	seen := map[string]bool{}
+	ids := map[int]bool{}
+	for _, w := range cat {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if ids[w.ID] || w.ID == 0 {
+			t.Errorf("bad or duplicate ID %d", w.ID)
+		}
+		ids[w.ID] = true
+		if w.OpsPerSM <= 0 || w.FootprintBytes == 0 {
+			t.Errorf("%s: degenerate parameters", w.Name)
+		}
+		if len(w.AllocSizes) == 0 {
+			t.Errorf("%s: missing allocation model", w.Name)
+		}
+	}
+}
+
+func TestTracesAreDeterministic(t *testing.T) {
+	w := Catalog()[20]
+	a := w.Traces(2)
+	b := w.Traces(2)
+	for sm := 0; sm < 2; sm++ {
+		for i := 0; i < 50; i++ {
+			opA, okA := a[sm].Next()
+			opB, okB := b[sm].Next()
+			if okA != okB || opA.Store != opB.Store || opA.Compute != opB.Compute {
+				t.Fatalf("trace nondeterministic at sm=%d op=%d", sm, i)
+			}
+			if len(opA.Addrs) != len(opB.Addrs) {
+				t.Fatalf("address count differs at sm=%d op=%d", sm, i)
+			}
+			for j := range opA.Addrs {
+				if opA.Addrs[j] != opB.Addrs[j] {
+					t.Fatalf("address differs at sm=%d op=%d addr=%d", sm, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTracesStayInFootprint(t *testing.T) {
+	for _, w := range Catalog() {
+		traces := w.Traces(2)
+		limit := w.FootprintBytes + 4096 // patterns may round tiny footprints up
+		for sm, tr := range traces {
+			for i := 0; i < 200; i++ {
+				op, ok := tr.Next()
+				if !ok {
+					break
+				}
+				if len(op.Addrs) == 0 {
+					t.Fatalf("%s sm%d op%d: empty op", w.Name, sm, i)
+				}
+				for _, a := range op.Addrs {
+					if a >= limit*2 { // strided tiles may shift by sm*tile
+						t.Fatalf("%s sm%d op%d: address %#x far outside footprint %#x", w.Name, sm, i, a, w.FootprintBytes)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEveryWorkloadSimulates(t *testing.T) {
+	// Smoke-run a representative from each pattern class on a small
+	// machine to guarantee the generator/simulator contract holds.
+	cfg := gpusim.DefaultConfig()
+	byPattern := map[Pattern]Workload{}
+	for _, w := range Catalog() {
+		if _, ok := byPattern[w.Pattern]; !ok {
+			w.OpsPerSM = 300
+			byPattern[w.Pattern] = w
+		}
+	}
+	for p, w := range byPattern {
+		sim, err := gpusim.New(cfg, w.Traces(cfg.NumSMs))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		st, err := sim.Run(0)
+		if err != nil {
+			t.Fatalf("%v (%s): %v", p, w.Name, err)
+		}
+		if st.WarpOps == 0 || st.Cycles == 0 {
+			t.Errorf("%v: empty run", p)
+		}
+	}
+}
+
+func TestFootprintBloat(t *testing.T) {
+	w := Workload{AllocSizes: []uint64{16}, AllocCounts: []int{4}}
+	if b := w.FootprintBloat(32); math.Abs(b-1.0) > 1e-9 {
+		t.Errorf("16B allocs: bloat = %v, want 1.0", b)
+	}
+	w = Workload{AllocSizes: []uint64{64}, AllocCounts: []int{4}}
+	if b := w.FootprintBloat(32); b != 0 {
+		t.Errorf("aligned allocs: bloat = %v, want 0", b)
+	}
+	w = Workload{AllocSizes: []uint64{48, 32}, AllocCounts: []int{1, 1}}
+	// 48→64, 32→32: (96/80)−1 = 0.2
+	if b := w.FootprintBloat(32); math.Abs(b-0.2) > 1e-9 {
+		t.Errorf("mixed allocs: bloat = %v, want 0.2", b)
+	}
+	if (Workload{}).FootprintBloat(32) != 0 {
+		t.Error("empty model must be 0")
+	}
+	// Counts default to 1 when missing.
+	w = Workload{AllocSizes: []uint64{100, 100}}
+	if w.TotalAllocBytes() != 200 {
+		t.Error("missing counts should default to 1")
+	}
+}
+
+func TestBloatPopulationShape(t *testing.T) {
+	// The §5 claim: small-footprint programs show visible bloat, large
+	// ones do not.
+	var smallMax, largeMax float64
+	for _, w := range Catalog() {
+		b := w.FootprintBloat(32)
+		if w.TotalAllocBytes() <= 1<<20 {
+			if b > smallMax {
+				smallMax = b
+			}
+		} else if b > largeMax {
+			largeMax = b
+		}
+	}
+	if smallMax < 0.2 {
+		t.Errorf("small-footprint max bloat = %.2f, want visible (paper: 50%%)", smallMax)
+	}
+	if largeMax > 0.05 {
+		t.Errorf("large-footprint max bloat = %.2f, want negligible (paper: 1.8%%)", largeMax)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		PatternStream: "stream", PatternStrided: "strided", PatternStencil: "stencil",
+		PatternSparse: "sparse", PatternRandomFine: "random-fine", PatternGather: "gather",
+	} {
+		if p.String() != want {
+			t.Errorf("pattern %d = %q", int(p), p.String())
+		}
+	}
+}

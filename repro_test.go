@@ -1,0 +1,73 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/imt"
+)
+
+func TestFacadeAFTECC(t *testing.T) {
+	code, err := NewAFTECC(256, 16, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.TS() != 15 || code.K() != 256 {
+		t.Error("facade returned wrong code")
+	}
+	if _, err := NewAFTECC(256, 10, 10); err == nil {
+		t.Error("invalid tag size must be rejected through the facade")
+	}
+	ts, err := MaxTagSize(256, 10)
+	if err != nil || ts != 9 {
+		t.Errorf("MaxTagSize = %d, %v", ts, err)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	mem, drv, err := NewIMT16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := NewScudoAllocator(mem, drv, 0x10000, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := heap.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Write(p, []byte("end-to-end")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Read(p, 10)
+	if err != nil || string(got) != "end-to-end" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	// An overflow past the allocation faults and the driver attributes it.
+	over := mem.Config().WithOffset(p, 64)
+	if _, err := heap.Malloc(32); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mem.Read(over, 1)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("overflow not caught: %v", err)
+	}
+	if diag := drv.Diagnose(*f); diag.Kind != imt.DiagnosisTMM {
+		t.Errorf("diagnosis = %v, want TMM", diag.Kind)
+	}
+}
+
+func TestFacadeIMT10(t *testing.T) {
+	mem, drv, err := NewIMT10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Config().TagBits != 9 {
+		t.Error("IMT-10 should carry 9-bit tags")
+	}
+	if _, err := NewGlibcAllocator(mem, drv, 0, 1<<16, 2); err != nil {
+		t.Fatal(err)
+	}
+}
