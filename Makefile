@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick examples fuzz clean
+.PHONY: all build test race bench repro repro-quick sweep-quick examples fuzz clean
 
 all: build test
 
@@ -11,10 +11,12 @@ build:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/runner ./internal/gpusim
 
 race:
-	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -25,6 +27,11 @@ repro:
 
 repro-quick:
 	$(GO) run ./cmd/imtrepro -quick -out results-quick
+
+# Cached quick sweep on the parallel experiment engine: the first run
+# simulates, later runs resolve every cell from .sweep-cache.
+sweep-quick:
+	$(GO) run ./cmd/imtsim -suite STREAM -mode carve-low -cache-dir .sweep-cache
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -40,4 +47,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzAllocatorScript -fuzztime=30s ./internal/tagalloc
 
 clean:
-	rm -rf results results-quick
+	rm -rf results results-quick .sweep-cache

@@ -4,13 +4,20 @@
 // Usage:
 //
 //	imtrepro [-out results] [-only fig5,table2,...] [-quick] [-stride N] [-trials N]
+//	         [-j N] [-cache-dir DIR] [-modes carve-low,bounds,...]
 //
 // Experiment ids: fig1, fig5, fig8, fig9, table1, table2, table3, bloat,
 // security, bounds, stealing, extsymbol (§7.1 symbol-code extension),
 // extcpu (§7.2 CPU-deployment extension), extalloc (§7.3 improved
-// allocators), extva57 (footnote-4 57-bit-VA evaluation). By default all run at paper
+// allocators), extva57 (footnote-4 57-bit-VA evaluation), and sweep (a
+// custom catalog sweep over the -modes list; runs only when named in
+// -only). By default all run at paper
 // scale (fig8, table1 and bounds simulate all 193 workloads; expect a
 // few minutes).
+//
+// The simulation sweeps fan out over -j workers on the experiment
+// engine; with -cache-dir, per-cell results are content-addressed on
+// disk and re-runs of unchanged cells perform no simulation at all.
 package main
 
 import (
@@ -23,15 +30,19 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		out    = flag.String("out", "results", "output directory")
-		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		quick  = flag.Bool("quick", false, "CI-scale trial counts and a workload subset")
-		stride = flag.Int("stride", 0, "override workload stride for fig8/table1/bounds")
-		trials = flag.Int("trials", 0, "override random-corruption trial count")
+		out      = flag.String("out", "results", "output directory")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		quick    = flag.Bool("quick", false, "CI-scale trial counts and a workload subset")
+		stride   = flag.Int("stride", 0, "override workload stride for fig8/table1/bounds")
+		trials   = flag.Int("trials", 0, "override random-corruption trial count")
+		workers  = flag.Int("j", 0, "concurrent simulations in the sweeps (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache for the sweeps (\"\" disables caching)")
+		modes    = flag.String("modes", "carve-low,carve-high,bounds", "modes for the custom sweep experiment")
 	)
 	flag.Parse()
 
@@ -44,6 +55,15 @@ func main() {
 	}
 	if *trials > 0 {
 		opts.RandomTrials = *trials
+	}
+	opts.Parallelism = *workers
+	opts.CacheDir = *cacheDir
+	opts.Progress = func(p runner.Progress) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d cells (cached %d, failed %d) %.1f cells/s",
+			p.Done, p.Total, p.Cached, p.Failed, p.CellsPerSec)
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -182,6 +202,20 @@ func main() {
 		check(err)
 		emit("bounds", r.Table())
 	})
+
+	// The custom sweep duplicates fig8/bounds work for arbitrary modes,
+	// so it only runs when asked for by name.
+	if want["sweep"] {
+		timed("sweep", func() {
+			ms, err := experiments.ParseSweepModes(strings.Split(*modes, ","))
+			check(err)
+			r, err := experiments.Sweep(opts, ms)
+			check(err)
+			emit("sweep", r.Table(), r.PerWorkloadTable())
+			fmt.Fprintf(os.Stderr, "sweep: %d simulator runs, %d cache hits, %d failed cells\n",
+				r.Runner.SimRuns, r.Runner.CacheHits, r.Runner.Failed)
+		})
+	}
 }
 
 func check(err error) {

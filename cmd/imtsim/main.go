@@ -1,93 +1,89 @@
 // Command imtsim runs the GPU memory-hierarchy simulator on one catalog
 // workload (or a whole suite) under a chosen tagging mode and prints the
-// performance statistics.
+// performance statistics. Sweeps fan out across a worker pool and can be
+// cached on disk, so a repeated run of an unchanged (workload, mode)
+// cell is free.
 //
 // Usage:
 //
 //	imtsim -list
 //	imtsim -workload stream-triad-48MB -mode carve-low
-//	imtsim -suite STREAM -mode carve-high
+//	imtsim -suite STREAM -mode carve-high -j 8 -cache-dir .sweep-cache
 //	imtsim -workload sla-spmv13 -record spmv.trc
 //	imtsim -replay spmv.trc -mode carve-low
 //
-// Modes: none, imt, ecc-steal, carve-low, carve-high, carve-mte, bounds.
-// Every run also simulates the untagged baseline and reports the slowdown.
-// -record captures the workload's warp-op stream to a trace file;
-// -replay simulates a previously recorded trace instead of a generator.
+// Modes: none, imt, ecc-steal, carve-out, carve-low, carve-high,
+// carve-mte, bounds-table (alias: bounds). Every run also simulates the
+// untagged baseline and reports the slowdown. -record captures the
+// workload's warp-op stream to a trace file; -replay simulates a
+// previously recorded trace instead of a generator.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"repro/internal/gpusim"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list catalog workloads and exit")
-		name   = flag.String("workload", "", "workload name to simulate")
-		suite  = flag.String("suite", "", "simulate every workload of a suite (MLPerf, HPC+SLA, STREAM)")
-		mode   = flag.String("mode", "carve-low", "tagging mode: none|imt|ecc-steal|carve-low|carve-high|carve-mte|bounds")
-		record = flag.String("record", "", "record the selected workload's trace to this file and exit")
-		replay = flag.String("replay", "", "simulate a recorded trace file instead of a catalog workload")
+		list     = flag.Bool("list", false, "list catalog workloads and exit")
+		name     = flag.String("workload", "", "workload name to simulate")
+		suite    = flag.String("suite", "", "simulate every workload of a suite (see -list)")
+		mode     = flag.String("mode", "carve-low", "tagging mode: "+strings.Join(gpusim.TagModeNames(), "|"))
+		record   = flag.String("record", "", "record the selected workload's trace to this file and exit")
+		replay   = flag.String("replay", "", "simulate a recorded trace file instead of a catalog workload")
+		workers  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (\"\" disables caching)")
 	)
 	flag.Parse()
 
-	cat := workload.Catalog()
 	if *list {
-		for _, w := range cat {
+		for _, w := range workload.Catalog() {
 			fmt.Printf("%3d  %-24s %-8s %-12v footprint=%dMB ops/SM=%d compute=%d\n",
 				w.ID, w.Name, w.Suite, w.Pattern, w.FootprintBytes>>20, w.OpsPerSM, w.ComputePerOp)
 		}
 		return
 	}
 
-	tagMode, carve, err := parseMode(*mode)
+	tagMode, carve, err := gpusim.ParseTagMode(*mode)
 	if err != nil {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *replay != "" {
-		f, err := os.Open(*replay)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		traces, err := gpusim.ReadTraces(f)
-		if err != nil {
-			fatal(err)
-		}
-		base, err := runTraces(traces, gpusim.ModeNone, gpusim.CarveOut{})
-		if err != nil {
-			fatal(err)
-		}
-		// Traces are one-shot: reload for the tagged run.
-		if _, err := f.Seek(0, 0); err != nil {
-			fatal(err)
-		}
-		traces, err = gpusim.ReadTraces(f)
-		if err != nil {
-			fatal(err)
-		}
-		tagged, err := runTraces(traces, tagMode, carve)
-		if err != nil {
-			fatal(err)
-		}
-		report(*replay, *mode, base, tagged)
+		replayTrace(ctx, *replay, *mode, tagMode, carve, *workers, *cacheDir)
 		return
 	}
 
 	var selected []workload.Workload
-	for _, w := range cat {
-		if (*name != "" && w.Name == *name) || (*suite != "" && w.Suite == *suite) {
-			selected = append(selected, w)
+	switch {
+	case *name != "":
+		for _, w := range workload.Catalog() {
+			if w.Name == *name {
+				selected = append(selected, w)
+			}
 		}
-	}
-	if len(selected) == 0 {
-		fatal(fmt.Errorf("no workload matches -workload=%q -suite=%q (try -list)", *name, *suite))
+		if len(selected) == 0 {
+			fatal(fmt.Errorf("no workload named %q (try -list)", *name))
+		}
+	case *suite != "":
+		selected = workload.BySuite(*suite)
+		if len(selected) == 0 {
+			fatal(fmt.Errorf("no suite named %q (valid: %s)", *suite, strings.Join(workload.Suites(), ", ")))
+		}
+	default:
+		fatal(fmt.Errorf("need -workload, -suite, -replay or -list"))
 	}
 
 	if *record != "" {
@@ -109,17 +105,99 @@ func main() {
 		return
 	}
 
+	// Two cells per workload — baseline and the requested mode — fanned
+	// across the worker pool with deterministic result ordering.
+	jobs := make([]runner.Job, 0, 2*len(selected))
 	for _, w := range selected {
-		base, err := run(w, gpusim.ModeNone, gpusim.CarveOut{})
-		if err != nil {
-			fatal(err)
-		}
-		tagged, err := run(w, tagMode, carve)
-		if err != nil {
-			fatal(err)
-		}
-		report(w.Name, *mode, base, tagged)
+		jobs = append(jobs,
+			runner.Job{Workload: w, Mode: gpusim.ModeNone},
+			runner.Job{Workload: w, Mode: tagMode, Carve: carve},
+		)
 	}
+	results, counters := sweep(ctx, jobs, *workers, *cacheDir, len(selected) > 1)
+	failed := 0
+	for i, w := range selected {
+		base, tagged := results[2*i], results[2*i+1]
+		if err := firstErr(base, tagged); err != nil {
+			fmt.Printf("%-24s %-10s FAILED: %v\n\n", w.Name, *mode, err)
+			failed++
+			continue
+		}
+		report(w.Name, *mode, base.Stats, tagged.Stats)
+	}
+	if len(selected) > 1 {
+		fmt.Printf("sweep: %d cells (%d cached, %d failed), %d simulator runs\n",
+			len(jobs), counters.CacheHits, counters.Failed, counters.SimRuns)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// sweep runs jobs on the engine, streaming a progress line to stderr for
+// multi-workload runs.
+func sweep(ctx context.Context, jobs []runner.Job, workers int, cacheDir string, progress bool) ([]runner.Result, runner.Counters) {
+	opts := runner.Options{Workers: workers, CacheDir: cacheDir}
+	if progress {
+		opts.Progress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells (cached %d, failed %d) %.1f cells/s",
+				p.Done, p.Total, p.Cached, p.Failed, p.CellsPerSec)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	eng := runner.New(gpusim.DefaultConfig(), opts)
+	results, err := eng.Run(ctx, jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	return results, eng.Counters()
+}
+
+// replayTrace reads a recorded trace once and drives both the baseline
+// and the tagged run from deep copies, so the one-shot stream can feed
+// two simulations.
+func replayTrace(ctx context.Context, path, modeName string, tagMode gpusim.TagMode, carve gpusim.CarveOut, workers int, cacheDir string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	traces, err := gpusim.ReadTraces(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	src := func(numSMs int) []gpusim.Trace {
+		cloned, err := gpusim.CloneTraces(traces)
+		if err != nil {
+			panic(err) // ReadTraces always yields cloneable SliceTraces
+		}
+		if len(cloned) > numSMs {
+			fatal(fmt.Errorf("trace has %d SMs but the machine only has %d", len(cloned), numSMs))
+		}
+		return cloned
+	}
+	// The cache key for replay cells is the trace file's identity plus
+	// its modification time, which is invalidated by re-recording.
+	key := ""
+	if st, err := os.Stat(path); err == nil {
+		key = fmt.Sprintf("replay:%s:%d:%d", path, st.Size(), st.ModTime().UnixNano())
+	}
+	jobs := []runner.Job{
+		{Mode: gpusim.ModeNone, Traces: src, Key: key},
+		{Mode: tagMode, Carve: carve, Traces: src, Key: key},
+	}
+	results, _ := sweep(ctx, jobs, workers, cacheDir, false)
+	if err := firstErr(results...); err != nil {
+		fatal(err)
+	}
+	report(path, modeName, results[0].Stats, results[1].Stats)
+}
+
+func firstErr(results ...runner.Result) error {
+	return runner.FirstError(results)
 }
 
 func report(name, mode string, base, tagged gpusim.Stats) {
@@ -129,49 +207,6 @@ func report(name, mode string, base, tagged gpusim.Stats) {
 	fmt.Printf("  slowdown: %.2f%%  read bloat: %.2f%%  baseline BW util: %.1f%%\n\n",
 		100*gpusim.Slowdown(base, tagged), 100*tagged.ReadBloat(),
 		100*base.BandwidthUtilization(gpusim.DefaultConfig()))
-}
-
-func runTraces(traces []gpusim.Trace, mode gpusim.TagMode, carve gpusim.CarveOut) (gpusim.Stats, error) {
-	cfg := gpusim.DefaultConfig()
-	cfg.Mode = mode
-	cfg.Carve = carve
-	sim, err := gpusim.New(cfg, traces)
-	if err != nil {
-		return gpusim.Stats{}, err
-	}
-	return sim.Run(0)
-}
-
-func parseMode(s string) (gpusim.TagMode, gpusim.CarveOut, error) {
-	switch s {
-	case "none":
-		return gpusim.ModeNone, gpusim.CarveOut{}, nil
-	case "imt":
-		return gpusim.ModeIMT, gpusim.CarveOut{}, nil
-	case "ecc-steal":
-		return gpusim.ModeECCSteal, gpusim.CarveOut{}, nil
-	case "carve-low":
-		return gpusim.ModeCarveOut, gpusim.CarveOutLow, nil
-	case "carve-high":
-		return gpusim.ModeCarveOut, gpusim.CarveOutHigh, nil
-	case "carve-mte":
-		return gpusim.ModeCarveOut, gpusim.CarveOutARMMTE, nil
-	case "bounds":
-		return gpusim.ModeBoundsTable, gpusim.CarveOut{}, nil
-	default:
-		return 0, gpusim.CarveOut{}, fmt.Errorf("unknown mode %q", s)
-	}
-}
-
-func run(w workload.Workload, mode gpusim.TagMode, carve gpusim.CarveOut) (gpusim.Stats, error) {
-	cfg := gpusim.DefaultConfig()
-	cfg.Mode = mode
-	cfg.Carve = carve
-	sim, err := gpusim.New(cfg, w.Traces(cfg.NumSMs))
-	if err != nil {
-		return gpusim.Stats{}, err
-	}
-	return sim.Run(0)
 }
 
 func fatal(err error) {

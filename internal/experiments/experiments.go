@@ -19,6 +19,7 @@ import (
 	"runtime"
 
 	"repro/internal/gpusim"
+	"repro/internal/runner"
 )
 
 // Options tunes experiment cost. The zero value runs paper-scale
@@ -35,6 +36,13 @@ type Options struct {
 	WorkloadStride int
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// CacheDir enables the runner's content-addressed on-disk result
+	// cache for the simulation sweeps (fig8, table1, bounds, sweep);
+	// "" disables caching.
+	CacheDir string
+	// Progress, when non-nil, receives runner snapshots as sweep cells
+	// complete (for command-line progress reporting).
+	Progress func(runner.Progress)
 	// GPU is the simulated machine (zero value → gpusim.DefaultConfig).
 	GPU gpusim.Config
 	// SecurityTrials for the attack Monte Carlo.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -197,9 +198,43 @@ func TestFig8AndTable1Quick(t *testing.T) {
 	}
 	opts := Quick()
 	opts.WorkloadStride = 24 // 9 workloads
+	opts.Parallelism = 1
+	opts.CacheDir = t.TempDir()
 	f, err := Fig8(opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if f.Runner.SimRuns == 0 || f.Runner.CacheHits != 0 {
+		t.Fatalf("cold -j1 run counters: %+v", f.Runner)
+	}
+
+	// The same sweep on 8 workers with a cold cache must produce
+	// byte-identical numbers: the runner's result ordering is
+	// deterministic and each cell's simulation is seed-deterministic.
+	wide := opts
+	wide.Parallelism = 8
+	wide.CacheDir = t.TempDir()
+	f8, err := Fig8(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Per, f8.Per) {
+		t.Fatal("-j1 and -j8 sweeps disagree")
+	}
+
+	// A warm-cache re-run performs zero gpusim.Sim.Run invocations.
+	warm, err := Fig8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Runner.SimRuns != 0 {
+		t.Fatalf("warm cache still simulated %d cells", warm.Runner.SimRuns)
+	}
+	if warm.Runner.CacheHits != f.Runner.SimRuns {
+		t.Fatalf("warm cache hits %d, want %d", warm.Runner.CacheHits, f.Runner.SimRuns)
+	}
+	if !reflect.DeepEqual(f.Per, warm.Per) {
+		t.Fatal("cached sweep disagrees with the simulated one")
 	}
 	if len(f.Per) == 0 {
 		t.Fatal("no workloads simulated")
@@ -369,6 +404,47 @@ func TestExtAllocQuick(t *testing.T) {
 	}
 	if r.Table().Render() == "" {
 		t.Error("empty table")
+	}
+}
+
+func TestSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	modes, err := ParseSweepModes([]string{"imt", "carve-low"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Quick()
+	opts.WorkloadStride = 48 // 5 workloads
+	r, err := Sweep(opts, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Per) != 5 || len(r.Modes) != 2 {
+		t.Fatalf("shape: %d workloads, %d modes", len(r.Per), len(r.Modes))
+	}
+	for _, p := range r.Per {
+		// IMT adds no memory traffic by construction: exactly the
+		// baseline machine, so exactly the baseline cycles.
+		if p.Slowdowns[0] != 0 {
+			t.Errorf("%s: IMT slowdown = %v, want 0", p.W.Name, p.Slowdowns[0])
+		}
+		if p.Slowdowns[1] < -0.01 {
+			t.Errorf("%s: carve-low slowdown = %v", p.W.Name, p.Slowdowns[1])
+		}
+	}
+	if r.Table().Render() == "" || r.PerWorkloadTable().Render() == "" {
+		t.Error("rendering failed")
+	}
+	if _, err := ParseSweepModes([]string{"imt", "imt"}); err == nil {
+		t.Error("duplicate modes must be rejected")
+	}
+	if _, err := ParseSweepModes([]string{"bogus"}); err == nil {
+		t.Error("unknown mode must be rejected")
+	}
+	if _, err := Sweep(opts, nil); err == nil {
+		t.Error("empty mode set must be rejected")
 	}
 }
 

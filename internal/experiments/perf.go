@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"repro/internal/gpusim"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -24,6 +25,9 @@ type WorkloadPerf struct {
 type Fig8Result struct {
 	Per []WorkloadPerf
 	GPU gpusim.Config
+	// Runner reports engine activity for the sweep (cache hits, actual
+	// simulator invocations, failures).
+	Runner runner.Counters
 }
 
 // SuiteAgg aggregates one suite (a Figure 8b bar pair).
@@ -35,29 +39,27 @@ type SuiteAgg struct {
 }
 
 // Fig8 simulates every (stride-selected) catalog workload under the
-// baseline and the low/high-tag-storage carve-outs.
+// baseline and the low/high-tag-storage carve-outs on the parallel
+// experiment engine.
 func Fig8(opts Options) (Fig8Result, error) {
 	opts = opts.fill()
-	cat := workload.Catalog()
-	var selected []workload.Workload
-	for i := 0; i < len(cat); i += opts.WorkloadStride {
-		selected = append(selected, cat[i])
+	selected := strideSelect(opts.WorkloadStride)
+	jobs := make([]runner.Job, 0, 3*len(selected))
+	for _, w := range selected {
+		jobs = append(jobs,
+			runner.Job{Workload: w, Mode: gpusim.ModeNone},
+			runner.Job{Workload: w, Mode: gpusim.ModeCarveOut, Carve: gpusim.CarveOutLow},
+			runner.Job{Workload: w, Mode: gpusim.ModeCarveOut, Carve: gpusim.CarveOutHigh},
+		)
 	}
 	res := Fig8Result{GPU: opts.GPU, Per: make([]WorkloadPerf, len(selected))}
-	err := forEachParallel(len(selected), opts.Parallelism, func(i int) error {
-		w := selected[i]
-		base, err := simulate(opts.GPU, w, gpusim.ModeNone, gpusim.CarveOut{})
-		if err != nil {
-			return err
-		}
-		low, err := simulate(opts.GPU, w, gpusim.ModeCarveOut, gpusim.CarveOutLow)
-		if err != nil {
-			return err
-		}
-		high, err := simulate(opts.GPU, w, gpusim.ModeCarveOut, gpusim.CarveOutHigh)
-		if err != nil {
-			return err
-		}
+	results, counters, err := runSweep(opts, jobs)
+	res.Runner = counters
+	if err != nil {
+		return res, err
+	}
+	for i, w := range selected {
+		base, low, high := results[3*i].Stats, results[3*i+1].Stats, results[3*i+2].Stats
 		res.Per[i] = WorkloadPerf{
 			W: w, Base: base, Low: low, High: high,
 			SlowLow:           gpusim.Slowdown(base, low),
@@ -66,46 +68,34 @@ func Fig8(opts Options) (Fig8Result, error) {
 			BloatHi:           high.ReadBloat(),
 			BandwidthUtilBase: base.BandwidthUtilization(opts.GPU),
 		}
-		return nil
+	}
+	return res, nil
+}
+
+// strideSelect picks every stride-th catalog workload.
+func strideSelect(stride int) []workload.Workload {
+	cat := workload.Catalog()
+	var selected []workload.Workload
+	for i := 0; i < len(cat); i += stride {
+		selected = append(selected, cat[i])
+	}
+	return selected
+}
+
+// runSweep drives a job set through the runner with the experiment
+// options' parallelism, cache and progress plumbing. All cells must
+// succeed: the first failed cell's error aborts the experiment.
+func runSweep(opts Options, jobs []runner.Job) ([]runner.Result, runner.Counters, error) {
+	eng := runner.New(opts.GPU, runner.Options{
+		Workers:  opts.Parallelism,
+		CacheDir: opts.CacheDir,
+		Progress: opts.Progress,
 	})
-	return res, err
-}
-
-func simulate(cfg gpusim.Config, w workload.Workload, mode gpusim.TagMode, carve gpusim.CarveOut) (gpusim.Stats, error) {
-	cfg.Mode = mode
-	cfg.Carve = carve
-	sim, err := gpusim.New(cfg, w.Traces(cfg.NumSMs))
-	if err != nil {
-		return gpusim.Stats{}, err
+	results, err := eng.Run(context.Background(), jobs)
+	if err == nil {
+		err = runner.FirstError(results)
 	}
-	st, err := sim.Run(0)
-	if err != nil {
-		return gpusim.Stats{}, fmt.Errorf("%s: %w", w.Name, err)
-	}
-	return st, nil
-}
-
-func forEachParallel(n, parallelism int, fn func(i int) error) error {
-	if parallelism < 1 {
-		parallelism = 1
-	}
-	sem := make(chan struct{}, parallelism)
-	errCh := make(chan error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				errCh <- err
-			}
-		}(i)
-	}
-	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return results, eng.Counters(), err
 }
 
 // Suites computes the Figure 8b aggregates.
@@ -184,6 +174,7 @@ type BoundsResult struct {
 	// HMeanAffected / MaxAffected aggregate only the affected workloads,
 	// as the paper reports (hmean 0.96%, max 14%).
 	HMeanAffected, MaxAffected float64
+	Runner                     runner.Counters
 }
 
 // BoundsPerf is one workload's bounds-check slowdown.
@@ -195,27 +186,22 @@ type BoundsPerf struct {
 // Bounds simulates the tagged base-and-bounds mode across the catalog.
 func Bounds(opts Options) (BoundsResult, error) {
 	opts = opts.fill()
-	cat := workload.Catalog()
-	var selected []workload.Workload
-	for i := 0; i < len(cat); i += opts.WorkloadStride {
-		selected = append(selected, cat[i])
+	selected := strideSelect(opts.WorkloadStride)
+	jobs := make([]runner.Job, 0, 2*len(selected))
+	for _, w := range selected {
+		jobs = append(jobs,
+			runner.Job{Workload: w, Mode: gpusim.ModeNone},
+			runner.Job{Workload: w, Mode: gpusim.ModeBoundsTable},
+		)
 	}
 	res := BoundsResult{Per: make([]BoundsPerf, len(selected))}
-	err := forEachParallel(len(selected), opts.Parallelism, func(i int) error {
-		w := selected[i]
-		base, err := simulate(opts.GPU, w, gpusim.ModeNone, gpusim.CarveOut{})
-		if err != nil {
-			return err
-		}
-		bounds, err := simulate(opts.GPU, w, gpusim.ModeBoundsTable, gpusim.CarveOut{})
-		if err != nil {
-			return err
-		}
-		res.Per[i] = BoundsPerf{W: w, Slowdown: gpusim.Slowdown(base, bounds)}
-		return nil
-	})
+	results, counters, err := runSweep(opts, jobs)
+	res.Runner = counters
 	if err != nil {
 		return res, err
+	}
+	for i, w := range selected {
+		res.Per[i] = BoundsPerf{W: w, Slowdown: gpusim.Slowdown(results[2*i].Stats, results[2*i+1].Stats)}
 	}
 	var affected []float64
 	for _, p := range res.Per {

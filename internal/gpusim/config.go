@@ -61,6 +61,39 @@ func (m TagMode) String() string {
 	}
 }
 
+// ParseTagMode maps a mode name to its TagMode and carve-out geometry.
+// It round-trips every TagMode.String() spelling (a bare "carve-out"
+// gets the low-tag-storage geometry) and additionally accepts the
+// carve-geometry shorthands used on the command line:
+//
+//	none, imt, ecc-steal, bounds-table (alias: bounds),
+//	carve-out, carve-low, carve-high, carve-mte
+func ParseTagMode(s string) (TagMode, CarveOut, error) {
+	switch s {
+	case "none":
+		return ModeNone, CarveOut{}, nil
+	case "imt":
+		return ModeIMT, CarveOut{}, nil
+	case "ecc-steal":
+		return ModeECCSteal, CarveOut{}, nil
+	case "carve-out", "carve-low":
+		return ModeCarveOut, CarveOutLow, nil
+	case "carve-high":
+		return ModeCarveOut, CarveOutHigh, nil
+	case "carve-mte":
+		return ModeCarveOut, CarveOutARMMTE, nil
+	case "bounds-table", "bounds":
+		return ModeBoundsTable, CarveOut{}, nil
+	default:
+		return 0, CarveOut{}, fmt.Errorf("gpusim: unknown tagging mode %q (want one of %v)", s, TagModeNames())
+	}
+}
+
+// TagModeNames lists the spellings ParseTagMode accepts, for usage text.
+func TagModeNames() []string {
+	return []string{"none", "imt", "ecc-steal", "carve-out", "carve-low", "carve-high", "carve-mte", "bounds-table", "bounds"}
+}
+
 // CarveOut describes the tag-store geometry for ModeCarveOut.
 type CarveOut struct {
 	// TagBits per granule and the granule size determine how much data

@@ -2,6 +2,7 @@ package gpusim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 )
 
@@ -181,10 +182,26 @@ func (s *Sim) tagSectorOf(sector uint64) uint64 {
 // Run executes to completion and returns the statistics. maxCycles guards
 // against pathological configurations (0 means a generous default).
 func (s *Sim) Run(maxCycles uint64) (Stats, error) {
+	return s.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every few thousand simulation steps, so a cancelled sweep abandons the
+// cell promptly without per-cycle overhead. The partial statistics
+// accumulated so far are returned alongside the context's error.
+func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
+	const ctxCheckInterval = 1 << 13
+	steps := 0
 	for {
+		if steps++; steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				s.stats.Cycles = s.now
+				return s.stats, err
+			}
+		}
 		progressed := s.step()
 		if s.finished() {
 			s.stats.Cycles = s.now

@@ -1,5 +1,7 @@
 package gpusim
 
+import "fmt"
+
 // WarpOp is one warp-wide memory instruction after address generation:
 // the per-thread addresses it touches, whether it stores, and the compute
 // cycles separating it from the next memory instruction (the workload's
@@ -44,6 +46,39 @@ func (s *SliceTrace) Next() (WarpOp, bool) {
 	op := s.Ops[s.pos]
 	s.pos++
 	return op, true
+}
+
+// Clone returns an independent, rewound deep copy of the trace (the ops
+// and their address slices are copied, so the two streams never alias).
+func (s *SliceTrace) Clone() Trace {
+	ops := make([]WarpOp, len(s.Ops))
+	for i, op := range s.Ops {
+		op.Addrs = append([]uint64(nil), op.Addrs...)
+		ops[i] = op
+	}
+	return &SliceTrace{Ops: ops}
+}
+
+// CloneTraces deep-copies materialized traces so one recorded stream can
+// drive several simulations (a Trace is otherwise a one-shot stream that
+// the first Sim consumes). Every input must implement Clone() Trace —
+// ReadTraces results and SliceTrace qualify; generator-backed traces
+// such as FuncTrace do not, because their closures may carry hidden
+// state (an RNG) that a shallow copy would share. Nil entries (idle SMs)
+// are preserved.
+func CloneTraces(traces []Trace) ([]Trace, error) {
+	out := make([]Trace, len(traces))
+	for i, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		c, ok := tr.(interface{ Clone() Trace })
+		if !ok {
+			return nil, fmt.Errorf("gpusim: trace %d (%T) is not cloneable; materialize it into a SliceTrace first", i, tr)
+		}
+		out[i] = c.Clone()
+	}
+	return out, nil
 }
 
 // FuncTrace adapts a generator function yielding n ops.

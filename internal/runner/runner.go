@@ -1,0 +1,251 @@
+// Package runner is the parallel experiment engine behind every gpusim
+// sweep: it fans (workload × tagging-mode) simulation cells across a
+// worker pool with deterministic result ordering, per-cell panic
+// isolation (a crashing simulation marks one cell failed instead of
+// killing the sweep), cooperative context cancellation, and an optional
+// content-addressed on-disk result cache so re-runs of unchanged cells
+// are free. internal/experiments and the cmds drive all catalog sweeps
+// through it.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpusim"
+	"repro/internal/workload"
+)
+
+// Job is one simulation cell: a workload under one tagging configuration.
+// The engine's base gpusim.Config supplies the machine; the job's Mode
+// and Carve are applied on top of it.
+type Job struct {
+	Workload workload.Workload
+	Mode     gpusim.TagMode
+	Carve    gpusim.CarveOut
+	// MaxCycles caps the simulation (0 = gpusim's default guard).
+	MaxCycles uint64
+
+	// Traces optionally overrides the workload's trace generator (e.g. a
+	// recorded trace replay); it is called once per simulation and must
+	// return independent, rewound traces each call. Because a function
+	// cannot be hashed, cells with a Traces override are cached only when
+	// Key names their content.
+	Traces func(numSMs int) []gpusim.Trace
+	// Key is the cache identity of a Traces override (ignored otherwise).
+	Key string
+}
+
+// Result is one completed (or failed) cell, in the same position as its
+// job: Run's result slice is index-aligned with the job slice regardless
+// of worker scheduling, so aggregation order is deterministic.
+type Result struct {
+	Job    Job
+	Stats  gpusim.Stats
+	Err    error // non-nil when the cell failed (config error, sim error, or panic)
+	Cached bool
+}
+
+// Progress is a snapshot delivered after every completed cell.
+type Progress struct {
+	Total, Done, Cached, Failed int
+	// CellsPerSec is the overall completion rate since Run started.
+	CellsPerSec float64
+}
+
+// Counters aggregates engine activity across Run calls. SimRuns counts
+// actual gpusim.Sim.Run invocations — on a fully warm cache it stays 0.
+type Counters struct {
+	SimRuns     uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	Failed      uint64
+	Panics      uint64
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir enables the on-disk result cache ("" disables caching).
+	CacheDir string
+	// Progress, when non-nil, is called (serialized) after every cell.
+	Progress func(Progress)
+}
+
+// Engine runs simulation cells over a fixed machine configuration.
+type Engine struct {
+	cfg   gpusim.Config
+	opts  Options
+	cache *diskCache
+
+	simRuns     atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	failed      atomic.Uint64
+	panics      atomic.Uint64
+}
+
+// New builds an engine for the machine configuration. Mode and Carve in
+// cfg are ignored — each job supplies its own.
+func New(cfg gpusim.Config, opts Options) *Engine {
+	e := &Engine{cfg: cfg, opts: opts}
+	if opts.CacheDir != "" {
+		e.cache = &diskCache{dir: opts.CacheDir}
+	}
+	return e
+}
+
+// Counters returns a snapshot of the engine's activity counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		SimRuns:     e.simRuns.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		CacheMisses: e.cacheMisses.Load(),
+		Failed:      e.failed.Load(),
+		Panics:      e.panics.Load(),
+	}
+}
+
+// Run executes all jobs and returns one result per job, index-aligned.
+// Individual cell failures are reported in Result.Err (see FirstError);
+// Run itself only errors when the context is cancelled, in which case
+// cells that never ran carry the context's error.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		start    = time.Now()
+		mu       sync.Mutex // guards prog + the Progress callback
+		prog     = Progress{Total: len(jobs)}
+		idx      = make(chan int)
+		wg       sync.WaitGroup
+	)
+	report := func(r Result) {
+		mu.Lock()
+		prog.Done++
+		if r.Cached {
+			prog.Cached++
+		}
+		if r.Err != nil {
+			prog.Failed++
+		}
+		snap := prog
+		if el := time.Since(start).Seconds(); el > 0 {
+			snap.CellsPerSec = float64(prog.Done) / el
+		}
+		cb := e.opts.Progress
+		mu.Unlock()
+		if cb != nil {
+			cb(snap)
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Job: jobs[i], Err: err}
+					e.failed.Add(1)
+					report(results[i])
+					continue
+				}
+				results[i] = e.runJob(ctx, jobs[i])
+				if results[i].Err != nil {
+					e.failed.Add(1)
+				}
+				report(results[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// runJob resolves one cell through the cache or a fresh simulation.
+func (e *Engine) runJob(ctx context.Context, job Job) Result {
+	res := Result{Job: job}
+	cacheable := e.cache != nil && (job.Traces == nil || job.Key != "")
+	var key string
+	if cacheable {
+		key = e.cache.keyFor(e.cellConfig(job), job)
+		if st, ok := e.cache.load(key); ok {
+			e.cacheHits.Add(1)
+			res.Stats, res.Cached = st, true
+			return res
+		}
+		e.cacheMisses.Add(1)
+	}
+	res.Stats, res.Err = e.simulate(ctx, job)
+	if res.Err == nil && cacheable {
+		e.cache.store(key, res.Stats)
+	}
+	return res
+}
+
+// cellConfig is the engine configuration with the job's tagging applied.
+func (e *Engine) cellConfig(job Job) gpusim.Config {
+	cfg := e.cfg
+	cfg.Mode = job.Mode
+	cfg.Carve = job.Carve
+	return cfg
+}
+
+// simulate runs one cell, converting panics into cell errors so a
+// pathological (workload, mode) pair cannot take down the whole sweep.
+func (e *Engine) simulate(ctx context.Context, job Job) (st gpusim.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			err = fmt.Errorf("runner: %s/%s panicked: %v", job.Workload.Name, job.Mode, r)
+		}
+	}()
+	cfg := e.cellConfig(job)
+	var traces []gpusim.Trace
+	if job.Traces != nil {
+		traces = job.Traces(cfg.NumSMs)
+	} else {
+		traces = job.Workload.Traces(cfg.NumSMs)
+	}
+	sim, err := gpusim.New(cfg, traces)
+	if err != nil {
+		return gpusim.Stats{}, fmt.Errorf("runner: %s/%s: %w", job.Workload.Name, job.Mode, err)
+	}
+	e.simRuns.Add(1)
+	st, err = sim.RunContext(ctx, job.MaxCycles)
+	if err != nil {
+		return st, fmt.Errorf("runner: %s/%s: %w", job.Workload.Name, job.Mode, err)
+	}
+	return st, nil
+}
+
+// FirstError returns the error of the first failed cell, if any — the
+// aggregation-friendly reduction for sweeps that need every cell.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

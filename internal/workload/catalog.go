@@ -34,11 +34,28 @@ func Catalog() []Workload {
 	return ws
 }
 
-// BySuite partitions a catalog by suite name, preserving order.
-func BySuite(ws []Workload) map[string][]Workload {
-	out := make(map[string][]Workload)
-	for _, w := range ws {
-		out[w.Suite] = append(out[w.Suite], w)
+// Suites returns the catalog's suite names in first-appearance order —
+// the valid arguments to BySuite.
+func Suites() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, w := range Catalog() {
+		if !seen[w.Suite] {
+			seen[w.Suite] = true
+			out = append(out, w.Suite)
+		}
+	}
+	return out
+}
+
+// BySuite returns the catalog workloads belonging to the named suite in
+// catalog order, or nil for an unknown name (see Suites).
+func BySuite(name string) []Workload {
+	var out []Workload
+	for _, w := range Catalog() {
+		if w.Suite == name {
+			out = append(out, w)
+		}
 	}
 	return out
 }

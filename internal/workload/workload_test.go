@@ -12,15 +12,28 @@ func TestCatalogPopulation(t *testing.T) {
 	if len(cat) != CatalogSize {
 		t.Fatalf("catalog = %d, want %d", len(cat), CatalogSize)
 	}
-	suites := BySuite(cat)
-	if n := len(suites[SuiteStream]); n != 8 {
+	if n := len(BySuite(SuiteStream)); n != 8 {
 		t.Errorf("STREAM = %d, want 8", n)
 	}
-	if n := len(suites[SuiteMLPerf]); n != 60 {
+	if n := len(BySuite(SuiteMLPerf)); n != 60 {
 		t.Errorf("MLPerf = %d, want 60", n)
 	}
-	if n := len(suites[SuiteHPC]); n != 125 {
+	if n := len(BySuite(SuiteHPC)); n != 125 {
 		t.Errorf("HPC+SLA = %d, want 125", n)
+	}
+	if BySuite("no-such-suite") != nil {
+		t.Error("unknown suite should be nil")
+	}
+	suiteNames := Suites()
+	if len(suiteNames) != 3 {
+		t.Fatalf("Suites() = %v, want 3 names", suiteNames)
+	}
+	var total int
+	for _, s := range suiteNames {
+		total += len(BySuite(s))
+	}
+	if total != CatalogSize {
+		t.Errorf("suites partition %d workloads, want %d", total, CatalogSize)
 	}
 	seen := map[string]bool{}
 	ids := map[int]bool{}
