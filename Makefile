@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick sweep-quick examples fuzz clean
+.PHONY: all build test race bench bench-json repro repro-quick sweep-quick sweep-trace examples fuzz clean
 
 all: build test
 
@@ -13,13 +13,18 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/runner ./internal/gpusim
+	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim
 
 race:
-	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark results (BENCH_results.json), including the
+# per-experiment headline numbers surfaced via b.ReportMetric.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_results.json
 
 # Regenerate every paper table/figure into results/ (paper scale, ~3 min).
 repro:
@@ -32,6 +37,14 @@ repro-quick:
 # simulates, later runs resolve every cell from .sweep-cache.
 sweep-quick:
 	$(GO) run ./cmd/imtsim -suite STREAM -mode carve-low -cache-dir .sweep-cache
+
+# The same sweep with the observability layer on: engine metrics
+# (Prometheus text), a Perfetto-loadable trace of every cell, and phase
+# telemetry sampled inside the simulator every 50k cycles.
+sweep-trace:
+	mkdir -p results
+	$(GO) run ./cmd/imtsim -suite STREAM -mode carve-low -sample-interval 50000 \
+		-metrics-out results/sweep.prom -trace-out results/sweep.trace.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,171 @@
+// Command benchjson runs the repository's benchmark suite and writes
+// the results as machine-readable JSON (default BENCH_results.json), so
+// CI and notebooks can track the headline numbers each benchmark
+// surfaces via b.ReportMetric without scraping `go test -bench` text.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_results.json] [-bench regexp] [-benchtime 1x] [-count 1] [-pkg .]
+//
+// The tool shells out to `go test -run ^$ -bench ... -benchmem`, streams
+// the raw output to stderr as it arrives, then parses every benchmark
+// line — standard units (ns/op, B/op, allocs/op, MB/s) and the custom
+// ReportMetric units alike — into one record per (benchmark, run).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark result line. Metrics maps unit → value for
+// every "value unit" pair after the iteration count: ns/op, B/op,
+// allocs/op, MB/s and any custom b.ReportMetric unit.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"` // GOMAXPROCS suffix, 1 if absent
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_results.json document.
+type Report struct {
+	CreatedAt  string      `json:"created_at"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Command    string      `json:"command"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches a benchmark result: name, optional -P procs suffix,
+// iteration count, then the measurement fields.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+// parseBench reads `go test -bench` output and returns the structured
+// report (metadata lines like "goos:"/"cpu:" fill the header fields).
+func parseBench(r io.Reader) (Report, error) {
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Procs: 1, Metrics: map[string]float64{}}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return rep, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		b.Iterations = iters
+		// The tail is alternating "value unit" pairs.
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			return rep, fmt.Errorf("odd measurement fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rep, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_results.json", "output JSON file")
+		bench     = flag.String("bench", ".", "benchmark name regexp (go test -bench)")
+		benchtime = flag.String("benchtime", "1x", "per-benchmark time or iteration budget (go test -benchtime)")
+		count     = flag.Int("count", 1, "runs per benchmark (go test -count)")
+		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+
+	// Tee the bench output so progress is visible while the parse sees
+	// the complete stream.
+	var buf strings.Builder
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	if _, err := io.Copy(io.MultiWriter(&buf, os.Stderr), stdout); err != nil {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench failed: %w", err))
+	}
+
+	rep, err := parseBench(strings.NewReader(buf.String()))
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in go test output (pattern %q)", *bench))
+	}
+	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Command = "go " + strings.Join(args, " ")
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark records to %s\n", len(rep.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkAFTEncodeIMT16-8        	  417024	      2864 ns/op	  11.17 MB/s	       0 B/op	       0 allocs/op
+BenchmarkFig8CarveOutSlowdown-8  	       1	1095849276 ns/op	         3.100 %hmean-low-hpc	         9.400 %max-low-hpc	 1024 B/op	      12 allocs/op
+BenchmarkNoProcsSuffix 	     100	     12345 ns/op
+--- BENCH: BenchmarkSomething-8
+    bench_test.go:42: note line that must be ignored
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "repro" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	enc := rep.Benchmarks[0]
+	if enc.Name != "BenchmarkAFTEncodeIMT16" || enc.Procs != 8 || enc.Iterations != 417024 {
+		t.Errorf("first record = %+v", enc)
+	}
+	if enc.Metrics["ns/op"] != 2864 || enc.Metrics["MB/s"] != 11.17 || enc.Metrics["allocs/op"] != 0 {
+		t.Errorf("first metrics = %v", enc.Metrics)
+	}
+
+	// ReportMetric custom units survive with full precision.
+	fig8 := rep.Benchmarks[1]
+	if fig8.Metrics["%hmean-low-hpc"] != 3.1 || fig8.Metrics["%max-low-hpc"] != 9.4 {
+		t.Errorf("custom metrics = %v", fig8.Metrics)
+	}
+	if fig8.Metrics["B/op"] != 1024 {
+		t.Errorf("B/op = %v", fig8.Metrics["B/op"])
+	}
+
+	// A line without the -P suffix defaults to procs 1.
+	if p := rep.Benchmarks[2]; p.Procs != 1 || p.Iterations != 100 {
+		t.Errorf("no-suffix record = %+v", p)
+	}
+}
+
+func TestParseBenchEmptyAndErrors(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("PASS\nok  \trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("expected no benchmarks, got %d", len(rep.Benchmarks))
+	}
+
+	if _, err := parseBench(strings.NewReader("BenchmarkBad-8\t10\tnot-a-number ns/op\n")); err == nil {
+		t.Error("bad value must be an error")
+	}
+	if _, err := parseBench(strings.NewReader("BenchmarkOdd-8\t10\t123 ns/op stray\n")); err == nil {
+		t.Error("odd field count must be an error")
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Errorf("round trip lost records: %d vs %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+	if back.Benchmarks[1].Metrics["%hmean-low-hpc"] != 3.1 {
+		t.Error("custom metric lost in JSON round trip")
+	}
+}

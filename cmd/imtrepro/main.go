@@ -18,6 +18,15 @@
 // The simulation sweeps fan out over -j workers on the experiment
 // engine; with -cache-dir, per-cell results are content-addressed on
 // disk and re-runs of unchanged cells perform no simulation at all.
+//
+// Every run writes <out>/manifest.json: the configuration hash, Go
+// toolchain and VCS revision of the binary, wall time, per-experiment
+// timings, engine counters and the per-cell duration log — so any
+// results directory can be traced back to exactly how it was produced.
+// -metrics-out and -trace-out additionally export the engine's metrics
+// registry and a Perfetto-loadable Chrome trace of every sweep cell;
+// -sample-interval turns on phase telemetry inside the simulator, and
+// -debug-addr serves expvar + pprof + /metrics during the run.
 package main
 
 import (
@@ -29,6 +38,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -43,6 +54,11 @@ func main() {
 		workers  = flag.Int("j", 0, "concurrent simulations in the sweeps (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache for the sweeps (\"\" disables caching)")
 		modes    = flag.String("modes", "carve-low,carve-high,bounds", "modes for the custom sweep experiment")
+
+		metricsOut = flag.String("metrics-out", "", "write engine metrics to this file (.json → JSON, else Prometheus text)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the sweeps to this file")
+		sampleIv   = flag.Uint64("sample-interval", 0, "simulator phase-telemetry interval in cycles (0 disables)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar, pprof and /metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -58,17 +74,27 @@ func main() {
 	}
 	opts.Parallelism = *workers
 	opts.CacheDir = *cacheDir
-	opts.Progress = func(p runner.Progress) {
-		fmt.Fprintf(os.Stderr, "\r%d/%d cells (cached %d, failed %d) %.1f cells/s",
-			p.Done, p.Total, p.Cached, p.Failed, p.CellsPerSec)
-		if p.Done == p.Total {
-			fmt.Fprintln(os.Stderr)
+	opts.Progress = runner.TerminalProgress(os.Stderr)
+	if *sampleIv > 0 {
+		opts.GPU = gpusim.DefaultConfig()
+		opts.GPU.SampleInterval = *sampleIv
+	}
+	hub := obs.NewHub()
+	opts.Obs = hub
+	if *debugAddr != "" {
+		addr, stopDebug, err := obs.StartDebugServer(*debugAddr, hub.Metrics)
+		if err != nil {
+			fatal(err)
 		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ (metrics at /metrics)\n", addr)
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
+	runStart := time.Now()
+	var phases []obs.PhaseTiming
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -111,7 +137,9 @@ func main() {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "== %s ==\n", id)
 		fn()
-		fmt.Fprintf(os.Stderr, "== %s done in %v ==\n\n", id, time.Since(start).Round(time.Millisecond))
+		el := time.Since(start)
+		phases = append(phases, obs.PhaseTiming{ID: id, Seconds: el.Seconds()})
+		fmt.Fprintf(os.Stderr, "== %s done in %v ==\n\n", id, el.Round(time.Millisecond))
 	}
 
 	timed("fig1", func() {
@@ -215,6 +243,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: %d simulator runs, %d cache hits, %d failed cells\n",
 				r.Runner.SimRuns, r.Runner.CacheHits, r.Runner.Failed)
 		})
+	}
+
+	// The run manifest pins this results directory to the code and
+	// configuration that produced it.
+	man := experiments.BuildManifest("imtrepro", opts, hub, time.Since(runStart), phases)
+	if err := man.WriteFile(filepath.Join(*out, "manifest.json")); err != nil {
+		fatal(err)
+	}
+	if *metricsOut != "" {
+		if err := hub.Metrics.WriteFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := hub.Trace.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
 	}
 }
 

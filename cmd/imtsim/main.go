@@ -9,6 +9,8 @@
 //	imtsim -list
 //	imtsim -workload stream-triad-48MB -mode carve-low
 //	imtsim -suite STREAM -mode carve-high -j 8 -cache-dir .sweep-cache
+//	imtsim -suite STREAM -mode carve-low -metrics-out m.prom -trace-out sweep.trace.json
+//	imtsim -workload sla-spmv13 -mode carve-low -sample-interval 50000
 //	imtsim -workload sla-spmv13 -record spmv.trc
 //	imtsim -replay spmv.trc -mode carve-low
 //
@@ -17,6 +19,14 @@
 // untagged baseline and reports the slowdown. -record captures the
 // workload's warp-op stream to a trace file; -replay simulates a
 // previously recorded trace instead of a generator.
+//
+// Observability: -metrics-out writes the engine's metrics registry
+// (Prometheus text, or JSON with a .json extension); -trace-out writes
+// a Chrome trace-event JSON — one complete span per sweep cell plus
+// engine counter tracks — loadable in Perfetto (ui.perfetto.dev);
+// -sample-interval N records phase telemetry inside the simulator every
+// N cycles (peak bandwidth, hit-rate phases); -debug-addr serves
+// expvar, pprof and /metrics over HTTP for the duration of the run.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"strings"
 
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/workload"
 )
@@ -42,6 +53,11 @@ func main() {
 		replay   = flag.String("replay", "", "simulate a recorded trace file instead of a catalog workload")
 		workers  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (\"\" disables caching)")
+
+		metricsOut = flag.String("metrics-out", "", "write engine metrics to this file (.json → JSON, else Prometheus text)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the sweep to this file")
+		sampleIv   = flag.Uint64("sample-interval", 0, "simulator phase-telemetry interval in cycles (0 disables)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar, pprof and /metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -58,11 +74,30 @@ func main() {
 		fatal(err)
 	}
 
+	cfg := gpusim.DefaultConfig()
+	cfg.SampleInterval = *sampleIv
+
+	run := sweeper{
+		cfg:      cfg,
+		hub:      obs.NewHub(),
+		workers:  *workers,
+		cacheDir: *cacheDir,
+	}
+	if *debugAddr != "" {
+		addr, stop, err := obs.StartDebugServer(*debugAddr, run.hub.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ (metrics at /metrics)\n", addr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	if *replay != "" {
-		replayTrace(ctx, *replay, *mode, tagMode, carve, *workers, *cacheDir)
+		replayTrace(ctx, run, *replay, *mode, tagMode, carve)
+		run.writeOutputs(*metricsOut, *traceOut)
 		return
 	}
 
@@ -94,7 +129,6 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cfg := gpusim.DefaultConfig()
 		if err := gpusim.WriteTraces(f, selected[0].Traces(cfg.NumSMs)); err != nil {
 			fatal(err)
 		}
@@ -114,7 +148,7 @@ func main() {
 			runner.Job{Workload: w, Mode: tagMode, Carve: carve},
 		)
 	}
-	results, counters := sweep(ctx, jobs, *workers, *cacheDir, len(selected) > 1)
+	results, counters := run.sweep(ctx, jobs, len(selected) > 1)
 	failed := 0
 	for i, w := range selected {
 		base, tagged := results[2*i], results[2*i+1]
@@ -123,31 +157,35 @@ func main() {
 			failed++
 			continue
 		}
-		report(w.Name, *mode, base.Stats, tagged.Stats)
+		report(w.Name, *mode, base.Stats, tagged.Stats, cfg)
 	}
 	if len(selected) > 1 {
 		fmt.Printf("sweep: %d cells (%d cached, %d failed), %d simulator runs\n",
 			len(jobs), counters.CacheHits, counters.Failed, counters.SimRuns)
 	}
+	run.writeOutputs(*metricsOut, *traceOut)
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
+// sweeper carries the machine configuration and observability hub every
+// sweep of this invocation shares.
+type sweeper struct {
+	cfg      gpusim.Config
+	hub      *obs.Hub
+	workers  int
+	cacheDir string
+}
+
 // sweep runs jobs on the engine, streaming a progress line to stderr for
 // multi-workload runs.
-func sweep(ctx context.Context, jobs []runner.Job, workers int, cacheDir string, progress bool) ([]runner.Result, runner.Counters) {
-	opts := runner.Options{Workers: workers, CacheDir: cacheDir}
+func (s sweeper) sweep(ctx context.Context, jobs []runner.Job, progress bool) ([]runner.Result, runner.Counters) {
+	opts := runner.Options{Workers: s.workers, CacheDir: s.cacheDir, Obs: s.hub}
 	if progress {
-		opts.Progress = func(p runner.Progress) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d cells (cached %d, failed %d) %.1f cells/s",
-				p.Done, p.Total, p.Cached, p.Failed, p.CellsPerSec)
-			if p.Done == p.Total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		opts.Progress = runner.TerminalProgress(os.Stderr)
 	}
-	eng := runner.New(gpusim.DefaultConfig(), opts)
+	eng := runner.New(s.cfg, opts)
 	results, err := eng.Run(ctx, jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr)
@@ -156,10 +194,24 @@ func sweep(ctx context.Context, jobs []runner.Job, workers int, cacheDir string,
 	return results, eng.Counters()
 }
 
+// writeOutputs flushes the metrics registry and sweep trace to disk.
+func (s sweeper) writeOutputs(metricsOut, traceOut string) {
+	if metricsOut != "" {
+		if err := s.hub.Metrics.WriteFile(metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if traceOut != "" {
+		if err := s.hub.Trace.WriteFile(traceOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
 // replayTrace reads a recorded trace once and drives both the baseline
 // and the tagged run from deep copies, so the one-shot stream can feed
 // two simulations.
-func replayTrace(ctx context.Context, path, modeName string, tagMode gpusim.TagMode, carve gpusim.CarveOut, workers int, cacheDir string) {
+func replayTrace(ctx context.Context, run sweeper, path, modeName string, tagMode gpusim.TagMode, carve gpusim.CarveOut) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -189,24 +241,30 @@ func replayTrace(ctx context.Context, path, modeName string, tagMode gpusim.TagM
 		{Mode: gpusim.ModeNone, Traces: src, Key: key},
 		{Mode: tagMode, Carve: carve, Traces: src, Key: key},
 	}
-	results, _ := sweep(ctx, jobs, workers, cacheDir, false)
+	results, _ := run.sweep(ctx, jobs, false)
 	if err := firstErr(results...); err != nil {
 		fatal(err)
 	}
-	report(path, modeName, results[0].Stats, results[1].Stats)
+	report(path, modeName, results[0].Stats, results[1].Stats, run.cfg)
 }
 
 func firstErr(results ...runner.Result) error {
 	return runner.FirstError(results)
 }
 
-func report(name, mode string, base, tagged gpusim.Stats) {
+func report(name, mode string, base, tagged gpusim.Stats, cfg gpusim.Config) {
 	fmt.Printf("%-24s %-10s\n", name, mode)
 	fmt.Printf("  baseline: %v\n", base)
 	fmt.Printf("  tagged:   %v\n", tagged)
-	fmt.Printf("  slowdown: %.2f%%  read bloat: %.2f%%  baseline BW util: %.1f%%\n\n",
+	fmt.Printf("  slowdown: %.2f%%  read bloat: %.2f%%  baseline BW util: %.1f%%\n",
 		100*gpusim.Slowdown(base, tagged), 100*tagged.ReadBloat(),
-		100*base.BandwidthUtilization(gpusim.DefaultConfig()))
+		100*base.BandwidthUtilization(cfg))
+	if len(tagged.Samples) > 0 {
+		fmt.Printf("  phases:   %d windows, peak BW util %.1f%% (baseline peak %.1f%%), bw-bound(≥70%%) %.0f%% of cycles\n",
+			len(tagged.Samples), 100*tagged.PeakBandwidthUtil(), 100*base.PeakBandwidthUtil(),
+			100*tagged.BandwidthBoundFraction(0.7))
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 	"runtime"
 
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -43,6 +44,11 @@ type Options struct {
 	// Progress, when non-nil, receives runner snapshots as sweep cells
 	// complete (for command-line progress reporting).
 	Progress func(runner.Progress)
+	// Obs, when non-nil, receives engine telemetry from every sweep this
+	// options value drives: registry metrics, per-cell trace spans, and
+	// the cell log embedded in run manifests. Sharing one hub across
+	// experiments accumulates a whole repro run into one place.
+	Obs *obs.Hub
 	// GPU is the simulated machine (zero value → gpusim.DefaultConfig).
 	GPU gpusim.Config
 	// SecurityTrials for the attack Monte Carlo.

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSweepThreadsObsHub runs a tiny sweep with an attached hub and
+// checks that the manifest assembled from it carries config hash, VCS
+// identity fields, engine counters and the per-cell log.
+func TestSweepThreadsObsHub(t *testing.T) {
+	opts := Quick()
+	opts.WorkloadStride = 64 // a handful of workloads
+	opts.Obs = obs.NewHub()
+
+	r, err := Bounds(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := opts.Obs.Cells()
+	wantCells := 2 * len(r.Per) // baseline + bounds per workload
+	if len(cells) != wantCells {
+		t.Fatalf("hub logged %d cells, want %d", len(cells), wantCells)
+	}
+	snap := opts.Obs.Metrics.Snapshot()
+	if snap.Counters["runner_cells_total"] != uint64(wantCells) {
+		t.Errorf("runner_cells_total = %d, want %d", snap.Counters["runner_cells_total"], wantCells)
+	}
+	if opts.Obs.Trace.Len() < wantCells {
+		t.Errorf("trace has %d events, want at least one span per cell (%d)", opts.Obs.Trace.Len(), wantCells)
+	}
+
+	man := BuildManifest("test", opts, opts.Obs, 2*time.Second, []obs.PhaseTiming{{ID: "bounds", Seconds: 2}})
+	if man.ConfigHash == "" || man.ConfigHash == "unencodable" {
+		t.Errorf("config hash = %q", man.ConfigHash)
+	}
+	if man.GoVersion == "" {
+		t.Error("manifest missing Go version")
+	}
+	if man.Counters["runner_cells_total"] != uint64(wantCells) {
+		t.Errorf("manifest counters = %v", man.Counters)
+	}
+	if len(man.Cells) != wantCells || man.WallSeconds != 2 || len(man.Phases) != 1 {
+		t.Errorf("manifest incomplete: cells=%d wall=%v phases=%d", len(man.Cells), man.WallSeconds, len(man.Phases))
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := man.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ConfigHash != man.ConfigHash {
+		t.Error("manifest did not round-trip")
+	}
+}
+
+// TestManifestHashTracksConfig: result-determining knobs change the
+// hash; plumbing (parallelism, cache dir) does not.
+func TestManifestHashTracksConfig(t *testing.T) {
+	base := BuildManifest("x", Quick(), nil, 0, nil)
+
+	changed := Quick()
+	changed.WorkloadStride = 99
+	if BuildManifest("x", changed, nil, 0, nil).ConfigHash == base.ConfigHash {
+		t.Error("stride change must change the config hash")
+	}
+
+	plumbing := Quick()
+	plumbing.Parallelism = 7
+	plumbing.CacheDir = "/tmp/elsewhere"
+	if BuildManifest("x", plumbing, nil, 0, nil).ConfigHash != base.ConfigHash {
+		t.Error("plumbing-only changes must not change the config hash")
+	}
+}

@@ -90,6 +90,7 @@ func runSweep(opts Options, jobs []runner.Job) ([]runner.Result, runner.Counters
 		Workers:  opts.Parallelism,
 		CacheDir: opts.CacheDir,
 		Progress: opts.Progress,
+		Obs:      opts.Obs,
 	})
 	results, err := eng.Run(context.Background(), jobs)
 	if err == nil {

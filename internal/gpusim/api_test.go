@@ -3,6 +3,7 @@ package gpusim
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -98,7 +99,7 @@ func TestRunMatchesRunContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sa != sb {
+	if !reflect.DeepEqual(sa, sb) {
 		t.Errorf("Run and RunContext diverge: %v vs %v", sa, sb)
 	}
 }

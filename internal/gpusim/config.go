@@ -156,6 +156,12 @@ type Config struct {
 	// InterleaveSectors: consecutive groups of this many sectors map to
 	// the same L2 slice (256B groups by default).
 	InterleaveSectors int
+
+	// SampleInterval, when non-zero, records phase telemetry (bandwidth
+	// utilization, hit rates, MSHR occupancy, queue depths) into
+	// Stats.Samples every SampleInterval cycles, plus one final partial
+	// window at run end. 0 disables sampling (no overhead).
+	SampleInterval uint64
 }
 
 // DefaultConfig returns the quarter-GV100 model used by the experiments.

@@ -1,0 +1,138 @@
+package gpusim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sampledRun executes a stream workload with the given sample interval
+// and returns the stats.
+func sampledRun(t *testing.T, interval uint64, ops int) Stats {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SampleInterval = interval
+	return run(t, cfg, streamTraces(cfg.NumSMs, ops, 0.3, 7))
+}
+
+func TestSamplerSeries(t *testing.T) {
+	const interval = 1000
+	st := sampledRun(t, interval, 2000)
+	if st.Cycles < interval {
+		t.Skipf("run too short (%d cycles) to exercise interval sampling", st.Cycles)
+	}
+	if len(st.Samples) == 0 {
+		t.Fatal("a run of at least one interval must produce a non-empty time series")
+	}
+
+	var covered uint64
+	prevCycle := uint64(0)
+	for i, smp := range st.Samples {
+		if smp.Cycle <= prevCycle {
+			t.Fatalf("sample %d: cycle %d not increasing (prev %d)", i, smp.Cycle, prevCycle)
+		}
+		if smp.Cycles != smp.Cycle-prevCycle {
+			t.Errorf("sample %d: window %d != cycle delta %d", i, smp.Cycles, smp.Cycle-prevCycle)
+		}
+		if i < len(st.Samples)-1 && smp.Cycles < interval {
+			t.Errorf("sample %d: non-final window %d shorter than the interval", i, smp.Cycles)
+		}
+		for name, v := range map[string]float64{
+			"BandwidthUtil": smp.BandwidthUtil, "L1HitRate": smp.L1HitRate,
+			"L2HitRate": smp.L2HitRate, "TagHitRate": smp.TagHitRate,
+			"MSHROccupancy": smp.MSHROccupancy,
+		} {
+			if v < 0 || v > 1.0000001 || math.IsNaN(v) {
+				t.Errorf("sample %d: %s = %v out of [0,1]", i, name, v)
+			}
+		}
+		if smp.QueueDepth < 0 || smp.DRAMQueueDepth < 0 {
+			t.Errorf("sample %d: negative queue depth", i)
+		}
+		prevCycle = smp.Cycle
+		covered += smp.Cycles
+	}
+	// The windows must tile the whole run: the final flush closes the
+	// last partial window exactly at Stats.Cycles.
+	last := st.Samples[len(st.Samples)-1]
+	if last.Cycle != st.Cycles || covered != st.Cycles {
+		t.Errorf("series covers %d cycles ending at %d; run had %d", covered, last.Cycle, st.Cycles)
+	}
+}
+
+// TestSamplerShortRun pins the partial-window math: a run shorter than
+// one interval still flushes exactly one final sample covering it.
+func TestSamplerShortRun(t *testing.T) {
+	st := sampledRun(t, 100_000_000, 50)
+	if st.Cycles == 0 {
+		t.Fatal("run did nothing")
+	}
+	if len(st.Samples) != 1 {
+		t.Fatalf("short run produced %d samples, want exactly 1 (the final flush)", len(st.Samples))
+	}
+	if st.Samples[0].Cycle != st.Cycles || st.Samples[0].Cycles != st.Cycles {
+		t.Errorf("final sample %+v must cover the whole %d-cycle run", st.Samples[0], st.Cycles)
+	}
+}
+
+func TestSamplerDisabledByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	st := run(t, cfg, streamTraces(cfg.NumSMs, 200, 0.3, 7))
+	if len(st.Samples) != 0 {
+		t.Fatalf("sampling must be off by default, got %d samples", len(st.Samples))
+	}
+	if st.PeakBandwidthUtil() != 0 || st.BandwidthBoundFraction(0.5) != 0 {
+		t.Error("phase helpers must return 0 without samples")
+	}
+}
+
+// TestSamplerConsistentWithAggregates cross-checks the window series
+// against the end-of-run aggregates: cycle-weighted mean window
+// bandwidth equals BandwidthUtilization, and peak >= mean.
+func TestSamplerConsistentWithAggregates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleInterval = 500
+	cfg.Mode = ModeCarveOut
+	cfg.Carve = CarveOutLow
+	st := run(t, cfg, streamTraces(cfg.NumSMs, 3000, 0.3, 11))
+	if len(st.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	var weighted float64
+	for _, smp := range st.Samples {
+		weighted += smp.BandwidthUtil * float64(smp.Cycles)
+	}
+	mean := weighted / float64(st.Cycles)
+	agg := st.BandwidthUtilization(cfg)
+	if math.Abs(mean-agg) > 1e-9 {
+		t.Errorf("cycle-weighted sample mean %v != aggregate utilization %v", mean, agg)
+	}
+	if st.PeakBandwidthUtil() < agg {
+		t.Errorf("peak %v below mean %v", st.PeakBandwidthUtil(), agg)
+	}
+	if f := st.BandwidthBoundFraction(0); f != 1 {
+		t.Errorf("fraction at threshold 0 = %v, want 1", f)
+	}
+	// A carve-out run performs tag lookups, so some window must see them.
+	sawTag := false
+	for _, smp := range st.Samples {
+		if smp.TagHitRate > 0 {
+			sawTag = true
+		}
+	}
+	if st.TagL2Hits > 0 && !sawTag {
+		t.Error("aggregate saw tag hits but no window did")
+	}
+}
+
+// TestSamplerInvariantUnderInterval checks sampling is observational:
+// it must not change the simulation outcome.
+func TestSamplerInvariantUnderInterval(t *testing.T) {
+	strip := func(st Stats) Stats { st.Samples = nil; return st }
+	base := sampledRun(t, 0, 1500)
+	fine := strip(sampledRun(t, 100, 1500))
+	coarse := strip(sampledRun(t, 10_000, 1500))
+	if !reflect.DeepEqual(base, fine) || !reflect.DeepEqual(base, coarse) {
+		t.Errorf("sampling changed simulation results:\n none=%v\n fine=%v\n coarse=%v", base, fine, coarse)
+	}
+}

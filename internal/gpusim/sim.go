@@ -23,6 +23,12 @@ type Sim struct {
 	events eventHeap
 	stats  Stats
 	now    uint64
+
+	// Interval-sampler state (cfg.SampleInterval > 0): the counter
+	// snapshot and cycle of the previous sample, and the next boundary.
+	lastSample      Stats
+	lastSampleCycle uint64
+	nextSample      uint64
 }
 
 type smState struct {
@@ -166,7 +172,68 @@ func New(cfg Config, traces []Trace) (*Sim, error) {
 		})
 	}
 	heap.Init(&s.events)
+	if cfg.SampleInterval > 0 {
+		s.nextSample = cfg.SampleInterval
+	}
 	return s, nil
+}
+
+// takeSample closes the current telemetry window at s.now: rates are
+// deltas against the previous sample, occupancies and queue depths are
+// instantaneous. Windows that cross fast-forwarded idle stretches come
+// out longer than the interval (one sample per jump, not one per
+// skipped boundary), which keeps the series bounded on idle-heavy runs.
+func (s *Sim) takeSample() {
+	window := s.now - s.lastSampleCycle
+	if window == 0 {
+		return
+	}
+	cur, prev := s.stats, s.lastSample
+	rate := func(hits, misses uint64) float64 {
+		if t := hits + misses; t > 0 {
+			return float64(hits) / float64(t)
+		}
+		return 0
+	}
+	bytes := 32 * ((cur.DRAMDataReads - prev.DRAMDataReads) +
+		(cur.DRAMTagReads - prev.DRAMTagReads) +
+		(cur.DRAMWrites - prev.DRAMWrites))
+	peakBytesPerCycle := float64(s.cfg.NumSlices) * 32 / float64(s.cfg.DRAMCyclesPerSector)
+	smp := Sample{
+		Cycle:         s.now,
+		Cycles:        window,
+		BandwidthUtil: float64(bytes) / float64(window) / peakBytesPerCycle,
+		L1HitRate:     rate(cur.L1Hits-prev.L1Hits, cur.L1Misses-prev.L1Misses),
+		L2HitRate:     rate(cur.L2Hits-prev.L2Hits, cur.L2Misses-prev.L2Misses),
+		TagHitRate:    rate(cur.TagL2Hits-prev.TagL2Hits, cur.TagL2Misses-prev.TagL2Misses),
+	}
+	mshrs := 0
+	for _, sm := range s.sms {
+		mshrs += sm.mshrCount
+	}
+	smp.MSHROccupancy = float64(mshrs) / float64(len(s.sms)*s.cfg.L1MSHRs)
+	var qd, dq int
+	for _, sl := range s.slices {
+		qd += len(sl.queue)
+		dq += len(sl.dramQueue)
+	}
+	smp.QueueDepth = float64(qd) / float64(len(s.slices))
+	smp.DRAMQueueDepth = float64(dq) / float64(len(s.slices))
+
+	s.stats.Samples = append(s.stats.Samples, smp)
+	s.lastSample = cur
+	s.lastSample.Samples = nil // counters only; the series lives in s.stats
+	s.lastSampleCycle = s.now
+	s.nextSample = s.now + s.cfg.SampleInterval
+}
+
+// flushSample closes the final (possibly partial) window so every run
+// with any elapsed cycles — including runs shorter than one interval —
+// ends with a complete time series.
+func (s *Sim) flushSample() {
+	if s.cfg.SampleInterval > 0 {
+		s.takeSample()
+	}
 }
 
 func (s *Sim) sliceOf(sector uint64) *sliceState {
@@ -199,18 +266,23 @@ func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 		if steps++; steps%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				s.stats.Cycles = s.now
+				s.flushSample()
 				return s.stats, err
 			}
 		}
 		progressed := s.step()
 		if s.finished() {
 			s.stats.Cycles = s.now
+			s.flushSample()
 			return s.stats, nil
 		}
 		if !progressed {
 			s.fastForward()
 		} else {
 			s.now++
+		}
+		if s.cfg.SampleInterval > 0 && s.now >= s.nextSample {
+			s.takeSample()
 		}
 		if s.now > maxCycles {
 			return s.stats, fmt.Errorf("gpusim: exceeded %d cycles (deadlock or runaway workload)", maxCycles)

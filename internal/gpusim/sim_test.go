@@ -3,6 +3,7 @@ package gpusim
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -486,7 +487,7 @@ func TestTraceFileSimEquivalence(t *testing.T) {
 	}
 	s1 := run(t, cfg, gen())
 	s2 := run(t, cfg, replayed)
-	if s1 != s2 {
+	if !reflect.DeepEqual(s1, s2) {
 		t.Fatalf("replayed stats differ:\n%v\n%v", s1, s2)
 	}
 }

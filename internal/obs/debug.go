@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the debug HTTP handler served by -debug-addr:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  the same registry as JSON
+//	/debug/vars    expvar (includes the registry under "metrics")
+//	/debug/pprof/  the standard pprof index, profile, trace, …
+//
+// It is exposed separately from StartDebugServer so tests can exercise
+// the handler without opening a socket.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+		})
+		// Publish once per process; expvar.Publish panics on duplicates,
+		// and a second registry would shadow the first anyway.
+		if expvar.Get("metrics") == nil {
+			expvar.Publish("metrics", expvar.Func(func() any { return reg.Snapshot() }))
+		}
+	}
+	return mux
+}
+
+// StartDebugServer serves DebugMux on addr (e.g. ":6060"; ":0" picks a
+// free port) in a background goroutine. It returns the bound address
+// and a shutdown function.
+func StartDebugServer(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

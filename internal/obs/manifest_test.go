@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	type cfg struct{ Stride, Trials int }
+	m := NewManifest("repro", cfg{Stride: 4, Trials: 100})
+	if m.GoVersion == "" {
+		t.Error("GoVersion must be filled from runtime.Version")
+	}
+	if m.ConfigHash == "" || m.ConfigHash == "unencodable" {
+		t.Errorf("config hash = %q", m.ConfigHash)
+	}
+	if m.CreatedAt.IsZero() {
+		t.Error("CreatedAt must be set")
+	}
+	m.WallSeconds = 1.5
+	m.Counters = map[string]uint64{"runner_cells_total": 6}
+	m.Cells = []Cell{{Name: "tiny/none", Millis: 3.2}}
+	m.Phases = []PhaseTiming{{ID: "fig8", Seconds: 1.2}}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConfigHash != m.ConfigHash || got.WallSeconds != 1.5 ||
+		got.Counters["runner_cells_total"] != 6 || len(got.Cells) != 1 || got.Cells[0].Name != "tiny/none" {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestHashJSONDeterministicAndSensitive(t *testing.T) {
+	type cfg struct{ A, B int }
+	h1 := HashJSON(cfg{1, 2})
+	h2 := HashJSON(cfg{1, 2})
+	h3 := HashJSON(cfg{1, 3})
+	if h1 != h2 {
+		t.Error("hash must be deterministic")
+	}
+	if h1 == h3 {
+		t.Error("hash must change when the config changes")
+	}
+	if HashJSON(func() {}) != "unencodable" {
+		t.Error("unencodable values must hash to the sentinel")
+	}
+}
+
+func TestHubAccumulatesCells(t *testing.T) {
+	h := NewHub()
+	h.AddCell(Cell{Name: "a"})
+	h.AddCell(Cell{Name: "b", Failed: true})
+	cells := h.Cells()
+	if len(cells) != 2 || cells[1].Name != "b" || !cells[1].Failed {
+		t.Fatalf("cells = %+v", cells)
+	}
+	var nilHub *Hub
+	nilHub.AddCell(Cell{})
+	if nilHub.Cells() != nil {
+		t.Fatal("nil hub must be a no-op")
+	}
+}
+
+// TestDebugMux exercises the -debug-addr handler without a socket.
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runner_cells_total", "").Add(7)
+	mux := DebugMux(reg)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	if rec := get("/metrics"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "runner_cells_total 7") {
+		t.Errorf("/metrics: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/metrics.json"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "\"runner_cells_total\": 7") {
+		t.Errorf("/metrics.json: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/debug/vars"); rec.Code != 200 {
+		t.Errorf("/debug/vars: code=%d", rec.Code)
+	}
+	if rec := get("/debug/pprof/"); rec.Code != 200 {
+		t.Errorf("/debug/pprof/: code=%d", rec.Code)
+	}
+}

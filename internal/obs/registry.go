@@ -1,0 +1,357 @@
+// Package obs is the dependency-light observability layer threaded
+// through the simulator, the experiment engine and the CLIs: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) with JSON and Prometheus-text exporters, a Chrome
+// trace-event recorder whose output loads in Perfetto, run manifests
+// that pin a results directory to the exact code and configuration that
+// produced it, and a debug HTTP mux (expvar + pprof + /metrics).
+//
+// Everything here uses only the standard library, never blocks the hot
+// path on I/O (export is pull-based), and is safe for concurrent use.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge (lock-free CAS loop).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bucket semantics
+// follow Prometheus: an observation v lands in the first bucket whose
+// upper bound satisfies v <= le, with an implicit +Inf bucket at the
+// end; exported bucket counts are cumulative.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DurationBuckets is a general-purpose bucket layout for second-scale
+// durations (simulation cells run from milliseconds to minutes).
+var DurationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Registry is a concurrency-safe collection of named metrics. Metrics
+// are created on first use (get-or-create); re-registering a name with
+// a different kind or bucket layout panics, as that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
+	}
+}
+
+func (r *Registry) checkName(name, kind string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a gauge", name))
+	}
+	if _, ok := r.hists[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "counter")
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.help[name] = help
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "gauge")
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.help[name] = help
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given upper bounds (must be sorted ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "histogram")
+	h, ok := r.hists[name]
+	if ok {
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+		}
+		return h
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q buckets must be sorted", name))
+	}
+	h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.hists[name] = h
+	r.help[name] = help
+	return h
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot. LE is
+// math.Inf(1) for the implicit last bucket; because JSON has no Inf
+// literal, Bucket marshals LE as a string ("+Inf" for the last bucket),
+// matching the Prometheus text convention.
+type Bucket struct {
+	LE    float64 `json:"-"`
+	Count uint64  `json:"count"`
+}
+
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// MarshalJSON encodes the bound as a string so +Inf survives.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return json.Marshal(bucketJSON{LE: formatLE(b.LE), Count: b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var bj bucketJSON
+	if err := json.Unmarshal(data, &bj); err != nil {
+		return err
+	}
+	b.Count = bj.Count
+	if bj.LE == "+Inf" {
+		b.LE = math.Inf(1)
+		return nil
+	}
+	le, err := strconv.ParseFloat(bj.LE, 64)
+	if err != nil {
+		return err
+	}
+	b.LE = le
+	return nil
+}
+
+// HistogramSnapshot is a point-in-time histogram reading.
+type HistogramSnapshot struct {
+	Buckets []Bucket `json:"buckets"`
+	Sum     float64  `json:"sum"`
+	Count   uint64   `json:"count"`
+}
+
+// Snapshot is a point-in-time reading of every metric, suitable for
+// JSON encoding (and for embedding in a run Manifest).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every metric. Values are read
+// atomically per metric; the snapshot as a whole is not a single atomic
+// cut across metrics (fine for monitoring, documented for tests).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{Sum: h.Sum(), Count: h.Count()}
+			cum := uint64(0)
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				hs.Buckets = append(hs.Buckets, Bucket{LE: le, Count: cum})
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Infinite bucket
+// bounds are encoded as the string "+Inf" (JSON has no Inf literal).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+func formatLE(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), with metrics sorted by name for deterministic
+// output. Metric names are the caller's responsibility; this package
+// uses only [a-z0-9_] names.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	writeHeader := func(name, kind string) {
+		if h := help[name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		writeHeader(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		writeHeader(name, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", name, strconv.FormatFloat(s.Gauges[name], 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		writeHeader(name, "histogram")
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatLE(bk.LE), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteFile writes the registry to path: JSON when the extension is
+// .json, Prometheus text otherwise.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".json" {
+		err = r.WriteJSON(f)
+	} else {
+		err = r.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

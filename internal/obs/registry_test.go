@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("ops_total", "ops"); again != c {
+		t.Fatal("Counter must be get-or-create, got a distinct instance")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+}
+
+// TestHistogramBucketEdges pins the Prometheus le-convention: a value
+// equal to a bucket's upper bound counts into that bucket, the first
+// value above the last bound lands in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 5, 5.1, 100} {
+		h.Observe(v)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	// Cumulative: le=1 → {0.5, 1}; le=2 → +{1.0000001, 2}; le=5 → +{5}; +Inf → +{5.1, 100}.
+	want := []uint64{2, 4, 5, 7}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(hs.Buckets), len(want))
+	}
+	for i, w := range want {
+		if hs.Buckets[i].Count != w {
+			t.Errorf("bucket %d (le=%v) cumulative count = %d, want %d", i, hs.Buckets[i].LE, hs.Buckets[i].Count, w)
+		}
+	}
+	if !math.IsInf(hs.Buckets[3].LE, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", hs.Buckets[3].LE)
+	}
+	if hs.Count != 7 {
+		t.Errorf("count = %d, want 7", hs.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.0000001 + 2 + 5 + 5.1 + 100; math.Abs(hs.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", hs.Sum, wantSum)
+	}
+}
+
+// TestRegistryConcurrency hammers every metric kind from many
+// goroutines while exporters run; meant to be driven under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c", "")
+			g := r.Gauge("g", "")
+			h := r.Histogram("h", "", DurationBuckets)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) / 100)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+					}
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != workers*perWorker {
+		t.Errorf("counter = %d, want %d", s.Counters["c"], workers*perWorker)
+	}
+	if s.Gauges["g"] != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", s.Gauges["g"], workers*perWorker)
+	}
+	if s.Histograms["h"].Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", s.Histograms["h"].Count, workers*perWorker)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runner_cells_total", "completed cells").Add(3)
+	r.Gauge("bw_util", "bandwidth utilization").Set(0.75)
+	h := r.Histogram("cell_seconds", "cell wall time", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP runner_cells_total completed cells
+# TYPE runner_cells_total counter
+runner_cells_total 3
+# HELP bw_util bandwidth utilization
+# TYPE bw_util gauge
+bw_util 0.75
+# HELP cell_seconds cell wall time
+# TYPE cell_seconds histogram
+cell_seconds_bucket{le="0.1"} 1
+cell_seconds_bucket{le="1"} 2
+cell_seconds_bucket{le="+Inf"} 3
+cell_seconds_sum 2.55
+cell_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", "").Add(2)
+	h := r.Histogram("lat", "", []float64{1})
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Histograms map[string]struct {
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+			Sum   float64 `json:"sum"`
+			Count uint64  `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("exported JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if decoded.Counters["hits"] != 2 {
+		t.Errorf("hits = %d, want 2", decoded.Counters["hits"])
+	}
+	lat := decoded.Histograms["lat"]
+	if len(lat.Buckets) != 2 || lat.Buckets[1].LE != "+Inf" || lat.Buckets[1].Count != 1 {
+		t.Errorf("histogram JSON wrong: %+v", lat)
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestWriteFileFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n", "").Inc()
+	dir := t.TempDir()
+
+	promPath := dir + "/m.prom"
+	if err := r.WriteFile(promPath); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := readFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(blob, "# TYPE n counter") {
+		t.Errorf(".prom file is not Prometheus text:\n%s", blob)
+	}
+
+	jsonPath := dir + "/m.json"
+	if err := r.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	blob, err = readFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(blob)) {
+		t.Errorf(".json file is not JSON:\n%s", blob)
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one entry in the Chrome trace-event JSON format
+// (loadable by Perfetto and chrome://tracing). Only the phases this
+// package emits are modeled: "X" complete spans, "C" counter samples,
+// and "M" metadata (thread names).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceRecorder accumulates trace events in memory and serializes them
+// as a Chrome trace once at the end of a run (events are small; a full
+// 193-workload sweep is a few hundred spans). All methods are safe for
+// concurrent use and are no-ops on a nil recorder, so call sites can
+// record unconditionally.
+type TraceRecorder struct {
+	mu          sync.Mutex
+	start       time.Time
+	events      []TraceEvent
+	threadNames map[int]string
+}
+
+// NewTraceRecorder starts an empty trace; timestamps are relative to
+// the call.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{start: time.Now(), threadNames: map[int]string{}}
+}
+
+func (t *TraceRecorder) us(at time.Time) float64 {
+	return float64(at.Sub(t.start)) / float64(time.Microsecond)
+}
+
+// Span records one complete ("X") event on thread tid covering
+// [start, end].
+func (t *TraceRecorder) Span(name, cat string, tid int, start, end time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dur := t.us(end) - t.us(start)
+	if dur < 0 {
+		dur = 0
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "X", TS: t.us(start), Dur: dur, TID: tid, Args: args,
+	})
+}
+
+// Counter records a "C" counter sample at time.Now(); each key in
+// values becomes one series of the named counter track.
+func (t *TraceRecorder) Counter(name string, values map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, TraceEvent{Name: name, Ph: "C", TS: t.us(time.Now()), Args: args})
+}
+
+// SetThreadName labels a tid in trace viewers (worker 0, worker 1, …).
+func (t *TraceRecorder) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.threadNames[tid] = name
+}
+
+// Len returns the number of recorded events (metadata excluded).
+func (t *TraceRecorder) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events, metadata first.
+func (t *TraceRecorder) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.events)+len(t.threadNames))
+	tids := make([]int, 0, len(t.threadNames))
+	for tid := range t.threadNames {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", TID: tid,
+			Args: map[string]any{"name": t.threadNames[tid]},
+		})
+	}
+	return append(out, t.events...)
+}
+
+// Write serializes the trace in the Chrome trace-event JSON object
+// format: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+func (t *TraceRecorder) Write(w io.Writer) error {
+	out := struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteFile writes the trace JSON to path.
+func (t *TraceRecorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = t.Write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

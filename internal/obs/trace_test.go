@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceSchema validates that the exported JSON matches the Chrome
+// trace-event format: a traceEvents array whose spans carry name, ph,
+// ts, dur, pid, tid.
+func TestTraceSchema(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.SetThreadName(0, "worker 0")
+	base := time.Now()
+	tr.Span("stream-triad/carve-low", "cell", 0, base, base.Add(5*time.Millisecond),
+		map[string]any{"cached": false, "cycles": uint64(1234)})
+	tr.Span("stream-copy/none", "cell", 1, base.Add(time.Millisecond), base.Add(2*time.Millisecond), nil)
+	tr.Counter("engine", map[string]float64{"done": 2, "failed": 0})
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var spans, counters, meta int
+	for _, e := range doc.TraceEvents {
+		if e.TS == nil && e.Ph != "M" {
+			t.Errorf("event %q has no ts", e.Name)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur < 0 {
+				t.Errorf("span %q has negative dur %v", e.Name, e.Dur)
+			}
+			if e.Name == "" {
+				t.Error("span without a name")
+			}
+		case "C":
+			counters++
+			if e.Args["done"] != 2.0 {
+				t.Errorf("counter args = %v", e.Args)
+			}
+		case "M":
+			meta++
+			if e.Args["name"] != "worker 0" {
+				t.Errorf("thread metadata args = %v", e.Args)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 2 || counters != 1 || meta != 1 {
+		t.Errorf("spans=%d counters=%d meta=%d, want 2/1/1", spans, counters, meta)
+	}
+	// Span args survive the round trip.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "stream-triad/carve-low" {
+			if e.Args["cycles"] != 1234.0 {
+				t.Errorf("span args = %v", e.Args)
+			}
+			if e.Dur < 4999 || e.Dur > 5001 {
+				t.Errorf("span dur = %vµs, want ~5000", e.Dur)
+			}
+		}
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *TraceRecorder
+	tr.Span("x", "", 0, time.Now(), time.Now(), nil)
+	tr.Counter("x", nil)
+	tr.SetThreadName(0, "w")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil recorder must be a no-op")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTraceRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				now := time.Now()
+				tr.Span("s", "cell", w, now, now, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 8*200 {
+		t.Fatalf("len = %d, want %d", tr.Len(), 8*200)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace export is not valid JSON")
+	}
+}
+
+func TestEmptyTraceIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTraceRecorder().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("empty trace must still carry a traceEvents array: %s", buf.String())
+	}
+}

@@ -14,7 +14,10 @@ import (
 
 // cacheVersion invalidates every entry when the cached payload or the
 // simulator's observable behavior changes shape.
-const cacheVersion = 1
+//
+// v2: gpusim.Stats gained the phase-telemetry Samples series and
+// gpusim.Config gained SampleInterval.
+const cacheVersion = 2
 
 // diskCache is a content-addressed result store: the key is SHA-256 over
 // a canonical JSON encoding of (cache version, full machine config with

@@ -1,0 +1,52 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Line renders the one-line progress summary used by the CLIs: counts,
+// rate, an ETA once the rate stabilizes, and the names of failed cells
+// (most recent last, truncated to the last three so the line stays
+// readable on a terminal).
+func (p Progress) Line() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d cells (cached %d, failed %d) %.1f cells/s",
+		p.Done, p.Total, p.Cached, p.Failed, p.CellsPerSec)
+	if eta := p.ETA(); eta > 0 {
+		fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+	}
+	if n := len(p.FailedNames); n > 0 {
+		names := p.FailedNames
+		prefix := ""
+		if n > 3 {
+			names = names[n-3:]
+			prefix = "…"
+		}
+		fmt.Fprintf(&b, " failed: %s%s", prefix, strings.Join(names, ","))
+	}
+	return b.String()
+}
+
+// TerminalProgress returns a Progress callback that redraws a single
+// \r-overwritten status line on w (typically os.Stderr), padding out
+// leftovers from longer previous lines, and terminates the final line
+// with a newline once every cell has completed — so the report that
+// follows never starts mid-line.
+func TerminalProgress(w io.Writer) func(Progress) {
+	prev := 0
+	return func(p Progress) {
+		line := p.Line()
+		pad := ""
+		if len(line) < prev {
+			pad = strings.Repeat(" ", prev-len(line))
+		}
+		prev = len(line)
+		fmt.Fprintf(w, "\r%s%s", line, pad)
+		if p.Done >= p.Total {
+			fmt.Fprintln(w)
+		}
+	}
+}

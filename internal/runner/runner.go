@@ -5,7 +5,9 @@
 // killing the sweep), cooperative context cancellation, and an optional
 // content-addressed on-disk result cache so re-runs of unchanged cells
 // are free. internal/experiments and the cmds drive all catalog sweeps
-// through it.
+// through it. With an obs.Hub attached, the engine additionally emits
+// per-cell Chrome-trace spans, engine counter tracks, registry metrics
+// and a per-cell duration log for run manifests.
 package runner
 
 import (
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -40,6 +43,25 @@ type Job struct {
 	Key string
 }
 
+// Name identifies the cell in progress lines, trace spans and run
+// manifests: "workload/mode", with the carve geometry appended when it
+// disambiguates (carve-low and carve-high share a TagMode).
+func (j Job) Name() string {
+	base := j.Workload.Name
+	if base == "" {
+		if j.Key != "" {
+			base = "trace"
+		} else {
+			base = "cell"
+		}
+	}
+	mode := j.Mode.String()
+	if j.Mode == gpusim.ModeCarveOut && j.Carve.TagBits > 0 {
+		mode = fmt.Sprintf("%s(ts%d/tg%d)", mode, j.Carve.TagBits, j.Carve.GranuleBytes)
+	}
+	return base + "/" + mode
+}
+
 // Result is one completed (or failed) cell, in the same position as its
 // job: Run's result slice is index-aligned with the job slice regardless
 // of worker scheduling, so aggregation order is deterministic.
@@ -48,6 +70,9 @@ type Result struct {
 	Stats  gpusim.Stats
 	Err    error // non-nil when the cell failed (config error, sim error, or panic)
 	Cached bool
+	// Duration is the cell's wall time on its worker (0 for cells that
+	// never ran because the context was already cancelled).
+	Duration time.Duration
 }
 
 // Progress is a snapshot delivered after every completed cell.
@@ -55,6 +80,18 @@ type Progress struct {
 	Total, Done, Cached, Failed int
 	// CellsPerSec is the overall completion rate since Run started.
 	CellsPerSec float64
+	// FailedNames lists failed cells (Job.Name) in completion order, so
+	// progress lines can say *which* cells died, not just how many.
+	FailedNames []string
+}
+
+// ETA estimates the remaining wall time from the completion rate so
+// far; 0 when unknown (nothing done yet) or when the run is complete.
+func (p Progress) ETA() time.Duration {
+	if p.CellsPerSec <= 0 || p.Done >= p.Total {
+		return 0
+	}
+	return time.Duration(float64(p.Total-p.Done) / p.CellsPerSec * float64(time.Second))
 }
 
 // Counters aggregates engine activity across Run calls. SimRuns counts
@@ -75,6 +112,11 @@ type Options struct {
 	CacheDir string
 	// Progress, when non-nil, is called (serialized) after every cell.
 	Progress func(Progress)
+	// Obs, when non-nil, receives engine telemetry: counters and a cell
+	// duration histogram in Obs.Metrics, one complete span per cell plus
+	// engine counter tracks in Obs.Trace, and the per-cell log consumed
+	// by run manifests.
+	Obs *obs.Hub
 }
 
 // Engine runs simulation cells over a fixed machine configuration.
@@ -88,6 +130,10 @@ type Engine struct {
 	cacheMisses atomic.Uint64
 	failed      atomic.Uint64
 	panics      atomic.Uint64
+
+	// Registry metrics mirroring the atomic counters (nil without Obs).
+	mCells, mHits, mMisses, mSimRuns, mFailed, mPanics *obs.Counter
+	mCellSeconds                                       *obs.Histogram
 }
 
 // New builds an engine for the machine configuration. Mode and Carve in
@@ -96,6 +142,17 @@ func New(cfg gpusim.Config, opts Options) *Engine {
 	e := &Engine{cfg: cfg, opts: opts}
 	if opts.CacheDir != "" {
 		e.cache = &diskCache{dir: opts.CacheDir}
+	}
+	if h := opts.Obs; h != nil && h.Metrics != nil {
+		// Registered eagerly so the metric set is stable (and present in
+		// manifests) even for runs whose cells all hit the cache.
+		e.mCells = h.Metrics.Counter("runner_cells_total", "completed sweep cells")
+		e.mHits = h.Metrics.Counter("runner_cache_hits_total", "cells resolved from the on-disk cache")
+		e.mMisses = h.Metrics.Counter("runner_cache_misses_total", "cache lookups that missed")
+		e.mSimRuns = h.Metrics.Counter("runner_sim_runs_total", "actual gpusim simulations executed")
+		e.mFailed = h.Metrics.Counter("runner_cell_failures_total", "cells that ended in an error")
+		e.mPanics = h.Metrics.Counter("runner_panics_total", "simulations recovered from a panic")
+		e.mCellSeconds = h.Metrics.Histogram("runner_cell_seconds", "per-cell wall time", obs.DurationBuckets)
 	}
 	return e
 }
@@ -129,50 +186,59 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	}
 
 	var (
-		start    = time.Now()
-		mu       sync.Mutex // guards prog + the Progress callback
-		prog     = Progress{Total: len(jobs)}
-		idx      = make(chan int)
-		wg       sync.WaitGroup
+		start = time.Now()
+		mu    sync.Mutex // guards prog + the Progress callback
+		prog  = Progress{Total: len(jobs)}
+		idx   = make(chan int)
+		wg    sync.WaitGroup
 	)
 	report := func(r Result) {
 		mu.Lock()
+		defer mu.Unlock()
 		prog.Done++
 		if r.Cached {
 			prog.Cached++
 		}
 		if r.Err != nil {
 			prog.Failed++
+			prog.FailedNames = append(prog.FailedNames, r.Job.Name())
 		}
 		snap := prog
 		if el := time.Since(start).Seconds(); el > 0 {
 			snap.CellsPerSec = float64(prog.Done) / el
 		}
-		cb := e.opts.Progress
-		mu.Unlock()
-		if cb != nil {
+		// Invoked under the lock so callbacks are truly serialized and
+		// snapshots arrive in order (TerminalProgress keeps state).
+		if cb := e.opts.Progress; cb != nil {
 			cb(snap)
 		}
 	}
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			if h := e.opts.Obs; h != nil {
+				h.Trace.SetThreadName(worker, fmt.Sprintf("worker %d", worker))
+			}
 			for i := range idx {
 				if err := ctx.Err(); err != nil {
 					results[i] = Result{Job: jobs[i], Err: err}
 					e.failed.Add(1)
+					e.observe(results[i], worker, time.Now())
 					report(results[i])
 					continue
 				}
+				t0 := time.Now()
 				results[i] = e.runJob(ctx, jobs[i])
+				results[i].Duration = time.Since(t0)
 				if results[i].Err != nil {
 					e.failed.Add(1)
 				}
+				e.observe(results[i], worker, t0)
 				report(results[i])
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
 		idx <- i
@@ -180,6 +246,40 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	close(idx)
 	wg.Wait()
 	return results, ctx.Err()
+}
+
+// observe emits one completed cell into the attached obs.Hub: a trace
+// span on the worker's thread, registry metrics, an engine counter
+// track sample, and the manifest cell log.
+func (e *Engine) observe(r Result, worker int, started time.Time) {
+	h := e.opts.Obs
+	if h == nil {
+		return
+	}
+	name := r.Job.Name()
+	h.Trace.Span(name, "cell", worker, started, started.Add(r.Duration), map[string]any{
+		"cached": r.Cached,
+		"failed": r.Err != nil,
+		"cycles": r.Stats.Cycles,
+	})
+	if e.mCells != nil {
+		e.mCells.Inc()
+		if r.Err != nil {
+			e.mFailed.Inc()
+		}
+		e.mCellSeconds.Observe(r.Duration.Seconds())
+		h.Trace.Counter("engine", map[string]float64{
+			"done":   float64(e.mCells.Value()),
+			"cached": float64(e.cacheHits.Load()),
+			"failed": float64(e.failed.Load()),
+		})
+	}
+	h.AddCell(obs.Cell{
+		Name:   name,
+		Cached: r.Cached,
+		Failed: r.Err != nil,
+		Millis: float64(r.Duration) / float64(time.Millisecond),
+	})
 }
 
 // runJob resolves one cell through the cache or a fresh simulation.
@@ -191,10 +291,16 @@ func (e *Engine) runJob(ctx context.Context, job Job) Result {
 		key = e.cache.keyFor(e.cellConfig(job), job)
 		if st, ok := e.cache.load(key); ok {
 			e.cacheHits.Add(1)
+			if e.mHits != nil {
+				e.mHits.Inc()
+			}
 			res.Stats, res.Cached = st, true
 			return res
 		}
 		e.cacheMisses.Add(1)
+		if e.mMisses != nil {
+			e.mMisses.Inc()
+		}
 	}
 	res.Stats, res.Err = e.simulate(ctx, job)
 	if res.Err == nil && cacheable {
@@ -217,6 +323,9 @@ func (e *Engine) simulate(ctx context.Context, job Job) (st gpusim.Stats, err er
 	defer func() {
 		if r := recover(); r != nil {
 			e.panics.Add(1)
+			if e.mPanics != nil {
+				e.mPanics.Inc()
+			}
 			err = fmt.Errorf("runner: %s/%s panicked: %v", job.Workload.Name, job.Mode, r)
 		}
 	}()
@@ -232,6 +341,9 @@ func (e *Engine) simulate(ctx context.Context, job Job) (st gpusim.Stats, err er
 		return gpusim.Stats{}, fmt.Errorf("runner: %s/%s: %w", job.Workload.Name, job.Mode, err)
 	}
 	e.simRuns.Add(1)
+	if e.mSimRuns != nil {
+		e.mSimRuns.Inc()
+	}
 	st, err = sim.RunContext(ctx, job.MaxCycles)
 	if err != nil {
 		return st, fmt.Errorf("runner: %s/%s: %w", job.Workload.Name, job.Mode, err)
