@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json repro repro-quick sweep-quick sweep-trace examples fuzz clean
+.PHONY: all build test race bench bench-json repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance check clean
 
 all: build test
 
@@ -58,6 +58,23 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeInvariants -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzAllocatorScript -fuzztime=30s ./internal/tagalloc
+
+# ~10s per target: quick coverage-guided pass over every fuzz target,
+# sized for the pre-merge gate.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz='^FuzzDecodeInvariants$$' -fuzztime=10s ./internal/core
+	$(GO) test -run '^$$' -fuzz='^FuzzAllocatorScript$$' -fuzztime=10s ./internal/tagalloc
+	$(GO) test -run '^$$' -fuzz='^FuzzECCDecode$$' -fuzztime=10s ./internal/ecc
+	$(GO) test -run '^$$' -fuzz='^FuzzParseTraceFile$$' -fuzztime=10s ./internal/gpusim
+
+# The conformance gate: golden-result regression, differential ECC
+# oracles and metamorphic simulator invariants (see DESIGN.md
+# "Conformance & testing"). Exits nonzero on any drift.
+conformance:
+	$(GO) run ./cmd/conformance
+
+# Pre-merge gate: everything that must be green before a change lands.
+check: build test fuzz-short conformance
 
 clean:
 	rm -rf results results-quick .sweep-cache

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the parser golden from the captured fixture")
+
+// TestParseBenchGolden runs the ReportMetric parser over a captured
+// `go test -bench` transcript (testdata/bench_output.txt, recorded from
+// this repository's own benchmark suite) and compares the full
+// structured result against a committed golden. This pins the parser
+// against the output quirks inline string literals miss: tab-separated
+// measurement columns, ReportMetric units with @ and , characters,
+// multi-metric lines, and ok/PASS trailers.
+func TestParseBenchGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "bench_output.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := parseBench(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GoVersion is the parsing machine's toolchain, not part of the
+	// fixture; blank it so the golden is machine-independent.
+	rep.GoVersion = ""
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "bench_output.golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(golden, buf.Bytes()) {
+		t.Fatalf("parsed report drifted from golden; rerun with -update if the parser change is intentional.\ngolden: %d bytes, got: %d bytes", len(golden), len(buf.Bytes()))
+	}
+
+	// Spot-check load-bearing values straight off the fixture so the
+	// golden itself is anchored to known-correct numbers.
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	if len(byName) != 24 {
+		t.Errorf("parsed %d distinct benchmarks, want 24", len(byName))
+	}
+	if got := byName["BenchmarkFig5TagSizeLimits"].Metrics["maxTS@256,16"]; got != 15 {
+		t.Errorf("maxTS@256,16 = %v, want 15", got)
+	}
+	if got := byName["BenchmarkSecurityDetection"].Metrics["x-misdetect-impr"]; got != 2340 {
+		t.Errorf("x-misdetect-impr = %v, want 2340", got)
+	}
+	if got := byName["BenchmarkAFTEncodeIMT16"].Metrics["MB/s"]; got != 47.62 {
+		t.Errorf("MB/s = %v, want 47.62", got)
+	}
+}

@@ -1,0 +1,70 @@
+// Command conformance is the pre-merge conformance gate: it runs the
+// golden-result regression, the differential ECC oracles and the
+// metamorphic simulator invariants (see internal/conformance) and exits
+// nonzero if anything drifted. The goldens are embedded at build time,
+// so the binary checks against exactly the goldens it was built from
+// and works from any directory.
+//
+// Usage:
+//
+//	conformance [-pillar golden|oracle|invariant|all] [-list]
+//
+// To refresh goldens after an intentional behavioral change, use
+// `go test ./internal/conformance -update` instead — this command only
+// checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/conformance"
+)
+
+func main() {
+	pillar := flag.String("pillar", "all", "which pillar to run: golden, oracle, invariant or all")
+	list := flag.Bool("list", false, "list the registered golden cells and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range conformance.Cells() {
+			fmt.Printf("%-28s %s\n", c.Name, c.About)
+		}
+		return
+	}
+
+	var findings []conformance.Finding
+	run := func(name string, f func() []conformance.Finding) {
+		start := time.Now()
+		got := f()
+		findings = append(findings, got...)
+		fmt.Fprintf(os.Stderr, "conformance: %s pillar: %d finding(s) in %v\n",
+			name, len(got), time.Since(start).Round(time.Millisecond))
+	}
+	switch *pillar {
+	case "golden":
+		run("golden", conformance.CheckGoldens)
+	case "oracle":
+		run("oracle", conformance.CheckOracles)
+	case "invariant":
+		run("invariant", conformance.CheckInvariants)
+	case "all":
+		run("golden", conformance.CheckGoldens)
+		run("oracle", conformance.CheckOracles)
+		run("invariant", conformance.CheckInvariants)
+	default:
+		fmt.Fprintf(os.Stderr, "conformance: unknown pillar %q\n", *pillar)
+		os.Exit(2)
+	}
+
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Printf("FAIL %s\n", f)
+		}
+		fmt.Printf("conformance: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("conformance: ok")
+}

@@ -1,0 +1,152 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// CanonicalJSON encodes v deterministically: two-space indentation, no
+// HTML escaping, map keys in sorted order (encoding/json's map rule) and
+// struct fields in declaration order. Two semantically equal results
+// always produce byte-identical encodings, so golden files are diffable
+// with ordinary tools.
+func CanonicalJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Diff compares two canonical-JSON documents field by field and returns
+// a message naming the first divergent metric (in document order, object
+// keys sorted), or "" when they are identical. Numbers are compared as
+// their exact JSON literals, so no precision is lost on uint64 counters
+// or on float64 metrics.
+func Diff(golden, got []byte) string {
+	gv, err := decodeTree(golden)
+	if err != nil {
+		return fmt.Sprintf("golden is not valid JSON: %v", err)
+	}
+	ov, err := decodeTree(got)
+	if err != nil {
+		return fmt.Sprintf("result is not valid JSON: %v", err)
+	}
+	return diffValue("", gv, ov)
+}
+
+func decodeTree(b []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func at(path string) string {
+	if path == "" {
+		return "(root)"
+	}
+	return path
+}
+
+func join(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+// diffValue walks the two trees in parallel and reports the first
+// divergence it meets.
+func diffValue(path string, golden, got any) string {
+	switch g := golden.(type) {
+	case map[string]any:
+		o, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Sprintf("%s: golden is an object, got %s", at(path), typeName(got))
+		}
+		keys := make([]string, 0, len(g))
+		for k := range g {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ov, present := o[k]
+			if !present {
+				return fmt.Sprintf("%s: missing in result", at(join(path, k)))
+			}
+			if d := diffValue(join(path, k), g[k], ov); d != "" {
+				return d
+			}
+		}
+		for k := range o {
+			if _, present := g[k]; !present {
+				return fmt.Sprintf("%s: not in golden (new field?)", at(join(path, k)))
+			}
+		}
+		return ""
+	case []any:
+		o, ok := got.([]any)
+		if !ok {
+			return fmt.Sprintf("%s: golden is an array, got %s", at(path), typeName(got))
+		}
+		if len(g) != len(o) {
+			return fmt.Sprintf("%s: golden has %d elements, got %d", at(path), len(g), len(o))
+		}
+		for i := range g {
+			if d := diffValue(fmt.Sprintf("%s[%d]", path, i), g[i], o[i]); d != "" {
+				return d
+			}
+		}
+		return ""
+	case json.Number:
+		o, ok := got.(json.Number)
+		if !ok {
+			return fmt.Sprintf("%s: golden is a number, got %s", at(path), typeName(got))
+		}
+		if g.String() != o.String() {
+			return fmt.Sprintf("%s: golden %s, got %s", at(path), g, o)
+		}
+		return ""
+	default:
+		// bool, string, nil.
+		if golden != got {
+			return fmt.Sprintf("%s: golden %v, got %v", at(path), jsonScalar(golden), jsonScalar(got))
+		}
+		return ""
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "an object"
+	case []any:
+		return "an array"
+	case json.Number:
+		return "a number"
+	case string:
+		return "a string"
+	case bool:
+		return "a bool"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func jsonScalar(v any) string {
+	if s, ok := v.(string); ok {
+		return fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current implementation")
+
+// TestGoldens is the golden-regression pillar. With -update it
+// regenerates testdata/golden/ instead of comparing: the embedded FS in
+// the running binary is stale the moment the files are rewritten, so
+// update mode never compares — rerun without -update to verify.
+func TestGoldens(t *testing.T) {
+	if *update {
+		for _, cell := range Cells() {
+			v, err := cell.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", cell.Name, err)
+			}
+			b, err := CanonicalJSON(v)
+			if err != nil {
+				t.Fatalf("%s: %v", cell.Name, err)
+			}
+			path := filepath.Join("testdata", "golden", cell.Name+".json")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", path, len(b))
+		}
+		return
+	}
+	for _, cell := range Cells() {
+		cell := cell
+		t.Run(cell.Name, func(t *testing.T) {
+			t.Parallel()
+			if f := checkGolden(cell); f != nil {
+				t.Error(f)
+			}
+		})
+	}
+}
+
+// TestGoldenFilesMatchRegistry fails when a golden file exists for a
+// cell that is no longer registered (stale goldens rot silently
+// otherwise) — and relies on checkGolden for the converse direction.
+func TestGoldenFilesMatchRegistry(t *testing.T) {
+	registered := map[string]bool{}
+	for _, c := range Cells() {
+		registered[c.Name] = true
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		if !registered[name] {
+			t.Errorf("testdata/golden/%s has no registered cell; delete it or restore the cell", e.Name())
+		}
+	}
+}
+
+func TestCanonicalJSONDeterministic(t *testing.T) {
+	v := map[string]any{"b": 2, "a": []int{1, 2, 3}, "c": map[string]float64{"y": 0.25, "x": 1e-9}}
+	first, err := CanonicalJSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := CanonicalJSON(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("encoding %d differs:\n%s\nvs\n%s", i, first, again)
+		}
+	}
+}
+
+// TestDiffNamesFirstDivergence pins the diff report format: a drift must
+// name the path of the first divergent metric and both values.
+func TestDiffNamesFirstDivergence(t *testing.T) {
+	cases := []struct {
+		name         string
+		golden, got  string
+		wantContains []string
+	}{
+		{"identical", `{"a":1}`, `{"a":1}`, nil},
+		{"number", `{"imt":{"Cycles":100}}`, `{"imt":{"Cycles":101}}`,
+			[]string{"imt.Cycles", "golden 100", "got 101"}},
+		{"float precision", `{"x":0.1}`, `{"x":0.10000000000000001}`,
+			[]string{"x", "golden 0.1"}},
+		{"missing field", `{"a":1,"b":2}`, `{"a":1}`, []string{"b", "missing in result"}},
+		{"new field", `{"a":1}`, `{"a":1,"b":2}`, []string{"b", "not in golden"}},
+		{"array length", `{"s":[1,2]}`, `{"s":[1,2,3]}`, []string{"s", "2 elements", "3"}},
+		{"nested array element", `{"s":[{"R":1},{"R":2}]}`, `{"s":[{"R":1},{"R":3}]}`,
+			[]string{"s[1].R", "golden 2", "got 3"}},
+		{"type change", `{"k":"SEC"}`, `{"k":7}`, []string{"k", "SEC", "7"}},
+		{"bool", `{"ok":true}`, `{"ok":false}`, []string{"ok", "true", "false"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Diff([]byte(tc.golden), []byte(tc.got))
+			if tc.wantContains == nil {
+				if d != "" {
+					t.Fatalf("want no diff, got %q", d)
+				}
+				return
+			}
+			if d == "" {
+				t.Fatal("want a diff, got none")
+			}
+			for _, want := range tc.wantContains {
+				if !strings.Contains(d, want) {
+					t.Errorf("diff %q does not mention %q", d, want)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenDriftIsNamed simulates a perturbed simulator constant by
+// corrupting one metric in a committed golden and checking the report
+// names that metric.
+func TestGoldenDriftIsNamed(t *testing.T) {
+	golden, ok := Golden("workload-catalog")
+	if !ok {
+		t.Skip("goldens not generated yet; run with -update first")
+	}
+	corrupted := strings.Replace(string(golden), `"CatalogSize": 193`, `"CatalogSize": 192`, 1)
+	if corrupted == string(golden) {
+		t.Fatal("corruption did not apply; golden format changed?")
+	}
+	d := Diff([]byte(corrupted), golden)
+	if !strings.Contains(d, "CatalogSize") {
+		t.Fatalf("drift report %q does not name the divergent metric", d)
+	}
+}

@@ -1,0 +1,54 @@
+package conformance
+
+import (
+	"embed"
+	"fmt"
+)
+
+// The goldens ship inside the binary so cmd/conformance checks against
+// exactly the goldens it was built with, from any working directory.
+//
+//go:embed testdata/golden
+var goldenFS embed.FS
+
+// Golden returns the committed golden for a cell name.
+func Golden(name string) ([]byte, bool) {
+	b, err := goldenFS.ReadFile("testdata/golden/" + name + ".json")
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// CheckGoldens runs every registered cell and compares its canonical
+// JSON against the committed golden, returning one finding per drifted
+// cell with the first divergent metric named.
+func CheckGoldens() []Finding {
+	var out []Finding
+	for _, cell := range Cells() {
+		if f := checkGolden(cell); f != nil {
+			out = append(out, *f)
+		}
+	}
+	return out
+}
+
+func checkGolden(cell Cell) *Finding {
+	check := "golden/" + cell.Name
+	golden, ok := Golden(cell.Name)
+	if !ok {
+		return &Finding{check, "no committed golden; run `go test ./internal/conformance -update` and commit testdata/golden/" + cell.Name + ".json"}
+	}
+	v, err := cell.Run()
+	if err != nil {
+		return &Finding{check, fmt.Sprintf("cell failed to run: %v", err)}
+	}
+	got, err := CanonicalJSON(v)
+	if err != nil {
+		return &Finding{check, fmt.Sprintf("cell result not encodable: %v", err)}
+	}
+	if d := Diff(golden, got); d != "" {
+		return &Finding{check, d}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+// TestCheckInvariants runs the metamorphic pillar end to end.
+func TestCheckInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic invariants simulate several full cells; skipped with -short")
+	}
+	for _, f := range CheckInvariants() {
+		t.Error(f)
+	}
+}
+
+// TestStatsDiffNamesField checks the shared comparison helper reports
+// the divergent Stats field by name.
+func TestStatsDiffNamesField(t *testing.T) {
+	a := gpusim.Stats{Cycles: 100, L2Hits: 5}
+	b := a
+	b.L2Hits = 6
+	d, err := statsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == "" {
+		t.Fatal("expected a diff")
+	}
+	if want := "L2Hits"; !strings.Contains(d, want) {
+		t.Fatalf("diff %q does not name %s", d, want)
+	}
+	if d, err := statsDiff(a, a); err != nil || d != "" {
+		t.Fatalf("identical stats diffed: %q, %v", d, err)
+	}
+}

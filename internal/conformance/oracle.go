@@ -1,0 +1,533 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+)
+
+// The differential oracle is a second, deliberately naive implementation
+// of linear-code decoding: the parity-check matrix is an explicit 0/1
+// byte matrix, syndromes are computed row by row with schoolbook dot
+// products, and classification is a linear scan over columns (and, for
+// AFT-ECC, over every tag-error pattern) — no bit tricks, no syndrome
+// maps, no shared code with internal/ecc or internal/core beyond the
+// matrix definition itself. Where the production decoder uses a lookup
+// table the oracle uses exhaustive search, so a table built wrong (the
+// exact failure mode tag-check implementations drift into) disagrees.
+
+// refCode is the reference decoder for an untagged linear code.
+type refCode struct {
+	k, r int
+	kind ecc.Kind
+	h    [][]byte // r rows × (k+r) cols of 0/1
+}
+
+// refFromECC lifts the production code's parity-check matrix into the
+// naive representation. The matrix is the code's published definition;
+// everything downstream of it is independent.
+func refFromECC(c *ecc.Code) *refCode {
+	m := c.H()
+	rc := &refCode{k: c.K(), r: c.R(), kind: c.Kind()}
+	rc.h = make([][]byte, m.Rows())
+	for i := range rc.h {
+		rc.h[i] = make([]byte, m.Cols())
+		for j := 0; j < m.Cols(); j++ {
+			rc.h[i][j] = byte(m.Get(i, j))
+		}
+	}
+	return rc
+}
+
+func (rc *refCode) n() int { return rc.k + rc.r }
+
+// encode computes the check bits as row-wise parities over the data
+// columns: check[i] = Σ_j H[i][j]·data[j] (mod 2).
+func (rc *refCode) encode(data []byte) []byte {
+	check := make([]byte, rc.r)
+	for i := 0; i < rc.r; i++ {
+		var p byte
+		for j := 0; j < rc.k; j++ {
+			p ^= rc.h[i][j] & data[j]
+		}
+		check[i] = p
+	}
+	return check
+}
+
+// syndrome computes H·word over the full received codeword.
+func (rc *refCode) syndrome(word []byte) []byte {
+	s := make([]byte, rc.r)
+	for i := 0; i < rc.r; i++ {
+		var p byte
+		for j := 0; j < rc.n(); j++ {
+			p ^= rc.h[i][j] & word[j]
+		}
+		s[i] = p
+	}
+	return s
+}
+
+func zero(s []byte) bool {
+	for _, b := range s {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// columnMatches reports whether H column j equals the syndrome.
+func (rc *refCode) columnMatches(j int, s []byte) bool {
+	for i := 0; i < rc.r; i++ {
+		if rc.h[i][j] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refResult mirrors ecc.Result in oracle terms.
+type refResult struct {
+	status     ecc.Status
+	flippedBit int
+}
+
+// decode classifies a received word by exhaustive search: zero syndrome
+// is OK; for correcting codes a syndrome equal to some H column is a
+// single-bit correction at the *first* matching column (the columns are
+// distinct in a valid SEC code, so "first" is "only" — if construction
+// ever violated that, the differential test against the production
+// map-based decoder would expose it); anything else is a DUE.
+// Detect-only codes never correct. The word is corrected in place.
+func (rc *refCode) decode(word []byte) refResult {
+	s := rc.syndrome(word)
+	if zero(s) {
+		return refResult{status: ecc.StatusOK, flippedBit: -1}
+	}
+	if rc.kind != ecc.DetectOnly {
+		for j := 0; j < rc.n(); j++ {
+			if rc.columnMatches(j, s) {
+				word[j] ^= 1
+				return refResult{status: ecc.StatusCorrected, flippedBit: j}
+			}
+		}
+	}
+	return refResult{status: ecc.StatusDetected, flippedBit: -1}
+}
+
+// refAFT is the reference decoder for an AFT-ECC code: the physical
+// parity-check matrix plus the explicit tag submatrix.
+type refAFT struct {
+	k, r, ts int
+	phys     [][]byte // r × (k+r): (D | I)
+	tag      [][]byte // r × ts
+}
+
+func refFromAFT(c *core.Code) *refAFT {
+	ra := &refAFT{k: c.K(), r: c.R(), ts: c.TS()}
+	h := c.H() // (T | D | I), tag columns first
+	ra.tag = make([][]byte, ra.r)
+	ra.phys = make([][]byte, ra.r)
+	for i := 0; i < ra.r; i++ {
+		ra.tag[i] = make([]byte, ra.ts)
+		for j := 0; j < ra.ts; j++ {
+			ra.tag[i][j] = byte(h.Get(i, j))
+		}
+		ra.phys[i] = make([]byte, ra.k+ra.r)
+		for j := 0; j < ra.k+ra.r; j++ {
+			ra.phys[i][j] = byte(h.Get(i, ra.ts+j))
+		}
+	}
+	return ra
+}
+
+// tagSyndrome computes T·tag naively from the tag's bits.
+func (ra *refAFT) tagSyndrome(tag uint64) []byte {
+	s := make([]byte, ra.r)
+	for i := 0; i < ra.r; i++ {
+		var p byte
+		for j := 0; j < ra.ts; j++ {
+			p ^= ra.tag[i][j] & byte(tag>>uint(j)&1)
+		}
+		s[i] = p
+	}
+	return s
+}
+
+// refAFTResult mirrors core.Result in oracle terms.
+type refAFTResult struct {
+	status          core.Status
+	flippedBit      int
+	lockTagEstimate uint64
+}
+
+// decode classifies (data, check) under keyTag by exhaustive search:
+// syndrome = Σ phys columns of set bits ⊕ T·keyTag; a zero syndrome is
+// OK; a syndrome equal to a physical column is a single-bit correction;
+// otherwise every nonzero tag-error pattern is tried in turn — if
+// T·pattern reproduces the syndrome the word is a tag mismatch with
+// lock estimate keyTag ⊕ pattern; anything else is a DUE. The word
+// (data ++ check bits) is corrected in place.
+func (ra *refAFT) decode(word []byte, keyTag uint64) refAFTResult {
+	s := ra.tagSyndrome(keyTag)
+	for i := 0; i < ra.r; i++ {
+		for j := 0; j < ra.k+ra.r; j++ {
+			s[i] ^= ra.phys[i][j] & word[j]
+		}
+	}
+	if zero(s) {
+		return refAFTResult{status: core.StatusOK, flippedBit: -1}
+	}
+	for j := 0; j < ra.k+ra.r; j++ {
+		match := true
+		for i := 0; i < ra.r; i++ {
+			if ra.phys[i][j] != s[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			word[j] ^= 1
+			return refAFTResult{status: core.StatusCorrected, flippedBit: j}
+		}
+	}
+	for pattern := uint64(1); pattern < 1<<uint(ra.ts); pattern++ {
+		ts := ra.tagSyndrome(pattern)
+		match := true
+		for i := 0; i < ra.r; i++ {
+			if ts[i] != s[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return refAFTResult{
+				status:          core.StatusTMM,
+				flippedBit:      -1,
+				lockTagEstimate: (keyTag ^ pattern) & (1<<uint(ra.ts) - 1),
+			}
+		}
+	}
+	return refAFTResult{status: core.StatusDUE, flippedBit: -1}
+}
+
+// bitsOf expands a BitVec into the oracle's byte representation.
+func bitsOf(v *gf2.BitVec) []byte {
+	out := make([]byte, v.Len())
+	for i := range out {
+		out[i] = byte(v.Get(i))
+	}
+	return out
+}
+
+// word assembles data ++ check into one received-codeword byte slice.
+func word(data *gf2.BitVec, check uint64, r int) []byte {
+	out := bitsOf(data)
+	for i := 0; i < r; i++ {
+		out = append(out, byte(check>>uint(i)&1))
+	}
+	return out
+}
+
+// diffDecodeECC decodes one received word with both implementations and
+// returns a description of the first disagreement ("" if they agree):
+// status, repaired bit, and the post-correction word must all match.
+func diffDecodeECC(c *ecc.Code, rc *refCode, data *gf2.BitVec, check uint64) string {
+	rxWord := word(data, check, c.R())
+	prodData := data.Clone()
+	prodRes := c.Decode(prodData, check)
+	refRes := rc.decode(rxWord)
+
+	if prodRes.Status != refRes.status {
+		return fmt.Sprintf("status: production %v, reference %v", prodRes.Status, refRes.status)
+	}
+	if prodRes.Status == ecc.StatusCorrected && prodRes.FlippedBit != refRes.flippedBit {
+		return fmt.Sprintf("flipped bit: production %d, reference %d", prodRes.FlippedBit, refRes.flippedBit)
+	}
+	// The production decoder repairs data bits in place; the reference
+	// repairs its whole word. Compare the data region.
+	for i := 0; i < c.K(); i++ {
+		if byte(prodData.Get(i)) != rxWord[i] {
+			return fmt.Sprintf("corrected data bit %d: production %d, reference %d", i, prodData.Get(i), rxWord[i])
+		}
+	}
+	return ""
+}
+
+// diffDecodeAFT is diffDecodeECC for the tagged decoder, additionally
+// requiring agreement on the lock-tag estimate for TMMs.
+func diffDecodeAFT(c *core.Code, ra *refAFT, data *gf2.BitVec, check uint64, keyTag uint64) string {
+	rxWord := word(data, check, c.R())
+	prodData := data.Clone()
+	prodRes := c.Decode(prodData, check, keyTag)
+	refRes := ra.decode(rxWord, keyTag)
+
+	if prodRes.Status != refRes.status {
+		return fmt.Sprintf("status: production %v, reference %v (key %#x)", prodRes.Status, refRes.status, keyTag)
+	}
+	if prodRes.Status == core.StatusCorrected && prodRes.FlippedBit != refRes.flippedBit {
+		return fmt.Sprintf("flipped bit: production %d, reference %d", prodRes.FlippedBit, refRes.flippedBit)
+	}
+	if prodRes.Status == core.StatusTMM && prodRes.LockTagEstimate != refRes.lockTagEstimate {
+		return fmt.Sprintf("lock estimate: production %#x, reference %#x", prodRes.LockTagEstimate, refRes.lockTagEstimate)
+	}
+	for i := 0; i < c.K(); i++ {
+		if byte(prodData.Get(i)) != rxWord[i] {
+			return fmt.Sprintf("corrected data bit %d: production %d, reference %d", i, prodData.Get(i), rxWord[i])
+		}
+	}
+	return ""
+}
+
+// randomVec fills an n-bit vector from rng.
+func randomVec(rng *rand.Rand, n int) *gf2.BitVec {
+	v := gf2.NewBitVec(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Flip(i)
+		}
+	}
+	return v
+}
+
+// ExhaustiveECCOracle checks the production decoder of c against the
+// reference over every error pattern in {0,1}^N applied to `bases`
+// base data vectors (encode, corrupt, decode, compare). N must be small
+// enough for 2^N enumeration.
+func ExhaustiveECCOracle(c *ecc.Code, bases []*gf2.BitVec) error {
+	if c.N() > 20 {
+		return fmt.Errorf("code %s too large for exhaustive enumeration (N=%d)", c.Name(), c.N())
+	}
+	rc := refFromECC(c)
+	for bi, base := range bases {
+		check := c.Encode(base)
+		for pat := uint64(0); pat < 1<<uint(c.N()); pat++ {
+			data := base.Clone()
+			rxCheck := check
+			for b := 0; b < c.N(); b++ {
+				if pat>>uint(b)&1 == 0 {
+					continue
+				}
+				if b < c.K() {
+					data.Flip(b)
+				} else {
+					rxCheck ^= 1 << uint(b-c.K())
+				}
+			}
+			if d := diffDecodeECC(c, rc, data, rxCheck); d != "" {
+				return fmt.Errorf("%s base %d error %#x: %s", c.Name(), bi, pat, d)
+			}
+		}
+	}
+	return nil
+}
+
+// RandomECCOracle checks `trials` random (data, corruption) pairs: the
+// word is a valid codeword with 0..3 random bit flips, plus fully
+// random (data, check) pairs that exercise arbitrary syndromes.
+func RandomECCOracle(c *ecc.Code, trials int, seed int64) error {
+	rc := refFromECC(c)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		data := randomVec(rng, c.K())
+		var check uint64
+		if trial%4 == 3 {
+			// Arbitrary received pair — any syndrome, any weight.
+			check = rng.Uint64() & (1<<uint(c.R()) - 1)
+		} else {
+			check = c.Encode(data)
+			for f := rng.Intn(4); f > 0; f-- {
+				b := rng.Intn(c.N())
+				if b < c.K() {
+					data.Flip(b)
+				} else {
+					check ^= 1 << uint(b-c.K())
+				}
+			}
+		}
+		if d := diffDecodeECC(c, rc, data, check); d != "" {
+			return fmt.Errorf("%s trial %d: %s", c.Name(), trial, d)
+		}
+	}
+	return nil
+}
+
+// ExhaustiveAFTOracle checks the production AFT-ECC decoder against the
+// reference over every ≤2-bit physical error pattern × every (lock,
+// key) tag pair for one base data vector per call.
+func ExhaustiveAFTOracle(c *core.Code, base *gf2.BitVec) error {
+	ra := refFromAFT(c)
+	nphys := c.PhysicalBits()
+	tagSpace := uint64(1) << uint(c.TS())
+
+	// Pattern list: the empty pattern, every 1-bit, every 2-bit pattern.
+	patterns := [][]int{{}}
+	for i := 0; i < nphys; i++ {
+		patterns = append(patterns, []int{i})
+		for j := i + 1; j < nphys; j++ {
+			patterns = append(patterns, []int{i, j})
+		}
+	}
+	for lock := uint64(0); lock < tagSpace; lock++ {
+		check := c.Encode(base, lock)
+		for key := uint64(0); key < tagSpace; key++ {
+			for pi, pat := range patterns {
+				data := base.Clone()
+				rxCheck := check
+				for _, b := range pat {
+					if b < c.K() {
+						data.Flip(b)
+					} else {
+						rxCheck ^= 1 << uint(b-c.K())
+					}
+				}
+				if d := diffDecodeAFT(c, ra, data, rxCheck, key); d != "" {
+					return fmt.Errorf("%v lock %#x key %#x pattern %d %v: %s", c, lock, key, pi, pat, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RandomAFTOracle checks `trials` random (data, lock, key, ≤2-bit
+// corruption) decodes, plus arbitrary-check decodes as in RandomECCOracle.
+func RandomAFTOracle(c *core.Code, trials int, seed int64) error {
+	ra := refFromAFT(c)
+	rng := rand.New(rand.NewSource(seed))
+	mask := c.TagMask()
+	for trial := 0; trial < trials; trial++ {
+		data := randomVec(rng, c.K())
+		lock := rng.Uint64() & mask
+		key := rng.Uint64() & mask
+		var check uint64
+		if trial%4 == 3 {
+			check = rng.Uint64() & (1<<uint(c.R()) - 1)
+		} else {
+			check = c.Encode(data, lock)
+			for f := rng.Intn(3); f > 0; f-- {
+				b := rng.Intn(c.PhysicalBits())
+				if b < c.K() {
+					data.Flip(b)
+				} else {
+					check ^= 1 << uint(b-c.K())
+				}
+			}
+		}
+		if d := diffDecodeAFT(c, ra, data, check, key); d != "" {
+			return fmt.Errorf("%v trial %d: %s", c, trial, d)
+		}
+	}
+	return nil
+}
+
+// TagSyndromeTableOracle rebuilds the production syndrome → tag-error
+// table by exhaustive scan and requires an exact match: every syndrome
+// the production code classifies as a tag syndrome must be reproduced
+// by exactly one naive T·pattern product, and vice versa.
+func TagSyndromeTableOracle(c *core.Code) error {
+	ra := refFromAFT(c)
+	want := map[uint64]uint64{}
+	for pattern := uint64(1); pattern < 1<<uint(c.TS()); pattern++ {
+		s := ra.tagSyndrome(pattern)
+		var sv uint64
+		for i, b := range s {
+			sv |= uint64(b) << uint(i)
+		}
+		if prev, dup := want[sv]; dup {
+			return fmt.Errorf("%v: naive tag syndromes collide: patterns %#x and %#x both give %#x", c, prev, pattern, sv)
+		}
+		want[sv] = pattern
+	}
+	got := c.TagSyndromeTable()
+	if len(got) != len(want) {
+		return fmt.Errorf("%v: production table has %d entries, reference %d", c, len(got), len(want))
+	}
+	for s, pattern := range want {
+		gp, ok := got[s]
+		if !ok {
+			return fmt.Errorf("%v: syndrome %#x missing from production table", c, s)
+		}
+		if gp != pattern {
+			return fmt.Errorf("%v: syndrome %#x: production pattern %#x, reference %#x", c, s, gp, pattern)
+		}
+		if p2, ok := c.IsTagSyndrome(s); !ok || p2 != pattern {
+			return fmt.Errorf("%v: IsTagSyndrome(%#x) = (%#x, %v), want (%#x, true)", c, s, p2, ok, pattern)
+		}
+	}
+	return nil
+}
+
+// CheckOracles runs the differential pillar at the pre-merge budget:
+// exhaustive enumeration on small codes of every family, ≥10k
+// randomized trials against the workhorse sizes, and an exact
+// tag-syndrome-table rebuild.
+func CheckOracles() []Finding {
+	var out []Finding
+	fail := func(check string, err error) {
+		if err != nil {
+			out = append(out, Finding{"oracle/" + check, err.Error()})
+		}
+	}
+
+	bases := func(k int, seed int64) []*gf2.BitVec {
+		rng := rand.New(rand.NewSource(seed))
+		all1 := gf2.NewBitVec(k)
+		for i := 0; i < k; i++ {
+			all1.Flip(i)
+		}
+		return []*gf2.BitVec{gf2.NewBitVec(k), all1, randomVec(rng, k)}
+	}
+
+	if c, err := ecc.NewHsiao(8, 5); err != nil {
+		fail("hsiao-8-5", err)
+	} else {
+		fail("exhaustive/hsiao-8-5", ExhaustiveECCOracle(c, bases(8, 1)))
+	}
+	if c, err := ecc.NewSEC(8, 4, 3); err != nil {
+		fail("sec-8-4", err)
+	} else {
+		fail("exhaustive/sec-8-4", ExhaustiveECCOracle(c, bases(8, 2)))
+	}
+	if c, err := ecc.NewDetectOnly(10, 4, 5); err != nil {
+		fail("detect-10-4", err)
+	} else {
+		fail("exhaustive/detect-10-4", ExhaustiveECCOracle(c, bases(10, 3)))
+	}
+	fail("exhaustive/parity-12", ExhaustiveECCOracle(ecc.NewParity(12), bases(12, 4)))
+
+	if c, err := ecc.NewHsiao(64, 8); err != nil {
+		fail("hsiao-64-8", err)
+	} else {
+		fail("random/hsiao-64-8", RandomECCOracle(c, 12000, 101))
+	}
+	if c, err := ecc.NewHsiao(256, 16); err != nil {
+		fail("hsiao-256-16", err)
+	} else {
+		fail("random/hsiao-256-16", RandomECCOracle(c, 2000, 102))
+	}
+
+	if c, err := core.NewCode(16, 6, 5, core.Options{}); err != nil {
+		fail("aft-16-6-5", err)
+	} else {
+		fail("exhaustive/aft-16-6-5", ExhaustiveAFTOracle(c, bases(16, 5)[2]))
+		fail("tagtable/aft-16-6-5", TagSyndromeTableOracle(c))
+	}
+	if c, err := core.NewCode(64, 8, 7, core.Options{}); err != nil {
+		fail("aft-64-8-7", err)
+	} else {
+		fail("random/aft-64-8-7", RandomAFTOracle(c, 12000, 103))
+		fail("tagtable/aft-64-8-7", TagSyndromeTableOracle(c))
+	}
+	if c, err := core.NewCode(256, 16, 15, core.Options{}); err != nil {
+		fail("aft-256-16-15", err)
+	} else {
+		fail("random/aft-256-16-15", RandomAFTOracle(c, 1000, 104))
+		fail("tagtable/aft-256-16-15", TagSyndromeTableOracle(c))
+	}
+	return out
+}

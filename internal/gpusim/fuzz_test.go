@@ -1,0 +1,85 @@
+package gpusim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// opsEqual compares op streams structurally, treating nil and empty
+// address slices as the same (Clone and ReadTraces normalize them
+// differently; the format cannot distinguish them).
+func opsEqual(a, b []WarpOp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Store != b[i].Store || a[i].Atomic != b[i].Atomic || a[i].Compute != b[i].Compute {
+			return false
+		}
+		if len(a[i].Addrs) != len(b[i].Addrs) {
+			return false
+		}
+		for j := range a[i].Addrs {
+			if a[i].Addrs[j] != b[i].Addrs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzParseTraceFile drives ReadTraces with arbitrary bytes: it must
+// never panic and never allocate unboundedly from a hostile header, and
+// anything it accepts must survive a write/read round trip unchanged
+// (the parsed form is the format's meaning; re-encoding it must not
+// drift).
+func FuzzParseTraceFile(f *testing.F) {
+	seed := func(traces []Trace) []byte {
+		var buf bytes.Buffer
+		if err := WriteTraces(&buf, traces); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(nil))
+	f.Add(seed([]Trace{nil, &SliceTrace{}}))
+	f.Add(seed([]Trace{&SliceTrace{Ops: []WarpOp{
+		{Addrs: []uint64{0x1000, 0x1020}, Compute: 3},
+		{Store: true, Addrs: []uint64{1 << 49}},
+		{Atomic: true, Addrs: []uint64{0}, Compute: 1},
+	}}}))
+	f.Add([]byte{})
+	f.Add([]byte("IMTTRC1\n"))
+	f.Add([]byte("IMTTRC1\n\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")) // implausible SM count
+	f.Add([]byte("not a trace file"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		traces, err := ReadTraces(bytes.NewReader(b))
+		if err != nil {
+			return // rejected input: the only contract is no panic
+		}
+		// Clone before writing: WriteTraces drains its inputs.
+		clones, err := CloneTraces(traces)
+		if err != nil {
+			t.Fatalf("parsed traces not cloneable: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteTraces(&out, traces); err != nil {
+			t.Fatalf("re-encoding parsed traces: %v", err)
+		}
+		again, err := ReadTraces(&out)
+		if err != nil {
+			t.Fatalf("re-reading re-encoded traces: %v", err)
+		}
+		if len(again) != len(clones) {
+			t.Fatalf("round trip changed SM count: %d → %d", len(clones), len(again))
+		}
+		for i := range again {
+			want := clones[i].(*SliceTrace).Ops
+			got := again[i].(*SliceTrace).Ops
+			if !opsEqual(want, got) {
+				t.Fatalf("SM %d ops changed across round trip", i)
+			}
+		}
+	})
+}

@@ -76,9 +76,15 @@ func (s Stats) DRAMBytes() uint64 {
 // When s.Cycles is 0 (a run that never executed, e.g. an empty trace or
 // an unpopulated Stats value) the result is a NaN-safe 0. Telemetry
 // consumers must read that 0 as "utilization not measured", not as an
-// idle memory system; check s.Cycles > 0 to distinguish the two.
+// idle memory system; check s.Cycles > 0 to distinguish the two. The
+// same guard covers a zero-value or unvalidated Config (NumSlices or
+// DRAMCyclesPerSector ≤ 0 would otherwise make the peak 0 or negative
+// and leak ±Inf/NaN into JSON exports, which encoding/json rejects).
 func (s Stats) BandwidthUtilization(cfg Config) float64 {
 	if s.Cycles == 0 {
+		return 0
+	}
+	if cfg.NumSlices <= 0 || cfg.DRAMCyclesPerSector <= 0 {
 		return 0
 	}
 	peakBytesPerCycle := float64(cfg.NumSlices) * 32 / float64(cfg.DRAMCyclesPerSector)

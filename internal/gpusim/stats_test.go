@@ -1,0 +1,86 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestDerivedRatiosFinite audits every derived ratio against the
+// degenerate inputs that produce NaN/Inf from naive division: an
+// empty run (all counters zero), a zero-value Config, and partial
+// configs with only one of the peak-bandwidth terms set. A NaN or ±Inf
+// here would make json.Marshal of an exported report fail outright.
+func TestDerivedRatiosFinite(t *testing.T) {
+	ran := Stats{Cycles: 1000, DRAMDataReads: 50, DRAMTagReads: 5, DRAMWrites: 10}
+	cases := []struct {
+		name string
+		st   Stats
+		cfg  Config
+	}{
+		{"empty run, empty config", Stats{}, Config{}},
+		{"empty run, default config", Stats{}, DefaultConfig()},
+		{"ran, zero config", ran, Config{}},
+		{"ran, zero slices", ran, Config{DRAMCyclesPerSector: 4}},
+		{"ran, zero DRAM cycles per sector", ran, Config{NumSlices: 4}},
+		{"ran, negative DRAM cycles per sector", ran, Config{NumSlices: 4, DRAMCyclesPerSector: -1}},
+		{"cycles only", Stats{Cycles: 77}, DefaultConfig()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ratios := map[string]float64{
+				"ReadBloat":            tc.st.ReadBloat(),
+				"BandwidthUtilization": tc.st.BandwidthUtilization(tc.cfg),
+				"L1HitRate":            tc.st.L1HitRate(),
+				"L2HitRate":            tc.st.L2HitRate(),
+				"TagL2HitRate":         tc.st.TagL2HitRate(),
+				"PeakBandwidthUtil":    tc.st.PeakBandwidthUtil(),
+				"BandwidthBoundFrac":   tc.st.BandwidthBoundFraction(0.5),
+				"Slowdown":             Slowdown(tc.st, tc.st),
+			}
+			for name, v := range ratios {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, want finite", name, v)
+				}
+			}
+			// The end-to-end property the guards exist for: the export
+			// path must be able to serialize these values.
+			if _, err := json.Marshal(ratios); err != nil {
+				t.Errorf("derived ratios not JSON-serializable: %v", err)
+			}
+		})
+	}
+}
+
+// TestEmptyRunRatiosAreZero pins the documented "not measured" value:
+// every ratio of an empty run is exactly 0, not merely finite.
+func TestEmptyRunRatiosAreZero(t *testing.T) {
+	var st Stats
+	zeros := map[string]float64{
+		"ReadBloat":            st.ReadBloat(),
+		"BandwidthUtilization": st.BandwidthUtilization(Config{}),
+		"L1HitRate":            st.L1HitRate(),
+		"L2HitRate":            st.L2HitRate(),
+		"TagL2HitRate":         st.TagL2HitRate(),
+		"PeakBandwidthUtil":    st.PeakBandwidthUtil(),
+		"BandwidthBoundFrac":   st.BandwidthBoundFraction(0.5),
+		"Slowdown":             Slowdown(st, Stats{Cycles: 5}),
+	}
+	for name, v := range zeros {
+		if v != 0 {
+			t.Errorf("%s = %v on an empty run, want 0", name, v)
+		}
+	}
+}
+
+// TestBandwidthUtilizationMeasured makes sure the guards did not break
+// the measured path: a real run on a valid config yields the plain
+// bytes / cycles / peak ratio.
+func TestBandwidthUtilizationMeasured(t *testing.T) {
+	st := Stats{Cycles: 1000, DRAMDataReads: 40, DRAMTagReads: 8, DRAMWrites: 2}
+	cfg := Config{NumSlices: 4, DRAMCyclesPerSector: 4}
+	want := float64(32*(40+8+2)) / 1000 / (4 * 32 / 4.0)
+	if got := st.BandwidthUtilization(cfg); got != want {
+		t.Fatalf("BandwidthUtilization = %v, want %v", got, want)
+	}
+}

@@ -103,8 +103,12 @@ func ReadTraces(r io.Reader) ([]Trace, error) {
 		if numOps > 1<<28 {
 			return nil, fmt.Errorf("gpusim: implausible op count %d", numOps)
 		}
-		ops := make([]WarpOp, numOps)
-		for i := range ops {
+		// Grow instead of trusting the header: a truncated or hostile
+		// file can claim 2^28 ops in a handful of bytes, and an upfront
+		// make() of that size is a multi-GB allocation before the first
+		// op is read.
+		ops := make([]WarpOp, 0, min(numOps, 4096))
+		for i := uint64(0); i < numOps; i++ {
 			flags, err := br.ReadByte()
 			if err != nil {
 				return nil, fmt.Errorf("gpusim: SM %d op %d flags: %w", sm, i, err)
@@ -133,7 +137,7 @@ func ReadTraces(r io.Reader) ([]Trace, error) {
 				}
 				op.Addrs[j] = a
 			}
-			ops[i] = op
+			ops = append(ops, op)
 		}
 		out[sm] = &SliceTrace{Ops: ops}
 	}

@@ -28,8 +28,18 @@ type CurvePoint struct {
 // and SEC-DED codes from R=10 (matching the paper's sweep for K=256,
 // where R=9 is the first SEC-capable and R=10 the first SEC-DED-capable
 // redundancy). Random corruption uses `trials` samples; 3-bit errors are
-// exhaustive.
+// exhaustive. The Monte-Carlo campaign fans out over GOMAXPROCS workers,
+// so the sampled values depend on the machine's core count; use
+// SDCCurveWorkers with a fixed count when results must be reproducible
+// bit-for-bit across machines (the conformance goldens do).
 func SDCCurve(k, maxR, trials int, seed int64) ([]CurvePoint, error) {
+	return SDCCurveWorkers(k, maxR, trials, seed, runtime.GOMAXPROCS(0))
+}
+
+// SDCCurveWorkers is SDCCurve with an explicit Monte-Carlo worker count.
+// The per-worker seeds and trial split are functions of `workers`, so a
+// fixed count yields identical curves on every machine.
+func SDCCurveWorkers(k, maxR, trials int, seed int64, workers int) ([]CurvePoint, error) {
 	var out []CurvePoint
 	for r := 1; r <= maxR; r++ {
 		var (
@@ -51,7 +61,7 @@ func SDCCurve(k, maxR, trials int, seed int64) ([]CurvePoint, error) {
 		}
 		t := TargetECC(code)
 		pt := CurvePoint{R: r, Kind: code.Kind()}
-		pt.RandomSDC = RandomErrorsParallel(t, trials, runtime.GOMAXPROCS(0), seed+int64(100+r)).SDCRate()
+		pt.RandomSDC = RandomErrorsParallel(t, trials, workers, seed+int64(100+r)).SDCRate()
 		if code.Kind() != ecc.DetectOnly {
 			tally, err := ExhaustiveKBit(t, 3)
 			if err != nil {

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCatalogExactPartition verifies Suites/BySuite partition the
+// catalog by identity, not just by count: every workload appears in
+// exactly one suite listing, in catalog order, and the suite labels are
+// exactly the three documented constants.
+func TestCatalogExactPartition(t *testing.T) {
+	wantSuites := map[string]bool{SuiteMLPerf: true, SuiteHPC: true, SuiteStream: true}
+	for _, s := range Suites() {
+		if !wantSuites[s] {
+			t.Errorf("Suites() includes unknown suite %q", s)
+		}
+		delete(wantSuites, s)
+	}
+	for s := range wantSuites {
+		t.Errorf("Suites() is missing %q", s)
+	}
+
+	claimed := map[int]string{}
+	for _, s := range Suites() {
+		prevID := 0
+		for _, w := range BySuite(s) {
+			if w.Suite != s {
+				t.Errorf("BySuite(%q) returned %s from suite %q", s, w.Name, w.Suite)
+			}
+			if other, dup := claimed[w.ID]; dup {
+				t.Errorf("%s claimed by both %q and %q", w.Name, other, s)
+			}
+			claimed[w.ID] = s
+			if w.ID <= prevID {
+				t.Errorf("BySuite(%q) out of catalog order at %s", s, w.Name)
+			}
+			prevID = w.ID
+		}
+	}
+	if len(claimed) != CatalogSize {
+		t.Errorf("suites cover %d distinct workloads, want %d", len(claimed), CatalogSize)
+	}
+}
+
+// TestCatalogParameterRanges audits every workload's parameters against
+// their documented domains. The trace generator consumes these blindly
+// (fractions as probabilities, divisors in address math), so an
+// out-of-range value corrupts traces silently rather than failing.
+func TestCatalogParameterRanges(t *testing.T) {
+	for _, w := range Catalog() {
+		if w.Name == "" || strings.TrimSpace(w.Name) != w.Name {
+			t.Errorf("id %d: bad name %q", w.ID, w.Name)
+		}
+		if strings.ContainsAny(w.Name, " /\\") {
+			t.Errorf("%s: name not path/label safe", w.Name)
+		}
+		if w.WriteFrac < 0 || w.WriteFrac > 1 {
+			t.Errorf("%s: WriteFrac %v outside [0,1]", w.Name, w.WriteFrac)
+		}
+		if w.AtomicFrac < 0 || w.AtomicFrac > 1 {
+			t.Errorf("%s: AtomicFrac %v outside [0,1]", w.Name, w.AtomicFrac)
+		}
+		// The generator rolls once and checks atomic before write, so the
+		// two fractions share one unit interval.
+		if w.AtomicFrac+w.WriteFrac > 1 {
+			t.Errorf("%s: AtomicFrac+WriteFrac = %v > 1", w.Name, w.AtomicFrac+w.WriteFrac)
+		}
+		if w.HotFrac < 0 || w.HotFrac > 1 {
+			t.Errorf("%s: HotFrac %v outside [0,1]", w.Name, w.HotFrac)
+		}
+		if w.ComputePerOp < 0 {
+			t.Errorf("%s: negative ComputePerOp %d", w.Name, w.ComputePerOp)
+		}
+		if s := w.Pattern.String(); strings.HasPrefix(s, "Pattern(") {
+			t.Errorf("%s: unknown pattern %s", w.Name, s)
+		}
+		if len(w.AllocCounts) > len(w.AllocSizes) {
+			t.Errorf("%s: %d alloc counts for %d sizes", w.Name, len(w.AllocCounts), len(w.AllocSizes))
+		}
+		for i, sz := range w.AllocSizes {
+			if sz == 0 {
+				t.Errorf("%s: zero-byte allocation at %d", w.Name, i)
+			}
+		}
+		for i, n := range w.AllocCounts {
+			if n <= 0 {
+				t.Errorf("%s: non-positive alloc count %d at %d", w.Name, n, i)
+			}
+		}
+		if w.TotalAllocBytes() == 0 {
+			t.Errorf("%s: empty allocation model", w.Name)
+		}
+		if bloat := w.FootprintBloat(32); bloat < 0 {
+			t.Errorf("%s: negative footprint bloat %v", w.Name, bloat)
+		}
+	}
+}
