@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance check clean
+.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance check clean
 
 all: build test
 
@@ -25,6 +25,21 @@ bench:
 # per-experiment headline numbers surfaced via b.ReportMetric.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_results.json
+
+# Perf-regression gate over the gpusim hot path: reruns the steady-state
+# benchmarks (6 repetitions; the gate compares min ns/op on both sides,
+# so transient scheduler noise must survive every repetition to trip it)
+# and fails if any benchmark regressed beyond tolerance against the
+# committed BENCH_results.json baseline. On a pass it refreshes the
+# baseline in place, keeping the embedded before/after trajectory.
+# Tolerance is 15% rather than benchjson's 10% default: shared runners
+# drift ±10% window-to-window even on min-of-6, while the regressions
+# this gate exists to catch (reintroducing per-access maps or per-op
+# allocations on the hot path) cost 2x and blow far past either bound.
+bench-gate:
+	$(GO) run ./cmd/benchjson -out BENCH_results.json -gate BENCH_results.json \
+		-gate-tolerance 0.15 \
+		-bench 'BenchmarkSimSteady' -benchtime 5x -count 6 -pkg ./internal/gpusim
 
 # Regenerate every paper table/figure into results/ (paper scale, ~3 min).
 repro:
@@ -74,7 +89,8 @@ conformance:
 	$(GO) run ./cmd/conformance
 
 # Pre-merge gate: everything that must be green before a change lands.
-check: build test fuzz-short conformance
+# bench-gate runs last: correctness gates first, perf regression after.
+check: build test fuzz-short conformance bench-gate
 
 clean:
 	rm -rf results results-quick .sweep-cache

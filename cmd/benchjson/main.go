@@ -6,11 +6,23 @@
 // Usage:
 //
 //	benchjson [-out BENCH_results.json] [-bench regexp] [-benchtime 1x] [-count 1] [-pkg .]
+//	          [-prev old.json] [-gate BENCH_results.json] [-gate-tolerance 0.10]
 //
 // The tool shells out to `go test -run ^$ -bench ... -benchmem`, streams
 // the raw output to stderr as it arrives, then parses every benchmark
 // line — standard units (ns/op, B/op, allocs/op, MB/s) and the custom
 // ReportMetric units alike — into one record per (benchmark, run).
+//
+// -prev embeds an earlier report's benchmarks under "previous", so a
+// single BENCH_results.json carries a before/after trajectory (the
+// optimization PRs use this to keep the pre-optimization numbers
+// alongside the current ones).
+//
+// -gate reads a committed report before benchmarking and fails (exit 1,
+// output file untouched) if any benchmark present in both runs regressed
+// its ns/op by more than -gate-tolerance (fractional; default 0.10).
+// Both sides compare their minimum ns/op across -count repetitions, so
+// scheduler noise must persist across every repetition to trip the gate.
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -47,6 +60,18 @@ type Report struct {
 	CPU        string      `json:"cpu,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	Command    string      `json:"command"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Previous carries the benchmark records of an earlier report
+	// (-prev), preserving a before/after trajectory in one file.
+	Previous *PreviousReport `json:"previous,omitempty"`
+}
+
+// PreviousReport is the embedded earlier run: enough provenance to know
+// what the numbers meant, without recursively nesting trajectories.
+type PreviousReport struct {
+	CreatedAt  string      `json:"created_at,omitempty"`
+	Command    string      `json:"command,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -106,6 +131,63 @@ func parseBench(r io.Reader) (Report, error) {
 	return rep, sc.Err()
 }
 
+// minNsPerOp folds a report's records into benchmark name → minimum
+// ns/op across repetitions. The minimum is the least noise-contaminated
+// estimate of a deterministic benchmark's cost, and using it on both
+// sides means a -count N gate only trips when the slowdown survives
+// every repetition.
+func minNsPerOp(benchmarks []Benchmark) map[string]float64 {
+	min := map[string]float64{}
+	for _, b := range benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if cur, seen := min[b.Name]; !seen || ns < cur {
+			min[b.Name] = ns
+		}
+	}
+	return min
+}
+
+// gateCheck compares the fresh run against the committed baseline and
+// returns one message per benchmark whose ns/op regressed beyond the
+// tolerance. Benchmarks present in only one report are ignored (renames
+// and new benchmarks are not regressions).
+func gateCheck(current, baseline Report, tolerance float64) []string {
+	base := minNsPerOp(baseline.Benchmarks)
+	cur := minNsPerOp(current.Benchmarks)
+	var names []string
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		if b > 0 && c > b*(1+tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+					name, c, b, (c/b-1)*100, tolerance*100))
+		}
+	}
+	return regressions
+}
+
+func readReport(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
 func main() {
 	var (
 		out       = flag.String("out", "BENCH_results.json", "output JSON file")
@@ -113,8 +195,28 @@ func main() {
 		benchtime = flag.String("benchtime", "1x", "per-benchmark time or iteration budget (go test -benchtime)")
 		count     = flag.Int("count", 1, "runs per benchmark (go test -count)")
 		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+		prev      = flag.String("prev", "", "earlier report to embed under \"previous\"")
+		gate      = flag.String("gate", "", "baseline report; fail on ns/op regressions beyond -gate-tolerance")
+		gateTol   = flag.Float64("gate-tolerance", 0.10, "allowed fractional ns/op regression before -gate fails")
 	)
 	flag.Parse()
+
+	// Load the comparison inputs up front so a bad path fails before the
+	// (slow) benchmark run, and so -gate reads the committed baseline
+	// before -out can overwrite it.
+	var prevRep, gateRep Report
+	if *prev != "" {
+		var err error
+		if prevRep, err = readReport(*prev); err != nil {
+			fatal(err)
+		}
+	}
+	if *gate != "" {
+		var err error
+		if gateRep, err = readReport(*gate); err != nil {
+			fatal(err)
+		}
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
@@ -148,6 +250,33 @@ func main() {
 	}
 	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	rep.Command = "go " + strings.Join(args, " ")
+	if *prev != "" {
+		rep.Previous = &PreviousReport{
+			CreatedAt:  prevRep.CreatedAt,
+			Command:    prevRep.Command,
+			CPU:        prevRep.CPU,
+			Benchmarks: prevRep.Benchmarks,
+		}
+	}
+
+	if *gate != "" {
+		if regressions := gateCheck(rep, gateRep, *gateTol); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION", r)
+			}
+			// Leave -out untouched: the committed baseline stays intact
+			// for inspection, and the gate's failure is the signal.
+			fatal(fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% vs %s",
+				len(regressions), *gateTol*100, *gate))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok (%d benchmarks within %.0f%% of %s)\n",
+			len(minNsPerOp(rep.Benchmarks)), *gateTol*100, *gate)
+		// A gated run refreshes the trajectory: keep the baseline's own
+		// "previous" records unless -prev supplied newer ones.
+		if rep.Previous == nil {
+			rep.Previous = gateRep.Previous
+		}
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

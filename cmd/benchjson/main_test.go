@@ -71,6 +71,87 @@ func TestParseBenchEmptyAndErrors(t *testing.T) {
 	}
 }
 
+func mkBench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Procs: 1, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestMinNsPerOp(t *testing.T) {
+	min := minNsPerOp([]Benchmark{
+		mkBench("BenchmarkA", 120), mkBench("BenchmarkA", 100), mkBench("BenchmarkA", 110),
+		mkBench("BenchmarkB", 50),
+		{Name: "BenchmarkNoNs", Metrics: map[string]float64{"MB/s": 1}},
+	})
+	if min["BenchmarkA"] != 100 || min["BenchmarkB"] != 50 {
+		t.Errorf("min = %v", min)
+	}
+	if _, ok := min["BenchmarkNoNs"]; ok {
+		t.Error("benchmark without ns/op must not be gated")
+	}
+}
+
+func TestGateCheck(t *testing.T) {
+	baseline := Report{Benchmarks: []Benchmark{
+		mkBench("BenchmarkSteady", 100), mkBench("BenchmarkSteady", 105),
+		mkBench("BenchmarkOther", 1000),
+		mkBench("BenchmarkRemoved", 10),
+	}}
+
+	// Within tolerance (min 108 vs min 100 at 10%): no regression, and a
+	// noisy second repetition must not trip the gate on its own.
+	ok := Report{Benchmarks: []Benchmark{
+		mkBench("BenchmarkSteady", 108), mkBench("BenchmarkSteady", 160),
+		mkBench("BenchmarkOther", 900),
+		mkBench("BenchmarkNew", 5), // only in current: ignored
+	}}
+	if regs := gateCheck(ok, baseline, 0.10); len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+
+	// Beyond tolerance on every repetition: exactly that benchmark fails.
+	bad := Report{Benchmarks: []Benchmark{
+		mkBench("BenchmarkSteady", 125), mkBench("BenchmarkSteady", 130),
+		mkBench("BenchmarkOther", 1000),
+	}}
+	regs := gateCheck(bad, baseline, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkSteady") {
+		t.Errorf("regressions = %v, want exactly BenchmarkSteady", regs)
+	}
+
+	// A looser tolerance admits the same run.
+	if regs := gateCheck(bad, baseline, 0.30); len(regs) != 0 {
+		t.Errorf("30%% tolerance should pass, got %v", regs)
+	}
+}
+
+func TestPreviousRoundTrip(t *testing.T) {
+	rep := Report{
+		CreatedAt:  "2026-08-05T00:00:00Z",
+		Command:    "go test -bench .",
+		Benchmarks: []Benchmark{mkBench("BenchmarkA", 50)},
+		Previous: &PreviousReport{
+			CreatedAt:  "2026-08-01T00:00:00Z",
+			Command:    "go test -bench . (seed)",
+			Benchmarks: []Benchmark{mkBench("BenchmarkA", 100)},
+		},
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Previous == nil || back.Previous.Benchmarks[0].Metrics["ns/op"] != 100 {
+		t.Fatalf("previous trajectory lost: %+v", back.Previous)
+	}
+	// Reports without a trajectory must not grow a "previous" key.
+	plain, _ := json.Marshal(Report{Benchmarks: rep.Benchmarks})
+	if strings.Contains(string(plain), "previous") {
+		t.Error("empty trajectory must be omitted from JSON")
+	}
+}
+
 func TestReportJSONShape(t *testing.T) {
 	rep, err := parseBench(strings.NewReader(sampleOutput))
 	if err != nil {

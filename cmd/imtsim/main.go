@@ -253,6 +253,9 @@ func firstErr(results ...runner.Result) error {
 }
 
 func report(name, mode string, base, tagged gpusim.Stats, cfg gpusim.Config) {
+	// WithoutHost: stdout is contract-deterministic (-j1 ≡ -j8, replay ≡
+	// replay); host-side ns/op varies run to run and stays off it.
+	base, tagged = base.WithoutHost(), tagged.WithoutHost()
 	fmt.Printf("%-24s %-10s\n", name, mode)
 	fmt.Printf("  baseline: %v\n", base)
 	fmt.Printf("  tagged:   %v\n", tagged)

@@ -1,0 +1,16 @@
+// Package baselines describes the prior hardware memory-tagging
+// approaches the paper compares against (§4.1, Table 1) and assembles
+// their cost/benefit profiles from the other evaluation packages:
+//
+//   - ECC stealing (SPARC-ADI-like): lock tags stored in repurposed ECC
+//     check bits — free in performance and storage, paid in reliability
+//     (internal/reliability quantifies the SDC amplification).
+//   - Tag carve-out (ARM-MTE/LAK-like): lock tags in a dedicated memory
+//     region, cached in the L2 — free in reliability, paid in storage and
+//     memory traffic (internal/gpusim measures the slowdowns).
+//   - Implicit Memory Tagging: tags embedded in AFT-ECC check bits — no
+//     storage, traffic, or reliability cost.
+//
+// The GPUShield-like tagged base-and-bounds comparison of §6 is modeled
+// by gpusim's ModeBoundsTable.
+package baselines

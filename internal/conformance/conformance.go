@@ -1,36 +1,3 @@
-// Package conformance is the correctness-tooling layer that makes
-// refactors of the simulator, the ECC stack and the experiment engine
-// safe to land. Nothing else in the repository pins the *numbers* a
-// refactor could silently shift; this package does, three ways:
-//
-//  1. Golden-result regression: a registry of small deterministic
-//     experiment cells (workloads × tag modes through gpusim, canonical
-//     AFT-ECC constructions through ecc/core, one reliability curve,
-//     one security table) whose canonical-JSON outputs are committed
-//     under testdata/golden/ and compared field-by-field. A drift
-//     fails with the first divergent metric named. Refresh with
-//     `go test ./internal/conformance -update` after an intentional
-//     behavioral change.
-//
-//  2. Differential oracles: a deliberately naive, independent reference
-//     implementation of linear-code encode/decode and AFT-ECC tag
-//     detection (explicit 0/1 matrices, linear column scans, no
-//     syndrome maps) checked against the production internal/ecc and
-//     internal/core decoders over exhaustive small-code enumeration
-//     and randomized trials.
-//
-//  3. Metamorphic invariants: executable properties the simulator and
-//     runner must satisfy regardless of constants — SampleInterval
-//     never changes aggregate results, Run ≡ RunContext(Background()),
-//     repeated runs are bit-identical, cloned traces leave their
-//     originals untouched, more DRAM bandwidth never costs cycles, and
-//     a runner cache hit equals a recompute.
-//
-// The whole suite runs in `go test ./internal/conformance` and, for
-// pre-merge gating outside the test harness, via `cmd/conformance`
-// (exits nonzero on any drift). Goldens are embedded in the binary, so
-// cmd/conformance works from any directory and always checks against
-// the goldens it was built with.
 package conformance
 
 import "fmt"

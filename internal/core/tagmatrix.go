@@ -1,19 +1,3 @@
-// Package core implements Alias-Free Tagged ECC (AFT-ECC), the central
-// contribution of the paper: a class of linear codes whose parity-check
-// matrix H = (T | D | I) embeds a TS-bit tag in the check bits such that
-//
-//  1. every tag mismatch maps to a nonzero syndrome (alias-free: the tag
-//     submatrix T has full column rank),
-//  2. single-bit data-error correction is preserved (the column space of T
-//     is disjoint from the data and identity columns), and
-//  3. the tag is as large as possible (TS = R−1 for common codeword sizes).
-//
-// The tag is never stored: the encoder folds the lock tag into the check
-// bits, and the decoder folds the key tag back in. A zero syndrome means
-// "no error and the tags match"; a syndrome inside the column space of T
-// means a tag mismatch (TMM); a syndrome matching an H column is a
-// correctable single-bit error; anything else is a detected-uncorrectable
-// error (DUE).
 package core
 
 import (

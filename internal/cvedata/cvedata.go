@@ -1,10 +1,3 @@
-// Package cvedata reproduces Figure 1 of the paper: the breakdown of
-// exploitable CVEs over time into adjacent memory-safety, non-adjacent
-// memory-safety, and non-memory-safety classes. The paper derives the
-// figure from slides 10 and 13 of Miller's BlueHat IL 2019 talk on
-// Microsoft's vulnerability telemetry; the series below encodes the
-// figure's headline structure — memory safety holding at roughly 70% of
-// exploitable CVEs, with the non-adjacent share growing over time.
 package cvedata
 
 import "fmt"

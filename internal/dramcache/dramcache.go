@@ -1,16 +1,3 @@
-// Package dramcache implements the paper's §7.4 "Tags for Low-Cost DRAM
-// Caches" extension: a direct-mapped, write-through DRAM cache with
-// fine-grained 32B lines whose cache tag (the upper address bits that
-// distinguish which backing line occupies a slot) is embedded in the ECC
-// check bits via AFT-ECC — so the tag check rides along with the regular
-// DRAM read and needs no tag storage at all.
-//
-// A lookup decodes the resident sector under the expected tag of the
-// requested address: StatusOK means hit; StatusTMM means a different
-// address is resident (miss, fill from backing); single-bit errors still
-// correct. Per the paper's constraint the cache is write-through — a
-// dirty line's tag could not be extracted safely on writeback, so writes
-// always update the backing store.
 package dramcache
 
 import (

@@ -1,0 +1,18 @@
+// Package ecc implements linear block error-correcting codes over GF(2):
+// systematic parity-check-matrix construction, encoding, and syndrome
+// decoding.
+//
+// A code is described by its R×N parity-check matrix H = (D | I): the K data
+// columns D and the R×R identity over the check bits (Equation 3 of the
+// paper). Codeword bit positions are laid out data-first: bits [0,K) are
+// data, bits [K,K+R) are check bits.
+//
+// Three code families are provided, matching the paper's Figure 9 sweep:
+//
+//   - detect-only codes (including single-bit parity), which never correct;
+//   - SEC codes (unique nonzero columns), which correct single-bit errors;
+//   - SEC-DED Hsiao codes (unique minimum-odd-weight columns), which correct
+//     single-bit and detect all double-bit errors.
+//
+// The tagged AFT-ECC construction in internal/core builds on this package.
+package ecc

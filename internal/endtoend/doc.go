@@ -1,0 +1,14 @@
+// Package endtoend models the §4.2 "End-to-End ECC" organization of
+// Figure 6a: AFT-ECC check bits are generated once at the SM on a store
+// and travel WITH the data through the write-back L2, DRAM, and back up
+// through the L1; decoding happens only at the point of use, with the
+// key tag taken from the consuming pointer.
+//
+// The property this architecture exists to satisfy: "End-to-end ECC must
+// be used past the point of the first write-back cache … upon a dirty
+// writeback the ECC-embedded tag value cannot be safely extracted from
+// the AFT-ECC check-bits." A dirty line's lock tag is unknown to the
+// cache, so the hierarchy must never need to re-encode — and in this
+// model it never does: codewords move verbatim between levels, and the
+// package counts encode/decode invocations to prove it.
+package endtoend

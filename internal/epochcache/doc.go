@@ -1,0 +1,10 @@
+// Package epochcache implements the paper's §7.4 "Bulk Cache
+// Invalidation" extension: a software-coherent cache (like the GPU L1)
+// whose ECC check bits embed an invalidation-epoch counter as an AFT-ECC
+// tag. A bulk invalidation is then a single epoch increment — entries
+// written in older epochs decode as tag mismatches and read as misses —
+// instead of a full cache crawl. A crawl is only needed once every 2^TS
+// invalidations, when the epoch counter wraps and stale entries could
+// otherwise alias back to validity. CARVE achieves the same with extra
+// per-line metadata; AFT-ECC gets it for free from the check bits.
+package epochcache

@@ -1,18 +1,3 @@
-// Package experiments contains one driver per table and figure of the
-// paper's evaluation. Each driver runs the relevant subsystems and
-// returns renderable tables (internal/report) so that cmd/imtrepro and
-// the repository benchmarks can regenerate every result:
-//
-//	Fig1    — CVE breakdown over time (embedded dataset)
-//	Fig5    — maximum alias-free tag size across (K, R)
-//	Fig8    — tag carve-out slowdowns over the 193-workload catalog
-//	Fig9    — SDC probability vs ECC redundancy
-//	Table1  — cross-scheme comparison of tagging approaches
-//	Table2  — per-error-pattern behavior of AFT-ECC
-//	Table3  — encoder/decoder hardware overheads
-//	Bloat   — §5 footprint bloat of 32B-granule tagging
-//	Security— §5.4 detection guarantees (closed form vs Monte Carlo)
-//	Bounds  — §6 tagged base-and-bounds (GPUShield-like) comparison
 package experiments
 
 import (

@@ -59,7 +59,11 @@ func Fig8(opts Options) (Fig8Result, error) {
 		return res, err
 	}
 	for i, w := range selected {
-		base, low, high := results[3*i].Stats, results[3*i+1].Stats, results[3*i+2].Stats
+		// WithoutHost: experiment results carry only the simulated
+		// machine; host-side ns/op would make them nondeterministic.
+		base := results[3*i].Stats.WithoutHost()
+		low := results[3*i+1].Stats.WithoutHost()
+		high := results[3*i+2].Stats.WithoutHost()
 		res.Per[i] = WorkloadPerf{
 			W: w, Base: base, Low: low, High: high,
 			SlowLow:           gpusim.Slowdown(base, low),

@@ -79,12 +79,12 @@ func Sweep(opts Options, modes []SweepMode) (SweepResult, error) {
 	for i, w := range selected {
 		p := SweepPerf{
 			W:         w,
-			Base:      results[width*i].Stats,
+			Base:      results[width*i].Stats.WithoutHost(),
 			Stats:     make([]gpusim.Stats, len(modes)),
 			Slowdowns: make([]float64, len(modes)),
 		}
 		for m := range modes {
-			p.Stats[m] = results[width*i+1+m].Stats
+			p.Stats[m] = results[width*i+1+m].Stats.WithoutHost()
 			p.Slowdowns[m] = gpusim.Slowdown(p.Base, p.Stats[m])
 		}
 		res.Per[i] = p

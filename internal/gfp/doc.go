@@ -1,0 +1,10 @@
+// Package gfp implements arithmetic in the binary extension fields
+// GF(2^m) for m ≤ 16, the substrate for symbol-based error-correcting
+// codes (Reed-Solomon-style), which the paper's §7.1 identifies as the
+// necessary next step for AFT-ECC on CPUs (chipkill) and against the
+// byte/burst error patterns dominant in real DRAM and SRAM.
+//
+// Elements are represented as uint16 bit-vectors of polynomial
+// coefficients; multiplication uses log/antilog tables built from a
+// primitive polynomial, so all operations are table lookups.
+package gfp

@@ -99,7 +99,7 @@ func TestRunMatchesRunContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(sa, sb) {
+	if !reflect.DeepEqual(sa.WithoutHost(), sb.WithoutHost()) {
 		t.Errorf("Run and RunContext diverge: %v vs %v", sa, sb)
 	}
 }

@@ -8,13 +8,22 @@ type cache struct {
 	assoc   int
 	sets    []line
 	clock   uint64
+	// setIdx computes sector % numSets without a hardware divide; the
+	// default L2 slice has 1536 sets (not a power of two), making this
+	// the hottest single instruction in the per-access path.
+	setIdx fastDivMod
 }
 
+// line packs a cache line into 16 bytes so a 16-way set scan touches
+// two CPU cache lines instead of six. meta holds the LRU clock stamp in
+// bits ≥ 1 and the dirty flag in bit 0; meta == 0 means invalid (the
+// clock is pre-incremented on every access, so a touched line always
+// stamps ≥ 1). Clock stamps are unique per line — each cache call
+// restamps at most one line — so recency comparisons on meta>>1 order
+// exactly like the unpacked lru field they replace.
 type line struct {
 	sector uint64
-	valid  bool
-	dirty  bool
-	lru    uint64
+	meta   uint64
 }
 
 func newCache(sizeBytes, sectorSize, assoc int) *cache {
@@ -26,11 +35,19 @@ func newCache(sizeBytes, sectorSize, assoc int) *cache {
 		numSets: numSets,
 		assoc:   assoc,
 		sets:    make([]line, numSets*assoc),
+		setIdx:  newFastDivMod(uint64(numSets)),
 	}
 }
 
+// reset invalidates every line and rewinds the LRU clock, returning the
+// cache to its post-newCache state without reallocating the line array.
+func (c *cache) reset() {
+	clear(c.sets)
+	c.clock = 0
+}
+
 func (c *cache) set(sector uint64) []line {
-	i := int(sector % uint64(c.numSets))
+	i := int(c.setIdx.mod(sector))
 	return c.sets[i*c.assoc : (i+1)*c.assoc]
 }
 
@@ -40,11 +57,12 @@ func (c *cache) lookup(sector uint64, markDirty bool) bool {
 	c.clock++
 	set := c.set(sector)
 	for i := range set {
-		if set[i].valid && set[i].sector == sector {
-			set[i].lru = c.clock
+		if set[i].meta != 0 && set[i].sector == sector {
+			m := c.clock<<1 | set[i].meta&1
 			if markDirty {
-				set[i].dirty = true
+				m |= 1
 			}
+			set[i].meta = m
 			return true
 		}
 	}
@@ -58,21 +76,28 @@ func (c *cache) insert(sector uint64, dirty bool) (evictedDirty bool) {
 	set := c.set(sector)
 	victim := 0
 	for i := range set {
-		if set[i].valid && set[i].sector == sector {
+		if set[i].meta != 0 && set[i].sector == sector {
 			// Refill of a present line (e.g. a racing fill): refresh.
-			set[i].lru = c.clock
-			set[i].dirty = set[i].dirty || dirty
+			m := c.clock<<1 | set[i].meta&1
+			if dirty {
+				m |= 1
+			}
+			set[i].meta = m
 			return false
 		}
-		if !set[i].valid {
+		if set[i].meta == 0 {
 			victim = i
 			break
 		}
-		if set[i].lru < set[victim].lru {
+		if set[i].meta>>1 < set[victim].meta>>1 {
 			victim = i
 		}
 	}
-	evictedDirty = set[victim].valid && set[victim].dirty
-	set[victim] = line{sector: sector, valid: true, dirty: dirty, lru: c.clock}
+	evictedDirty = set[victim].meta&1 != 0 // the dirty bit implies valid
+	m := c.clock << 1
+	if dirty {
+		m |= 1
+	}
+	set[victim] = line{sector: sector, meta: m}
 	return evictedDirty
 }

@@ -1,0 +1,75 @@
+package gpusim
+
+import "math/bits"
+
+// fastDivMod precomputes a divisor so the hot path never executes a
+// 64-bit hardware divide: power-of-two divisors become shift/mask, and
+// everything else uses Lemire's fastmod (M = ⌈2^128/d⌉; x mod d is the
+// high 64 bits of ((M·x) mod 2^128)·d). Both paths return exactly x/d
+// and x%d for every x — the set-index and slice-interleave arithmetic
+// must stay bit-identical to the plain operators it replaces, and
+// TestFastDivMod checks that exhaustively around the boundaries plus at
+// random.
+//
+// Why it matters: the L2 set count of the default machine is 1536 (not
+// a power of two), so the seed spent a hardware divide on every cache
+// probe — the single hottest instruction in the profile.
+type fastDivMod struct {
+	d     uint64
+	pow2  bool
+	shift uint
+	mask  uint64
+	// M = ⌈2^128/d⌉ as a 128-bit value (hi, lo); only set for non-pow2.
+	mHi, mLo uint64
+}
+
+func newFastDivMod(d uint64) fastDivMod {
+	f := fastDivMod{d: d}
+	if d == 0 {
+		// Leave the plain-operator path, so div(x) panics with the same
+		// divide-by-zero the expression it replaced would have raised.
+		return f
+	}
+	if d&(d-1) == 0 {
+		f.pow2 = true
+		f.shift = uint(bits.TrailingZeros64(d))
+		f.mask = d - 1
+		return f
+	}
+	// M = floor((2^128-1)/d) + 1. Since d is not a power of two it does
+	// not divide 2^128, so this equals ⌈2^128/d⌉.
+	all := ^uint64(0)
+	qHi := all / d
+	rem := all % d
+	qLo, _ := bits.Div64(rem, all, d) // rem < d, so Div64 cannot panic
+	f.mHi, f.mLo = qHi, qLo
+	f.mLo++
+	if f.mLo == 0 {
+		f.mHi++
+	}
+	return f
+}
+
+func (f fastDivMod) mod(x uint64) uint64 {
+	if f.pow2 {
+		return x & f.mask
+	}
+	// lowbits = (M * x) mod 2^128
+	hi1, lo := bits.Mul64(f.mLo, x)
+	hi := f.mHi*x + hi1
+	// x mod d = floor(lowbits * d / 2^128)
+	p1Hi, p1Lo := bits.Mul64(hi, f.d)
+	p2Hi, _ := bits.Mul64(lo, f.d)
+	_, carry := bits.Add64(p1Lo, p2Hi, 0)
+	return p1Hi + carry
+}
+
+func (f fastDivMod) div(x uint64) uint64 {
+	if f.pow2 {
+		return x >> f.shift
+	}
+	// Division is off the hottest path for non-pow2 divisors (the
+	// default interleave and carve spans are powers of two); keep the
+	// exact hardware divide rather than a second magic constant.
+	return x / f.d
+}

@@ -1,0 +1,50 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastDivMod pins fastDivMod against the plain operators. This is
+// the load-bearing test for the hot-path divide elimination: the cache
+// set index, crossbar slice routing and carve-out tag-span math all run
+// through fastDivMod, and any divergence from %-semantics would silently
+// reshuffle cache sets and break golden bit-identity.
+func TestFastDivMod(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 4, 5, 7, 8, 16, 24, 31, 32, 48, 512, 1536, // 512/1536: the default L1/L2 set counts
+		1000, 4096, 100_000, 1 << 20, (1 << 20) + 1,
+		(1 << 44) - 1, 1 << 44, (1 << 63) - 1, 1 << 63, ^uint64(0),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		divisors = append(divisors, rng.Uint64()%((1<<21)-3)+1, rng.Uint64()|1)
+	}
+	xs := []uint64{0, 1, 2, 31, 32, 33, 1535, 1536, 1537,
+		tagRegionSector - 1, tagRegionSector, tagRegionSector + 1,
+		(1 << 49) - 1, 1 << 49, ^uint64(0) - 1, ^uint64(0)}
+	for i := 0; i < 256; i++ {
+		xs = append(xs, rng.Uint64())
+	}
+	for _, d := range divisors {
+		f := newFastDivMod(d)
+		for _, x := range xs {
+			if got, want := f.mod(x), x%d; got != want {
+				t.Fatalf("mod(%d, %d) = %d, want %d", x, d, got, want)
+			}
+			if got, want := f.div(x), x/d; got != want {
+				t.Fatalf("div(%d, %d) = %d, want %d", x, d, got, want)
+			}
+		}
+	}
+	// Exhaustive small-operand sweep catches off-by-one in the magic
+	// constant that random probing could miss.
+	for d := uint64(1); d <= 300; d++ {
+		f := newFastDivMod(d)
+		for x := uint64(0); x <= 2000; x++ {
+			if f.mod(x) != x%d || f.div(x) != x/d {
+				t.Fatalf("small sweep diverges at x=%d d=%d", x, d)
+			}
+		}
+	}
+}

@@ -128,8 +128,8 @@ func TestSamplerConsistentWithAggregates(t *testing.T) {
 // TestSamplerInvariantUnderInterval checks sampling is observational:
 // it must not change the simulation outcome.
 func TestSamplerInvariantUnderInterval(t *testing.T) {
-	strip := func(st Stats) Stats { st.Samples = nil; return st }
-	base := sampledRun(t, 0, 1500)
+	strip := func(st Stats) Stats { st.Samples = nil; return st.WithoutHost() }
+	base := sampledRun(t, 0, 1500).WithoutHost()
 	fine := strip(sampledRun(t, 100, 1500))
 	coarse := strip(sampledRun(t, 10_000, 1500))
 	if !reflect.DeepEqual(base, fine) || !reflect.DeepEqual(base, coarse) {

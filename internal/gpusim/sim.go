@@ -1,9 +1,10 @@
 package gpusim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"runtime"
+	"time"
 )
 
 // tagRegionSector places carve-out tag storage in a disjoint sector-id
@@ -15,14 +16,32 @@ import (
 // with the tagged data ids they cover.
 const tagRegionSector = uint64(1) << 44
 
-// Sim is one simulation instance. Create with New, drive with Run.
+// Sim is one simulation instance. Create with New, drive with Run; Reset
+// rewinds a finished instance for reuse without reallocating any of its
+// internal state (caches, MSHR files, queues, arenas).
+//
+// The hot path is deliberately allocation-free in steady state: caches
+// and MSHRs are preallocated set/slot-indexed arrays, L2 miss-merge
+// files are open-addressed tables with recycled waiter lists, queues are
+// rings, events live in a slice-backed heap, op/miss bookkeeping comes
+// from per-Sim arenas and free lists, and trace decoding is batched into
+// a reusable buffer. All of it is behavior-preserving — cmd/conformance
+// pins bit-identity against the committed goldens.
 type Sim struct {
 	cfg    Config
-	sms    []*smState
-	slices []*sliceState
-	events eventHeap
+	sms    []smState    // value array: one pointer hop fewer, better locality
+	slices []sliceState // value array; elements never move after New
+	events []event      // binary min-heap on cycle (container/heap ordering)
 	stats  Stats
 	now    uint64
+
+	ops      opArena   // opState slab, reused across Reset
+	missFree []*l2Miss // l2Miss free list
+
+	// Precomputed crossbar/carve-out address arithmetic (see fastDivMod).
+	interleave fastDivMod // sector / InterleaveSectors
+	sliceMod   fastDivMod // group % NumSlices
+	tagSpan    fastDivMod // sector / (CoverageBytes/SectorSize), carve-out only
 
 	// Interval-sampler state (cfg.SampleInterval > 0): the counter
 	// snapshot and cycle of the previous sample, and the next boundary.
@@ -34,31 +53,65 @@ type Sim struct {
 type smState struct {
 	id          int
 	trace       Trace
+	batch       batchTrace // non-nil when trace supports NextBatch
+	opBuf       []WarpOp   // decoded-op buffer (batch != nil)
+	opPos       int
 	l1          *cache
 	nextReady   uint64
 	outstanding int
-	mshr        map[uint64]*mshrEntry
-	mshrCount   int
-	// blocked holds the remainder of an op that ran out of MSHRs.
-	blocked *pendingIssue
+	// mshr is the L1 MSHR file. The hardware is a small fully-associative
+	// search structure; capacity is enforced by the count check at the
+	// issue site, not by the table, so the hashed pendTable serves here
+	// too (a linear scan over L1MSHRs sectors lost to it in profiles).
+	mshr *pendTable[*opState]
+	// blocked marks pi as the remainder of an op that ran out of MSHRs.
+	blocked bool
+	pi      pendingIssue
 	done    bool
 	scratch []uint64
 	// boundsToggle alternates bounds-table port conflicts (ModeBoundsTable).
 	boundsToggle uint64
 }
 
-type mshrEntry struct {
-	waiters []*opState
+// opBufSize is the per-SM decoded-op batch (~14KB per SM).
+const opBufSize = 256
+
+// nextOp yields the SM's next warp op: from the decoded batch buffer
+// when the trace supports batching, or a direct Next call otherwise.
+// Batching only changes when the trace is decoded, never the op
+// sequence, so results are identical either way.
+func (sm *smState) nextOp() (WarpOp, bool) {
+	if sm.opPos < len(sm.opBuf) {
+		op := sm.opBuf[sm.opPos]
+		sm.opPos++
+		return op, true
+	}
+	if sm.batch != nil {
+		n := sm.batch.NextBatch(sm.opBuf[:opBufSize])
+		if n > 0 {
+			sm.opBuf = sm.opBuf[:n]
+			sm.opPos = 1
+			return sm.opBuf[0], true
+		}
+		return WarpOp{}, false
+	}
+	return sm.trace.Next()
 }
 
 type opState struct {
 	pending int
 	sm      *smState
+	idx     int32 // position in the op arena, for pointer-free events
 }
 
+// pendingIssue is the in-flight load an SM is currently pushing into the
+// L1/MSHR machinery. Each SM owns exactly one (live while issuing, and
+// across cycles while blocked on MSHRs), so it is embedded in smState
+// and its sector buffer is reused op after op.
 type pendingIssue struct {
 	op      *opState
 	sectors []uint64
+	next    int // cursor into sectors (replaces re-slicing)
 	compute int
 	started bool // outstanding already incremented
 }
@@ -66,13 +119,13 @@ type pendingIssue struct {
 type sliceState struct {
 	id        int
 	l2        *cache
-	queue     []request
-	dramQueue []dramReq
+	queue     ring[request]
+	dramQueue ring[dramReq]
 	busyUntil uint64
 	// L2-level miss merging (the slice's MSHRs): concurrent misses to the
 	// same data or tag sector share one DRAM fetch.
-	pendingData map[uint64][]*l2Miss
-	pendingTag  map[uint64][]*l2Miss
+	pendingData *pendTable[*l2Miss]
+	pendingTag  *pendTable[*l2Miss]
 }
 
 type request struct {
@@ -110,6 +163,28 @@ type l2Miss struct {
 	tagSector   uint64
 }
 
+// allocMiss draws an l2Miss from the free list (or the heap on first
+// use), fully initialized to the given value.
+func (s *Sim) allocMiss(v l2Miss) *l2Miss {
+	if n := len(s.missFree); n > 0 {
+		m := s.missFree[n-1]
+		s.missFree = s.missFree[:n-1]
+		*m = v
+		return m
+	}
+	m := new(l2Miss)
+	*m = v
+	return m
+}
+
+// freeMiss returns a miss whose last reference was just dropped. A miss
+// is freed exactly once: loads/atomics complete in maybeCompleteMiss
+// (both arrival lists have already released the pointer by then), and
+// store-side tag probes complete when their tag arrives.
+func (s *Sim) freeMiss(m *l2Miss) {
+	s.missFree = append(s.missFree, m)
+}
+
 type eventKind uint8
 
 const (
@@ -119,27 +194,75 @@ const (
 	evAtomicDone
 )
 
+// event is kept to 24 pointer-free bytes: heap sift operations copy
+// whole events in one of the hottest loops, and a pointer field would
+// add a GC write barrier to every swap. meta packs the kind (low 8
+// bits), the sm/slice index (bits 8..31) and, for evAtomicDone, the op's
+// arena index (bits 32..63); the payload encoding is a bijection, and
+// ordering compares only cycle, so pop order is unchanged.
 type event struct {
 	cycle  uint64
-	kind   eventKind
-	sm     int
-	slice  int
 	sector uint64
-	op     *opState
+	meta   uint64
 }
 
-type eventHeap []event
+func evMeta(kind eventKind, unit int) uint64 {
+	return uint64(kind) | uint64(uint32(unit))<<8
+}
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func evOpMeta(kind eventKind, op *opState) uint64 {
+	return uint64(kind) | uint64(uint32(op.idx))<<32
+}
+
+func (e event) kind() eventKind { return eventKind(e.meta & 0xff) }
+func (e event) unit() int       { return int(uint32(e.meta>>8) & 0xffffff) }
+func (e event) opIdx() int32    { return int32(e.meta >> 32) }
+
+// pushEvent and popEvent implement exactly container/heap's sift
+// algorithms (Less is cycle-order only), inlined over []event so pushes
+// stop boxing each event into an interface (one heap allocation per
+// event in the seed). Equal-cycle pop order depends on the heap's
+// internal swap sequence, so the algorithm is replicated verbatim to
+// keep delivery order — and therefore every golden — bit-identical.
+func (s *Sim) pushEvent(e event) {
+	h := append(s.events, e)
+	j := len(h) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[j].cycle >= h[i].cycle {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	s.events = h
+}
+
+func (s *Sim) popEvent() event {
+	h := s.events
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// down(0, n), as in container/heap.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].cycle < h[j1].cycle {
+			j = j2
+		}
+		if h[j].cycle >= h[i].cycle {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	e := h[n]
+	h[n] = event{} // drop the op pointer
+	s.events = h[:n]
+	return e
 }
 
 // New builds a simulator for the configuration with one trace per SM
@@ -149,33 +272,95 @@ func New(cfg Config, traces []Trace) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{cfg: cfg}
-	for i := 0; i < cfg.NumSMs; i++ {
-		sm := &smState{
-			id:      i,
-			l1:      newCache(cfg.L1SizeBytes, cfg.SectorSize, cfg.L1Assoc),
-			mshr:    make(map[uint64]*mshrEntry),
-			scratch: make([]uint64, 0, 64),
-		}
-		if i < len(traces) && traces[i] != nil {
-			sm.trace = traces[i]
-		} else {
-			sm.done = true
-		}
-		s.sms = append(s.sms, sm)
+	s.interleave = newFastDivMod(uint64(cfg.InterleaveSectors))
+	s.sliceMod = newFastDivMod(uint64(cfg.NumSlices))
+	if cfg.Mode == ModeCarveOut {
+		s.tagSpan = newFastDivMod(cfg.Carve.CoverageBytes() / uint64(cfg.SectorSize))
 	}
-	for i := 0; i < cfg.NumSlices; i++ {
-		s.slices = append(s.slices, &sliceState{
-			id:          i,
-			l2:          newCache(cfg.L2SliceBytes, cfg.SectorSize, cfg.L2Assoc),
-			pendingData: make(map[uint64][]*l2Miss),
-			pendingTag:  make(map[uint64][]*l2Miss),
-		})
+	s.sms = make([]smState, cfg.NumSMs)
+	for i := range s.sms {
+		sm := &s.sms[i]
+		sm.id = i
+		sm.l1 = newCache(cfg.L1SizeBytes, cfg.SectorSize, cfg.L1Assoc)
+		sm.mshr = newPendTable[*opState]()
+		sm.scratch = make([]uint64, 0, 64)
 	}
-	heap.Init(&s.events)
+	s.slices = make([]sliceState, cfg.NumSlices)
+	for i := range s.slices {
+		sl := &s.slices[i]
+		sl.id = i
+		sl.l2 = newCache(cfg.L2SliceBytes, cfg.SectorSize, cfg.L2Assoc)
+		sl.pendingData = newPendTable[*l2Miss]()
+		sl.pendingTag = newPendTable[*l2Miss]()
+	}
+	s.attachTraces(traces)
 	if cfg.SampleInterval > 0 {
 		s.nextSample = cfg.SampleInterval
 	}
 	return s, nil
+}
+
+// attachTraces wires traces to SMs and primes the batch decoders.
+func (s *Sim) attachTraces(traces []Trace) {
+	for i := range s.sms {
+		sm := &s.sms[i]
+		sm.trace, sm.batch, sm.done = nil, nil, true
+		sm.opBuf, sm.opPos = sm.opBuf[:0], 0
+		if i < len(traces) && traces[i] != nil {
+			sm.trace = traces[i]
+			sm.done = false
+			if bt, ok := traces[i].(batchTrace); ok {
+				sm.batch = bt
+				if sm.opBuf == nil {
+					sm.opBuf = make([]WarpOp, 0, opBufSize)
+				}
+			}
+		}
+	}
+}
+
+// Reset rewinds the simulator to its post-New state with fresh traces,
+// reusing every internal allocation (caches, MSHR files, miss-merge
+// tables, queues, the event heap and the op arena). A Reset+Run over the
+// same trace content is bit-identical to a fresh New+Run with the same
+// configuration; the steady-state benchmarks and any caller that sweeps
+// many trace sets over one machine configuration use it to amortize
+// construction away.
+//
+// The Stats returned by earlier Run calls remain valid: Reset starts a
+// fresh Stats value instead of truncating the previous Samples series.
+func (s *Sim) Reset(traces []Trace) {
+	for i := range s.sms {
+		sm := &s.sms[i]
+		sm.l1.reset()
+		sm.mshr.reset()
+		sm.nextReady = 0
+		sm.outstanding = 0
+		sm.blocked = false
+		sm.pi = pendingIssue{sectors: sm.pi.sectors[:0]}
+		sm.boundsToggle = 0
+	}
+	for i := range s.slices {
+		sl := &s.slices[i]
+		sl.l2.reset()
+		sl.queue.reset()
+		sl.dramQueue.reset()
+		sl.busyUntil = 0
+		sl.pendingData.reset()
+		sl.pendingTag.reset()
+	}
+	clear(s.events)
+	s.events = s.events[:0]
+	s.ops.reset()
+	s.stats = Stats{}
+	s.now = 0
+	s.lastSample = Stats{}
+	s.lastSampleCycle = 0
+	s.nextSample = 0
+	if s.cfg.SampleInterval > 0 {
+		s.nextSample = s.cfg.SampleInterval
+	}
+	s.attachTraces(traces)
 }
 
 // takeSample closes the current telemetry window at s.now: rates are
@@ -208,14 +393,14 @@ func (s *Sim) takeSample() {
 		TagHitRate:    rate(cur.TagL2Hits-prev.TagL2Hits, cur.TagL2Misses-prev.TagL2Misses),
 	}
 	mshrs := 0
-	for _, sm := range s.sms {
-		mshrs += sm.mshrCount
+	for i := range s.sms {
+		mshrs += s.sms[i].mshr.count
 	}
 	smp.MSHROccupancy = float64(mshrs) / float64(len(s.sms)*s.cfg.L1MSHRs)
 	var qd, dq int
-	for _, sl := range s.slices {
-		qd += len(sl.queue)
-		dq += len(sl.dramQueue)
+	for i := range s.slices {
+		qd += s.slices[i].queue.len()
+		dq += s.slices[i].dramQueue.len()
 	}
 	smp.QueueDepth = float64(qd) / float64(len(s.slices))
 	smp.DRAMQueueDepth = float64(dq) / float64(len(s.slices))
@@ -237,13 +422,11 @@ func (s *Sim) flushSample() {
 }
 
 func (s *Sim) sliceOf(sector uint64) *sliceState {
-	group := sector / uint64(s.cfg.InterleaveSectors)
-	return s.slices[group%uint64(s.cfg.NumSlices)]
+	return &s.slices[s.sliceMod.mod(s.interleave.div(sector))]
 }
 
 func (s *Sim) tagSectorOf(sector uint64) uint64 {
-	span := s.cfg.Carve.CoverageBytes() / uint64(s.cfg.SectorSize)
-	return tagRegionSector + sector/span
+	return tagRegionSector + s.tagSpan.div(sector)
 }
 
 // Run executes to completion and returns the statistics. maxCycles guards
@@ -256,7 +439,23 @@ func (s *Sim) Run(maxCycles uint64) (Stats, error) {
 // every few thousand simulation steps, so a cancelled sweep abandons the
 // cell promptly without per-cycle overhead. The partial statistics
 // accumulated so far are returned alongside the context's error.
-func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
+//
+// Every exit path also stamps the host-side cost telemetry
+// (Stats.HostNsPerOp / Stats.HostAllocsPerOp); see their field docs for
+// what they do and do not mean.
+func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (st Stats, err error) {
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	defer func() {
+		if st.WarpOps == 0 {
+			return
+		}
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		st.HostNsPerOp = float64(time.Since(t0).Nanoseconds()) / float64(st.WarpOps)
+		st.HostAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(st.WarpOps)
+	}()
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
@@ -297,31 +496,30 @@ func (s *Sim) step() bool {
 
 	// 1. Deliver due events.
 	for len(s.events) > 0 && s.events[0].cycle <= s.now {
-		e := heap.Pop(&s.events).(event)
+		e := s.popEvent()
 		progressed = true
-		switch e.kind {
+		switch e.kind() {
 		case evL1Fill:
-			s.l1Fill(e.sm, e.sector)
+			s.l1Fill(e.unit(), e.sector)
 		case evDRAMData:
-			s.dataArrived(e.slice, e.sector)
+			s.dataArrived(e.unit(), e.sector)
 		case evDRAMTag:
-			s.tagArrived(e.slice, e.sector)
+			s.tagArrived(e.unit(), e.sector)
 		case evAtomicDone:
-			s.opSectorDone(e.op)
+			s.opSectorDone(s.ops.at(e.opIdx()))
 		}
 	}
 
 	// 2. Each L2 slice services one request and starts DRAM transfers.
-	for _, sl := range s.slices {
-		if len(sl.queue) > 0 {
-			req := sl.queue[0]
-			sl.queue = sl.queue[1:]
+	for i := range s.slices {
+		sl := &s.slices[i]
+		if sl.queue.len() > 0 {
+			req := sl.queue.pop()
 			s.serviceL2(sl, req)
 			progressed = true
 		}
-		if len(sl.dramQueue) > 0 && sl.busyUntil <= s.now {
-			dr := sl.dramQueue[0]
-			sl.dramQueue = sl.dramQueue[1:]
+		if sl.dramQueue.len() > 0 && sl.busyUntil <= s.now {
+			dr := sl.dramQueue.pop()
 			sl.busyUntil = s.now + uint64(s.cfg.DRAMCyclesPerSector)
 			progressed = true
 			switch dr.kind {
@@ -329,17 +527,17 @@ func (s *Sim) step() bool {
 				s.stats.DRAMWrites++
 			case dramDataRead:
 				s.stats.DRAMDataReads++
-				heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.DRAMLatency), kind: evDRAMData, slice: dr.slice, sector: dr.sector})
+				s.pushEvent(event{cycle: s.now + uint64(s.cfg.DRAMLatency), sector: dr.sector, meta: evMeta(evDRAMData, dr.slice)})
 			case dramTagRead:
 				s.stats.DRAMTagReads++
-				heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.DRAMLatency), kind: evDRAMTag, slice: dr.slice, sector: dr.sector})
+				s.pushEvent(event{cycle: s.now + uint64(s.cfg.DRAMLatency), sector: dr.sector, meta: evMeta(evDRAMTag, dr.slice)})
 			}
 		}
 	}
 
 	// 3. SMs issue.
-	for _, sm := range s.sms {
-		if s.issue(sm) {
+	for i := range s.sms {
+		if s.issue(&s.sms[i]) {
 			progressed = true
 		}
 	}
@@ -348,13 +546,13 @@ func (s *Sim) step() bool {
 
 // issue advances one SM by at most one op (or one blocked-op retry).
 func (s *Sim) issue(sm *smState) bool {
-	if sm.blocked != nil {
-		return s.issueSectors(sm, sm.blocked)
+	if sm.blocked {
+		return s.issueSectors(sm)
 	}
 	if sm.done || s.now < sm.nextReady || sm.outstanding >= s.cfg.MaxOutstandingOps {
 		return false
 	}
-	op, ok := sm.trace.Next()
+	op, ok := sm.nextOp()
 	if !ok {
 		sm.done = true
 		return false
@@ -384,9 +582,9 @@ func (s *Sim) issue(sm *smState) bool {
 		// outstanding ops like loads; under a carve-out the lock tag must
 		// be fetched for the check, just as for loads and stores.
 		s.stats.Atomics++
-		st := &opState{sm: sm, pending: len(sectors)}
+		st := s.ops.get(sm, len(sectors))
 		for _, sec := range sectors {
-			s.sliceOf(sec).queue = append(s.sliceOf(sec).queue, request{sector: sec, sm: sm.id, atomic: true, op: st})
+			s.sliceOf(sec).queue.push(request{sector: sec, sm: sm.id, atomic: true, op: st})
 		}
 		if st.pending > 0 {
 			sm.outstanding++
@@ -399,57 +597,58 @@ func (s *Sim) issue(sm *smState) bool {
 		s.stats.Stores++
 		for _, sec := range sectors {
 			// Write-through, no-allocate L1: stores stream to the L2.
-			s.sliceOf(sec).queue = append(s.sliceOf(sec).queue, request{sector: sec, sm: sm.id, store: true})
+			s.sliceOf(sec).queue.push(request{sector: sec, sm: sm.id, store: true})
 		}
 		sm.nextReady = s.now + 1 + uint64(compute)
 		return true
 	}
 
 	s.stats.Loads++
-	pi := &pendingIssue{
-		op:      &opState{sm: sm},
-		sectors: append([]uint64(nil), sectors...),
+	sm.pi = pendingIssue{
+		op:      s.ops.get(sm, 0),
+		sectors: append(sm.pi.sectors[:0], sectors...),
 		compute: compute,
 	}
-	return s.issueSectors(sm, pi)
+	return s.issueSectors(sm)
 }
 
-// issueSectors pushes a load's sectors into the L1/MSHR machinery,
-// blocking (and resuming later) when MSHRs run out.
-func (s *Sim) issueSectors(sm *smState, pi *pendingIssue) bool {
+// issueSectors pushes the SM's current load (sm.pi) into the L1/MSHR
+// machinery, blocking (and resuming later) when MSHRs run out.
+func (s *Sim) issueSectors(sm *smState) bool {
+	pi := &sm.pi
 	progressed := false
-	for len(pi.sectors) > 0 {
-		sec := pi.sectors[0]
+	for pi.next < len(pi.sectors) {
+		sec := pi.sectors[pi.next]
 		if sm.l1.lookup(sec, false) {
 			s.stats.L1Hits++
-			pi.sectors = pi.sectors[1:]
+			pi.next++
 			progressed = true
 			continue
 		}
-		if entry, ok := sm.mshr[sec]; ok {
+		slot, found := sm.mshr.probe(sec)
+		if found {
 			// Merge into the outstanding miss.
 			s.stats.L1Hits++ // an MSHR merge costs no extra traffic
-			entry.waiters = append(entry.waiters, pi.op)
+			sm.mshr.addWaiter(slot, pi.op)
 			pi.op.pending++
-			pi.sectors = pi.sectors[1:]
+			pi.next++
 			progressed = true
 			continue
 		}
-		if sm.mshrCount >= s.cfg.L1MSHRs {
-			sm.blocked = pi
+		if sm.mshr.count >= s.cfg.L1MSHRs {
+			sm.blocked = true
 			return progressed
 		}
 		s.stats.L1Misses++
-		sm.mshr[sec] = &mshrEntry{waiters: []*opState{pi.op}}
-		sm.mshrCount++
+		sm.mshr.putAt(slot, sec, pi.op)
 		pi.op.pending++
 		sl := s.sliceOf(sec)
-		sl.queue = append(sl.queue, request{sector: sec, sm: sm.id, store: false, op: pi.op})
-		pi.sectors = pi.sectors[1:]
+		sl.queue.push(request{sector: sec, sm: sm.id, store: false, op: pi.op})
+		pi.next++
 		progressed = true
 	}
 	// Fully issued.
-	sm.blocked = nil
+	sm.blocked = false
 	if pi.op.pending > 0 && !pi.started {
 		sm.outstanding++
 		pi.started = true
@@ -463,16 +662,16 @@ func (s *Sim) serviceL2(sl *sliceState, req request) {
 	if req.atomic {
 		if sl.l2.lookup(req.sector, true) {
 			s.stats.L2Hits++
-			heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.L1Latency), kind: evAtomicDone, op: req.op})
+			s.pushEvent(event{cycle: s.now + uint64(s.cfg.L1Latency), meta: evOpMeta(evAtomicDone, req.op)})
 			return
 		}
 		s.stats.L2Misses++
-		miss := &l2Miss{sector: req.sector, slice: sl.id, sm: req.sm, atomic: true, op: req.op}
-		if waiters, inflight := sl.pendingData[req.sector]; inflight {
-			sl.pendingData[req.sector] = append(waiters, miss)
+		miss := s.allocMiss(l2Miss{sector: req.sector, slice: sl.id, sm: req.sm, atomic: true, op: req.op})
+		if slot, found := sl.pendingData.probe(req.sector); found {
+			sl.pendingData.addWaiter(slot, miss)
 		} else {
-			sl.pendingData[req.sector] = []*l2Miss{miss}
-			sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramDataRead, slice: sl.id, sector: req.sector})
+			sl.pendingData.putAt(slot, req.sector, miss)
+			sl.dramQueue.push(dramReq{kind: dramDataRead, slice: sl.id, sector: req.sector})
 		}
 		if s.cfg.Mode == ModeCarveOut {
 			s.fetchTagIfMissing(miss)
@@ -487,27 +686,27 @@ func (s *Sim) serviceL2(sl *sliceState, req request) {
 		s.stats.L2Misses++
 		// Full-sector store: write-allocate without fetching the data.
 		if sl.l2.insert(req.sector, true) {
-			sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramWrite})
+			sl.dramQueue.push(dramReq{kind: dramWrite})
 		}
 		// The carve-out still needs the lock tag for the store-side check.
 		if s.cfg.Mode == ModeCarveOut {
-			s.fetchTagIfMissing(&l2Miss{sector: req.sector, slice: sl.id, store: true})
+			s.fetchStoreTag(sl, req.sector)
 		}
 		return // stores complete at the SM; only traffic is modeled
 	}
 
 	if sl.l2.lookup(req.sector, false) {
 		s.stats.L2Hits++
-		heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.L1Latency), kind: evL1Fill, sm: req.sm, sector: req.sector})
+		s.pushEvent(event{cycle: s.now + uint64(s.cfg.L1Latency), sector: req.sector, meta: evMeta(evL1Fill, req.sm)})
 		return
 	}
 	s.stats.L2Misses++
-	miss := &l2Miss{sector: req.sector, slice: sl.id, sm: req.sm, op: req.op}
-	if waiters, inflight := sl.pendingData[req.sector]; inflight {
-		sl.pendingData[req.sector] = append(waiters, miss)
+	miss := s.allocMiss(l2Miss{sector: req.sector, slice: sl.id, sm: req.sm, op: req.op})
+	if slot, found := sl.pendingData.probe(req.sector); found {
+		sl.pendingData.addWaiter(slot, miss)
 	} else {
-		sl.pendingData[req.sector] = []*l2Miss{miss}
-		sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramDataRead, slice: sl.id, sector: req.sector})
+		sl.pendingData.putAt(slot, req.sector, miss)
+		sl.dramQueue.push(dramReq{kind: dramDataRead, slice: sl.id, sector: req.sector})
 	}
 	if s.cfg.Mode == ModeCarveOut {
 		s.fetchTagIfMissing(miss)
@@ -528,37 +727,69 @@ func (s *Sim) fetchTagIfMissing(miss *l2Miss) {
 	}
 	s.stats.TagL2Misses++
 	miss.needTag = true
-	if waiters, inflight := tsl.pendingTag[miss.tagSector]; inflight {
-		tsl.pendingTag[miss.tagSector] = append(waiters, miss)
+	if slot, found := tsl.pendingTag.probe(miss.tagSector); found {
+		tsl.pendingTag.addWaiter(slot, miss)
+	} else {
+		tsl.pendingTag.putAt(slot, miss.tagSector, miss)
+		tsl.dramQueue.push(dramReq{kind: dramTagRead, slice: tsl.id, sector: miss.tagSector})
+	}
+}
+
+// fetchStoreTag is the store-side lock-tag probe: unlike loads there is
+// no data miss to link, so a tracking miss is allocated only when the
+// tag actually has to be fetched (it is freed when the tag arrives).
+func (s *Sim) fetchStoreTag(sl *sliceState, sector uint64) {
+	tagSector := s.tagSectorOf(sector)
+	tsl := s.sliceOf(tagSector)
+	if tsl.l2.lookup(tagSector, false) {
+		s.stats.TagL2Hits++
 		return
 	}
-	tsl.pendingTag[miss.tagSector] = []*l2Miss{miss}
-	tsl.dramQueue = append(tsl.dramQueue, dramReq{kind: dramTagRead, slice: tsl.id, sector: miss.tagSector})
+	s.stats.TagL2Misses++
+	miss := s.allocMiss(l2Miss{sector: sector, slice: sl.id, store: true, needTag: true, tagSector: tagSector})
+	if slot, found := tsl.pendingTag.probe(tagSector); found {
+		tsl.pendingTag.addWaiter(slot, miss)
+	} else {
+		tsl.pendingTag.putAt(slot, tagSector, miss)
+		tsl.dramQueue.push(dramReq{kind: dramTagRead, slice: tsl.id, sector: tagSector})
+	}
 }
 
 func (s *Sim) dataArrived(slice int, sector uint64) {
-	sl := s.slices[slice]
-	waiters := sl.pendingData[sector]
-	delete(sl.pendingData, sector)
+	sl := &s.slices[slice]
+	waiters := sl.pendingData.take(sector)
 	if sl.l2.insert(sector, false) {
-		sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramWrite, slice: slice})
+		sl.dramQueue.push(dramReq{kind: dramWrite, slice: slice})
 	}
 	for _, m := range waiters {
 		m.dataArrived = true
 		s.maybeCompleteMiss(m)
 	}
+	if waiters != nil {
+		sl.pendingData.recycle(waiters)
+	}
 }
 
 func (s *Sim) tagArrived(slice int, tagSector uint64) {
-	sl := s.slices[slice]
-	waiters := sl.pendingTag[tagSector]
-	delete(sl.pendingTag, tagSector)
+	sl := &s.slices[slice]
+	waiters := sl.pendingTag.take(tagSector)
 	if sl.l2.insert(tagSector, false) {
-		sl.dramQueue = append(sl.dramQueue, dramReq{kind: dramWrite, slice: slice})
+		sl.dramQueue.push(dramReq{kind: dramWrite, slice: slice})
 	}
 	for _, m := range waiters {
 		m.tagArrived = true
+		if m.store {
+			// Store-side probes live only in the tag list (the write
+			// already allocated in serviceL2); this arrival dropped their
+			// last reference. maybeCompleteMiss would early-return for
+			// them anyway.
+			s.freeMiss(m)
+			continue
+		}
 		s.maybeCompleteMiss(m)
+	}
+	if waiters != nil {
+		sl.pendingTag.recycle(waiters)
 	}
 }
 
@@ -569,14 +800,19 @@ func (s *Sim) maybeCompleteMiss(miss *l2Miss) {
 	if !miss.dataArrived || (miss.needTag && !miss.tagArrived) {
 		return
 	}
+	// Both arrivals have released the miss from their merge lists; after
+	// the completion below no reference remains, so it goes back on the
+	// free list.
 	if miss.atomic {
 		// The L2 performs the RMW: dirty the freshly filled line and
 		// return the old value to the SM without filling the L1.
 		s.slices[miss.slice].l2.lookup(miss.sector, true)
-		heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.L1Latency), kind: evAtomicDone, op: miss.op})
+		s.pushEvent(event{cycle: s.now + uint64(s.cfg.L1Latency), meta: evOpMeta(evAtomicDone, miss.op)})
+		s.freeMiss(miss)
 		return
 	}
-	heap.Push(&s.events, event{cycle: s.now + uint64(s.cfg.L1Latency), kind: evL1Fill, sm: miss.sm, sector: miss.sector})
+	s.pushEvent(event{cycle: s.now + uint64(s.cfg.L1Latency), sector: miss.sector, meta: evMeta(evL1Fill, miss.sm)})
+	s.freeMiss(miss)
 }
 
 // opSectorDone retires one completed sector of a non-L1 (atomic) op.
@@ -588,33 +824,32 @@ func (s *Sim) opSectorDone(op *opState) {
 }
 
 func (s *Sim) l1Fill(smID int, sector uint64) {
-	sm := s.sms[smID]
+	sm := &s.sms[smID]
 	sm.l1.insert(sector, false) // write-through L1: evictions are silent
-	entry, ok := sm.mshr[sector]
-	if !ok {
+	waiters := sm.mshr.take(sector)
+	if waiters == nil {
 		return
 	}
-	delete(sm.mshr, sector)
-	sm.mshrCount--
-	for _, op := range entry.waiters {
+	for _, op := range waiters {
 		op.pending--
 		if op.pending == 0 {
 			op.sm.outstanding--
 		}
 	}
+	sm.mshr.recycle(waiters)
 }
 
 func (s *Sim) finished() bool {
 	if len(s.events) > 0 {
 		return false
 	}
-	for _, sl := range s.slices {
-		if len(sl.queue) > 0 || len(sl.dramQueue) > 0 {
+	for i := range s.slices {
+		if s.slices[i].queue.len() > 0 || s.slices[i].dramQueue.len() > 0 {
 			return false
 		}
 	}
-	for _, sm := range s.sms {
-		if !sm.done || sm.blocked != nil || sm.outstanding > 0 {
+	for i := range s.sms {
+		if !s.sms[i].done || s.sms[i].blocked || s.sms[i].outstanding > 0 {
 			return false
 		}
 	}
@@ -629,13 +864,15 @@ func (s *Sim) fastForward() {
 	if len(s.events) > 0 && s.events[0].cycle > s.now {
 		best = s.events[0].cycle
 	}
-	for _, sl := range s.slices {
-		if len(sl.dramQueue) > 0 && sl.busyUntil > s.now && sl.busyUntil < best {
+	for i := range s.slices {
+		sl := &s.slices[i]
+		if sl.dramQueue.len() > 0 && sl.busyUntil > s.now && sl.busyUntil < best {
 			best = sl.busyUntil
 		}
 	}
-	for _, sm := range s.sms {
-		if !sm.done && sm.outstanding < s.cfg.MaxOutstandingOps && sm.blocked == nil &&
+	for i := range s.sms {
+		sm := &s.sms[i]
+		if !sm.done && sm.outstanding < s.cfg.MaxOutstandingOps && !sm.blocked &&
 			sm.nextReady > s.now && sm.nextReady < best {
 			best = sm.nextReady
 		}

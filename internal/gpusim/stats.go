@@ -23,6 +23,19 @@ type Stats struct {
 	// It lets consumers see *when* a run is bandwidth-bound — the peak
 	// and phase structure behind the end-of-run aggregates above.
 	Samples []Sample `json:",omitempty"`
+
+	// HostNsPerOp and HostAllocsPerOp are host-side cost telemetry: the
+	// wall nanoseconds and heap allocations the simulator itself spent
+	// per simulated warp op during Run/RunContext. They describe the
+	// machine running the simulation, not the machine being simulated,
+	// and are nondeterministic — so they are json:"-" tagged, keeping
+	// them out of the conformance goldens, the runner's disk cache and
+	// every canonical-JSON comparison. Both are 0 on a run that issued
+	// no warp ops; HostAllocsPerOp reads the process-wide allocation
+	// counter, so it is exact for a lone simulation and approximate when
+	// other goroutines allocate concurrently (e.g. parallel sweeps).
+	HostNsPerOp     float64 `json:"-"`
+	HostAllocsPerOp float64 `json:"-"`
 }
 
 // Sample is one telemetry window. Rates are computed over the window
@@ -52,6 +65,16 @@ type Sample struct {
 	// request-queue and DRAM-queue depths at the sample point.
 	QueueDepth     float64
 	DRAMQueueDepth float64
+}
+
+// WithoutHost returns a copy of s with the host-side cost telemetry
+// zeroed — the deterministic, simulated-machine part of the Stats.
+// Differential comparisons (repeatability tests, replay equivalence,
+// cache-hit-vs-recompute) must compare WithoutHost values or the
+// canonical JSON encoding, which already excludes the host fields.
+func (s Stats) WithoutHost() Stats {
+	s.HostNsPerOp, s.HostAllocsPerOp = 0, 0
+	return s
 }
 
 // ReadBloat is the fraction of extra DRAM read traffic caused by tag
@@ -150,9 +173,15 @@ func (s Stats) TagL2HitRate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("cycles=%d ops=%d atomics=%d L1=%.1f%% L2=%.1f%% tagL2=%.1f%% dram(data=%d tag=%d wr=%d) bloat=%.1f%%",
+	out := fmt.Sprintf("cycles=%d ops=%d atomics=%d L1=%.1f%% L2=%.1f%% tagL2=%.1f%% dram(data=%d tag=%d wr=%d) bloat=%.1f%%",
 		s.Cycles, s.WarpOps, s.Atomics, 100*s.L1HitRate(), 100*s.L2HitRate(), 100*s.TagL2HitRate(),
 		s.DRAMDataReads, s.DRAMTagReads, s.DRAMWrites, 100*s.ReadBloat())
+	if s.HostNsPerOp > 0 {
+		// Host-side simulator cost (absent on unpopulated Stats values,
+		// e.g. zero literals in tests or cells resolved from the cache).
+		out += fmt.Sprintf(" host(ns/op=%.0f allocs/op=%.2f)", s.HostNsPerOp, s.HostAllocsPerOp)
+	}
+	return out
 }
 
 // Slowdown compares two runs of the same workload: how much slower

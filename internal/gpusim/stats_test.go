@@ -3,6 +3,8 @@ package gpusim
 import (
 	"encoding/json"
 	"math"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -82,5 +84,100 @@ func TestBandwidthUtilizationMeasured(t *testing.T) {
 	want := float64(32*(40+8+2)) / 1000 / (4 * 32 / 4.0)
 	if got := st.BandwidthUtilization(cfg); got != want {
 		t.Fatalf("BandwidthUtilization = %v, want %v", got, want)
+	}
+}
+
+// TestStatsStringTelemetry pins the String rendering of the host-side
+// cost telemetry across the states a Stats value can be in: never run
+// (zero value), run but opless, a populated aggregate without host
+// telemetry (cache hits deserialize to this), and a steady-state run
+// carrying it.
+func TestStatsStringTelemetry(t *testing.T) {
+	populated := Stats{Cycles: 100, WarpOps: 40, L1Hits: 30, L1Misses: 10, DRAMDataReads: 10}
+	withHost := populated
+	withHost.HostNsPerOp = 1234.5
+	withHost.HostAllocsPerOp = 0.25
+
+	cases := []struct {
+		name     string
+		st       Stats
+		wantHost bool
+	}{
+		{"empty", Stats{}, false},
+		{"opless-run", Stats{Cycles: 5}, false},
+		{"populated-no-host", populated, false},
+		{"steady-state", withHost, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := tc.st.String()
+			if got := strings.Contains(out, "host("); got != tc.wantHost {
+				t.Errorf("String() = %q, host telemetry rendered = %v, want %v", out, got, tc.wantHost)
+			}
+			if tc.wantHost && !strings.Contains(out, "host(ns/op=1234 allocs/op=0.25)") {
+				t.Errorf("String() = %q, want rendered host values", out)
+			}
+		})
+	}
+}
+
+// TestStatsJSONExcludesHostTelemetry pins the split the conformance
+// goldens rely on: the host fields render in String (and flow into the
+// runner/obs exporters) but never enter Stats' own JSON encoding, so
+// goldens, the disk cache and canonical-JSON comparisons stay
+// deterministic.
+func TestStatsJSONExcludesHostTelemetry(t *testing.T) {
+	st := Stats{Cycles: 1, WarpOps: 2, HostNsPerOp: 99, HostAllocsPerOp: 7}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "Host") {
+		t.Fatalf("host telemetry leaked into JSON: %s", raw)
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.WithoutHost(), st.WithoutHost()) {
+		t.Errorf("deterministic fields lost in round trip: %+v vs %+v", back, st)
+	}
+	if back.HostNsPerOp != 0 || back.HostAllocsPerOp != 0 {
+		t.Errorf("host telemetry must deserialize to zero, got %+v", back)
+	}
+}
+
+// TestRunPopulatesHostTelemetry runs a real steady-state simulation and
+// checks the telemetry is measured, positive, and excluded from the
+// deterministic portion.
+func TestRunPopulatesHostTelemetry(t *testing.T) {
+	cfg := DefaultConfig()
+	ops := make([]WarpOp, 2000)
+	for i := range ops {
+		ops[i] = WarpOp{Addrs: []uint64{uint64(i) * 32}}
+	}
+	tr := &SliceTrace{Ops: ops}
+	sim, err := New(cfg, []Trace{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarpOps == 0 {
+		t.Fatal("trace produced no warp ops")
+	}
+	if st.HostNsPerOp <= 0 {
+		t.Errorf("HostNsPerOp = %v, want > 0 after a real run", st.HostNsPerOp)
+	}
+	if st.HostAllocsPerOp < 0 {
+		t.Errorf("HostAllocsPerOp = %v, want >= 0", st.HostAllocsPerOp)
+	}
+	if got := st.WithoutHost(); got.HostNsPerOp != 0 || got.HostAllocsPerOp != 0 {
+		t.Errorf("WithoutHost must zero the telemetry: %+v", got)
+	}
+	if !strings.Contains(st.String(), "host(") {
+		t.Errorf("String() = %q, want host telemetry rendered", st.String())
 	}
 }

@@ -32,6 +32,16 @@ type Trace interface {
 	Next() (op WarpOp, ok bool)
 }
 
+// batchTrace is the optional fast path the simulator probes for: traces
+// that can decode many ops at once into a caller-supplied buffer save an
+// interface call per warp op. Batching must yield exactly the sequence
+// repeated Next calls would — the simulator's results are identical
+// either way (it only changes when the trace is decoded, not what it
+// decodes). SliceTrace and FuncTrace implement it.
+type batchTrace interface {
+	NextBatch(dst []WarpOp) int
+}
+
 // SliceTrace adapts a materialized op list to the Trace interface.
 type SliceTrace struct {
 	Ops []WarpOp
@@ -47,6 +57,22 @@ func (s *SliceTrace) Next() (WarpOp, bool) {
 	s.pos++
 	return op, true
 }
+
+// NextBatch copies up to len(dst) upcoming ops into dst and advances the
+// stream, returning how many were delivered (0 at end of stream). The
+// batched equivalent of Next; the simulator uses it to decode the trace
+// in cache-friendly chunks.
+func (s *SliceTrace) NextBatch(dst []WarpOp) int {
+	n := copy(dst, s.Ops[s.pos:])
+	s.pos += n
+	return n
+}
+
+// Rewind restarts the trace from its first op without copying (the op
+// slices are shared with the original stream). It lets one materialized
+// trace drive many sequential simulations — e.g. Sim.Reset loops — where
+// CloneTraces' deep copy would be wasted work.
+func (s *SliceTrace) Rewind() { s.pos = 0 }
 
 // Clone returns an independent, rewound deep copy of the trace (the ops
 // and their address slices are copied, so the two streams never alias).
@@ -96,6 +122,19 @@ func (f *FuncTrace) Next() (WarpOp, bool) {
 	op := f.Gen(f.pos)
 	f.pos++
 	return op, true
+}
+
+// NextBatch fills dst by calling Gen on consecutive indices — the same
+// order Next would use, so generators whose closures carry state (an
+// RNG advancing call by call) observe an identical call sequence.
+func (f *FuncTrace) NextBatch(dst []WarpOp) int {
+	n := 0
+	for n < len(dst) && f.pos < f.N {
+		dst[n] = f.Gen(f.pos)
+		f.pos++
+		n++
+	}
+	return n
 }
 
 // coalesce reduces per-thread addresses to the distinct (key tag,

@@ -1,0 +1,11 @@
+// Package obs is the dependency-light observability layer threaded
+// through the simulator, the experiment engine and the CLIs: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) with JSON and Prometheus-text exporters, a Chrome
+// trace-event recorder whose output loads in Perfetto, run manifests
+// that pin a results directory to the exact code and configuration that
+// produced it, and a debug HTTP mux (expvar + pprof + /metrics).
+//
+// Everything here uses only the standard library, never blocks the hot
+// path on I/O (export is pull-based), and is safe for concurrent use.
+package obs

@@ -17,6 +17,12 @@ type Cell struct {
 	Cached bool    `json:"cached,omitempty"`
 	Failed bool    `json:"failed,omitempty"`
 	Millis float64 `json:"ms"`
+	// NsPerOp and AllocsPerOp are the simulator's host-side cost per
+	// simulated warp op for the cell (gpusim.Stats host telemetry).
+	// Both are 0 — and omitted — for cached or failed cells, which
+	// never ran a simulation.
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // PhaseTiming is one named phase of a run (e.g. one experiment id).

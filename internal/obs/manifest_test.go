@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -91,5 +92,27 @@ func TestDebugMux(t *testing.T) {
 	}
 	if rec := get("/debug/pprof/"); rec.Code != 200 {
 		t.Errorf("/debug/pprof/: code=%d", rec.Code)
+	}
+}
+
+// TestCellJSONTelemetry pins the manifest rendering of per-cell host
+// telemetry: present for simulated cells, omitted (not rendered as
+// zeros) for cached cells that never ran.
+func TestCellJSONTelemetry(t *testing.T) {
+	simulated, err := json.Marshal(Cell{Name: "w/imt", Millis: 12, NsPerOp: 850.5, AllocsPerOp: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"ns_per_op":850.5`, `"allocs_per_op":0.5`} {
+		if !strings.Contains(string(simulated), key) {
+			t.Errorf("simulated cell JSON %s missing %s", simulated, key)
+		}
+	}
+	cached, err := json.Marshal(Cell{Name: "w/imt", Cached: true, Millis: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(cached), "ns_per_op") || strings.Contains(string(cached), "allocs_per_op") {
+		t.Errorf("cached cell JSON %s must omit unmeasured telemetry", cached)
 	}
 }

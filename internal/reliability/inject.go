@@ -1,11 +1,3 @@
-// Package reliability implements the paper's fault-injection methodology
-// (§5.1, §5.3): exhaustive enumeration of k-bit error patterns and
-// Monte-Carlo random-corruption campaigns against software ECC decoders,
-// classifying each injection as corrected (CE), detected (DE — split into
-// DUE and misattributed TMM), or silent data corruption (SDC).
-//
-// It reproduces Figure 9 (SDC probability vs. redundancy) and Table 2
-// (per-error-pattern behavior of AFT-ECC).
 package reliability
 
 import (

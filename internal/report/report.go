@@ -1,7 +1,3 @@
-// Package report provides the small formatting toolkit shared by the
-// experiment drivers: aligned ASCII tables, CSV emission, and the
-// aggregate statistics the paper reports (harmonic-mean slowdowns,
-// maxima, percentiles).
 package report
 
 import (

@@ -1,15 +1,3 @@
-// Package retire models NVIDIA-style dynamic page retirement and the
-// security property §3.6 derives from alias-free tagging: "if a TMM
-// could be misattributed as a DUE, an attacker could maliciously trigger
-// the GPU persistent error retirement mechanisms to make them unusable."
-//
-// The retirement policy follows the published A100 memory-error
-// management rules in spirit: a page is retired after a single
-// uncorrectable (DUE) error or after repeated correctable errors. The
-// crucial input is the driver's Equation 7 diagnosis: faults classified
-// as tag mismatches are SECURITY events, not RELIABILITY events, and
-// must never count toward retirement — AFT-ECC makes that separation
-// sound because a pure TMM can never surface as a DUE.
 package retire
 
 import (

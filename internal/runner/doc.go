@@ -1,0 +1,11 @@
+// Package runner is the parallel experiment engine behind every gpusim
+// sweep: it fans (workload × tagging-mode) simulation cells across a
+// worker pool with deterministic result ordering, per-cell panic
+// isolation (a crashing simulation marks one cell failed instead of
+// killing the sweep), cooperative context cancellation, and an optional
+// content-addressed on-disk result cache so re-runs of unchanged cells
+// are free. internal/experiments and the cmds drive all catalog sweeps
+// through it. With an obs.Hub attached, the engine additionally emits
+// per-cell Chrome-trace spans, engine counter tracks, registry metrics
+// and a per-cell duration log for run manifests.
+package runner

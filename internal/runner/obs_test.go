@@ -64,10 +64,19 @@ func TestEngineEmitsSpansMetricsAndCells(t *testing.T) {
 		if c.Name == "" || c.Failed || c.Millis < 0 {
 			t.Errorf("bad cell log entry: %+v", c)
 		}
+		if c.NsPerOp <= 0 || c.AllocsPerOp < 0 {
+			t.Errorf("cell %s missing host telemetry: %+v", c.Name, c)
+		}
+	}
+	if s.Histograms["runner_cell_ns_per_op"].Count != uint64(len(jobs)) {
+		t.Errorf("ns/op histogram count = %d, want %d", s.Histograms["runner_cell_ns_per_op"].Count, len(jobs))
 	}
 	for _, r := range results {
 		if r.Duration <= 0 {
 			t.Errorf("cell %s has no duration", r.Job.Name())
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("cell %s has no host ns/op telemetry", r.Job.Name())
 		}
 	}
 }

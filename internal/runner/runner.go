@@ -1,13 +1,3 @@
-// Package runner is the parallel experiment engine behind every gpusim
-// sweep: it fans (workload × tagging-mode) simulation cells across a
-// worker pool with deterministic result ordering, per-cell panic
-// isolation (a crashing simulation marks one cell failed instead of
-// killing the sweep), cooperative context cancellation, and an optional
-// content-addressed on-disk result cache so re-runs of unchanged cells
-// are free. internal/experiments and the cmds drive all catalog sweeps
-// through it. With an obs.Hub attached, the engine additionally emits
-// per-cell Chrome-trace spans, engine counter tracks, registry metrics
-// and a per-cell duration log for run manifests.
 package runner
 
 import (
@@ -73,6 +63,12 @@ type Result struct {
 	// Duration is the cell's wall time on its worker (0 for cells that
 	// never ran because the context was already cancelled).
 	Duration time.Duration
+	// NsPerOp and AllocsPerOp are the simulator's host-side cost per
+	// simulated warp op (gpusim.Stats host telemetry). Both are 0 for
+	// cached cells — the cache stores only the deterministic Stats — and
+	// for failed cells.
+	NsPerOp     float64
+	AllocsPerOp float64
 }
 
 // Progress is a snapshot delivered after every completed cell.
@@ -134,7 +130,13 @@ type Engine struct {
 	// Registry metrics mirroring the atomic counters (nil without Obs).
 	mCells, mHits, mMisses, mSimRuns, mFailed, mPanics *obs.Counter
 	mCellSeconds                                       *obs.Histogram
+	mCellNsPerOp                                       *obs.Histogram
 }
+
+// nsPerOpBuckets spans the observed host cost per simulated warp op
+// (hundreds of ns for cache-resident micro workloads up to tens of µs
+// for bandwidth-bound traces), exponential base ~2.5.
+var nsPerOpBuckets = []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
 
 // New builds an engine for the machine configuration. Mode and Carve in
 // cfg are ignored — each job supplies its own.
@@ -153,6 +155,7 @@ func New(cfg gpusim.Config, opts Options) *Engine {
 		e.mFailed = h.Metrics.Counter("runner_cell_failures_total", "cells that ended in an error")
 		e.mPanics = h.Metrics.Counter("runner_panics_total", "simulations recovered from a panic")
 		e.mCellSeconds = h.Metrics.Histogram("runner_cell_seconds", "per-cell wall time", obs.DurationBuckets)
+		e.mCellNsPerOp = h.Metrics.Histogram("runner_cell_ns_per_op", "host ns per simulated warp op (uncached cells)", nsPerOpBuckets)
 	}
 	return e
 }
@@ -274,11 +277,16 @@ func (e *Engine) observe(r Result, worker int, started time.Time) {
 			"failed": float64(e.failed.Load()),
 		})
 	}
+	if r.NsPerOp > 0 && e.mCellNsPerOp != nil {
+		e.mCellNsPerOp.Observe(r.NsPerOp)
+	}
 	h.AddCell(obs.Cell{
-		Name:   name,
-		Cached: r.Cached,
-		Failed: r.Err != nil,
-		Millis: float64(r.Duration) / float64(time.Millisecond),
+		Name:        name,
+		Cached:      r.Cached,
+		Failed:      r.Err != nil,
+		Millis:      float64(r.Duration) / float64(time.Millisecond),
+		NsPerOp:     r.NsPerOp,
+		AllocsPerOp: r.AllocsPerOp,
 	})
 }
 
@@ -303,8 +311,12 @@ func (e *Engine) runJob(ctx context.Context, job Job) Result {
 		}
 	}
 	res.Stats, res.Err = e.simulate(ctx, job)
-	if res.Err == nil && cacheable {
-		e.cache.store(key, res.Stats)
+	if res.Err == nil {
+		res.NsPerOp = res.Stats.HostNsPerOp
+		res.AllocsPerOp = res.Stats.HostAllocsPerOp
+		if cacheable {
+			e.cache.store(key, res.Stats)
+		}
 	}
 	return res
 }

@@ -45,7 +45,9 @@ func statsOf(t *testing.T, results []Result) []gpusim.Stats {
 	}
 	out := make([]gpusim.Stats, len(results))
 	for i, r := range results {
-		out[i] = r.Stats
+		// Host telemetry is nondeterministic (and zero on cached cells);
+		// only the simulated-machine stats are comparable.
+		out[i] = r.Stats.WithoutHost()
 	}
 	return out
 }
@@ -93,6 +95,9 @@ func TestCacheHitMissAndInvalidation(t *testing.T) {
 	for _, r := range warmRes {
 		if !r.Cached {
 			t.Fatalf("warm cell not marked cached: %+v", r.Job)
+		}
+		if r.NsPerOp != 0 || r.AllocsPerOp != 0 {
+			t.Errorf("cached cell %s must carry no host telemetry: %+v", r.Job.Name(), r)
 		}
 	}
 	if !reflect.DeepEqual(statsOf(t, coldRes), statsOf(t, warmRes)) {

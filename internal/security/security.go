@@ -1,11 +1,3 @@
-// Package security evaluates the probabilistic guarantees of memory
-// tagging (§5.4): detection rates for adjacent and non-adjacent buffer
-// overflows under the glibc and Scudo retagging policies, both in closed
-// form and by Monte-Carlo attack simulation against the real taggers.
-//
-// Detection of a violation requires only that the victim's key tag differ
-// from the attacked granule's lock tag, so with T uniformly-assigned tags
-// the detection rate is 1 − 1/T (the paper's "100% − 100%/Num.Tags").
 package security
 
 import (

@@ -1,0 +1,33 @@
+// Package symbolecc extends Alias-Free Tagged ECC to symbol-based codes,
+// the future-work direction of the paper's §7.1: field studies report
+// byte errors as the most common multi-bit DRAM failure and burst errors
+// as the most common SRAM failure, both of which a bit-oriented SEC-DED
+// code can only detect — while a symbol code corrects them outright.
+//
+// The code here is a shortened single-symbol-correcting (SSC) code over
+// GF(2^m) with two check symbols — for m=8 and a 32-byte GPU sector this
+// is exactly the DRAM-provided 2B-per-32B redundancy. Symbol j of the
+// codeword carries the Reed-Solomon-style multiplier α^j, giving the
+// classic syndrome pair
+//
+//	S0 = Σ x_j        S1 = Σ α^j · x_j
+//
+// so a single corrupted symbol e at position j yields (S0,S1) =
+// (e, α^j·e) and is located by log(S1/S0) and repaired by S0.
+//
+// The AFT-ECC construction carries over: a TS-bit tag folds linearly
+// into the check symbols at encode and decode. A tag submatrix is
+// alias-free iff its nonzero column-space members avoid the zero
+// syndrome and every correctable syndrome {(e, α^j·e)}. Because all
+// correctable syndromes have S0 ≠ 0, the m columns {(0, 2^b)} are
+// alias-free, giving TS = m.
+//
+// Notably, the binary counting bound of the paper's Equation 5b does
+// NOT transfer: counting free syndromes would suggest TS ≤ 2m−1 (15
+// bits at m=8), but the correctable syndromes of each position j form
+// an m-dimensional SUBSPACE L_j = {(e, α^j·e)}, and any tag column
+// space V with dim V > m must intersect L_j nontrivially
+// (dim(V ∩ L_j) ≥ dim V + m − 2m ≥ 1). The symbol-code tag limit is
+// therefore exactly TS = m — a structural result this package verifies
+// exhaustively, and one the paper's future-work section leaves open.
+package symbolecc

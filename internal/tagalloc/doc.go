@@ -1,0 +1,14 @@
+// Package tagalloc implements the software side of memory tagging (§2.3):
+// a heap allocator over an IMT-protected memory that tags granules on
+// allocation and retags them on free, plus the two retagging policies the
+// paper evaluates (§5.1):
+//
+//   - glibc-style: purely random tags for each allocation;
+//   - Scudo-style (Android 11's default allocator): random tags constrained
+//     to alternate odd/even between adjacent objects, so adjacent buffer
+//     overflows are always detected.
+//
+// Two tag values are reserved (as with SPARC ADI), leaving 2^TS−2 usable
+// tags for glibc-style tagging and 2^(TS−1)−1 per parity class for
+// Scudo-style tagging — the "Num. Tags" rows of Table 1.
+package tagalloc

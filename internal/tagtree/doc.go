@@ -1,0 +1,12 @@
+// Package tagtree implements the driver-side reference-tag store of
+// §4.3: the GPU driver "can be optionally augmented to precisely track
+// the tags associated with each memory object (perhaps through a
+// storage-efficient tree structure)". This is that structure — a
+// left-leaning red-black tree keyed by allocation base address, with
+// non-overlapping [base, base+size) intervals carrying a tag.
+//
+// Lookups are O(log n) and, as the paper notes, only run on the rare
+// fatal-error path; inserts and removes run on every allocation and
+// free, so balance matters for allocation-heavy GPU programs with
+// millions of live objects.
+package tagtree

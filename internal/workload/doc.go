@@ -1,0 +1,13 @@
+// Package workload provides the synthetic workload catalog standing in
+// for the paper's 193 proprietary application traces (§5.1): MLPerf-style
+// ML kernels, HPC and sparse-linear-algebra kernels, and the STREAM
+// microbenchmarks. Each workload is a parameterized trace generator whose
+// locality, access granularity, write mix, arithmetic intensity and
+// footprint place it in one of the regimes that drive Figure 8:
+// compute-bound (low slowdown), bandwidth-bound streaming (slowdown ≈
+// tag read bloat), and fine-grained random access (poor tag-sector reuse,
+// the largest slowdowns).
+//
+// It also carries each workload's allocation-size model, from which the
+// §5 footprint-bloat statistics are reproduced.
+package workload
