@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance check clean
+.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke check clean
 
 all: build test
 
@@ -13,10 +13,10 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim
+	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client
 
 race:
-	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -81,6 +81,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz='^FuzzAllocatorScript$$' -fuzztime=10s ./internal/tagalloc
 	$(GO) test -run '^$$' -fuzz='^FuzzECCDecode$$' -fuzztime=10s ./internal/ecc
 	$(GO) test -run '^$$' -fuzz='^FuzzParseTraceFile$$' -fuzztime=10s ./internal/gpusim
+	$(GO) test -run '^$$' -fuzz='^FuzzServeRequestDecode$$' -fuzztime=10s ./internal/serve
 
 # The conformance gate: golden-result regression, differential ECC
 # oracles and metamorphic simulator invariants (see DESIGN.md
@@ -88,9 +89,16 @@ fuzz-short:
 conformance:
 	$(GO) run ./cmd/conformance
 
+# End-to-end gate for the serving layer: imtd on an ephemeral port under
+# imtload's thundering herd, streaming sweep and induced overload, then
+# a SIGTERM drain. Asserts coalesce hits, cache hits, 429+Retry-After
+# backpressure and a clean exit (see scripts/serve-smoke.sh).
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
 # Pre-merge gate: everything that must be green before a change lands.
 # bench-gate runs last: correctness gates first, perf regression after.
-check: build test fuzz-short conformance bench-gate
+check: build test fuzz-short conformance serve-smoke bench-gate
 
 clean:
 	rm -rf results results-quick .sweep-cache

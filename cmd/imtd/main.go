@@ -1,0 +1,116 @@
+// Command imtd is the IMT simulation daemon: it serves simulation
+// cells and server-side design-space sweeps over an HTTP JSON API (see
+// internal/serve), with admission control, request coalescing, an
+// on-disk result cache, per-request deadlines and graceful drain.
+//
+// Usage:
+//
+//	imtd -addr :8866 -cache-dir .serve-cache
+//	imtd -addr 127.0.0.1:0 -addr-file imtd.addr -queue 4 -j 2
+//
+// API quickstart:
+//
+//	curl -s localhost:8866/v1/healthz
+//	curl -s localhost:8866/v1/workloads | head
+//	curl -s -X POST localhost:8866/v1/sim \
+//	  -d '{"workload":"stream-triad-48MB","mode":"carve-low"}'
+//	curl -sN -X POST localhost:8866/v1/sweep \
+//	  -d '{"suite":"STREAM","modes":["none","imt","carve-low"]}'
+//
+// On SIGINT/SIGTERM the daemon drains: it stops accepting (new
+// requests see 503 + Retry-After until the listener closes), finishes
+// in-flight requests, then flushes -metrics-out and -manifest-out and
+// exits 0. -addr-file writes the bound host:port once listening —
+// scripts using an ephemeral port (":0") read it instead of parsing
+// logs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8866", "listen address (host:port; port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "admission queue depth; beyond it requests get 429 (0 = 4×workers)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (\"\" disables caching)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTO    = flag.Duration("max-timeout", 5*time.Minute, "deadline clamp; also bounds whole sweeps")
+		debug    = flag.Bool("debug", false, "mount /debug/pprof, /debug/vars and /metrics on the API port")
+
+		metricsOut  = flag.String("metrics-out", "", "write the metrics registry here on drain (.json → JSON, else Prometheus text)")
+		manifestOut = flag.String("manifest-out", "", "write the server-run manifest (JSON) here on drain")
+		drainGrace  = flag.Duration("drain-grace", time.Minute, "how long to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheDir:       *cacheDir,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		Debug:          *debug,
+	})
+	d, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(d.Addr()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "imtd: listening on http://%s (workers=%d queue=%d cache=%q)\n",
+		d.Addr(), *workers, *queue, *cacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "imtd: draining (finishing in-flight requests)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := d.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "imtd: drain:", err)
+		}
+	}()
+
+	if err := d.Serve(); err != nil {
+		fatal(err)
+	}
+
+	// Drained cleanly: flush observability outputs.
+	stats := srv.Stats()
+	fmt.Fprintf(os.Stderr, "imtd: drained: %d requests, %d cells, %d cache hits, %d coalesce hits, %d rejected, %d timeouts, %d errors\n",
+		stats.Requests, stats.Cells, stats.CacheHits, stats.CoalesceHits, stats.Rejected, stats.Timeouts, stats.Errors)
+	if *metricsOut != "" {
+		if err := srv.Hub().Metrics.WriteFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *manifestOut != "" {
+		if err := srv.Manifest().WriteFile(*manifestOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imtd:", err)
+	os.Exit(1)
+}

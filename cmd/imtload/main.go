@@ -1,0 +1,298 @@
+// Command imtload drives synthetic heavy traffic against an imtd
+// daemon (cmd/imtd) to demonstrate — and assert — the serving layer's
+// production behaviors: request coalescing of a thundering herd,
+// result-cache hits, bounded-queue backpressure (429 + Retry-After,
+// never a hang), and client-side retry with jittered exponential
+// backoff honoring Retry-After.
+//
+// Usage:
+//
+//	imtload -addr 127.0.0.1:8866 -n 50 -c 8
+//	imtload -addr 127.0.0.1:8866 -n 50 -c 8 -overload 24 \
+//	        -min-coalesce 1 -min-cache 1
+//	imtload -addr 127.0.0.1:8866 -sweep-suite STREAM -sweep-modes none,imt
+//
+// Phases:
+//
+//  1. Load: -n requests for the same cell across -c concurrent
+//     clients. The first request simulates; concurrent duplicates
+//     coalesce onto its flight; later ones hit the result cache.
+//  2. Sweep (optional, -sweep-suite): one streaming NDJSON sweep,
+//     consumed cell by cell as the server completes them.
+//  3. Overload (optional, -overload N): N simultaneous *distinct*
+//     cells with retries disabled, deliberately exceeding the server's
+//     worker+queue capacity. Every rejection must be a 429 carrying
+//     Retry-After; a missing header or a hang fails the run.
+//
+// Afterwards imtload fetches /v1/statsz and enforces -min-coalesce /
+// -min-cache against the server's own counters, exiting nonzero if the
+// run did not demonstrate what it was asked to demonstrate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8866", "imtd address (host:port)")
+		n         = flag.Int("n", 50, "total load-phase requests")
+		conc      = flag.Int("c", 8, "concurrent clients")
+		name      = flag.String("workload", "stream-triad-16MB", "load-phase workload")
+		mode      = flag.String("mode", "carve-low", "load-phase tagging mode")
+		maxCycles = flag.Uint64("max-cycles", 0, "per-cell cycle cap (0 = simulator default)")
+		timeoutMs = flag.Int64("timeout-ms", 20000, "per-request deadline sent to the server")
+		wait      = flag.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
+
+		sweepSuite = flag.String("sweep-suite", "", "also run one streaming sweep over this suite")
+		sweepModes = flag.String("sweep-modes", "none,carve-low", "comma-separated modes for -sweep-suite")
+
+		overload    = flag.Int("overload", 0, "overload phase: this many simultaneous distinct no-retry requests (0 skips)")
+		minCoalesce = flag.Uint64("min-coalesce", 0, "fail unless the server reports at least this many coalesce hits")
+		minCache    = flag.Uint64("min-cache", 0, "fail unless the server reports at least this many cache hits")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cl := client.New(base)
+	ctx := context.Background()
+
+	if err := waitHealthy(ctx, cl, *wait); err != nil {
+		fatal(err)
+	}
+
+	failures := 0
+
+	// Phase 1: thundering herd on one cell.
+	req := serve.SimRequest{Workload: *name, Mode: *mode, MaxCycles: *maxCycles, TimeoutMs: *timeoutMs}
+	lr := runLoad(ctx, cl, req, *n, *conc)
+	fmt.Printf("load: %d requests, %d ok, %d failed, %d coalesced, %d cached | p50 %.1fms p95 %.1fms max %.1fms\n",
+		*n, lr.ok, lr.failed, lr.coalesced, lr.cached, lr.p(50), lr.p(95), lr.p(100))
+	if lr.failed > 0 {
+		fmt.Println("load: FAILED requests:", lr.firstErr)
+		failures++
+	}
+
+	// Phase 2: one streaming sweep.
+	if *sweepSuite != "" {
+		modes := strings.Split(*sweepModes, ",")
+		t0 := time.Now()
+		var lines int
+		summary, err := cl.Sweep(ctx, serve.SweepRequest{Suite: *sweepSuite, Modes: modes, MaxCycles: *maxCycles},
+			func(serve.CellResult) error { lines++; return nil })
+		if err != nil {
+			fmt.Println("sweep: FAILED:", err)
+			failures++
+		} else {
+			fmt.Printf("sweep: %d cells streamed in %.0fms (%d cached, %d coalesced, %d failed)\n",
+				lines, float64(time.Since(t0))/float64(time.Millisecond),
+				summary.Cached, summary.Coalesced, summary.Failed)
+			if lines != summary.Cells {
+				fmt.Printf("sweep: FAILED: streamed %d cells, summary says %d\n", lines, summary.Cells)
+				failures++
+			}
+		}
+	}
+
+	// Phase 3: induced overload. Distinct cells (different cycle caps →
+	// different cache keys) so neither the cache nor coalescing can
+	// absorb the burst, and no retries so every 429 is observed raw.
+	if *overload > 0 {
+		or := runOverload(ctx, cl, *name, *mode, *overload, *timeoutMs)
+		fmt.Printf("overload: %d simultaneous distinct requests: %d ok, %d rejected(429), %d other errors\n",
+			*overload, or.ok, or.rejected, or.otherErrs)
+		if or.rejected == 0 {
+			fmt.Println("overload: FAILED: no request was rejected; backpressure not demonstrated (raise -overload or shrink the server's -queue/-j)")
+			failures++
+		}
+		if or.missingRetryAfter > 0 {
+			fmt.Printf("overload: FAILED: %d of %d rejections arrived without Retry-After\n", or.missingRetryAfter, or.rejected)
+			failures++
+		}
+		if or.otherErrs > 0 {
+			fmt.Println("overload: FAILED:", or.firstOtherErr)
+			failures++
+		}
+	}
+
+	// Server-side truth: the daemon's own counters.
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("server: %d requests, %d cells, %d cache hits, %d coalesce hits, %d rejected, %d timeouts, %d errors\n",
+		stats.Requests, stats.Cells, stats.CacheHits, stats.CoalesceHits, stats.Rejected, stats.Timeouts, stats.Errors)
+	if stats.CoalesceHits < *minCoalesce {
+		fmt.Printf("FAILED: server coalesce hits %d < required %d\n", stats.CoalesceHits, *minCoalesce)
+		failures++
+	}
+	if stats.CacheHits < *minCache {
+		fmt.Printf("FAILED: server cache hits %d < required %d\n", stats.CacheHits, *minCache)
+		failures++
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// waitHealthy polls /v1/healthz until the server answers or the budget
+// runs out — imtd may still be binding when a script launches both.
+func waitHealthy(ctx context.Context, cl *client.Client, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := cl.Health(hctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("imtload: server not healthy after %v: %w", budget, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+type loadResult struct {
+	ok, failed, coalesced, cached int64
+	latencies                     []float64 // ms, sorted by p()
+	firstErr                      error
+	mu                            sync.Mutex
+}
+
+// p returns the q-th latency percentile in milliseconds.
+func (l *loadResult) p(q int) float64 {
+	if len(l.latencies) == 0 {
+		return 0
+	}
+	sort.Float64s(l.latencies)
+	i := len(l.latencies) * q / 100
+	if i >= len(l.latencies) {
+		i = len(l.latencies) - 1
+	}
+	return l.latencies[i]
+}
+
+// runLoad fires n identical requests across conc goroutines. The herd
+// is released together (a start barrier) so the coalescing window is
+// real, not an artifact of staggered starts.
+func runLoad(ctx context.Context, cl *client.Client, req serve.SimRequest, n, conc int) *loadResult {
+	lr := &loadResult{}
+	var (
+		next  atomic.Int64
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				if next.Add(1) > int64(n) {
+					return
+				}
+				t0 := time.Now()
+				res, err := cl.Sim(ctx, req)
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				lr.mu.Lock()
+				lr.latencies = append(lr.latencies, ms)
+				if err != nil {
+					lr.failed++
+					if lr.firstErr == nil {
+						lr.firstErr = err
+					}
+				} else {
+					lr.ok++
+					if res.Coalesced {
+						lr.coalesced++
+					}
+					if res.Cached {
+						lr.cached++
+					}
+				}
+				lr.mu.Unlock()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	return lr
+}
+
+type overloadResult struct {
+	ok, rejected, otherErrs, missingRetryAfter int64
+	firstOtherErr                              error
+}
+
+// runOverload fires k distinct requests simultaneously with retries
+// disabled. "Never a hang" is enforced by the per-request deadline:
+// every request must resolve to 200, 429-with-Retry-After, or a
+// counted error.
+func runOverload(ctx context.Context, cl *client.Client, name, mode string, k int, timeoutMs int64) *overloadResult {
+	raw := client.New(cl.BaseURL)
+	raw.MaxRetries = 0
+	or := &overloadResult{}
+	var (
+		mu    sync.Mutex
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Distinct cycle caps defeat coalescing and the cache: every
+			// request is genuinely new work.
+			req := serve.SimRequest{
+				Workload:  name,
+				Mode:      mode,
+				MaxCycles: 1_000_000 + uint64(i),
+				TimeoutMs: timeoutMs,
+			}
+			_, err := raw.Sim(ctx, req)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				or.ok++
+				return
+			}
+			var apiErr *client.APIError
+			if errors.As(err, &apiErr) && apiErr.StatusCode == 429 {
+				or.rejected++
+				if apiErr.RetryAfter <= 0 {
+					or.missingRetryAfter++
+				}
+				return
+			}
+			or.otherErrs++
+			if or.firstOtherErr == nil {
+				or.firstOtherErr = err
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	return or
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imtload:", err)
+	os.Exit(1)
+}

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
+	"time"
 )
 
 // DebugMux builds the debug HTTP handler served by -debug-addr:
@@ -45,12 +48,46 @@ func DebugMux(reg *Registry) *http.ServeMux {
 // StartDebugServer serves DebugMux on addr (e.g. ":6060"; ":0" picks a
 // free port) in a background goroutine. It returns the bound address
 // and a shutdown function.
+//
+// The shutdown function drains gracefully: it stops accepting, waits
+// (up to a short grace period) for in-flight debug requests — a pprof
+// profile capture mid-flight completes rather than being cut — then
+// waits for the serve goroutine to exit, so the listener is fully
+// released before it returns. That last property is what makes the
+// server usable from daemons and tests: after shutdown the port is
+// immediately rebindable and no goroutine is leaked. The function is
+// idempotent; second and later calls return nil.
 func StartDebugServer(addr string, reg *Registry) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: DebugMux(reg)}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	served := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		served <- err
+	}()
+	var once sync.Once
+	stop := func() error {
+		var err error
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			err = srv.Shutdown(ctx)
+			if err != nil {
+				// Grace period expired with requests still in flight
+				// (e.g. an endless profile stream): sever them.
+				_ = srv.Close()
+			}
+			if serr := <-served; err == nil {
+				err = serr
+			}
+		})
+		return err
+	}
+	return ln.Addr().String(), stop, nil
 }

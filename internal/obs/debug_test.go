@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStartDebugServerLifecycle is the daemon-use regression test: an
+// ephemeral-port server must answer /metrics, and shutdown must fully
+// release the listener (the exact port is immediately rebindable — a
+// leaked listener or serve goroutine makes the rebind fail) and stay
+// idempotent.
+func TestStartDebugServerLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_lifecycle_test_total", "test counter").Add(7)
+
+	addr, stop, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if want := "debug_lifecycle_test_total 7"; !strings.Contains(string(body), want) {
+		t.Errorf("/metrics missing %q in:\n%s", want, body)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port must be free the moment stop returns: rebinding the same
+	// address fails if the old listener leaked.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after shutdown: %v", err)
+	}
+	ln.Close()
+	// And the server must actually be gone, not just re-listenable.
+	client := &http.Client{Timeout: 250 * time.Millisecond}
+	if _, err := client.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+	// Idempotent: a second stop is a no-op, not a double-close error.
+	if err := stop(); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+// TestCacheKeyMatchesEngineCache is the exported-key contract: a key
+// computed by CacheKey without an Engine must address exactly the entry
+// a real engine run stored, and Lookup through a standalone Cache must
+// be a hit with the engine's stats.
+func TestCacheKeyMatchesEngineCache(t *testing.T) {
+	w := tinyWorkload(11, "keyed")
+	cfg := gpusim.DefaultConfig()
+	dir := t.TempDir()
+
+	jobs := []Job{
+		{Workload: w, Mode: gpusim.ModeNone},
+		{Workload: w, Mode: gpusim.ModeCarveOut, Carve: gpusim.CarveOutLow},
+	}
+	eng := New(cfg, Options{CacheDir: dir})
+	results, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := OpenCache(dir)
+	for i, job := range jobs {
+		key := CacheKey(cfg, job.Workload, job.Mode, job.Carve)
+		keyFor, ok := CacheKeyFor(cfg, job)
+		if !ok || keyFor != key {
+			t.Fatalf("CacheKeyFor = (%q, %v), want (%q, true)", keyFor, ok, key)
+		}
+		st, ok := cache.Lookup(key)
+		if !ok {
+			t.Fatalf("cell %d: exported key missed the entry the engine stored", i)
+		}
+		if !reflect.DeepEqual(st, results[i].Stats.WithoutHost()) {
+			t.Errorf("cell %d: cached stats differ from the engine's result", i)
+		}
+	}
+
+	// The engine must hit entries stored through the standalone handle:
+	// same key space in both directions.
+	w2 := tinyWorkload(12, "stored-externally")
+	cache.Store(CacheKey(cfg, w2, gpusim.ModeIMT, gpusim.CarveOut{}), results[0].Stats.WithoutHost())
+	eng2 := New(cfg, Options{CacheDir: dir})
+	res2, err := eng2.Run(context.Background(), []Job{{Workload: w2, Mode: gpusim.ModeIMT}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := eng2.Counters(); c.CacheHits != 1 || c.SimRuns != 0 {
+		t.Fatalf("engine missed an externally stored entry: %+v", c)
+	}
+	if !res2[0].Cached {
+		t.Error("result not marked cached")
+	}
+}
+
+// TestCacheKeySensitivity: the key must move with anything that changes
+// simulated behavior, and only with that.
+func TestCacheKeySensitivity(t *testing.T) {
+	w := tinyWorkload(21, "sense")
+	cfg := gpusim.DefaultConfig()
+	base := CacheKey(cfg, w, gpusim.ModeNone, gpusim.CarveOut{})
+
+	if k := CacheKey(cfg, w, gpusim.ModeNone, gpusim.CarveOut{}); k != base {
+		t.Error("identical cell produced a different key")
+	}
+	if k := CacheKey(cfg, w, gpusim.ModeIMT, gpusim.CarveOut{}); k == base {
+		t.Error("mode change did not change the key")
+	}
+	if k := CacheKey(cfg, w, gpusim.ModeCarveOut, gpusim.CarveOutLow); k == base {
+		t.Error("carve mode did not change the key")
+	}
+	low := CacheKey(cfg, w, gpusim.ModeCarveOut, gpusim.CarveOutLow)
+	if k := CacheKey(cfg, w, gpusim.ModeCarveOut, gpusim.CarveOutHigh); k == low {
+		t.Error("carve geometry did not change the key")
+	}
+	bigger := cfg
+	bigger.L2SliceBytes *= 2
+	if k := CacheKey(bigger, w, gpusim.ModeNone, gpusim.CarveOut{}); k == base {
+		t.Error("machine change did not change the key")
+	}
+	reseeded := w
+	reseeded.Seed++
+	if k := CacheKey(cfg, reseeded, gpusim.ModeNone, gpusim.CarveOut{}); k == base {
+		t.Error("workload change did not change the key")
+	}
+
+	// MaxCycles is part of the identity (a capped run has different stats).
+	capped, ok := CacheKeyFor(cfg, Job{Workload: w, MaxCycles: 1000})
+	if !ok || capped == base {
+		t.Error("cycle cap did not change the key")
+	}
+
+	// cfg's own Mode/Carve are ignored, mirroring Engine.cellConfig.
+	dirty := cfg
+	dirty.Mode, dirty.Carve = gpusim.ModeCarveOut, gpusim.CarveOutHigh
+	if k := CacheKey(dirty, w, gpusim.ModeNone, gpusim.CarveOut{}); k != base {
+		t.Error("cfg.Mode/Carve leaked into the key; the job's tagging must win")
+	}
+}
+
+func TestCacheKeyForUncacheable(t *testing.T) {
+	src := func(numSMs int) []gpusim.Trace { return nil }
+	if key, ok := CacheKeyFor(gpusim.DefaultConfig(), Job{Traces: src}); ok || key != "" {
+		t.Errorf("unkeyed trace override must be uncacheable, got (%q, %v)", key, ok)
+	}
+	if _, ok := CacheKeyFor(gpusim.DefaultConfig(), Job{Traces: src, Key: "v1"}); !ok {
+		t.Error("keyed trace override must be cacheable")
+	}
+}
+
+func TestCacheLookupMissOnAbsentDir(t *testing.T) {
+	cache := OpenCache(t.TempDir() + "/never-created")
+	if _, ok := cache.Lookup(CacheKey(gpusim.DefaultConfig(), tinyWorkload(1, "x"), gpusim.ModeNone, gpusim.CarveOut{})); ok {
+		t.Error("lookup against a nonexistent directory must miss")
+	}
+}

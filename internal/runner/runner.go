@@ -296,7 +296,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) Result {
 	cacheable := e.cache != nil && (job.Traces == nil || job.Key != "")
 	var key string
 	if cacheable {
-		key = e.cache.keyFor(e.cellConfig(job), job)
+		key = cacheKeyFor(e.cellConfig(job), job)
 		if st, ok := e.cache.load(key); ok {
 			e.cacheHits.Add(1)
 			if e.mHits != nil {

@@ -1,0 +1,9 @@
+// Package client is the Go client for the imtd simulation service
+// (internal/serve): typed wrappers over the JSON API with the retry
+// discipline a backpressured server expects — 429/503 responses are
+// retried honoring the server's Retry-After floor, transient transport
+// failures are retried with jittered exponential backoff, and 400/500
+// class semantic failures are returned immediately. Sweep streams are
+// consumed incrementally, delivering each NDJSON cell to a callback as
+// it arrives. cmd/imtload builds its load generator on this package.
+package client

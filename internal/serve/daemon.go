@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Daemon is a Server bound to a socket with a graceful-drain shutdown
+// path: stop accepting, let in-flight requests finish, then return so
+// the caller can flush metrics and the run manifest. cmd/imtd is a thin
+// flag wrapper around it; tests drive it directly.
+type Daemon struct {
+	server *Server
+	http   *http.Server
+	ln      net.Listener
+	served  chan error
+	serving atomic.Bool
+	once    sync.Once
+}
+
+// Listen binds addr (":0" picks a free port) and returns the daemon
+// without serving yet; Addr is valid immediately, so callers can
+// advertise the bound port before Serve starts.
+func (s *Server) Listen(addr string) (*Daemon, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{
+		server: s,
+		http: &http.Server{
+			Handler:           s.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+		ln:     ln,
+		served: make(chan error, 1),
+	}, nil
+}
+
+// Addr returns the bound address (host:port).
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Server returns the daemon's Server.
+func (d *Daemon) Server() *Server { return d.server }
+
+// Serve blocks handling requests until Shutdown (returns nil) or a
+// listener error.
+func (d *Daemon) Serve() error {
+	d.serving.Store(true)
+	err := d.http.Serve(d.ln)
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	d.served <- err
+	return err
+}
+
+// Shutdown drains the daemon: the server flips to draining (new
+// requests get 503 + Retry-After until the listener closes), the
+// listener stops accepting, and in-flight requests — including
+// streaming sweeps — run to completion before Shutdown returns. If ctx
+// expires first, remaining connections are severed and ctx's error is
+// returned. Idempotent; later calls return nil.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	var err error
+	d.once.Do(func() {
+		d.server.SetDraining(true)
+		err = d.http.Shutdown(ctx)
+		if err != nil {
+			_ = d.http.Close()
+		}
+		// Wait for Serve to actually return so the caller can rebind the
+		// port and trust that no handler goroutine is still writing.
+		// A daemon that was bound but never served has nothing to wait
+		// for (http.Shutdown already closed the listener).
+		if d.serving.Load() {
+			select {
+			case serr := <-d.served:
+				if err == nil {
+					err = serr
+				}
+			case <-ctx.Done():
+				if err == nil {
+					err = ctx.Err()
+				}
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,36 @@
+// Package serve is the networked front end of the reproduction: an
+// HTTP JSON API (stdlib-only) that exposes IMT/AFT-ECC simulation cells
+// and server-side design-space sweeps as queries over the parallel
+// experiment engine, the way the paper's Figure 8 frames tagging
+// evaluation — a repeatable function of (workload, tag mode, carve
+// geometry) — rather than a one-shot batch run.
+//
+// On top of internal/runner it adds the production-shape layers the
+// batch CLIs never needed:
+//
+//   - admission control: a bounded wait queue in front of a fixed
+//     worker pool; when the queue is full, interactive requests are
+//     rejected immediately with 429 + Retry-After instead of piling up
+//     (sweeps opt into patient admission and self-throttle instead).
+//   - request coalescing: identical in-flight cells — identified by the
+//     engine's content-addressed cache key (runner.CacheKeyFor) — are
+//     collapsed into one simulation whose result every waiter shares,
+//     so a thundering herd of the same cell costs one run.
+//   - result caching: the runner's on-disk cache is consulted before
+//     admission, so warm cells cost one file read and no queue slot.
+//   - deadlines: per-request timeouts propagate via context into
+//     gpusim.RunContext; an exceeded deadline maps to 504.
+//   - streaming: sweep grids are expanded server-side and results
+//     stream back as NDJSON lines the moment each cell completes.
+//   - graceful drain: Daemon.Shutdown stops accepting, finishes
+//     in-flight requests, and flushes metrics and the run manifest.
+//
+// Everything is instrumented through internal/obs: request, queue
+// depth, coalesce-hit and latency metrics on the shared registry, an
+// optional pprof/expvar debug mux, and an obs.Manifest per server run.
+//
+// The wire types and failure-mapping table live in api.go; the client
+// library (retry with jittered backoff honoring Retry-After) is the
+// serve/client subpackage; cmd/imtd is the daemon and cmd/imtload the
+// load generator.
+package serve

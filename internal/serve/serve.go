@@ -1,0 +1,657 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpusim"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrently executing simulations (0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds interactive requests waiting for a worker; beyond it
+	// new requests get 429 + Retry-After (0 = 4×Workers).
+	Queue int
+	// CacheDir enables the shared on-disk result cache ("" disables it).
+	CacheDir string
+	// DefaultTimeout applies to requests without timeout_ms (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-request deadlines and bounds whole sweeps
+	// (0 = 5m).
+	MaxTimeout time.Duration
+	// MaxSweepCells caps the server-side grid expansion (0 = 4096).
+	MaxSweepCells int
+	// Debug mounts the obs debug mux (pprof, expvar, /metrics) on the
+	// handler.
+	Debug bool
+	// Obs receives server telemetry (nil = a fresh hub).
+	Obs *obs.Hub
+	// Config is the simulated machine (zero NumSMs = gpusim.DefaultConfig).
+	Config gpusim.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue <= 0 {
+		o.Queue = 4 * o.Workers
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.MaxSweepCells <= 0 {
+		o.MaxSweepCells = 4096
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewHub()
+	}
+	if o.Config.NumSMs == 0 {
+		o.Config = gpusim.DefaultConfig()
+	}
+	return o
+}
+
+// Server serves simulation cells over HTTP. Construct with New, obtain
+// the handler with Handler (httptest-friendly), or bind a socket with
+// Listen for the daemon shape.
+type Server struct {
+	opts      Options
+	hub       *obs.Hub
+	eng       *runner.Engine
+	cache     *runner.Cache
+	adm       *admission
+	flights   flightGroup
+	byName    map[string]workload.Workload
+	draining  atomic.Bool
+	started   time.Time
+	manifest  obs.Manifest
+
+	mRequests  *obs.Counter
+	mCells     *obs.Counter
+	mCacheHits *obs.Counter
+	mCoalesce  *obs.Counter
+	mRejected  *obs.Counter
+	mTimeouts  *obs.Counter
+	mErrors    *obs.Counter
+	mLatency   *obs.Histogram
+	mQueueWait *obs.Histogram
+
+	// simHook, when non-nil, replaces the engine run inside execute —
+	// admission and coalescing still apply. Test seam: lets the suite
+	// hold a slot open or fail deterministically without timing a real
+	// simulation.
+	simHook func(ctx context.Context, cell cellSpec) outcome
+}
+
+// New builds a server. The engine, admission controller and metrics are
+// shared across every request the server will handle.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		hub:     opts.Obs,
+		started: time.Now(),
+		byName:  make(map[string]workload.Workload),
+	}
+	for _, w := range workload.Catalog() {
+		s.byName[w.Name] = w
+	}
+	s.eng = runner.New(opts.Config, s.engineOptions(opts.Config))
+	if opts.CacheDir != "" {
+		s.cache = runner.OpenCache(opts.CacheDir)
+	}
+	reg := s.hub.Metrics
+	s.adm = newAdmission(opts.Workers, opts.Queue, reg)
+	if reg != nil {
+		s.mRequests = reg.Counter("serve_requests_total", "API requests received")
+		s.mCells = reg.Counter("serve_cells_total", "cells served successfully")
+		s.mCacheHits = reg.Counter("serve_cache_hits_total", "cells answered from the result cache")
+		s.mCoalesce = reg.Counter("serve_coalesce_hits_total", "requests that shared another request's in-flight simulation")
+		s.mRejected = reg.Counter("serve_rejected_total", "requests rejected with 429 (queue full)")
+		s.mTimeouts = reg.Counter("serve_timeouts_total", "requests that exceeded their deadline (504)")
+		s.mErrors = reg.Counter("serve_errors_total", "requests that failed with 500")
+		s.mLatency = reg.Histogram("serve_request_seconds", "end-to-end request latency", obs.DurationBuckets)
+		s.mQueueWait = reg.Histogram("serve_queue_wait_seconds", "time spent waiting for an execution slot", obs.DurationBuckets)
+	}
+	s.manifest = obs.NewManifest("imtd", struct {
+		Workers, Queue int
+		CacheDir       string
+		Config         gpusim.Config
+	}{opts.Workers, opts.Queue, opts.CacheDir, opts.Config})
+	return s
+}
+
+// engineOptions: the engine runs one job per call under serve's own
+// admission control, so its internal worker bound is per-call (1 job =
+// 1 worker) and concurrency is governed entirely by the admission
+// slots.
+func (s *Server) engineOptions(gpusim.Config) runner.Options {
+	return runner.Options{Workers: 1, CacheDir: s.opts.CacheDir, Obs: s.hub}
+}
+
+// Hub returns the server's observability hub (metrics registry, trace
+// recorder, cell log).
+func (s *Server) Hub() *obs.Hub { return s.hub }
+
+// Handler returns the server's HTTP handler:
+//
+//	POST /v1/sim        one cell → CellResult JSON
+//	POST /v1/sweep      grid → NDJSON CellResult stream + SweepSummary
+//	GET  /v1/workloads  catalog listing
+//	GET  /v1/statsz     StatsSnapshot (activity counters)
+//	GET  /v1/healthz    200 ok / 503 draining
+//
+// plus, when Options.Debug is set, the obs debug mux (/metrics,
+// /metrics.json, /debug/vars, /debug/pprof/).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.opts.Debug {
+		dbg := obs.DebugMux(s.hub.Metrics)
+		mux.Handle("/debug/", dbg)
+		mux.Handle("GET /metrics", dbg)
+		mux.Handle("GET /metrics.json", dbg)
+	}
+	return mux
+}
+
+// cellSpec is one validated cell: a resolved workload and tagging
+// configuration plus the request's knobs.
+type cellSpec struct {
+	w              workload.Workload
+	modeName       string
+	mode           gpusim.TagMode
+	carve          gpusim.CarveOut
+	maxCycles      uint64
+	sampleInterval uint64
+}
+
+func (s *Server) resolveCell(name, mode string, maxCycles, sampleInterval uint64) (cellSpec, error) {
+	w, ok := s.byName[name]
+	if !ok {
+		return cellSpec{}, fmt.Errorf("serve: unknown workload %q (GET /v1/workloads lists the catalog)", name)
+	}
+	tm, carve, err := gpusim.ParseTagMode(mode)
+	if err != nil {
+		return cellSpec{}, err
+	}
+	return cellSpec{
+		w:              w,
+		modeName:       mode,
+		mode:           tm,
+		carve:          carve,
+		maxCycles:      maxCycles,
+		sampleInterval: sampleInterval,
+	}, nil
+}
+
+// cellConfig is the machine configuration the cell simulates under —
+// the base machine plus the request's sampling interval. Mode and carve
+// ride on the runner.Job (and are folded into the cache key by
+// runner.CacheKeyFor).
+func (s *Server) cellConfig(cell cellSpec) gpusim.Config {
+	cfg := s.opts.Config
+	cfg.SampleInterval = cell.sampleInterval
+	return cfg
+}
+
+// runCell executes one cell through the full serving path: cache fast
+// path, then singleflight coalescing on the cell's content key, then
+// admission, then the engine. It never writes HTTP — handlers map the
+// returned result + error to a status via statusFor.
+func (s *Server) runCell(ctx context.Context, cell cellSpec, patient bool) (CellResult, error) {
+	t0 := time.Now()
+	res := CellResult{Workload: cell.w.Name, Mode: cell.modeName}
+	job := runner.Job{
+		Workload:  cell.w,
+		Mode:      cell.mode,
+		Carve:     cell.carve,
+		MaxCycles: cell.maxCycles,
+	}
+	cfg := s.cellConfig(cell)
+	key, _ := runner.CacheKeyFor(cfg, job) // catalog cells are always cacheable
+	res.CacheKey = shortKey(key)
+
+	// Fast path: a warm cell costs one file read, no queue slot.
+	if s.cache != nil {
+		if st, ok := s.cache.Lookup(key); ok {
+			s.count(s.mCacheHits)
+			res.Cached = true
+			res.Stats = &st
+			res.ElapsedMs = millisSince(t0)
+			return res, nil
+		}
+	}
+
+	out, shared, err := s.flights.do(ctx, key, func() outcome {
+		return s.execute(ctx, cfg, cell, job, patient)
+	})
+	res.Coalesced = shared
+	if shared {
+		s.count(s.mCoalesce)
+	}
+	res.ElapsedMs = millisSince(t0)
+	if err != nil {
+		// The follower's own deadline expired while waiting on the
+		// leader; the leader keeps running for everyone else.
+		return res, err
+	}
+	if out.err != nil {
+		return res, out.err
+	}
+	res.Cached = res.Cached || out.cached
+	if out.cached {
+		s.count(s.mCacheHits)
+	}
+	st := out.stats
+	res.Stats = &st
+	return res, nil
+}
+
+// execute is the singleflight leader's body: acquire an execution slot
+// under the request's context, run the engine, and normalize the
+// result.
+func (s *Server) execute(ctx context.Context, cfg gpusim.Config, cell cellSpec, job runner.Job, patient bool) outcome {
+	tQueue := time.Now()
+	release, err := s.adm.acquire(ctx, patient)
+	if s.mQueueWait != nil {
+		s.mQueueWait.Observe(time.Since(tQueue).Seconds())
+	}
+	if err != nil {
+		return outcome{err: err}
+	}
+	defer release()
+
+	if s.simHook != nil {
+		return s.simHook(ctx, cell)
+	}
+	eng := s.eng
+	if cell.sampleInterval != 0 {
+		// Sampling changes the machine config (and the cache key), so a
+		// sampled cell runs on an ephemeral engine over the same hub and
+		// cache directory; the shared registry metrics still accumulate.
+		eng = runner.New(cfg, s.engineOptions(cfg))
+	}
+	results, runErr := eng.Run(ctx, []runner.Job{job})
+	r := results[0]
+	if r.Err == nil && runErr != nil {
+		r.Err = runErr
+	}
+	if r.Err != nil {
+		return outcome{err: r.Err}
+	}
+	// WithoutHost: responses are deterministic functions of the cell,
+	// identical whether served fresh, coalesced or from cache.
+	return outcome{stats: r.Stats.WithoutHost(), cached: r.Cached}
+}
+
+// statusFor maps an execution error onto the API's failure table.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is never read but keeps logs
+		// honest (499 is the de-facto client-closed-request code).
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.count(s.mRequests)
+	defer s.observeLatency(t0)
+	if s.rejectDraining(w) {
+		return
+	}
+	req, err := DecodeSimRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cell, err := s.resolveCell(req.Workload, req.Mode, req.MaxCycles, req.SampleInterval)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs, s.opts.DefaultTimeout)
+	defer cancel()
+	res, err := s.runCell(ctx, cell, false)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.count(s.mCells)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.count(s.mRequests)
+	defer s.observeLatency(t0)
+	if s.rejectDraining(w) {
+		return
+	}
+	req, err := DecodeSweepRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells, err := s.expandSweep(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs, s.opts.MaxTimeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Every cell goes through the same coalesce+admission path as a
+	// /v1/sim request, with patient admission: the sweep's concurrency
+	// (bounded here to the worker count) is its flow control, so its
+	// cells wait for slots instead of tripping the interactive queue
+	// bound. Results stream in completion order.
+	type numbered struct {
+		res CellResult
+		err error
+	}
+	done := make(chan numbered)
+	sem := make(chan struct{}, s.opts.Workers)
+	var wg sync.WaitGroup
+	for _, cell := range cells {
+		wg.Add(1)
+		go func(cell cellSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := s.runCell(ctx, cell, true)
+			done <- numbered{res, err}
+		}(cell)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	summary := SweepSummary{Cells: len(cells)}
+	for n := range done {
+		res := n.res
+		if n.err != nil {
+			res.Error = n.err.Error()
+			res.Stats = nil
+			summary.Failed++
+			s.countError(n.err)
+		} else {
+			s.count(s.mCells)
+		}
+		if res.Cached {
+			summary.Cached++
+		}
+		if res.Coalesced {
+			summary.Coalesced++
+		}
+		if err := enc.Encode(res); err != nil {
+			// The client hung up; drain the workers and stop writing.
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	summary.Done = true
+	summary.ElapsedMs = millisSince(t0)
+	_ = enc.Encode(summary)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// expandSweep turns a SweepRequest into its grid of cells:
+// (named workloads ∪ suite members) × modes, deduplicated by workload
+// name, order-preserving.
+func (s *Server) expandSweep(req SweepRequest) ([]cellSpec, error) {
+	var ws []workload.Workload
+	seen := make(map[string]bool)
+	add := func(w workload.Workload) {
+		if !seen[w.Name] {
+			seen[w.Name] = true
+			ws = append(ws, w)
+		}
+	}
+	for _, name := range req.Workloads {
+		w, ok := s.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown workload %q", name)
+		}
+		add(w)
+	}
+	if req.Suite != "" {
+		suite := workload.BySuite(req.Suite)
+		if len(suite) == 0 {
+			return nil, fmt.Errorf("serve: unknown suite %q (valid: %v)", req.Suite, workload.Suites())
+		}
+		for _, w := range suite {
+			add(w)
+		}
+	}
+	if len(ws) == 0 {
+		return nil, errors.New("serve: sweep needs workloads and/or a suite")
+	}
+	if len(req.Modes) == 0 {
+		return nil, errors.New("serve: sweep needs at least one mode")
+	}
+	cells := make([]cellSpec, 0, len(ws)*len(req.Modes))
+	for _, w := range ws {
+		for _, mode := range req.Modes {
+			cell, err := s.resolveCell(w.Name, mode, req.MaxCycles, req.SampleInterval)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	if len(cells) > s.opts.MaxSweepCells {
+		return nil, fmt.Errorf("serve: sweep expands to %d cells, server cap is %d", len(cells), s.opts.MaxSweepCells)
+	}
+	return cells, nil
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	cat := workload.Catalog()
+	resp := CatalogResponse{
+		Workloads: make([]WorkloadInfo, 0, len(cat)),
+		Suites:    workload.Suites(),
+		Modes:     gpusim.TagModeNames(),
+	}
+	for _, wl := range cat {
+		resp.Workloads = append(resp.Workloads, WorkloadInfo{
+			Name:           wl.Name,
+			Suite:          wl.Suite,
+			Pattern:        wl.Pattern.String(),
+			FootprintBytes: wl.FootprintBytes,
+		})
+	}
+	sort.Slice(resp.Workloads, func(i, j int) bool { return resp.Workloads[i].Name < resp.Workloads[j].Name })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Stats returns the server's activity snapshot (the /v1/statsz body).
+func (s *Server) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		Draining: s.draining.Load(),
+		UptimeMs: millisSince(s.started),
+	}
+	if s.mRequests != nil {
+		snap.Requests = s.mRequests.Value()
+		snap.Cells = s.mCells.Value()
+		snap.CacheHits = s.mCacheHits.Value()
+		snap.CoalesceHits = s.mCoalesce.Value()
+		snap.Rejected = s.mRejected.Value()
+		snap.Timeouts = s.mTimeouts.Value()
+		snap.Errors = s.mErrors.Value()
+	}
+	if s.adm.inflight != nil {
+		snap.Inflight = int64(s.adm.inflight.Value())
+	}
+	snap.QueueDepth = s.adm.waiting.Load()
+	return snap
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SetDraining flips the server into (or out of) drain mode: new work is
+// refused with 503 + Retry-After while in-flight requests run to
+// completion. Daemon.Shutdown sets it before closing the listener.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// rejectDraining refuses new work during drain.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "serve: draining"})
+	return true
+}
+
+// requestContext derives the cell-execution context: the request's
+// timeout_ms clamped to the server maximum, or fallback when unset.
+func (s *Server) requestContext(parent context.Context, timeoutMs int64, fallback time.Duration) (context.Context, context.CancelFunc) {
+	d := fallback
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// Manifest pins this server run: the construction-time identity plus
+// current wall time, activity counters, metrics snapshot and the
+// per-cell log. Call at drain time for the run manifest.
+func (s *Server) Manifest() obs.Manifest {
+	m := s.manifest
+	m.WallSeconds = time.Since(s.started).Seconds()
+	stats := s.Stats()
+	m.Counters = map[string]uint64{
+		"requests":      stats.Requests,
+		"cells":         stats.Cells,
+		"cache_hits":    stats.CacheHits,
+		"coalesce_hits": stats.CoalesceHits,
+		"rejected":      stats.Rejected,
+		"timeouts":      stats.Timeouts,
+		"errors":        stats.Errors,
+	}
+	if s.hub.Metrics != nil {
+		snap := s.hub.Metrics.Snapshot()
+		m.Metrics = &snap
+	}
+	m.Cells = s.hub.Cells()
+	return m
+}
+
+// writeError emits the failure-table response for status, bumping the
+// matching counter and attaching Retry-After to backpressure statuses.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	switch status {
+	case http.StatusTooManyRequests:
+		s.count(s.mRejected)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	case http.StatusGatewayTimeout:
+		s.count(s.mTimeouts)
+	case http.StatusBadRequest, 499:
+		// Client-side mistakes and hangups are not server failures.
+	default:
+		s.count(s.mErrors)
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// countError bumps the counter matching err's failure class (the
+// per-cell accounting inside a sweep stream, where no status is
+// written).
+func (s *Server) countError(err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.count(s.mRejected)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.count(s.mTimeouts)
+	case errors.Is(err, context.Canceled):
+	default:
+		s.count(s.mErrors)
+	}
+}
+
+func (s *Server) count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (s *Server) observeLatency(t0 time.Time) {
+	if s.mLatency != nil {
+		s.mLatency.Observe(time.Since(t0).Seconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func shortKey(key string) string {
+	if len(key) > 16 {
+		return key[:16]
+	}
+	return key
+}
+
+func millisSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
+}

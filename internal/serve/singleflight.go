@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/gpusim"
+)
+
+// outcome is what one executed (or failed) simulation produced — the
+// value shared among coalesced requests. stats is host-telemetry-free
+// (Stats.WithoutHost) so coalesced and cached responses are
+// bit-identical to a fresh run's response.
+type outcome struct {
+	stats  gpusim.Stats
+	cached bool
+	err    error
+}
+
+// flight is one in-flight execution: the leader closes done when its
+// outcome is set.
+type flight struct {
+	done chan struct{}
+	out  outcome
+}
+
+// flightGroup coalesces concurrent executions of the same cell, keyed
+// by the runner's content-addressed cache key. Unlike a memoization
+// cache it holds nothing after the flight lands — the on-disk result
+// cache is the durable layer; this only collapses the in-flight window
+// where a thundering herd of identical requests would otherwise each
+// run the same simulation.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// do returns fn's outcome for key, running fn at most once among
+// concurrent callers. The second return reports whether this caller
+// shared another caller's flight (a coalesce hit). A follower whose own
+// ctx expires before the leader lands gets ctx's error without
+// cancelling the leader: the leader runs under its own request context,
+// and its result stays useful to every other waiter (and to the cache).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() outcome) (outcome, bool, error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.out, true, nil
+		case <-ctx.Done():
+			return outcome{}, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.out = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.out, false, nil
+}

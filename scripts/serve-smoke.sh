@@ -1,0 +1,66 @@
+#!/bin/sh
+# serve-smoke: end-to-end gate for the serving layer (make serve-smoke).
+#
+# Boots imtd on an ephemeral port, drives it with imtload — a 50-request
+# thundering herd over 8 concurrent clients, one streaming sweep, and a
+# 24-wide induced overload against a deliberately tiny server
+# (-j 2 -queue 2) — then SIGTERMs the daemon and asserts a clean drain.
+#
+# The run fails unless, per the serving contract:
+#   - every load-phase request succeeds (coalesced, cached, or fresh);
+#   - the server's own counters show >=1 coalesce hit and >=1 cache hit;
+#   - the overload phase observes >=1 rejection, every one a 429
+#     carrying Retry-After, and nothing hangs;
+#   - the daemon exits 0 after SIGTERM with in-flight work completed.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+IMTD_PID=
+cleanup() {
+    [ -n "$IMTD_PID" ] && kill -9 "$IMTD_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building imtd + imtload"
+$GO build -o "$WORK/imtd" ./cmd/imtd
+$GO build -o "$WORK/imtload" ./cmd/imtload
+
+echo "serve-smoke: starting imtd (ephemeral port, -j 2 -queue 2)"
+"$WORK/imtd" -addr 127.0.0.1:0 -addr-file "$WORK/imtd.addr" \
+    -j 2 -queue 2 -cache-dir "$WORK/cache" \
+    -metrics-out "$WORK/metrics.prom" -manifest-out "$WORK/manifest.json" \
+    2>"$WORK/imtd.log" &
+IMTD_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$WORK/imtd.addr" ] && break
+    kill -0 "$IMTD_PID" 2>/dev/null || { cat "$WORK/imtd.log"; echo "serve-smoke: FAILED: imtd died on startup"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/imtd.addr")
+echo "serve-smoke: imtd listening on $ADDR"
+
+"$WORK/imtload" -addr "$ADDR" -n 50 -c 8 \
+    -sweep-suite STREAM -sweep-modes none,carve-low \
+    -overload 24 -min-coalesce 1 -min-cache 1
+
+echo "serve-smoke: draining imtd (SIGTERM)"
+kill -TERM "$IMTD_PID"
+DRAIN_OK=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$IMTD_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+    sleep 0.1
+done
+if [ "$DRAIN_OK" != 1 ]; then
+    echo "serve-smoke: FAILED: imtd did not drain within 30s"
+    exit 1
+fi
+wait "$IMTD_PID" 2>/dev/null || { echo "serve-smoke: FAILED: imtd exited nonzero"; cat "$WORK/imtd.log"; exit 1; }
+IMTD_PID=
+grep -q 'imtd: drained:' "$WORK/imtd.log" || { echo "serve-smoke: FAILED: no drain line in imtd log"; cat "$WORK/imtd.log"; exit 1; }
+[ -s "$WORK/metrics.prom" ] || { echo "serve-smoke: FAILED: metrics not flushed on drain"; exit 1; }
+[ -s "$WORK/manifest.json" ] || { echo "serve-smoke: FAILED: manifest not flushed on drain"; exit 1; }
+grep 'imtd: drained:' "$WORK/imtd.log"
+echo "serve-smoke: PASS"
