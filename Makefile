@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke check clean
+.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke jobs-smoke check clean
 
 all: build test
 
@@ -13,10 +13,10 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client
+	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/jobs
 
 race:
-	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/jobs
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -82,6 +82,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz='^FuzzECCDecode$$' -fuzztime=10s ./internal/ecc
 	$(GO) test -run '^$$' -fuzz='^FuzzParseTraceFile$$' -fuzztime=10s ./internal/gpusim
 	$(GO) test -run '^$$' -fuzz='^FuzzServeRequestDecode$$' -fuzztime=10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz='^FuzzJobWALReplay$$' -fuzztime=10s ./internal/serve/jobs
 
 # The conformance gate: golden-result regression, differential ECC
 # oracles and metamorphic simulator invariants (see DESIGN.md
@@ -96,9 +97,17 @@ conformance:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# End-to-end gate for the durable job queue: submit a sweep job, kill -9
+# the daemon mid-flight, restart it over the same -jobs-dir, follow the
+# job to completion requiring >=1 WAL-recovered cell, and byte-compare
+# the merged result set against an uninterrupted baseline (see
+# scripts/jobs-smoke.sh).
+jobs-smoke:
+	sh scripts/jobs-smoke.sh
+
 # Pre-merge gate: everything that must be green before a change lands.
 # bench-gate runs last: correctness gates first, perf regression after.
-check: build test fuzz-short conformance serve-smoke bench-gate
+check: build test fuzz-short conformance serve-smoke jobs-smoke bench-gate
 
 clean:
 	rm -rf results results-quick .sweep-cache

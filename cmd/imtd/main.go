@@ -17,12 +17,26 @@
 //	curl -sN -X POST localhost:8866/v1/sweep \
 //	  -d '{"suite":"STREAM","modes":["none","imt","carve-low"]}'
 //
+// With -jobs-dir the daemon also runs a durable job queue: sweeps
+// submitted to POST /v1/jobs execute in the background under a
+// write-ahead log and survive a crash or restart, resuming without
+// recomputing finished cells (see internal/serve/jobs):
+//
+//	imtd -addr :8866 -cache-dir .serve-cache -jobs-dir .serve-jobs
+//	curl -s -X POST localhost:8866/v1/jobs -d '{"suite":"STREAM","modes":["imt"]}'
+//	curl -s localhost:8866/v1/jobs/<id>
+//	curl -sN localhost:8866/v1/jobs/<id>/stream?from=0
+//
+// -job-ttl bounds how long finished jobs are retained; -job-workers
+// bounds concurrently running jobs.
+//
 // On SIGINT/SIGTERM the daemon drains: it stops accepting (new
 // requests see 503 + Retry-After until the listener closes), finishes
-// in-flight requests, then flushes -metrics-out and -manifest-out and
-// exits 0. -addr-file writes the bound host:port once listening —
-// scripts using an ephemeral port (":0") read it instead of parsing
-// logs.
+// in-flight requests and in-flight job cells (interrupted jobs stay
+// running in the WAL and are requeued on the next start), then flushes
+// -metrics-out and -manifest-out and exits 0. -addr-file writes the
+// bound host:port once listening — scripts using an ephemeral port
+// (":0") read it instead of parsing logs.
 package main
 
 import (
@@ -49,20 +63,30 @@ func main() {
 		maxTO    = flag.Duration("max-timeout", 5*time.Minute, "deadline clamp; also bounds whole sweeps")
 		debug    = flag.Bool("debug", false, "mount /debug/pprof, /debug/vars and /metrics on the API port")
 
+		jobsDir    = flag.String("jobs-dir", "", "durable job queue directory; enables POST /v1/jobs (\"\" disables jobs)")
+		jobTTL     = flag.Duration("job-ttl", time.Hour, "how long finished jobs are retained before GC")
+		jobWorkers = flag.Int("job-workers", 0, "concurrently running jobs (0 = 2)")
+
 		metricsOut  = flag.String("metrics-out", "", "write the metrics registry here on drain (.json → JSON, else Prometheus text)")
 		manifestOut = flag.String("manifest-out", "", "write the server-run manifest (JSON) here on drain")
 		drainGrace  = flag.Duration("drain-grace", time.Minute, "how long to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Options{
+	srv, err := serve.New(serve.Options{
 		Workers:        *workers,
 		Queue:          *queue,
 		CacheDir:       *cacheDir,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
+		JobsDir:        *jobsDir,
+		JobTTL:         *jobTTL,
+		JobWorkers:     *jobWorkers,
 		Debug:          *debug,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	d, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)
@@ -75,8 +99,8 @@ func main() {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Fprintf(os.Stderr, "imtd: listening on http://%s (workers=%d queue=%d cache=%q)\n",
-		d.Addr(), *workers, *queue, *cacheDir)
+	fmt.Fprintf(os.Stderr, "imtd: listening on http://%s (workers=%d queue=%d cache=%q jobs=%q)\n",
+		d.Addr(), *workers, *queue, *cacheDir, *jobsDir)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -98,6 +122,10 @@ func main() {
 	stats := srv.Stats()
 	fmt.Fprintf(os.Stderr, "imtd: drained: %d requests, %d cells, %d cache hits, %d coalesce hits, %d rejected, %d timeouts, %d errors\n",
 		stats.Requests, stats.Cells, stats.CacheHits, stats.CoalesceHits, stats.Rejected, stats.Timeouts, stats.Errors)
+	if j := stats.Jobs; j != nil {
+		fmt.Fprintf(os.Stderr, "imtd: jobs: %d submitted, %d done, %d failed, %d canceled, %d resumed, %d queued, %d cells (%d resumed)\n",
+			j.Submitted, j.Done, j.Failed, j.Canceled, j.ResumedJobs, j.Queued, j.Cells, j.CellsResumed)
+	}
 	if *metricsOut != "" {
 		if err := srv.Hub().Metrics.WriteFile(*metricsOut); err != nil {
 			fatal(err)

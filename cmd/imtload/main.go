@@ -12,6 +12,19 @@
 //	        -min-coalesce 1 -min-cache 1
 //	imtload -addr 127.0.0.1:8866 -sweep-suite STREAM -sweep-modes none,imt
 //
+// Job mode (-jobs / -job-submit / -job-id) replaces the traffic phases
+// and exercises the durable job queue instead:
+//
+//	imtload -addr HOST -jobs -sweep-suite STREAM -sweep-modes none,imt
+//	id=$(imtload -addr HOST -job-submit -sweep-suite STREAM)
+//	imtload -addr HOST -job-id "$id" -job-wait-cells 2
+//	imtload -addr HOST -job-id "$id" -job-follow -job-out run.txt -min-resumed 1
+//
+// -job-follow re-attaches automatically across daemon restarts and
+// -job-out writes a canonical, order-independent result file so a
+// crashed-and-resumed run can be byte-compared against an
+// uninterrupted baseline.
+//
 // Phases:
 //
 //  1. Load: -n requests for the same cell across -c concurrent
@@ -31,6 +44,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,7 +55,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/serve"
+	"repro/internal/gpusim"
+	"repro/internal/serve/apitypes"
 	"repro/internal/serve/client"
 )
 
@@ -62,6 +77,15 @@ func main() {
 		overload    = flag.Int("overload", 0, "overload phase: this many simultaneous distinct no-retry requests (0 skips)")
 		minCoalesce = flag.Uint64("min-coalesce", 0, "fail unless the server reports at least this many coalesce hits")
 		minCache    = flag.Uint64("min-cache", 0, "fail unless the server reports at least this many cache hits")
+
+		tenant       = flag.String("tenant", "imtload", "tenant the job phase submits under")
+		jobs         = flag.Bool("jobs", false, "job mode: submit a durable job for -sweep-suite/-sweep-modes and follow it to completion")
+		jobSubmit    = flag.Bool("job-submit", false, "job mode: submit a job, print its id on stdout, exit")
+		jobID        = flag.String("job-id", "", "job mode: operate on this existing job id")
+		jobWaitCells = flag.Int("job-wait-cells", 0, "job mode: poll the job until at least this many cells are done, then exit")
+		jobFollow    = flag.Bool("job-follow", false, "job mode: stream the job to completion, re-attaching across restarts")
+		jobOut       = flag.String("job-out", "", "job mode: write canonical sorted result lines to this file after following")
+		minResumed   = flag.Int("min-resumed", 0, "job mode: fail unless the job reports at least this many resumed cells")
 	)
 	flag.Parse()
 
@@ -76,10 +100,28 @@ func main() {
 		fatal(err)
 	}
 
+	// Job mode replaces the load/sweep/overload phases: imtload acts as
+	// a job submitter/follower instead of a traffic generator.
+	if *jobs || *jobSubmit || *jobID != "" {
+		os.Exit(runJobMode(ctx, cl, jobOpts{
+			tenant:     *tenant,
+			suite:      *sweepSuite,
+			modes:      strings.Split(*sweepModes, ","),
+			maxCycles:  *maxCycles,
+			timeoutMs:  *timeoutMs,
+			submitOnly: *jobSubmit,
+			id:         *jobID,
+			waitCells:  *jobWaitCells,
+			follow:     *jobFollow || *jobs,
+			out:        *jobOut,
+			minResumed: *minResumed,
+		}))
+	}
+
 	failures := 0
 
 	// Phase 1: thundering herd on one cell.
-	req := serve.SimRequest{Workload: *name, Mode: *mode, MaxCycles: *maxCycles, TimeoutMs: *timeoutMs}
+	req := apitypes.SimRequest{Workload: *name, Mode: *mode, MaxCycles: *maxCycles, TimeoutMs: *timeoutMs}
 	lr := runLoad(ctx, cl, req, *n, *conc)
 	fmt.Printf("load: %d requests, %d ok, %d failed, %d coalesced, %d cached | p50 %.1fms p95 %.1fms max %.1fms\n",
 		*n, lr.ok, lr.failed, lr.coalesced, lr.cached, lr.p(50), lr.p(95), lr.p(100))
@@ -93,8 +135,8 @@ func main() {
 		modes := strings.Split(*sweepModes, ",")
 		t0 := time.Now()
 		var lines int
-		summary, err := cl.Sweep(ctx, serve.SweepRequest{Suite: *sweepSuite, Modes: modes, MaxCycles: *maxCycles},
-			func(serve.CellResult) error { lines++; return nil })
+		summary, err := cl.Sweep(ctx, apitypes.SweepRequest{Suite: *sweepSuite, Modes: modes, MaxCycles: *maxCycles},
+			func(apitypes.CellResult) error { lines++; return nil })
 		if err != nil {
 			fmt.Println("sweep: FAILED:", err)
 			failures++
@@ -191,7 +233,7 @@ func (l *loadResult) p(q int) float64 {
 // runLoad fires n identical requests across conc goroutines. The herd
 // is released together (a start barrier) so the coalescing window is
 // real, not an artifact of staggered starts.
-func runLoad(ctx context.Context, cl *client.Client, req serve.SimRequest, n, conc int) *loadResult {
+func runLoad(ctx context.Context, cl *client.Client, req apitypes.SimRequest, n, conc int) *loadResult {
 	lr := &loadResult{}
 	var (
 		next  atomic.Int64
@@ -260,7 +302,7 @@ func runOverload(ctx context.Context, cl *client.Client, name, mode string, k in
 			<-start
 			// Distinct cycle caps defeat coalescing and the cache: every
 			// request is genuinely new work.
-			req := serve.SimRequest{
+			req := apitypes.SimRequest{
 				Workload:  name,
 				Mode:      mode,
 				MaxCycles: 1_000_000 + uint64(i),
@@ -290,6 +332,145 @@ func runOverload(ctx context.Context, cl *client.Client, name, mode string, k in
 	close(start)
 	wg.Wait()
 	return or
+}
+
+// jobOpts configures job mode (-jobs / -job-submit / -job-id).
+type jobOpts struct {
+	tenant, suite string
+	modes         []string
+	maxCycles     uint64
+	timeoutMs     int64
+	submitOnly    bool
+	id            string
+	waitCells     int
+	follow        bool
+	out           string
+	minResumed    int
+}
+
+// runJobMode drives the durable-job verbs: submit, poll until N cells
+// are done (the smoke script's pre-kill barrier), and follow to
+// completion with automatic re-attach across daemon restarts. With
+// -job-out it writes one canonical JSON line per cell — sorted, and
+// stripped of fields that legitimately differ between a fresh and a
+// resumed run — so two runs of the same grid can be compared with cmp.
+func runJobMode(ctx context.Context, cl *client.Client, o jobOpts) int {
+	failures := 0
+	id := o.id
+	if id == "" {
+		info, err := cl.SubmitJob(ctx, apitypes.JobRequest{
+			Tenant: o.tenant,
+			SweepRequest: apitypes.SweepRequest{
+				Suite: o.suite, Modes: o.modes,
+				MaxCycles: o.maxCycles, TimeoutMs: o.timeoutMs,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "job: submitted %s (%d cells, tenant %s)\n", info.ID, info.Cells, info.Tenant)
+		id = info.ID
+		if o.submitOnly {
+			fmt.Println(id) // bare id on stdout, for scripts to capture
+			return 0
+		}
+	}
+
+	if o.waitCells > 0 {
+		info := waitJobCells(ctx, cl, id, o.waitCells)
+		fmt.Printf("job: %s %s with %d/%d cells done\n", id, info.State, info.DoneCells, info.Cells)
+	}
+
+	if o.follow {
+		var frames []apitypes.JobFrame
+		t0 := time.Now()
+		summary, err := cl.FollowJob(ctx, id, 0, func(f apitypes.JobFrame) error {
+			frames = append(frames, f)
+			return nil
+		})
+		if err != nil {
+			fmt.Println("job: FAILED: follow:", err)
+			return 1
+		}
+		final, err := cl.Job(ctx, id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("job: %s %s: %d frames in %.0fms (%d resumed, %d failed cells)\n",
+			id, summary.State, len(frames),
+			float64(time.Since(t0))/float64(time.Millisecond),
+			final.ResumedCells, final.FailedCells)
+		if summary.State != apitypes.JobDone {
+			fmt.Printf("job: FAILED: terminal state %s (%s)\n", summary.State, final.Error)
+			failures++
+		}
+		if len(frames) != final.Cells {
+			fmt.Printf("job: FAILED: streamed %d frames, grid has %d cells\n", len(frames), final.Cells)
+			failures++
+		}
+		if final.ResumedCells < o.minResumed {
+			fmt.Printf("job: FAILED: resumed cells %d < required %d\n", final.ResumedCells, o.minResumed)
+			failures++
+		}
+		if o.out != "" {
+			if err := os.WriteFile(o.out, canonicalFrames(frames), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "job: wrote %d canonical lines to %s\n", len(frames), o.out)
+		}
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if js := stats.Jobs; js != nil {
+		fmt.Printf("server jobs: %d submitted, %d done, %d failed, %d canceled, %d resumed | %d cells (%d resumed, %d failed) | wal %dB\n",
+			js.Submitted, js.Done, js.Failed, js.Canceled, js.ResumedJobs,
+			js.Cells, js.CellsResumed, js.CellsFailed, js.WALBytes)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// waitJobCells polls until the job has at least n cells done or goes
+// terminal.
+func waitJobCells(ctx context.Context, cl *client.Client, id string, n int) apitypes.JobInfo {
+	for {
+		info, err := cl.Job(ctx, id)
+		if err != nil {
+			fatal(err)
+		}
+		if info.DoneCells >= n || info.State.Terminal() {
+			return info
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// canonicalFrames renders frames as sorted {workload, mode, stats,
+// error} JSON lines. Seq, Cached, Coalesced, and ElapsedMs are dropped:
+// completion order and cache behavior legitimately differ between an
+// uninterrupted run and one resumed after a crash, while the simulator
+// stats must be byte-identical.
+func canonicalFrames(frames []apitypes.JobFrame) []byte {
+	lines := make([]string, 0, len(frames))
+	for _, f := range frames {
+		b, err := json.Marshal(struct {
+			Workload string        `json:"workload"`
+			Mode     string        `json:"mode"`
+			Stats    *gpusim.Stats `json:"stats,omitempty"`
+			Error    string        `json:"error,omitempty"`
+		}{f.Cell.Workload, f.Cell.Mode, f.Cell.Stats, f.Cell.Error})
+		if err != nil {
+			fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n") + "\n")
 }
 
 func fatal(err error) {

@@ -6,127 +6,33 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/gpusim"
+	"repro/internal/serve/apitypes"
 )
 
-// MaxRequestBytes caps how much of a request body the decoder reads.
-// Everything the API accepts fits comfortably in 1 MiB; a hostile
-// Content-Length or an endless body cannot make the server allocate
-// more than this (the FuzzServeRequestDecode contract).
-const MaxRequestBytes = 1 << 20
+// The wire protocol is defined once, in internal/serve/apitypes (see
+// its doc.go for the versioning and compatibility policy). The aliases
+// below keep the server-side names in scope for handlers and tests;
+// they are the same types, not copies — the drift the old duplicated
+// definitions allowed (the omitempty bug FuzzServeRequestDecode caught)
+// is structurally impossible now.
+type (
+	SimRequest       = apitypes.SimRequest
+	SweepRequest     = apitypes.SweepRequest
+	JobRequest       = apitypes.JobRequest
+	CellResult       = apitypes.CellResult
+	SweepSummary     = apitypes.SweepSummary
+	WorkloadInfo     = apitypes.WorkloadInfo
+	CatalogResponse  = apitypes.CatalogResponse
+	StatsSnapshot    = apitypes.StatsSnapshot
+	ErrorResponse    = apitypes.ErrorResponse
+	JobInfo          = apitypes.JobInfo
+	JobFrame         = apitypes.JobFrame
+	JobStreamSummary = apitypes.JobStreamSummary
+)
 
-// SimRequest asks for one simulation cell: a catalog workload under one
-// tagging mode. It is the unit the server coalesces and caches.
-type SimRequest struct {
-	// Workload is a catalog workload name (GET /v1/workloads lists them).
-	Workload string `json:"workload"`
-	// Mode is a tagging-mode spelling accepted by gpusim.ParseTagMode:
-	// none, imt, ecc-steal, carve-out, carve-low, carve-high, carve-mte,
-	// bounds-table (alias: bounds).
-	Mode string `json:"mode"`
-	// MaxCycles caps the simulation (0 = the simulator's default guard).
-	MaxCycles uint64 `json:"max_cycles,omitempty"`
-	// SampleInterval, when nonzero, records phase telemetry into the
-	// result's stats.Samples every N cycles.
-	SampleInterval uint64 `json:"sample_interval,omitempty"`
-	// TimeoutMs bounds the request's wall time (0 = the server default;
-	// values above the server maximum are clamped). An exceeded deadline
-	// returns 504.
-	TimeoutMs int64 `json:"timeout_ms,omitempty"`
-}
-
-// SweepRequest asks for a grid of cells, expanded server-side:
-// (workloads ∪ suite) × modes. Results stream back as NDJSON — one
-// CellResult line per cell as it completes, then one SweepSummary line.
-type SweepRequest struct {
-	// Workloads names individual catalog workloads.
-	Workloads []string `json:"workloads,omitempty"`
-	// Suite adds every workload of a catalog suite (MLPerf, HPC+SLA,
-	// STREAM). Workloads and Suite may be combined.
-	Suite string `json:"suite,omitempty"`
-	// Modes lists tagging modes; the grid is workloads × modes.
-	Modes []string `json:"modes"`
-	// MaxCycles / SampleInterval / TimeoutMs apply to every cell;
-	// TimeoutMs bounds the whole sweep (0 = the server maximum).
-	MaxCycles      uint64 `json:"max_cycles,omitempty"`
-	SampleInterval uint64 `json:"sample_interval,omitempty"`
-	TimeoutMs      int64  `json:"timeout_ms,omitempty"`
-}
-
-// CellResult is one completed (or failed) cell. In a sweep stream,
-// failed cells carry Error and no Stats; the stream keeps going.
-type CellResult struct {
-	Workload string `json:"workload"`
-	Mode     string `json:"mode"`
-	// Cached reports that the result came from the on-disk cache (either
-	// the server's pre-admission fast path or the engine's own lookup).
-	Cached bool `json:"cached,omitempty"`
-	// Coalesced reports that this request shared another in-flight
-	// request's simulation instead of running its own.
-	Coalesced bool `json:"coalesced,omitempty"`
-	// CacheKey is a prefix of the cell's content-addressed identity —
-	// enough to correlate coalesced requests and cache entries in logs.
-	CacheKey  string        `json:"cache_key,omitempty"`
-	ElapsedMs float64       `json:"elapsed_ms"`
-	Error     string        `json:"error,omitempty"`
-	Stats     *gpusim.Stats `json:"stats,omitempty"`
-}
-
-// SweepSummary is the final NDJSON line of a sweep stream.
-type SweepSummary struct {
-	Done      bool    `json:"done"`
-	Cells     int     `json:"cells"`
-	Failed    int     `json:"failed"`
-	Cached    int     `json:"cached"`
-	Coalesced int     `json:"coalesced"`
-	ElapsedMs float64 `json:"elapsed_ms"`
-}
-
-// ErrorResponse is the body of every non-200 API response.
-//
-// Failure mapping:
-//
-//	400  malformed JSON, unknown field, unknown workload/suite/mode,
-//	     empty grid, grid larger than the server's sweep cap
-//	429  admission queue full (Retry-After set)
-//	503  server draining (Retry-After set)
-//	504  request deadline exceeded
-//	500  simulation failure (config rejected, simulator error, panic)
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
-
-// WorkloadInfo is one catalog entry in the GET /v1/workloads listing.
-type WorkloadInfo struct {
-	Name           string `json:"name"`
-	Suite          string `json:"suite"`
-	Pattern        string `json:"pattern"`
-	FootprintBytes uint64 `json:"footprint_bytes"`
-}
-
-// CatalogResponse is the GET /v1/workloads body.
-type CatalogResponse struct {
-	Workloads []WorkloadInfo `json:"workloads"`
-	Suites    []string       `json:"suites"`
-	Modes     []string       `json:"modes"`
-}
-
-// StatsSnapshot is the GET /v1/statsz body: the server's own activity
-// counters, the load generator's source of truth for coalesce and
-// cache-hit assertions.
-type StatsSnapshot struct {
-	Requests     uint64 `json:"requests"`
-	Cells        uint64 `json:"cells"`
-	CacheHits    uint64 `json:"cache_hits"`
-	CoalesceHits uint64 `json:"coalesce_hits"`
-	Rejected     uint64 `json:"rejected"`
-	Timeouts     uint64 `json:"timeouts"`
-	Errors       uint64 `json:"errors"`
-	Inflight     int64  `json:"inflight"`
-	QueueDepth   int64  `json:"queue_depth"`
-	Draining     bool   `json:"draining"`
-	UptimeMs     float64 `json:"uptime_ms"`
-}
+// MaxRequestBytes caps how much of a request body the decoder reads
+// (see apitypes.MaxRequestBytes).
+const MaxRequestBytes = apitypes.MaxRequestBytes
 
 // decodeRequest decodes one JSON value from r into v with the hostile-
 // input posture of the trace-file parser: the read is capped at
@@ -146,7 +52,8 @@ func decodeRequest(r io.Reader, v any) error {
 }
 
 // DecodeSimRequest parses a /v1/sim body. Exposed (with
-// DecodeSweepRequest) for the fuzz target; handlers go through it.
+// DecodeSweepRequest and DecodeJobRequest) for the fuzz target;
+// handlers go through it.
 func DecodeSimRequest(r io.Reader) (SimRequest, error) {
 	var req SimRequest
 	err := decodeRequest(r, &req)
@@ -156,6 +63,13 @@ func DecodeSimRequest(r io.Reader) (SimRequest, error) {
 // DecodeSweepRequest parses a /v1/sweep body.
 func DecodeSweepRequest(r io.Reader) (SweepRequest, error) {
 	var req SweepRequest
+	err := decodeRequest(r, &req)
+	return req, err
+}
+
+// DecodeJobRequest parses a POST /v1/jobs body.
+func DecodeJobRequest(r io.Reader) (JobRequest, error) {
+	var req JobRequest
 	err := decodeRequest(r, &req)
 	return req, err
 }

@@ -1,0 +1,41 @@
+// Package apitypes is the single source of truth for the imtd wire
+// protocol: every request body, response body and NDJSON frame that
+// crosses the HTTP boundary is defined here, and the server
+// (internal/serve), the client library (internal/serve/client) and the
+// load checker (cmd/imtload) all share these definitions. Nothing else
+// in the repository may define a type that is marshaled onto the wire —
+// a lesson from the omitempty drift FuzzServeRequestDecode caught when
+// server and client each carried their own copies.
+//
+// # Versioning and wire-compatibility policy
+//
+// The protocol is versioned by URL prefix: every endpoint lives under
+// /v1/. Within a major version the rules are:
+//
+//   - Fields are never removed and never change JSON name or type.
+//     A field that loses meaning keeps decoding and is documented as
+//     deprecated.
+//   - New fields may be added at any time, and must be optional:
+//     absent-on-the-wire decodes to the zero value, and the zero value
+//     means "prior behavior". Clients must therefore tolerate unknown
+//     fields in responses (the std library json decoder does by
+//     default; the *server* rejects unknown fields in requests, since a
+//     misspelled parameter is a client bug, not a silent default).
+//   - Error responses always carry the ErrorResponse envelope
+//     {"error":{"code","message","retry_after_ms"}}. Codes are a closed
+//     set per major version (see the Code* constants); new codes only
+//     appear alongside new endpoints or a major-version bump. Clients
+//     dispatch on Code, never on message text.
+//   - NDJSON stream framing (one JSON value per line; the terminal line
+//     carries "done":true) is part of the contract. Sweep streams end
+//     with SweepSummary, job streams with JobStreamSummary, and a
+//     stream without its terminal line means the connection was cut.
+//   - Job frames carry a per-job sequence number that is stable across
+//     daemon restarts: frame N of a job is the same cell result no
+//     matter how many times the stream is re-attached or the daemon
+//     relaunched. Resuming a stream from any sequence number yields
+//     exactly the frames ≥ that number, no gaps and no duplicates.
+//
+// Anything that would break these rules goes to /v2/ with its own types
+// alongside the /v1/ surface, never in place of it.
+package apitypes

@@ -1,0 +1,42 @@
+package apitypes
+
+// Error codes: the closed set a /v1 client may dispatch on. The HTTP
+// status is advisory (proxies rewrite statuses; codes survive).
+const (
+	// CodeBadRequest (400): malformed JSON, unknown field, unknown
+	// workload/suite/mode, empty grid, grid larger than the sweep cap.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound (404): no such job, or the job queue is disabled.
+	CodeNotFound = "not_found"
+	// CodeBackpressure (429): the admission queue is full; retry after
+	// the hinted delay.
+	CodeBackpressure = "backpressure"
+	// CodeDraining (503): the daemon is shutting down; retry against a
+	// restarted daemon.
+	CodeDraining = "draining"
+	// CodeTimeout (504): the request's deadline elapsed server-side.
+	CodeTimeout = "timeout"
+	// CodeCanceled (499): the client went away mid-request.
+	CodeCanceled = "canceled"
+	// CodeInternal (500): simulation failure (config rejected, simulator
+	// error, panic).
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the payload of the uniform error envelope.
+type ErrorBody struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail; clients must not dispatch on it.
+	Message string `json:"message"`
+	// RetryAfterMs, when nonzero, is the server's backoff hint — the
+	// JSON twin of the Retry-After header, for callers that never see
+	// headers (log pipelines, NDJSON consumers).
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorResponse is the body of every non-200 API response:
+// {"error":{"code":"...","message":"...","retry_after_ms":...}}.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}

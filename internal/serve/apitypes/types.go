@@ -1,0 +1,236 @@
+package apitypes
+
+import (
+	"repro/internal/gpusim"
+)
+
+// MaxRequestBytes caps how much of a request body a decoder reads.
+// Everything the API accepts fits comfortably in 1 MiB; a hostile
+// Content-Length or an endless body cannot make either side allocate
+// more than this (the FuzzServeRequestDecode contract).
+const MaxRequestBytes = 1 << 20
+
+// SimRequest asks for one simulation cell: a catalog workload under one
+// tagging mode. It is the unit the server coalesces and caches.
+type SimRequest struct {
+	// Workload is a catalog workload name (GET /v1/workloads lists them).
+	Workload string `json:"workload"`
+	// Mode is a tagging-mode spelling accepted by gpusim.ParseTagMode:
+	// none, imt, ecc-steal, carve-out, carve-low, carve-high, carve-mte,
+	// bounds-table (alias: bounds).
+	Mode string `json:"mode"`
+	// MaxCycles caps the simulation (0 = the simulator's default guard).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// SampleInterval, when nonzero, records phase telemetry into the
+	// result's stats.Samples every N cycles.
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	// TimeoutMs bounds the request's wall time (0 = the server default;
+	// values above the server maximum are clamped). An exceeded deadline
+	// returns 504.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest asks for a grid of cells, expanded server-side:
+// (workloads ∪ suite) × modes. POSTed to /v1/sweep the results stream
+// back synchronously as NDJSON; wrapped in a JobRequest the same grid
+// runs as a durable background job.
+type SweepRequest struct {
+	// Workloads names individual catalog workloads.
+	Workloads []string `json:"workloads,omitempty"`
+	// Suite adds every workload of a catalog suite (MLPerf, HPC+SLA,
+	// STREAM). Workloads and Suite may be combined.
+	Suite string `json:"suite,omitempty"`
+	// Modes lists tagging modes; the grid is workloads × modes.
+	Modes []string `json:"modes"`
+	// MaxCycles / SampleInterval apply to every cell. TimeoutMs bounds
+	// the whole sweep for /v1/sweep (0 = the server maximum); for a job
+	// it bounds each cell instead, since a job's lifetime is unbounded.
+	MaxCycles      uint64 `json:"max_cycles,omitempty"`
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	TimeoutMs      int64  `json:"timeout_ms,omitempty"`
+}
+
+// CellResult is one completed (or failed) cell. In a sweep stream,
+// failed cells carry Error and no Stats; the stream keeps going.
+type CellResult struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	// Cached reports that the result came from the on-disk cache (either
+	// the server's pre-admission fast path or the engine's own lookup).
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that this request shared another in-flight
+	// request's simulation instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// CacheKey is a prefix of the cell's content-addressed identity —
+	// enough to correlate coalesced requests and cache entries in logs.
+	CacheKey  string        `json:"cache_key,omitempty"`
+	ElapsedMs float64       `json:"elapsed_ms"`
+	Error     string        `json:"error,omitempty"`
+	Stats     *gpusim.Stats `json:"stats,omitempty"`
+}
+
+// SweepSummary is the final NDJSON line of a /v1/sweep stream.
+type SweepSummary struct {
+	Done      bool    `json:"done"`
+	Cells     int     `json:"cells"`
+	Failed    int     `json:"failed"`
+	Cached    int     `json:"cached"`
+	Coalesced int     `json:"coalesced"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// WorkloadInfo is one catalog entry in the GET /v1/workloads listing.
+type WorkloadInfo struct {
+	Name           string `json:"name"`
+	Suite          string `json:"suite"`
+	Pattern        string `json:"pattern"`
+	FootprintBytes uint64 `json:"footprint_bytes"`
+}
+
+// CatalogResponse is the GET /v1/workloads body.
+type CatalogResponse struct {
+	Workloads []WorkloadInfo `json:"workloads"`
+	Suites    []string       `json:"suites"`
+	Modes     []string       `json:"modes"`
+}
+
+// StatsSnapshot is the GET /v1/statsz body: the server's own activity
+// counters, the load generator's source of truth for coalesce and
+// cache-hit assertions. Jobs is present only when the job queue is
+// enabled.
+type StatsSnapshot struct {
+	Requests     uint64    `json:"requests"`
+	Cells        uint64    `json:"cells"`
+	CacheHits    uint64    `json:"cache_hits"`
+	CoalesceHits uint64    `json:"coalesce_hits"`
+	Rejected     uint64    `json:"rejected"`
+	Timeouts     uint64    `json:"timeouts"`
+	Errors       uint64    `json:"errors"`
+	Inflight     int64     `json:"inflight"`
+	QueueDepth   int64     `json:"queue_depth"`
+	Draining     bool      `json:"draining"`
+	UptimeMs     float64   `json:"uptime_ms"`
+	Jobs         *JobStats `json:"jobs,omitempty"`
+}
+
+// JobStats is the job-queue section of StatsSnapshot.
+type JobStats struct {
+	// Queued and Running count jobs currently in those states.
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	// Submitted..Canceled are lifetime totals since daemon start.
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	// ResumedJobs counts jobs that were non-terminal in the WAL at
+	// daemon start and were re-enqueued.
+	ResumedJobs uint64 `json:"resumed_jobs"`
+	// Cells counts job cells completed this daemon lifetime;
+	// CellsResumed counts cells recovered without recompute after a
+	// restart (replayed WAL markers plus cache hits inside resumed
+	// jobs); CellsFailed counts cells that finished with an error.
+	Cells        uint64 `json:"cells"`
+	CellsResumed uint64 `json:"cells_resumed"`
+	CellsFailed  uint64 `json:"cells_failed"`
+	// WALBytes is the current size of the job write-ahead log.
+	WALBytes int64 `json:"wal_bytes"`
+}
+
+// CellRef names one cell of a job's grid: a catalog workload under one
+// tagging mode. The job-wide MaxCycles/SampleInterval knobs ride on the
+// job's SweepRequest.
+type CellRef struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+}
+
+// JobRequest is the POST /v1/jobs body: a sweep grid to run as a
+// durable background job. The embedded SweepRequest fields appear
+// inline on the wire.
+type JobRequest struct {
+	// Tenant is the fairness bucket the job is scheduled under; jobs of
+	// different tenants are started round-robin. Empty means the
+	// "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	SweepRequest
+}
+
+// JobState is a job's lifecycle state. The state machine is
+//
+//	queued → running → done | failed
+//	queued | running → canceled
+//
+// with running → queued again across a daemon restart (the job is
+// re-enqueued and its Resumed flag set).
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final (done, failed, canceled).
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobInfo is the job resource: the POST /v1/jobs response and the
+// GET /v1/jobs/{id} body.
+type JobInfo struct {
+	ID     string   `json:"id"`
+	Tenant string   `json:"tenant"`
+	State  JobState `json:"state"`
+	// Sweep echoes the grid the job runs.
+	Sweep SweepRequest `json:"sweep"`
+	// Cells is the expanded grid size; DoneCells counts completed frames
+	// (including failed cells); FailedCells the subset that failed;
+	// ResumedCells the frames recovered without recompute after a
+	// restart.
+	Cells        int `json:"cells"`
+	DoneCells    int `json:"done_cells"`
+	FailedCells  int `json:"failed_cells"`
+	ResumedCells int `json:"resumed_cells"`
+	// Resumed reports that the job survived at least one daemon restart.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error is set when State is failed.
+	Error           string `json:"error,omitempty"`
+	SubmittedUnixMs int64  `json:"submitted_unix_ms"`
+	StartedUnixMs   int64  `json:"started_unix_ms,omitempty"`
+	FinishedUnixMs  int64  `json:"finished_unix_ms,omitempty"`
+}
+
+// JobListResponse is the GET /v1/jobs body.
+type JobListResponse struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// JobFrame is one line of a GET /v1/jobs/{id}/stream NDJSON stream:
+// cell results in completion order, numbered by a per-job sequence that
+// is stable across daemon restarts. Re-attaching with ?from=N yields
+// frames N, N+1, … with no gaps and no duplicates.
+type JobFrame struct {
+	Seq int `json:"seq"`
+	// Resumed marks a frame recovered without recompute after a daemon
+	// restart (WAL replay or cache hit inside a resumed job).
+	Resumed bool       `json:"resumed,omitempty"`
+	Cell    CellResult `json:"cell"`
+}
+
+// JobStreamSummary is the final NDJSON line of a job stream. Done is
+// true when the job reached a terminal state; a Draining summary ends
+// the stream early because the daemon is shutting down — re-attach with
+// ?from=NextSeq (the client library's FollowJob does this
+// automatically).
+type JobStreamSummary struct {
+	Done     bool     `json:"done"`
+	State    JobState `json:"state"`
+	Cells    int      `json:"cells"`
+	Failed   int      `json:"failed"`
+	Resumed  int      `json:"resumed"`
+	NextSeq  int      `json:"next_seq"`
+	Draining bool     `json:"draining,omitempty"`
+}

@@ -10,12 +10,11 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/serve"
+	"repro/internal/serve/apitypes"
 )
 
 // Client talks to an imtd server. The zero value is not usable; use New.
@@ -52,29 +51,11 @@ func New(baseURL string) *Client {
 	}
 }
 
-// APIError is a non-200 response from the server.
-type APIError struct {
-	StatusCode int
-	Message    string
-	// RetryAfter is the server's backoff hint (0 when absent).
-	RetryAfter time.Duration
-}
-
-func (e *APIError) Error() string {
-	return fmt.Sprintf("serve: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
-}
-
-// Retryable reports whether the error is backpressure the client
-// should retry (429 queue full, 503 draining/overloaded).
-func (e *APIError) Retryable() bool {
-	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
-}
-
 // Sim runs one cell and returns its result. Backpressure responses are
 // retried under ctx with jittered exponential backoff honoring
 // Retry-After.
-func (c *Client) Sim(ctx context.Context, req serve.SimRequest) (serve.CellResult, error) {
-	var res serve.CellResult
+func (c *Client) Sim(ctx context.Context, req apitypes.SimRequest) (apitypes.CellResult, error) {
+	var res apitypes.CellResult
 	err := c.retry(ctx, func() error {
 		resp, err := c.post(ctx, "/v1/sim", req)
 		if err != nil {
@@ -84,7 +65,7 @@ func (c *Client) Sim(ctx context.Context, req serve.SimRequest) (serve.CellResul
 		if resp.StatusCode != http.StatusOK {
 			return apiError(resp)
 		}
-		return json.NewDecoder(io.LimitReader(resp.Body, serve.MaxRequestBytes)).Decode(&res)
+		return json.NewDecoder(io.LimitReader(resp.Body, apitypes.MaxRequestBytes)).Decode(&res)
 	})
 	return res, err
 }
@@ -94,8 +75,8 @@ func (c *Client) Sim(ctx context.Context, req serve.SimRequest) (serve.CellResul
 // summary. The initial request is retried on backpressure; once the
 // stream is open there is nothing to retry — per-cell failures arrive
 // as CellResult.Error lines.
-func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest, fn func(serve.CellResult) error) (serve.SweepSummary, error) {
-	var summary serve.SweepSummary
+func (c *Client) Sweep(ctx context.Context, req apitypes.SweepRequest, fn func(apitypes.CellResult) error) (apitypes.SweepSummary, error) {
+	var summary apitypes.SweepSummary
 	err := c.retry(ctx, func() error {
 		resp, err := c.post(ctx, "/v1/sweep", req)
 		if err != nil {
@@ -105,9 +86,9 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest, fn func(serv
 		if resp.StatusCode != http.StatusOK {
 			return apiError(resp)
 		}
-		summary = serve.SweepSummary{}
+		summary = apitypes.SweepSummary{}
 		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 64<<10), serve.MaxRequestBytes)
+		sc.Buffer(make([]byte, 0, 64<<10), apitypes.MaxRequestBytes)
 		for sc.Scan() {
 			line := bytes.TrimSpace(sc.Bytes())
 			if len(line) == 0 {
@@ -121,7 +102,7 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest, fn func(serv
 			if json.Unmarshal(line, &probe) == nil && probe.Done != nil {
 				return json.Unmarshal(line, &summary)
 			}
-			var cell serve.CellResult
+			var cell apitypes.CellResult
 			if err := json.Unmarshal(line, &cell); err != nil {
 				return fmt.Errorf("client: bad sweep line: %w", err)
 			}
@@ -140,15 +121,15 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest, fn func(serv
 }
 
 // Stats fetches the server's activity counters.
-func (c *Client) Stats(ctx context.Context) (serve.StatsSnapshot, error) {
-	var snap serve.StatsSnapshot
+func (c *Client) Stats(ctx context.Context) (apitypes.StatsSnapshot, error) {
+	var snap apitypes.StatsSnapshot
 	err := c.getJSON(ctx, "/v1/statsz", &snap)
 	return snap, err
 }
 
 // Workloads fetches the catalog listing.
-func (c *Client) Workloads(ctx context.Context) (serve.CatalogResponse, error) {
-	var cat serve.CatalogResponse
+func (c *Client) Workloads(ctx context.Context) (apitypes.CatalogResponse, error) {
+	var cat apitypes.CatalogResponse
 	err := c.getJSON(ctx, "/v1/workloads", &cat)
 	return cat, err
 }
@@ -266,7 +247,7 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 	if resp.StatusCode != http.StatusOK {
 		return apiError(resp)
 	}
-	return json.NewDecoder(io.LimitReader(resp.Body, serve.MaxRequestBytes)).Decode(v)
+	return json.NewDecoder(io.LimitReader(resp.Body, apitypes.MaxRequestBytes)).Decode(v)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -274,24 +255,4 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
-}
-
-// apiError turns a non-200 response into an *APIError, parsing the
-// JSON error body and the Retry-After header (seconds form).
-func apiError(resp *http.Response) error {
-	e := &APIError{StatusCode: resp.StatusCode}
-	var body serve.ErrorResponse
-	if blob, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10)); err == nil {
-		if json.Unmarshal(blob, &body) == nil && body.Error != "" {
-			e.Message = body.Error
-		} else {
-			e.Message = strings.TrimSpace(string(blob))
-		}
-	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-			e.RetryAfter = time.Duration(secs) * time.Second
-		}
-	}
-	return e
 }

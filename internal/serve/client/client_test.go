@@ -12,7 +12,7 @@ import (
 	"time"
 
 	"repro/internal/gpusim"
-	"repro/internal/serve"
+	"repro/internal/serve/apitypes"
 )
 
 // fastClient returns a client whose backoff is test-sized.
@@ -31,10 +31,10 @@ func TestSimRetriesBackpressure(t *testing.T) {
 		if calls.Add(1) <= 2 {
 			w.Header().Set("Retry-After", "0")
 			w.WriteHeader(http.StatusTooManyRequests)
-			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "queue full"})
+			json.NewEncoder(w).Encode(apitypes.ErrorResponse{Error: apitypes.ErrorBody{Code: apitypes.CodeBackpressure, Message: "queue full"}})
 			return
 		}
-		json.NewEncoder(w).Encode(serve.CellResult{
+		json.NewEncoder(w).Encode(apitypes.CellResult{
 			Workload: "stream-copy-16MB", Mode: "imt",
 			Stats: &gpusim.Stats{Cycles: 7},
 		})
@@ -42,7 +42,7 @@ func TestSimRetriesBackpressure(t *testing.T) {
 	defer srv.Close()
 
 	res, err := fastClient(srv.URL).Sim(context.Background(),
-		serve.SimRequest{Workload: "stream-copy-16MB", Mode: "imt"})
+		apitypes.SimRequest{Workload: "stream-copy-16MB", Mode: "imt"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +63,11 @@ func TestSimNoRetryOnSemanticFailure(t *testing.T) {
 			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 				calls.Add(1)
 				w.WriteHeader(status)
-				json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "nope"})
+				json.NewEncoder(w).Encode(apitypes.ErrorResponse{Error: apitypes.ErrorBody{Message: "nope"}})
 			}))
 			defer srv.Close()
 
-			_, err := fastClient(srv.URL).Sim(context.Background(), serve.SimRequest{Workload: "x", Mode: "imt"})
+			_, err := fastClient(srv.URL).Sim(context.Background(), apitypes.SimRequest{Workload: "x", Mode: "imt"})
 			var apiErr *APIError
 			if !errors.As(err, &apiErr) || apiErr.StatusCode != status {
 				t.Fatalf("err = %v, want APIError %d", err, status)
@@ -88,13 +88,13 @@ func TestRetryAfterParsed(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "2")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "draining"})
+		json.NewEncoder(w).Encode(apitypes.ErrorResponse{Error: apitypes.ErrorBody{Code: apitypes.CodeDraining, Message: "draining"}})
 	}))
 	defer srv.Close()
 
 	c := New(srv.URL)
 	c.MaxRetries = 0 // observe the raw error, no sleeping
-	_, err := c.Sim(context.Background(), serve.SimRequest{Workload: "x", Mode: "imt"})
+	_, err := c.Sim(context.Background(), apitypes.SimRequest{Workload: "x", Mode: "imt"})
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) {
 		t.Fatalf("err = %v", err)
@@ -121,7 +121,7 @@ func TestRetryStopsWhenContextEnds(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := fastClient(srv.URL).Sim(ctx, serve.SimRequest{Workload: "x", Mode: "imt"})
+		_, err := fastClient(srv.URL).Sim(ctx, apitypes.SimRequest{Workload: "x", Mode: "imt"})
 		done <- err
 	}()
 	// Let the first attempt land, then cancel during the backoff sleep.
@@ -149,14 +149,14 @@ func TestSweepStreamParsing(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
-		enc.Encode(serve.CellResult{Workload: "a", Mode: "none", Stats: &gpusim.Stats{Cycles: 1}})
-		enc.Encode(serve.CellResult{Workload: "a", Mode: "imt", Error: "boom"})
-		enc.Encode(serve.SweepSummary{Done: true, Cells: 2, Failed: 1})
+		enc.Encode(apitypes.CellResult{Workload: "a", Mode: "none", Stats: &gpusim.Stats{Cycles: 1}})
+		enc.Encode(apitypes.CellResult{Workload: "a", Mode: "imt", Error: "boom"})
+		enc.Encode(apitypes.SweepSummary{Done: true, Cells: 2, Failed: 1})
 	}))
 	defer srv.Close()
 
-	var cells []serve.CellResult
-	summary, err := New(srv.URL).Sweep(context.Background(), serve.SweepRequest{}, func(c serve.CellResult) error {
+	var cells []apitypes.CellResult
+	summary, err := New(srv.URL).Sweep(context.Background(), apitypes.SweepRequest{}, func(c apitypes.CellResult) error {
 		cells = append(cells, c)
 		return nil
 	})
@@ -175,13 +175,13 @@ func TestSweepStreamParsing(t *testing.T) {
 // (server died mid-sweep) is an error, not silent success.
 func TestSweepTruncatedStream(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(serve.CellResult{Workload: "a", Mode: "none"})
+		json.NewEncoder(w).Encode(apitypes.CellResult{Workload: "a", Mode: "none"})
 	}))
 	defer srv.Close()
 
 	c := New(srv.URL)
 	c.MaxRetries = 0
-	_, err := c.Sweep(context.Background(), serve.SweepRequest{}, nil)
+	_, err := c.Sweep(context.Background(), apitypes.SweepRequest{}, nil)
 	if err == nil {
 		t.Fatal("truncated stream must fail")
 	}

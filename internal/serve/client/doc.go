@@ -5,5 +5,17 @@
 // failures are retried with jittered exponential backoff, and 400/500
 // class semantic failures are returned immediately. Sweep streams are
 // consumed incrementally, delivering each NDJSON cell to a callback as
-// it arrives. cmd/imtload builds its load generator on this package.
+// it arrives.
+//
+// Server failures surface as *APIError carrying the uniform error
+// envelope's code, and errors.Is matches the typed sentinels
+// (ErrBackpressure, ErrDraining, ErrNotFound, ErrTimeout,
+// ErrBadRequest, ErrCanceled, ErrInternal).
+//
+// For durable jobs, SubmitJob/Job/Jobs/CancelJob wrap the /v1/jobs
+// resource, StreamJob consumes one NDJSON attach, and FollowJob tails
+// a job to completion, re-attaching at the next frame sequence across
+// server drains, restarts and transport failures — the client half of
+// the job queue's crash-recovery contract. cmd/imtload builds its load
+// generator and job driver on this package.
 package client

@@ -14,8 +14,8 @@ import (
 // the caller can flush metrics and the run manifest. cmd/imtd is a thin
 // flag wrapper around it; tests drive it directly.
 type Daemon struct {
-	server *Server
-	http   *http.Server
+	server  *Server
+	http    *http.Server
 	ln      net.Listener
 	served  chan error
 	serving atomic.Bool
@@ -88,6 +88,13 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 					err = ctx.Err()
 				}
 			}
+		}
+		// With the HTTP side quiet, stop the job scheduler and close the
+		// WAL. Queued and running jobs stay durable and resume on the next
+		// daemon start; draining job streams already told their clients
+		// where to re-attach.
+		if jerr := d.server.DrainJobs(ctx); err == nil {
+			err = jerr
 		}
 	})
 	return err

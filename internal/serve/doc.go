@@ -24,13 +24,20 @@
 //     stream back as NDJSON lines the moment each cell completes.
 //   - graceful drain: Daemon.Shutdown stops accepting, finishes
 //     in-flight requests, and flushes metrics and the run manifest.
+//   - durable jobs: POST /v1/jobs runs a sweep grid as a background job
+//     under a write-ahead log (serve/jobs), so work survives a daemon
+//     crash and resumes on restart without recomputing finished cells;
+//     GET /v1/jobs/{id}/stream re-attaches at any frame sequence.
 //
 // Everything is instrumented through internal/obs: request, queue
 // depth, coalesce-hit and latency metrics on the shared registry, an
 // optional pprof/expvar debug mux, and an obs.Manifest per server run.
 //
-// The wire types and failure-mapping table live in api.go; the client
-// library (retry with jittered backoff honoring Retry-After) is the
-// serve/client subpackage; cmd/imtd is the daemon and cmd/imtload the
-// load generator.
+// The versioned wire types and the uniform JSON error envelope live in
+// serve/apitypes (api.go re-exports aliases and documents the HTTP
+// failure-mapping table); the durable job store and scheduler are the
+// serve/jobs subpackage; the client library (typed errors, retry with
+// jittered backoff honoring Retry-After, job following across
+// restarts) is the serve/client subpackage; cmd/imtd is the daemon and
+// cmd/imtload the load generator / job driver.
 package serve

@@ -44,6 +44,7 @@ func FuzzServeRequestDecode(f *testing.F) {
 		[]byte(`{"workload":"stream-copy-16MB","mode":"imt","max_cycles":100000,"timeout_ms":5000}`),
 		[]byte(`{"workloads":["stream-copy-16MB"],"suite":"STREAM","modes":["none","imt"]}`),
 		[]byte(`{"suite":"MLPerf","modes":["carve-low"],"sample_interval":4096}`),
+		[]byte(`{"tenant":"alice","suite":"STREAM","modes":["imt"],"timeout_ms":1000}`),
 		[]byte(`{"workload":"x","mode":"imt"} trailing`),
 		[]byte(`{"workload":42}`),
 		[]byte(`{"wrokload":"typo"}`),
@@ -90,6 +91,19 @@ func FuzzServeRequestDecode(f *testing.F) {
 			}
 			if !sweepEqual(sw, again) {
 				t.Fatalf("SweepRequest round-trip drift: %+v vs %+v", sw, again)
+			}
+		}
+		if jr, err := DecodeJobRequest(bytes.NewReader(data)); err == nil {
+			blob, err := json.Marshal(jr)
+			if err != nil {
+				t.Fatalf("accepted JobRequest does not re-marshal: %v", err)
+			}
+			again, err := DecodeJobRequest(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatalf("re-marshaled JobRequest rejected: %v (%s)", err, blob)
+			}
+			if jr.Tenant != again.Tenant || !sweepEqual(jr.SweepRequest, again.SweepRequest) {
+				t.Fatalf("JobRequest round-trip drift: %+v vs %+v", jr, again)
 			}
 		}
 	})

@@ -1,0 +1,411 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve/apitypes"
+)
+
+// RunCell executes one cell of a job and returns its result — possibly
+// a failed one (Error set), which still becomes a frame. A non-nil
+// error means the cell was *abandoned* (the manager is stopping or the
+// job was canceled): no frame is recorded and the cell stays pending
+// for a future resume.
+type RunCell func(ctx context.Context, job apitypes.JobInfo, cell apitypes.CellRef) (apitypes.CellResult, error)
+
+// ManagerOptions configures a Manager.
+type ManagerOptions struct {
+	// Run executes one cell (required).
+	Run RunCell
+	// JobWorkers bounds concurrently running jobs (default 2).
+	JobWorkers int
+	// CellParallel bounds concurrently executing cells per job (default
+	// 2). Actual simulation concurrency is still governed by the serving
+	// layer's admission control.
+	CellParallel int
+	// TTL is how long finished jobs are retained before GC (default 1h).
+	TTL time.Duration
+	// GCInterval is how often the GC sweep runs (default 1m).
+	GCInterval time.Duration
+	// Registry receives serve_jobs_* metrics (nil = none).
+	Registry *obs.Registry
+	// Now is the clock (tests override it; default time.Now).
+	Now func() time.Time
+}
+
+func (o ManagerOptions) withDefaults() ManagerOptions {
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 2
+	}
+	if o.CellParallel <= 0 {
+		o.CellParallel = 2
+	}
+	if o.TTL <= 0 {
+		o.TTL = time.Hour
+	}
+	if o.GCInterval <= 0 {
+		o.GCInterval = time.Minute
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Manager schedules the store's queued jobs: round-robin across
+// tenants, bounded job and per-job cell concurrency, TTL-based GC, and
+// crash-consistent bookkeeping through the store's WAL.
+type Manager struct {
+	st   *Store
+	opts ManagerOptions
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wake   chan struct{}
+	wg     sync.WaitGroup // scheduler + job goroutines
+
+	mu      sync.Mutex
+	running int
+	cursor  string // last tenant served (round-robin position)
+	cancels map[string]context.CancelFunc
+
+	// Lifetime totals (mirrored into the obs registry when present).
+	submitted, done, failed, canceled atomic.Uint64
+	resumedJobs                       atomic.Uint64
+	cells, cellsResumed, cellsFailed  atomic.Uint64
+
+	mSubmitted, mDone, mFailed, mCanceled *obs.Counter
+	mResumedJobs, mCells, mCellsResumed   *obs.Counter
+	mCellsFailed                          *obs.Counter
+	gQueued, gRunning, gWALBytes          *obs.Gauge
+}
+
+// NewManager wires a manager over st. Call Start to begin scheduling
+// (which first requeues jobs that were in flight when the previous
+// process died).
+func NewManager(st *Store, opts ManagerOptions) *Manager {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		st:      st,
+		opts:    opts,
+		ctx:     ctx,
+		cancel:  cancel,
+		wake:    make(chan struct{}, 1),
+		cancels: make(map[string]context.CancelFunc),
+	}
+	if reg := opts.Registry; reg != nil {
+		m.mSubmitted = reg.Counter("serve_jobs_submitted_total", "jobs submitted")
+		m.mDone = reg.Counter("serve_jobs_done_total", "jobs completed")
+		m.mFailed = reg.Counter("serve_jobs_failed_total", "jobs failed (every cell failed)")
+		m.mCanceled = reg.Counter("serve_jobs_canceled_total", "jobs canceled")
+		m.mResumedJobs = reg.Counter("serve_jobs_resumed_total", "jobs resumed after a daemon restart")
+		m.mCells = reg.Counter("serve_jobs_cells_total", "job cells completed")
+		m.mCellsResumed = reg.Counter("serve_jobs_cells_resumed_total", "job cells recovered without recompute after a restart")
+		m.mCellsFailed = reg.Counter("serve_jobs_cells_failed_total", "job cells that finished with an error")
+		m.gQueued = reg.Gauge("serve_jobs_queued", "jobs waiting to run")
+		m.gRunning = reg.Gauge("serve_jobs_running", "jobs currently running")
+		m.gWALBytes = reg.Gauge("serve_jobs_wal_bytes", "job WAL size in bytes")
+	}
+	return m
+}
+
+// Start requeues crash-interrupted jobs and launches the scheduler and
+// GC loops.
+func (m *Manager) Start() error {
+	resumed, err := m.st.Requeue()
+	if err != nil {
+		return err
+	}
+	for _, id := range resumed {
+		m.resumedJobs.Add(1)
+		m.count(m.mResumedJobs)
+		// Frames replayed from the WAL are cells recovered without
+		// recompute; account for them in this lifetime's counters.
+		if info, ok := m.st.Get(id); ok && info.ResumedCells > 0 {
+			n := uint64(info.ResumedCells)
+			m.cellsResumed.Add(n)
+			if m.mCellsResumed != nil {
+				m.mCellsResumed.Add(n)
+			}
+		}
+	}
+	m.wg.Add(2)
+	go m.scheduleLoop()
+	go m.gcLoop()
+	m.poke()
+	return nil
+}
+
+// Submit records a new job and wakes the scheduler.
+func (m *Manager) Submit(tenant string, sweep apitypes.SweepRequest, cells []apitypes.CellRef) (apitypes.JobInfo, error) {
+	info, err := m.st.Submit(tenant, sweep, cells)
+	if err != nil {
+		return info, err
+	}
+	m.submitted.Add(1)
+	m.count(m.mSubmitted)
+	m.poke()
+	return info, nil
+}
+
+// Cancel moves a job to canceled, interrupting its in-flight cells. On
+// a job already finished it is a no-op returning the current snapshot.
+func (m *Manager) Cancel(id string) (apitypes.JobInfo, error) {
+	info, ok := m.st.Get(id)
+	if !ok {
+		return apitypes.JobInfo{}, ErrNotFound
+	}
+	if info.State.Terminal() {
+		return info, nil
+	}
+	if err := m.st.SetState(id, apitypes.JobCanceled, ""); err != nil && err != ErrTerminal {
+		return apitypes.JobInfo{}, err
+	}
+	m.mu.Lock()
+	if cancel, ok := m.cancels[id]; ok {
+		cancel()
+	}
+	m.mu.Unlock()
+	m.canceled.Add(1)
+	m.count(m.mCanceled)
+	info, _ = m.st.Get(id)
+	return info, nil
+}
+
+// Drain stops scheduling new jobs and cells, then waits (bounded by
+// ctx) for in-flight cells to finish and the store to close. Jobs still
+// queued or running stay that way in the WAL and resume on the next
+// Open+Start.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.cancel()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return m.st.Close()
+}
+
+// Kill is the SIGKILL-equivalent used by crash-recovery tests: stop
+// everything immediately and close the WAL with no final state writes,
+// leaving the store exactly as a dead process would.
+func (m *Manager) Kill() {
+	m.cancel()
+	m.wg.Wait()
+	_ = m.st.Close()
+}
+
+// Stats snapshots the queue for /v1/statsz.
+func (m *Manager) Stats() apitypes.JobStats {
+	var queued, running int64
+	for _, j := range m.st.List("") {
+		switch j.State {
+		case apitypes.JobQueued:
+			queued++
+		case apitypes.JobRunning:
+			running++
+		}
+	}
+	js := apitypes.JobStats{
+		Queued:       queued,
+		Running:      running,
+		Submitted:    m.submitted.Load(),
+		Done:         m.done.Load(),
+		Failed:       m.failed.Load(),
+		Canceled:     m.canceled.Load(),
+		ResumedJobs:  m.resumedJobs.Load(),
+		Cells:        m.cells.Load(),
+		CellsResumed: m.cellsResumed.Load(),
+		CellsFailed:  m.cellsFailed.Load(),
+		WALBytes:     m.st.WALBytes(),
+	}
+	m.gauge(m.gQueued, float64(queued))
+	m.gauge(m.gRunning, float64(running))
+	m.gauge(m.gWALBytes, float64(js.WALBytes))
+	return js
+}
+
+// poke wakes the scheduler without blocking.
+func (m *Manager) poke() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// scheduleLoop starts queued jobs whenever workers are free, one wake
+// at a time.
+func (m *Manager) scheduleLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-m.wake:
+		}
+		for {
+			m.mu.Lock()
+			free := m.running < m.opts.JobWorkers
+			cursor := m.cursor
+			m.mu.Unlock()
+			if !free || m.ctx.Err() != nil {
+				break
+			}
+			id, tenant, ok := m.st.NextQueued(cursor)
+			if !ok {
+				break
+			}
+			// Transition to running *before* launching the goroutine: the
+			// job must leave the queued state synchronously or the next
+			// NextQueued would pick it a second time.
+			if err := m.st.SetState(id, apitypes.JobRunning, ""); err != nil {
+				if errors.Is(err, ErrTerminal) || errors.Is(err, ErrNotFound) {
+					continue // canceled or GC'd between pick and start
+				}
+				break // store closing
+			}
+			m.mu.Lock()
+			m.cursor = tenant
+			m.running++
+			m.mu.Unlock()
+			m.wg.Add(1)
+			go m.runJob(id)
+		}
+	}
+}
+
+// runJob executes one job's pending cells and finalizes its state.
+func (m *Manager) runJob(id string) {
+	defer m.wg.Done()
+	defer func() {
+		m.mu.Lock()
+		m.running--
+		delete(m.cancels, id)
+		m.mu.Unlock()
+		m.poke()
+	}()
+
+	info, ok := m.st.Get(id)
+	if !ok {
+		return
+	}
+	jctx, jcancel := context.WithCancel(m.ctx)
+	defer jcancel()
+	m.mu.Lock()
+	m.cancels[id] = jcancel
+	m.mu.Unlock()
+	// A Cancel that landed between the scheduler's running transition
+	// and the registration above found no cancel func; honor it now.
+	if cur, ok := m.st.Get(id); !ok || cur.State.Terminal() {
+		return
+	}
+
+	pending := m.st.PendingCells(id)
+	sem := make(chan struct{}, m.opts.CellParallel)
+	var (
+		wg        sync.WaitGroup
+		abandoned atomic.Bool
+	)
+	for _, ref := range pending {
+		if jctx.Err() != nil {
+			abandoned.Store(true)
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(ref apitypes.CellRef) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := m.opts.Run(jctx, info, ref)
+			if err != nil {
+				abandoned.Store(true)
+				return
+			}
+			resumed := info.Resumed && res.Cached
+			if _, err := m.st.AppendFrame(id, res, resumed); err != nil {
+				// Terminal (canceled underneath us) or closed: drop.
+				return
+			}
+			m.cells.Add(1)
+			m.count(m.mCells)
+			if resumed {
+				m.cellsResumed.Add(1)
+				m.count(m.mCellsResumed)
+			}
+			if res.Error != "" {
+				m.cellsFailed.Add(1)
+				m.count(m.mCellsFailed)
+			}
+		}(ref)
+	}
+	wg.Wait()
+
+	cur, ok := m.st.Get(id)
+	if !ok || cur.State.Terminal() {
+		return // canceled (or GC'd) while running
+	}
+	if abandoned.Load() || jctx.Err() != nil || cur.DoneCells < cur.Cells {
+		// Stopping mid-job: stay "running" in the WAL so the next daemon
+		// requeues and resumes it.
+		return
+	}
+	if cur.Cells > 0 && cur.FailedCells == cur.Cells {
+		first := ""
+		if frames, _, ok := m.st.Frames(id, 0); ok && len(frames) > 0 {
+			first = frames[0].Cell.Error
+		}
+		if m.st.SetState(id, apitypes.JobFailed, first) == nil {
+			m.failed.Add(1)
+			m.count(m.mFailed)
+		}
+		return
+	}
+	if m.st.SetState(id, apitypes.JobDone, "") == nil {
+		m.done.Add(1)
+		m.count(m.mDone)
+	}
+}
+
+// gcLoop periodically removes finished jobs older than TTL and
+// compacts the WAL.
+func (m *Manager) gcLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.opts.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+			_, _ = m.st.GC(m.opts.Now().Add(-m.opts.TTL))
+		}
+	}
+}
+
+// GCNow runs one GC sweep immediately (tests and drain paths).
+func (m *Manager) GCNow() ([]string, error) {
+	return m.st.GC(m.opts.Now().Add(-m.opts.TTL))
+}
+
+func (m *Manager) count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (m *Manager) gauge(g *obs.Gauge, v float64) {
+	if g != nil {
+		g.Set(v)
+	}
+}

@@ -1,0 +1,281 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/serve/apitypes"
+)
+
+// record is one WAL line. T selects the variant; unused fields stay
+// empty and are dropped by omitempty, keeping the log compact.
+type record struct {
+	T string `json:"t"`
+	// T == "job": the submission, with the fully expanded grid.
+	Job *jobRecord `json:"job,omitempty"`
+	// T == "state": a transition for job ID.
+	ID     string            `json:"id,omitempty"`
+	State  apitypes.JobState `json:"state,omitempty"`
+	Error  string            `json:"error,omitempty"`
+	UnixMs int64             `json:"unix_ms,omitempty"`
+	// T == "cell": completion marker Seq for job ID.
+	Seq     int                  `json:"seq,omitempty"`
+	Resumed bool                 `json:"resumed,omitempty"`
+	Result  *apitypes.CellResult `json:"result,omitempty"`
+}
+
+const (
+	recJob   = "job"
+	recState = "state"
+	recCell  = "cell"
+	recGC    = "gc"
+)
+
+// jobRecord is the durable identity of a job: everything needed to
+// rebuild and resume it. The grid is stored expanded so replay never
+// depends on the workload catalog of the binary that wrote the log.
+type jobRecord struct {
+	ID              string                `json:"id"`
+	Tenant          string                `json:"tenant"`
+	Sweep           apitypes.SweepRequest `json:"sweep"`
+	Cells           []apitypes.CellRef    `json:"cells"`
+	SubmittedUnixMs int64                 `json:"submitted_unix_ms"`
+}
+
+// Job is the in-memory state of one job, rebuilt from the WAL on Open
+// and mutated only through the Store (which appends the matching
+// record first). Frames is the append-only result log; Done maps which
+// grid cells already have a frame.
+type Job struct {
+	ID              string
+	Tenant          string
+	Sweep           apitypes.SweepRequest
+	Cells           []apitypes.CellRef
+	State           apitypes.JobState
+	Error           string
+	SubmittedUnixMs int64
+	StartedUnixMs   int64
+	FinishedUnixMs  int64
+	Resumed         bool
+	ResumedCells    int
+	Frames          []apitypes.JobFrame
+	done            map[apitypes.CellRef]bool
+
+	// change is closed and replaced on every mutation; Store.Watch hands
+	// it to stream subscribers.
+	change chan struct{}
+}
+
+// Info snapshots the job as its wire representation.
+func (j *Job) Info() apitypes.JobInfo {
+	failed := 0
+	for _, f := range j.Frames {
+		if f.Cell.Error != "" {
+			failed++
+		}
+	}
+	return apitypes.JobInfo{
+		ID:              j.ID,
+		Tenant:          j.Tenant,
+		State:           j.State,
+		Sweep:           j.Sweep,
+		Cells:           len(j.Cells),
+		DoneCells:       len(j.Frames),
+		FailedCells:     failed,
+		ResumedCells:    j.ResumedCells,
+		Resumed:         j.Resumed,
+		Error:           j.Error,
+		SubmittedUnixMs: j.SubmittedUnixMs,
+		StartedUnixMs:   j.StartedUnixMs,
+		FinishedUnixMs:  j.FinishedUnixMs,
+	}
+}
+
+// walState is the replayed content of a WAL: the job table plus
+// submission order.
+type walState struct {
+	jobs  map[string]*Job
+	order []string
+}
+
+// apply folds one record into the state. A nil error means the record
+// was consistent with everything before it; anything else makes the
+// record invalid (which Open tolerates only at the tail of the log).
+func (w *walState) apply(rec *record) error {
+	switch rec.T {
+	case recJob:
+		if rec.Job == nil || rec.Job.ID == "" {
+			return fmt.Errorf("jobs: job record without an id")
+		}
+		if _, ok := w.jobs[rec.Job.ID]; ok {
+			return fmt.Errorf("jobs: duplicate job %s", rec.Job.ID)
+		}
+		j := &Job{
+			ID:              rec.Job.ID,
+			Tenant:          rec.Job.Tenant,
+			Sweep:           rec.Job.Sweep,
+			Cells:           rec.Job.Cells,
+			State:           apitypes.JobQueued,
+			SubmittedUnixMs: rec.Job.SubmittedUnixMs,
+			done:            make(map[apitypes.CellRef]bool, len(rec.Job.Cells)),
+			change:          make(chan struct{}),
+		}
+		w.jobs[j.ID] = j
+		w.order = append(w.order, j.ID)
+	case recState:
+		j, ok := w.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("jobs: state record for unknown job %s", rec.ID)
+		}
+		switch rec.State {
+		case apitypes.JobQueued:
+			// running → queued is the crash-requeue transition.
+			if j.State != apitypes.JobRunning && j.State != apitypes.JobQueued {
+				return fmt.Errorf("jobs: %s: bad transition %s → queued", j.ID, j.State)
+			}
+		case apitypes.JobRunning:
+			if j.State.Terminal() {
+				return fmt.Errorf("jobs: %s: bad transition %s → running", j.ID, j.State)
+			}
+			if j.StartedUnixMs == 0 {
+				j.StartedUnixMs = rec.UnixMs
+			}
+		case apitypes.JobDone, apitypes.JobFailed, apitypes.JobCanceled:
+			if j.State.Terminal() {
+				return fmt.Errorf("jobs: %s: bad transition %s → %s", j.ID, j.State, rec.State)
+			}
+			j.FinishedUnixMs = rec.UnixMs
+			j.Error = rec.Error
+		default:
+			return fmt.Errorf("jobs: unknown state %q", rec.State)
+		}
+		j.State = rec.State
+	case recCell:
+		j, ok := w.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("jobs: cell record for unknown job %s", rec.ID)
+		}
+		if rec.Result == nil {
+			return fmt.Errorf("jobs: %s: cell record without a result", j.ID)
+		}
+		if rec.Seq != len(j.Frames) {
+			return fmt.Errorf("jobs: %s: cell seq %d, want %d", j.ID, rec.Seq, len(j.Frames))
+		}
+		ref := apitypes.CellRef{Workload: rec.Result.Workload, Mode: rec.Result.Mode}
+		if j.done[ref] {
+			return fmt.Errorf("jobs: %s: duplicate cell %s/%s", j.ID, ref.Workload, ref.Mode)
+		}
+		j.done[ref] = true
+		j.Frames = append(j.Frames, apitypes.JobFrame{Seq: rec.Seq, Resumed: rec.Resumed, Cell: *rec.Result})
+	case recGC:
+		j, ok := w.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("jobs: gc record for unknown job %s", rec.ID)
+		}
+		delete(w.jobs, rec.ID)
+		for i, id := range w.order {
+			if id == j.ID {
+				w.order = append(w.order[:i], w.order[i+1:]...)
+				break
+			}
+		}
+	default:
+		return fmt.Errorf("jobs: unknown record type %q", rec.T)
+	}
+	return nil
+}
+
+// replay reads WAL bytes into a fresh state. It returns the number of
+// bytes covered by cleanly applied records: a torn or corrupt *final*
+// record is tolerated (err == nil, goodBytes stops before it — the
+// crash-interrupted write), while a bad record with valid records after
+// it is corruption and returns an error. Every frame of a non-terminal
+// job is marked resumed: had it not been recorded, resuming the job
+// would have to recompute it.
+func replay(data []byte) (*walState, int64, error) {
+	st := &walState{jobs: make(map[string]*Job)}
+	var good int64
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			// No trailing newline: the final write was torn mid-line.
+			return st, good, nil
+		}
+		line := rest[:nl]
+		rest = rest[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			good += int64(nl + 1)
+			continue
+		}
+		var rec record
+		bad := ""
+		if err := json.Unmarshal(line, &rec); err != nil {
+			bad = err.Error()
+		} else if err := st.apply(&rec); err != nil {
+			bad = err.Error()
+		}
+		if bad != "" {
+			if len(bytes.TrimSpace(rest)) == 0 {
+				// Only the final record is damaged: tolerate and truncate.
+				return st, good, nil
+			}
+			return nil, good, fmt.Errorf("jobs: wal corrupt at byte %d: %s", good, bad)
+		}
+		good += int64(nl + 1)
+	}
+	for _, j := range st.jobs {
+		if !j.State.Terminal() {
+			if len(j.Frames) > 0 || j.State == apitypes.JobRunning {
+				j.Resumed = true
+			}
+			j.ResumedCells = len(j.Frames)
+			for i := range j.Frames {
+				j.Frames[i].Resumed = true
+			}
+		}
+	}
+	return st, good, nil
+}
+
+// encodeState writes the canonical record sequence that reproduces st
+// on replay — the compaction body. Records per job: the submission, a
+// running transition when the job ever started, every frame, then the
+// terminal transition when finished.
+func encodeState(w io.Writer, st *walState) error {
+	enc := json.NewEncoder(w)
+	for _, id := range st.order {
+		j := st.jobs[id]
+		if err := enc.Encode(record{T: recJob, Job: &jobRecord{
+			ID: j.ID, Tenant: j.Tenant, Sweep: j.Sweep, Cells: j.Cells,
+			SubmittedUnixMs: j.SubmittedUnixMs,
+		}}); err != nil {
+			return err
+		}
+		if j.StartedUnixMs != 0 || j.State == apitypes.JobRunning {
+			if err := enc.Encode(record{T: recState, ID: j.ID, State: apitypes.JobRunning, UnixMs: j.StartedUnixMs}); err != nil {
+				return err
+			}
+		}
+		for i := range j.Frames {
+			f := &j.Frames[i]
+			if err := enc.Encode(record{T: recCell, ID: j.ID, Seq: f.Seq, Resumed: f.Resumed, Result: &f.Cell}); err != nil {
+				return err
+			}
+		}
+		switch {
+		case j.State.Terminal():
+			if err := enc.Encode(record{T: recState, ID: j.ID, State: j.State, Error: j.Error, UnixMs: j.FinishedUnixMs}); err != nil {
+				return err
+			}
+		case j.State == apitypes.JobQueued && j.StartedUnixMs != 0:
+			// A requeued (crash-resumed) job: running above, queued now.
+			if err := enc.Encode(record{T: recState, ID: j.ID, State: apitypes.JobQueued}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

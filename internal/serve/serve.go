@@ -16,6 +16,8 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/serve/apitypes"
+	"repro/internal/serve/jobs"
 	"repro/internal/workload"
 )
 
@@ -35,6 +37,17 @@ type Options struct {
 	MaxTimeout time.Duration
 	// MaxSweepCells caps the server-side grid expansion (0 = 4096).
 	MaxSweepCells int
+	// JobsDir enables the durable async job queue (POST /v1/jobs …),
+	// persisting the job WAL under this directory ("" disables jobs; the
+	// job endpoints then answer 404 not_found).
+	JobsDir string
+	// JobTTL is how long finished jobs are retained before GC
+	// (0 = 1h).
+	JobTTL time.Duration
+	// JobWorkers bounds concurrently running jobs (0 = 2). Cells inside
+	// a job still pass through admission control, so total simulation
+	// concurrency never exceeds Workers.
+	JobWorkers int
 	// Debug mounts the obs debug mux (pprof, expvar, /metrics) on the
 	// handler.
 	Debug bool
@@ -73,16 +86,18 @@ func (o Options) withDefaults() Options {
 // the handler with Handler (httptest-friendly), or bind a socket with
 // Listen for the daemon shape.
 type Server struct {
-	opts      Options
-	hub       *obs.Hub
-	eng       *runner.Engine
-	cache     *runner.Cache
-	adm       *admission
-	flights   flightGroup
-	byName    map[string]workload.Workload
-	draining  atomic.Bool
-	started   time.Time
-	manifest  obs.Manifest
+	opts     Options
+	hub      *obs.Hub
+	eng      *runner.Engine
+	cache    *runner.Cache
+	adm      *admission
+	flights  flightGroup
+	byName   map[string]workload.Workload
+	draining atomic.Bool
+	started  time.Time
+	manifest obs.Manifest
+	jobStore *jobs.Store
+	jobs     *jobs.Manager
 
 	mRequests  *obs.Counter
 	mCells     *obs.Counter
@@ -102,8 +117,10 @@ type Server struct {
 }
 
 // New builds a server. The engine, admission controller and metrics are
-// shared across every request the server will handle.
-func New(opts Options) *Server {
+// shared across every request the server will handle. With
+// Options.JobsDir set, the job WAL is replayed and crash-interrupted
+// jobs resume immediately; a corrupt WAL is the only error path.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:    opts,
@@ -134,9 +151,27 @@ func New(opts Options) *Server {
 	s.manifest = obs.NewManifest("imtd", struct {
 		Workers, Queue int
 		CacheDir       string
+		JobsDir        string
 		Config         gpusim.Config
-	}{opts.Workers, opts.Queue, opts.CacheDir, opts.Config})
-	return s
+	}{opts.Workers, opts.Queue, opts.CacheDir, opts.JobsDir, opts.Config})
+	if opts.JobsDir != "" {
+		st, err := jobs.Open(opts.JobsDir)
+		if err != nil {
+			return nil, err
+		}
+		s.jobStore = st
+		s.jobs = jobs.NewManager(st, jobs.ManagerOptions{
+			Run:          s.runJobCell,
+			JobWorkers:   opts.JobWorkers,
+			CellParallel: opts.Workers,
+			TTL:          opts.JobTTL,
+			Registry:     reg,
+		})
+		if err := s.jobs.Start(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // engineOptions: the engine runs one job per call under serve's own
@@ -153,11 +188,16 @@ func (s *Server) Hub() *obs.Hub { return s.hub }
 
 // Handler returns the server's HTTP handler:
 //
-//	POST /v1/sim        one cell → CellResult JSON
-//	POST /v1/sweep      grid → NDJSON CellResult stream + SweepSummary
-//	GET  /v1/workloads  catalog listing
-//	GET  /v1/statsz     StatsSnapshot (activity counters)
-//	GET  /v1/healthz    200 ok / 503 draining
+//	POST   /v1/sim              one cell → CellResult JSON
+//	POST   /v1/sweep            grid → NDJSON CellResult stream + SweepSummary
+//	POST   /v1/jobs             durable job submit → JobInfo (202)
+//	GET    /v1/jobs             job listing (?tenant= filters)
+//	GET    /v1/jobs/{id}        job poll → JobInfo
+//	GET    /v1/jobs/{id}/stream NDJSON JobFrame stream (?from=N resumes)
+//	DELETE /v1/jobs/{id}        cancel → JobInfo
+//	GET    /v1/workloads        catalog listing
+//	GET    /v1/statsz           StatsSnapshot (activity counters)
+//	GET    /v1/healthz          200 ok / 503 draining
 //
 // plus, when Options.Debug is set, the obs debug mux (/metrics,
 // /metrics.json, /debug/vars, /debug/pprof/).
@@ -165,6 +205,16 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sim", s.handleSim)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	if s.jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	} else {
+		mux.HandleFunc("/v1/jobs", s.handleJobsDisabled)
+		mux.HandleFunc("/v1/jobs/", s.handleJobsDisabled)
+	}
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -307,19 +357,20 @@ func (s *Server) execute(ctx context.Context, cfg gpusim.Config, cell cellSpec, 
 	return outcome{stats: r.Stats.WithoutHost(), cached: r.Cached}
 }
 
-// statusFor maps an execution error onto the API's failure table.
-func statusFor(err error) int {
+// statusFor maps an execution error onto the API's failure table: the
+// HTTP status plus the envelope code clients dispatch on.
+func statusFor(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
+		return http.StatusTooManyRequests, apitypes.CodeBackpressure
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, apitypes.CodeTimeout
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is never read but keeps logs
 		// honest (499 is the de-facto client-closed-request code).
-		return 499
+		return 499, apitypes.CodeCanceled
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, apitypes.CodeInternal
 	}
 }
 
@@ -332,19 +383,20 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := DecodeSimRequest(r.Body)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
 		return
 	}
 	cell, err := s.resolveCell(req.Workload, req.Mode, req.MaxCycles, req.SampleInterval)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs, s.opts.DefaultTimeout)
 	defer cancel()
 	res, err := s.runCell(ctx, cell, false)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		status, code := statusFor(err)
+		s.writeError(w, status, code, err)
 		return
 	}
 	s.count(s.mCells)
@@ -360,12 +412,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := DecodeSweepRequest(r.Body)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
 		return
 	}
 	cells, err := s.expandSweep(req)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs, s.opts.MaxTimeout)
@@ -524,6 +576,10 @@ func (s *Server) Stats() StatsSnapshot {
 		snap.Inflight = int64(s.adm.inflight.Value())
 	}
 	snap.QueueDepth = s.adm.waiting.Load()
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		snap.Jobs = &js
+	}
 	return snap
 }
 
@@ -550,8 +606,7 @@ func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	if !s.draining.Load() {
 		return false
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "serve: draining"})
+	s.writeError(w, http.StatusServiceUnavailable, apitypes.CodeDraining, errors.New("serve: draining"))
 	return true
 }
 
@@ -584,6 +639,15 @@ func (s *Server) Manifest() obs.Manifest {
 		"timeouts":      stats.Timeouts,
 		"errors":        stats.Errors,
 	}
+	if stats.Jobs != nil {
+		m.Counters["jobs_submitted"] = stats.Jobs.Submitted
+		m.Counters["jobs_done"] = stats.Jobs.Done
+		m.Counters["jobs_failed"] = stats.Jobs.Failed
+		m.Counters["jobs_canceled"] = stats.Jobs.Canceled
+		m.Counters["jobs_resumed"] = stats.Jobs.ResumedJobs
+		m.Counters["jobs_cells"] = stats.Jobs.Cells
+		m.Counters["jobs_cells_resumed"] = stats.Jobs.CellsResumed
+	}
 	if s.hub.Metrics != nil {
 		snap := s.hub.Metrics.Snapshot()
 		m.Metrics = &snap
@@ -592,23 +656,28 @@ func (s *Server) Manifest() obs.Manifest {
 	return m
 }
 
-// writeError emits the failure-table response for status, bumping the
-// matching counter and attaching Retry-After to backpressure statuses.
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+// writeError emits the uniform error envelope
+// {"error":{"code","message","retry_after_ms"}} for status, bumping the
+// matching counter and attaching Retry-After (header and JSON twin) to
+// backpressure statuses.
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
+	body := apitypes.ErrorBody{Code: code, Message: err.Error()}
 	switch status {
 	case http.StatusTooManyRequests:
 		s.count(s.mRejected)
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		body.RetryAfterMs = retryAfterSeconds * 1000
 	case http.StatusServiceUnavailable:
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		body.RetryAfterMs = retryAfterSeconds * 1000
 	case http.StatusGatewayTimeout:
 		s.count(s.mTimeouts)
-	case http.StatusBadRequest, 499:
+	case http.StatusBadRequest, http.StatusNotFound, 499:
 		// Client-side mistakes and hangups are not server failures.
 	default:
 		s.count(s.mErrors)
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{Error: body})
 }
 
 // countError bumps the counter matching err's failure class (the

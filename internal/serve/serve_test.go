@@ -33,6 +33,15 @@ func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
 	return rec
 }
 
+func mustNew(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func decodeBody[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
 	t.Helper()
 	var v T
@@ -46,7 +55,7 @@ func decodeBody[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
 // invalid body must come back 400 with a JSON error, never 500 and
 // never a hang.
 func TestSimBadRequests(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := mustNew(t, Options{Workers: 1})
 	h := s.Handler()
 	cases := []struct {
 		name, body string
@@ -68,8 +77,11 @@ func TestSimBadRequests(t *testing.T) {
 				t.Fatalf("status = %d, want 400 (body %q)", rec.Code, rec.Body.String())
 			}
 			e := decodeBody[ErrorResponse](t, rec)
-			if !strings.Contains(e.Error, tc.wantInErr) {
-				t.Errorf("error %q does not mention %q", e.Error, tc.wantInErr)
+			if !strings.Contains(e.Error.Message, tc.wantInErr) {
+				t.Errorf("error %q does not mention %q", e.Error.Message, tc.wantInErr)
+			}
+			if e.Error.Code != "bad_request" {
+				t.Errorf("code = %q, want bad_request", e.Error.Code)
 			}
 		})
 	}
@@ -80,7 +92,7 @@ func TestSimBadRequests(t *testing.T) {
 
 // TestSimOK runs one real cell end to end through the handler.
 func TestSimOK(t *testing.T) {
-	s := New(Options{Workers: 2, CacheDir: t.TempDir()})
+	s := mustNew(t, Options{Workers: 2, CacheDir: t.TempDir()})
 	h := s.Handler()
 	body := `{"workload":"stream-copy-16MB","mode":"imt"}`
 	rec := post(t, h, "/v1/sim", body)
@@ -122,7 +134,7 @@ func TestSimOK(t *testing.T) {
 // streaming workload; the deadline must surface as 504, not 500 and
 // not a hang.
 func TestDeadlineExceeded504(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := mustNew(t, Options{Workers: 1})
 	rec := post(t, s.Handler(), "/v1/sim",
 		`{"workload":"stream-triad-48MB","mode":"carve-low","timeout_ms":1}`)
 	if rec.Code != http.StatusGatewayTimeout {
@@ -172,7 +184,7 @@ func waitEntered(t *testing.T, b *blockingHook) string {
 // concurrent distinct request must get an immediate 429 with
 // Retry-After while the other two eventually succeed.
 func TestQueueFull429(t *testing.T) {
-	s := New(Options{Workers: 1, Queue: 1})
+	s := mustNew(t, Options{Workers: 1, Queue: 1})
 	hook := newBlockingHook()
 	s.simHook = hook.hook
 	h := s.Handler()
@@ -233,7 +245,7 @@ func waitQueueDepth(t *testing.T, s *Server, want int64) {
 // TestCoalescing: a herd of identical requests shares one execution;
 // distinct cells do not coalesce.
 func TestCoalescing(t *testing.T) {
-	s := New(Options{Workers: 2, Queue: 8})
+	s := mustNew(t, Options{Workers: 2, Queue: 8})
 	hook := newBlockingHook()
 	s.simHook = hook.hook
 	h := s.Handler()
@@ -307,7 +319,7 @@ func waitCoalesced(t *testing.T, s *Server, want uint64) {
 // TestDrainingRejects: a draining server refuses new work with 503 +
 // Retry-After; healthz reports it.
 func TestDrainingRejects(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := mustNew(t, Options{Workers: 1})
 	h := s.Handler()
 	s.SetDraining(true)
 	rec := post(t, h, "/v1/sim", `{"workload":"stream-copy-16MB","mode":"imt"}`)
@@ -330,7 +342,7 @@ func TestDrainingRejects(t *testing.T) {
 // maps SIGTERM to Daemon.Shutdown): in-flight requests complete with
 // 200, Shutdown waits for them, and afterwards the socket is gone.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := mustNew(t, Options{Workers: 1})
 	hook := newBlockingHook()
 	s.simHook = hook.hook
 
@@ -408,7 +420,7 @@ func TestGracefulDrain(t *testing.T) {
 // TestSweepStreaming runs a real two-cell sweep and checks the NDJSON
 // framing: one line per cell, then a summary line with done=true.
 func TestSweepStreaming(t *testing.T) {
-	s := New(Options{Workers: 2, CacheDir: t.TempDir()})
+	s := mustNew(t, Options{Workers: 2, CacheDir: t.TempDir()})
 	rec := post(t, s.Handler(), "/v1/sweep",
 		`{"workloads":["stream-copy-16MB"],"modes":["none","imt"]}`)
 	if rec.Code != http.StatusOK {
@@ -459,7 +471,7 @@ func TestSweepStreaming(t *testing.T) {
 
 // TestSweepBadRequests covers the grid-expansion 400s.
 func TestSweepBadRequests(t *testing.T) {
-	s := New(Options{Workers: 1, MaxSweepCells: 3})
+	s := mustNew(t, Options{Workers: 1, MaxSweepCells: 3})
 	h := s.Handler()
 	cases := []struct {
 		name, body, wantInErr string
@@ -478,8 +490,11 @@ func TestSweepBadRequests(t *testing.T) {
 				t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 			}
 			e := decodeBody[ErrorResponse](t, rec)
-			if !strings.Contains(e.Error, tc.wantInErr) {
-				t.Errorf("error %q does not mention %q", e.Error, tc.wantInErr)
+			if !strings.Contains(e.Error.Message, tc.wantInErr) {
+				t.Errorf("error %q does not mention %q", e.Error.Message, tc.wantInErr)
+			}
+			if e.Error.Code != "bad_request" {
+				t.Errorf("code = %q, want bad_request", e.Error.Code)
 			}
 		})
 	}
@@ -487,7 +502,7 @@ func TestSweepBadRequests(t *testing.T) {
 
 // TestWorkloadsAndStatsz sanity-checks the introspection endpoints.
 func TestWorkloadsAndStatsz(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := mustNew(t, Options{Workers: 1})
 	h := s.Handler()
 	rec := get(t, h, "/v1/workloads")
 	if rec.Code != http.StatusOK {

@@ -1,0 +1,102 @@
+#!/bin/sh
+# jobs-smoke: end-to-end gate for the durable job queue (make jobs-smoke).
+#
+# Proves the crash-recovery contract with a real SIGKILL, not an
+# in-process fake:
+#
+#   1. boot imtd with a job store (-jobs-dir), submit a STREAM x
+#      {none,carve-low,imt} sweep as a durable job;
+#   2. wait until at least 2 cells are done, then kill -9 the daemon
+#      mid-flight;
+#   3. restart imtd over the same -jobs-dir/-cache-dir; follow the same
+#      job id to completion, requiring >=1 resumed cell (work recovered
+#      from the WAL instead of recomputed);
+#   4. run the identical grid as an uninterrupted baseline on fresh
+#      directories and byte-compare the canonical result sets.
+#
+# The run fails unless the resumed job finishes "done", reports >=1
+# resumed cell, and its merged result set is byte-identical to the
+# baseline's.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+IMTD_PID=
+cleanup() {
+    [ -n "$IMTD_PID" ] && kill -9 "$IMTD_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# start_imtd <cache-dir> <jobs-dir> <logfile>: boots imtd on an
+# ephemeral port and sets IMTD_PID/ADDR.
+start_imtd() {
+    rm -f "$WORK/imtd.addr"
+    "$WORK/imtd" -addr 127.0.0.1:0 -addr-file "$WORK/imtd.addr" \
+        -j 1 -cache-dir "$1" -jobs-dir "$2" -job-workers 1 \
+        2>>"$3" &
+    IMTD_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$WORK/imtd.addr" ] && break
+        kill -0 "$IMTD_PID" 2>/dev/null || { cat "$3"; echo "jobs-smoke: FAILED: imtd died on startup"; exit 1; }
+        sleep 0.1
+    done
+    ADDR=$(cat "$WORK/imtd.addr")
+}
+
+# drain_imtd <logfile>: SIGTERM and require a clean exit.
+drain_imtd() {
+    kill -TERM "$IMTD_PID"
+    ok=0
+    for _ in $(seq 1 300); do
+        if ! kill -0 "$IMTD_PID" 2>/dev/null; then ok=1; break; fi
+        sleep 0.1
+    done
+    [ "$ok" = 1 ] || { echo "jobs-smoke: FAILED: imtd did not drain within 30s"; exit 1; }
+    wait "$IMTD_PID" 2>/dev/null || { echo "jobs-smoke: FAILED: imtd exited nonzero"; cat "$1"; exit 1; }
+    IMTD_PID=
+}
+
+echo "jobs-smoke: building imtd + imtload"
+$GO build -o "$WORK/imtd" ./cmd/imtd
+$GO build -o "$WORK/imtload" ./cmd/imtload
+
+SUITE=STREAM
+MODES=none,carve-low,imt
+
+echo "jobs-smoke: starting imtd (ephemeral port, -jobs-dir)"
+start_imtd "$WORK/cache" "$WORK/jobs" "$WORK/imtd1.log"
+echo "jobs-smoke: imtd listening on $ADDR (pid $IMTD_PID)"
+
+JOB=$("$WORK/imtload" -addr "$ADDR" -job-submit -tenant smoke \
+    -sweep-suite "$SUITE" -sweep-modes "$MODES")
+echo "jobs-smoke: submitted job $JOB"
+
+"$WORK/imtload" -addr "$ADDR" -job-id "$JOB" -job-wait-cells 2
+echo "jobs-smoke: killing imtd mid-flight (SIGKILL)"
+kill -9 "$IMTD_PID"
+wait "$IMTD_PID" 2>/dev/null || true
+IMTD_PID=
+
+echo "jobs-smoke: restarting imtd over the same -jobs-dir"
+start_imtd "$WORK/cache" "$WORK/jobs" "$WORK/imtd2.log"
+echo "jobs-smoke: imtd listening on $ADDR (pid $IMTD_PID)"
+
+"$WORK/imtload" -addr "$ADDR" -job-id "$JOB" -job-follow \
+    -job-out "$WORK/resumed.txt" -min-resumed 1
+drain_imtd "$WORK/imtd2.log"
+
+echo "jobs-smoke: uninterrupted baseline on fresh directories"
+start_imtd "$WORK/cache-base" "$WORK/jobs-base" "$WORK/imtd3.log"
+"$WORK/imtload" -addr "$ADDR" -jobs -tenant smoke \
+    -sweep-suite "$SUITE" -sweep-modes "$MODES" \
+    -job-out "$WORK/baseline.txt"
+drain_imtd "$WORK/imtd3.log"
+
+if ! cmp -s "$WORK/resumed.txt" "$WORK/baseline.txt"; then
+    echo "jobs-smoke: FAILED: resumed result set differs from baseline"
+    diff "$WORK/baseline.txt" "$WORK/resumed.txt" || true
+    exit 1
+fi
+echo "jobs-smoke: resumed result set byte-identical to baseline ($(wc -l <"$WORK/resumed.txt") cells)"
+echo "jobs-smoke: PASS"
