@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke jobs-smoke check clean
+.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke jobs-smoke rooms-smoke check clean
 
 all: build test
 
@@ -13,10 +13,10 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/jobs
+	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/jobs ./internal/serve/rooms
 
 race:
-	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/jobs
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/jobs ./internal/serve/rooms
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -83,6 +83,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz='^FuzzParseTraceFile$$' -fuzztime=10s ./internal/gpusim
 	$(GO) test -run '^$$' -fuzz='^FuzzServeRequestDecode$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz='^FuzzJobWALReplay$$' -fuzztime=10s ./internal/serve/jobs
+	$(GO) test -run '^$$' -fuzz='^FuzzWatchFrameDecode$$' -fuzztime=10s ./internal/serve/apitypes
 
 # The conformance gate: golden-result regression, differential ECC
 # oracles and metamorphic simulator invariants (see DESIGN.md
@@ -105,9 +106,18 @@ serve-smoke:
 jobs-smoke:
 	sh scripts/jobs-smoke.sh
 
+# End-to-end gate for live telemetry rooms: one watched sweep fanned
+# out to 8 concurrent /v1/watch subscribers, one killed and re-attached
+# mid-stream and one deliberately stalled until evicted. Asserts
+# identical gapless frame sequences across watchers, >=1 slow-consumer
+# drop, and room metrics in the flushed registry (see
+# scripts/rooms-smoke.sh).
+rooms-smoke:
+	sh scripts/rooms-smoke.sh
+
 # Pre-merge gate: everything that must be green before a change lands.
 # bench-gate runs last: correctness gates first, perf regression after.
-check: build test fuzz-short conformance serve-smoke jobs-smoke bench-gate
+check: build test fuzz-short conformance serve-smoke jobs-smoke rooms-smoke bench-gate
 
 clean:
 	rm -rf results results-quick .sweep-cache

@@ -30,6 +30,21 @@
 // -job-ttl bounds how long finished jobs are retained; -job-workers
 // bounds concurrently running jobs.
 //
+// Any sim, sweep or job submitted with "watch":true opens a live
+// telemetry room: in-flight engine samples broadcast to every watcher
+// of GET /v1/watch/{room} as Server-Sent Events, with gapless
+// resume-from-sequence (?from=N or Last-Event-ID). The join code
+// arrives in the X-Watch-Room header and in the response body:
+//
+//	curl -si -X POST localhost:8866/v1/sweep \
+//	  -d '{"suite":"STREAM","modes":["imt"],"watch":true}' | grep X-Watch-Room
+//	curl -sN localhost:8866/v1/watch/<room>
+//
+// -room-buffer, -room-history and -room-ttl tune watcher eviction,
+// resume depth and room retention; watchers are never allowed to slow
+// a simulation down (a stalled watcher is evicted and heals on
+// re-attach).
+//
 // On SIGINT/SIGTERM the daemon drains: it stops accepting (new
 // requests see 503 + Retry-After until the listener closes), finishes
 // in-flight requests and in-flight job cells (interrupted jobs stay
@@ -67,6 +82,11 @@ func main() {
 		jobTTL     = flag.Duration("job-ttl", time.Hour, "how long finished jobs are retained before GC")
 		jobWorkers = flag.Int("job-workers", 0, "concurrently running jobs (0 = 2)")
 
+		roomBuffer  = flag.Int("room-buffer", 0, "telemetry room per-subscriber buffer; overflow evicts the subscriber (0 = 256)")
+		roomHistory = flag.Int("room-history", 0, "telemetry room retained frames for resume-from-seq (0 = 65536)")
+		roomTTL     = flag.Duration("room-ttl", 0, "how long closed rooms stay attachable (0 = 2m)")
+		watchSample = flag.Uint64("watch-sample-interval", 0, "sample interval forced onto watch requests that set none (0 = 50000 cycles)")
+
 		metricsOut  = flag.String("metrics-out", "", "write the metrics registry here on drain (.json → JSON, else Prometheus text)")
 		manifestOut = flag.String("manifest-out", "", "write the server-run manifest (JSON) here on drain")
 		drainGrace  = flag.Duration("drain-grace", time.Minute, "how long to wait for in-flight requests on shutdown")
@@ -83,6 +103,11 @@ func main() {
 		JobTTL:         *jobTTL,
 		JobWorkers:     *jobWorkers,
 		Debug:          *debug,
+
+		RoomBuffer:          *roomBuffer,
+		RoomHistory:         *roomHistory,
+		RoomTTL:             *roomTTL,
+		WatchSampleInterval: *watchSample,
 	})
 	if err != nil {
 		fatal(err)

@@ -32,6 +32,13 @@
 //     coalesce onto its flight; later ones hit the result cache.
 //  2. Sweep (optional, -sweep-suite): one streaming NDJSON sweep,
 //     consumed cell by cell as the server completes them.
+//  2.5. Watch (optional, -watchers K): one watched sweep with K
+//     concurrent /v1/watch subscribers. Every watcher must see the
+//     identical gapless frame sequence; watcher 0 is killed mid-stream
+//     and re-attaches at its last sequence, and with -min-drops a
+//     deliberately stalled watcher must be evicted (never allowed to
+//     slow the simulation) with the eviction visible in the server's
+//     drop counter.
 //  3. Overload (optional, -overload N): N simultaneous *distinct*
 //     cells with retries disabled, deliberately exceeding the server's
 //     worker+queue capacity. Every rejection must be a 429 carrying
@@ -48,11 +55,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/gpusim"
@@ -73,6 +82,10 @@ func main() {
 
 		sweepSuite = flag.String("sweep-suite", "", "also run one streaming sweep over this suite")
 		sweepModes = flag.String("sweep-modes", "none,carve-low", "comma-separated modes for -sweep-suite")
+
+		watchers    = flag.Int("watchers", 0, "watch phase: fan this many concurrent watchers out over one watched sweep of -sweep-suite (0 skips)")
+		watchSample = flag.Uint64("watch-sample-interval", 2000, "watch phase: sample interval requested for the watched sweep (cycles)")
+		minDrops    = flag.Uint64("min-drops", 0, "watch phase: also attach a deliberately stalled watcher and fail unless the server reports at least this many room drops")
 
 		overload    = flag.Int("overload", 0, "overload phase: this many simultaneous distinct no-retry requests (0 skips)")
 		minCoalesce = flag.Uint64("min-coalesce", 0, "fail unless the server reports at least this many coalesce hits")
@@ -151,6 +164,26 @@ func main() {
 		}
 	}
 
+	// Phase 2.5: live telemetry fan-out. One watched sweep, -watchers
+	// concurrent subscribers; every watcher must see the identical
+	// gapless frame sequence even though one of them is killed and
+	// re-attached mid-run (and, with -min-drops, one is deliberately
+	// stalled until the server evicts it).
+	if *watchers > 0 {
+		if *sweepSuite == "" {
+			fatal(errors.New("imtload: -watchers needs -sweep-suite"))
+		}
+		failures += runWatchPhase(ctx, cl, base, watchPhaseOpts{
+			suite:     *sweepSuite,
+			modes:     strings.Split(*sweepModes, ","),
+			maxCycles: *maxCycles,
+			timeoutMs: *timeoutMs,
+			sample:    *watchSample,
+			k:         *watchers,
+			slow:      *minDrops > 0,
+		})
+	}
+
 	// Phase 3: induced overload. Distinct cells (different cycle caps →
 	// different cache keys) so neither the cache nor coalescing can
 	// absorb the burst, and no retries so every 429 is observed raw.
@@ -179,6 +212,28 @@ func main() {
 	}
 	fmt.Printf("server: %d requests, %d cells, %d cache hits, %d coalesce hits, %d rejected, %d timeouts, %d errors\n",
 		stats.Requests, stats.Cells, stats.CacheHits, stats.CoalesceHits, stats.Rejected, stats.Timeouts, stats.Errors)
+	rev := stats.VCSRevision
+	if rev == "" {
+		rev = "unknown"
+	} else if stats.VCSModified {
+		rev += "+dirty"
+	}
+	fmt.Printf("server: up %.1fs, %s, rev %s, config %s\n",
+		stats.UptimeSeconds, stats.GoVersion, rev, stats.ConfigHash)
+	if stats.Rooms != nil {
+		fmt.Printf("rooms: %d open, %d subscribers, %d frames, %d drops\n",
+			stats.Rooms.Open, stats.Rooms.Subscribers, stats.Rooms.Frames, stats.Rooms.Drops)
+	}
+	if *minDrops > 0 {
+		var drops uint64
+		if stats.Rooms != nil {
+			drops = stats.Rooms.Drops
+		}
+		if drops < *minDrops {
+			fmt.Printf("FAILED: server room drops %d < required %d (slow watcher was never evicted)\n", drops, *minDrops)
+			failures++
+		}
+	}
 	if stats.CoalesceHits < *minCoalesce {
 		fmt.Printf("FAILED: server coalesce hits %d < required %d\n", stats.CoalesceHits, *minCoalesce)
 		failures++
@@ -471,6 +526,188 @@ func canonicalFrames(frames []apitypes.JobFrame) []byte {
 	}
 	sort.Strings(lines)
 	return []byte(strings.Join(lines, "\n") + "\n")
+}
+
+type watchPhaseOpts struct {
+	suite     string
+	modes     []string
+	maxCycles uint64
+	timeoutMs int64
+	sample    uint64
+	k         int
+	slow      bool
+}
+
+// errWatcherKilled simulates a watcher process dying mid-stream: the
+// chaos watcher aborts its first attach with it, then re-attaches at
+// the next sequence and must end up with the same frames as everyone
+// else.
+var errWatcherKilled = errors.New("imtload: simulated watcher kill")
+
+// runWatchPhase runs one watched sweep with k concurrent watchers and
+// asserts the live-telemetry contract: every watcher sees the
+// identical, gapless frame sequence; watcher 0 is killed mid-stream
+// and heals by re-attaching; an optional never-reading watcher gets
+// evicted without perturbing anyone. Returns the failure count.
+func runWatchPhase(ctx context.Context, cl *client.Client, base string, o watchPhaseOpts) int {
+	roomCh := make(chan string, 1)
+	sweepErr := make(chan error, 1)
+	go func() {
+		_, err := cl.SweepWatch(ctx, apitypes.SweepRequest{
+			Suite: o.suite, Modes: o.modes,
+			MaxCycles: o.maxCycles, TimeoutMs: o.timeoutMs,
+			SampleInterval: o.sample,
+		}, func(room string) { roomCh <- room }, nil)
+		sweepErr <- err
+	}()
+	var room string
+	select {
+	case room = <-roomCh:
+	case err := <-sweepErr:
+		fmt.Println("watch: FAILED: sweep ended before announcing a room:", err)
+		return 1
+	}
+
+	// The stalled watcher attaches first so it sees the whole broadcast
+	// pile up against its tiny receive buffer.
+	var stopSlow func()
+	if o.slow {
+		var err error
+		if stopSlow, err = startStalledWatcher(base, room); err != nil {
+			fmt.Println("watch: FAILED: stalled watcher:", err)
+			return 1
+		}
+	}
+
+	frames := make([][]apitypes.WatchFrame, o.k)
+	errs := make([]error, o.k)
+	var killSeq atomic.Int64
+	killSeq.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < o.k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			collect := func(f apitypes.WatchFrame) error {
+				frames[i] = append(frames[i], f)
+				return nil
+			}
+			if i != 0 {
+				_, errs[i] = cl.FollowWatch(ctx, room, 0, collect)
+				return
+			}
+			// Chaos watcher: die mid-stream, come back, merge gaplessly.
+			const killAfter = 15
+			_, err := cl.Watch(ctx, room, 0, func(f apitypes.WatchFrame) error {
+				frames[0] = append(frames[0], f)
+				if len(frames[0]) == killAfter {
+					return errWatcherKilled
+				}
+				return nil
+			})
+			if err == nil {
+				return // room closed before the kill point; too short
+			}
+			if !errors.Is(err, errWatcherKilled) {
+				errs[0] = err
+				return
+			}
+			killSeq.Store(int64(frames[0][len(frames[0])-1].Seq))
+			_, errs[0] = cl.FollowWatch(ctx, room, frames[0][len(frames[0])-1].Seq+1, collect)
+		}(i)
+	}
+	wg.Wait()
+	if stopSlow != nil {
+		stopSlow()
+	}
+	failures := 0
+	if err := <-sweepErr; err != nil {
+		fmt.Println("watch: FAILED: sweep:", err)
+		failures++
+	}
+	for i, err := range errs {
+		if err != nil {
+			fmt.Printf("watch: FAILED: watcher %d: %v\n", i, err)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return failures
+	}
+	if killSeq.Load() < 0 {
+		fmt.Println("watch: FAILED: run finished before the kill point; lower -watch-sample-interval so the kill/re-attach path is exercised")
+		failures++
+	}
+	want := canonicalWatchFrames(frames[0])
+	if len(frames[0]) == 0 {
+		fmt.Println("watch: FAILED: no frames broadcast (is sampling on?)")
+		return failures + 1
+	}
+	for i, f := range frames[0] {
+		if f.Seq != i {
+			fmt.Printf("watch: FAILED: watcher 0 has a gap: frame %d carries seq %d\n", i, f.Seq)
+			return failures + 1
+		}
+	}
+	for i := 1; i < o.k; i++ {
+		if string(canonicalWatchFrames(frames[i])) != string(want) {
+			fmt.Printf("watch: FAILED: watcher %d diverged from watcher 0 (%d vs %d frames)\n",
+				i, len(frames[i]), len(frames[0]))
+			failures++
+		}
+	}
+	if failures == 0 {
+		fmt.Printf("watch: %d watchers each saw %d identical gapless frames (watcher 0 killed at seq %d and re-attached)\n",
+			o.k, len(frames[0]), killSeq.Load())
+	}
+	return failures
+}
+
+// canonicalWatchFrames renders a watcher's frame sequence as JSON
+// lines, order preserved — unlike job frames, watch frames must match
+// across watchers in sequence order, not just as a set.
+func canonicalWatchFrames(frames []apitypes.WatchFrame) []byte {
+	var buf []byte
+	for _, f := range frames {
+		b, err := json.Marshal(f)
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// startStalledWatcher attaches to the room over a raw TCP connection
+// with a deliberately tiny receive buffer and then never reads: the
+// kernel's windows fill, the server's writes block, the subscriber's
+// frame buffer overflows, and the room must evict it (counted in
+// serve_room_drops_total) rather than ever stalling the simulation.
+func startStalledWatcher(base, room string) (stop func(), err error) {
+	host := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	d := net.Dialer{
+		Timeout: 5 * time.Second,
+		Control: func(_, _ string, rc syscall.RawConn) error {
+			var serr error
+			cerr := rc.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF, 2048)
+			})
+			if cerr != nil {
+				return cerr
+			}
+			return serr
+		},
+	}
+	conn, err := d.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "GET /v1/watch/%s?from=0 HTTP/1.1\r\nHost: %s\r\nAccept: text/event-stream\r\n\r\n", room, host); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return func() { conn.Close() }, nil
 }
 
 func fatal(err error) {

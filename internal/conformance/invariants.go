@@ -69,6 +69,33 @@ func checkSamplingInvariance(w workload.Workload) *Finding {
 			return &Finding{check, fmt.Sprintf("SampleInterval=%d perturbed the run: %s", interval, d)}
 		}
 	}
+	// The live-streaming hook rides the sampler: an OnSample observer
+	// must be exactly as neutral as sampling itself, and must see the
+	// same series the Stats record.
+	hcfg := cfg
+	hcfg.SampleInterval = 20000
+	var seen []gpusim.Sample
+	hcfg.OnSample = func(smp gpusim.Sample) { seen = append(seen, smp) }
+	st, err := runWorkload(w, hcfg)
+	if err != nil {
+		return &Finding{check, err.Error()}
+	}
+	if len(seen) != len(st.Samples) {
+		return &Finding{check, fmt.Sprintf("OnSample observed %d samples, Stats recorded %d", len(seen), len(st.Samples))}
+	}
+	for i := range seen {
+		if seen[i] != st.Samples[i] {
+			return &Finding{check, fmt.Sprintf("OnSample sample %d differs from the recorded series", i)}
+		}
+	}
+	st.Samples = nil
+	d, err := statsDiff(base, st)
+	if err != nil {
+		return &Finding{check, err.Error()}
+	}
+	if d != "" {
+		return &Finding{check, "an OnSample observer perturbed the run: " + d}
+	}
 	return nil
 }
 

@@ -144,6 +144,22 @@ type Config struct {
 	// Stats.Samples every SampleInterval cycles, plus one final partial
 	// window at run end. 0 disables sampling (no overhead).
 	SampleInterval uint64
+
+	// OnSample, when non-nil, is invoked synchronously with each Sample
+	// the interval sampler records (it fires only when SampleInterval is
+	// non-zero). The hook observes: it receives the sample by value,
+	// allocates nothing per invocation on the simulator's side, and must
+	// not retain pointers into the simulator. It does not change Stats —
+	// the run is bit-identical with and without a hook installed (the
+	// sampling-neutrality invariant extends to OnSample). The hook runs
+	// on the simulation goroutine, so a slow hook slows the simulation;
+	// live-streaming consumers must hand off to their own buffers (see
+	// internal/serve/rooms for the never-block contract).
+	//
+	// json:"-" keeps the func out of the canonical config encoding, so
+	// installing a hook does not perturb runner cache keys, manifests or
+	// conformance digests.
+	OnSample func(Sample) `json:"-"`
 }
 
 // DefaultConfig returns the quarter-GV100 model used by the experiments.

@@ -1,6 +1,8 @@
 package gpusim
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"reflect"
 	"testing"
@@ -134,5 +136,56 @@ func TestSamplerInvariantUnderInterval(t *testing.T) {
 	coarse := strip(sampledRun(t, 10_000, 1500))
 	if !reflect.DeepEqual(base, fine) || !reflect.DeepEqual(base, coarse) {
 		t.Errorf("sampling changed simulation results:\n none=%v\n fine=%v\n coarse=%v", base, fine, coarse)
+	}
+}
+
+// TestOnSampleNeutral extends sampling-neutrality to the live hook:
+// installing Config.OnSample must leave Stats byte-identical to the
+// same run without a hook — the hook observes the series, it never
+// perturbs it — and the values it receives must be exactly the
+// Stats.Samples series, in order.
+func TestOnSampleNeutral(t *testing.T) {
+	const interval, ops = 1000, 2000
+	cfg := DefaultConfig()
+	cfg.SampleInterval = interval
+	cfg.Mode = ModeCarveOut
+	cfg.Carve = CarveOutLow
+	base := run(t, cfg, streamTraces(cfg.NumSMs, ops, 0.3, 7))
+
+	var seen []Sample
+	hooked := cfg
+	hooked.OnSample = func(s Sample) { seen = append(seen, s) }
+	st := run(t, hooked, streamTraces(cfg.NumSMs, ops, 0.3, 7))
+
+	// Byte-identical: the canonical JSON encoding (which already
+	// excludes host telemetry) must not move at all.
+	ja, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("OnSample perturbed the run:\n without hook: %s\n with hook:    %s", ja, jb)
+	}
+	if !reflect.DeepEqual(seen, st.Samples) {
+		t.Errorf("hook saw %d samples, Stats recorded %d; series differ", len(seen), len(st.Samples))
+	}
+	if len(seen) == 0 {
+		t.Fatal("hook never fired on a multi-interval run")
+	}
+}
+
+// TestOnSampleRequiresInterval pins that the hook rides the existing
+// sampler: with SampleInterval 0 it must never fire (the off-by-default
+// contract — no overhead, bit-identical goldens).
+func TestOnSampleRequiresInterval(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OnSample = func(Sample) { t.Error("OnSample fired with SampleInterval = 0") }
+	st := run(t, cfg, streamTraces(cfg.NumSMs, 500, 0.3, 7))
+	if len(st.Samples) != 0 {
+		t.Fatalf("unexpected samples: %d", len(st.Samples))
 	}
 }

@@ -406,6 +406,9 @@ func (s *Sim) takeSample() {
 	smp.DRAMQueueDepth = float64(dq) / float64(len(s.slices))
 
 	s.stats.Samples = append(s.stats.Samples, smp)
+	if s.cfg.OnSample != nil {
+		s.cfg.OnSample(smp)
+	}
 	s.lastSample = cur
 	s.lastSample.Samples = nil // counters only; the series lives in s.stats
 	s.lastSampleCycle = s.now

@@ -85,6 +85,50 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // durations (simulation cells run from milliseconds to minutes).
 var DurationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
+// HistogramVec is a family of histograms sharing one name and bucket
+// layout, partitioned by a single label (e.g. serve_request_seconds by
+// route). Children are ordinary registry histograms stored under the
+// composite name `family{label="value"}`, so they appear in JSON
+// snapshots under that key; the Prometheus writer folds the label into
+// the sample lines (`family_bucket{label="value",le="..."}`).
+type HistogramVec struct {
+	r      *Registry
+	name   string
+	label  string
+	help   string
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label value, creating
+// it on first use. Children are cached, so the hot path after creation
+// is one RLock and a map read.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	child := v.r.Histogram(childName(v.name, v.label, value), v.help, v.bounds)
+	v.mu.Lock()
+	if h, ok = v.children[value]; !ok {
+		v.children[value] = child
+		h = child
+	}
+	v.mu.Unlock()
+	return h
+}
+
+// childName builds the composite registry key for one vec child,
+// escaping the label value per the Prometheus text conventions.
+func childName(family, label, value string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	return fmt.Sprintf("%s{%s=\"%s\"}", family, label, esc)
+}
+
 // Registry is a concurrency-safe collection of named metrics. Metrics
 // are created on first use (get-or-create); re-registering a name with
 // a different kind or bucket layout panics, as that is a programming
@@ -94,6 +138,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	vecs     map[string]*HistogramVec
 	help     map[string]string
 }
 
@@ -103,6 +148,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		vecs:     map[string]*HistogramVec{},
 		help:     map[string]string{},
 	}
 }
@@ -119,6 +165,9 @@ func (r *Registry) checkName(name, kind string) {
 	}
 	if _, ok := r.hists[name]; ok && kind != "histogram" {
 		panic(fmt.Sprintf("obs: metric %q already registered as a histogram", name))
+	}
+	if _, ok := r.vecs[name]; ok && kind != "histogramvec" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a histogram vec", name))
 	}
 }
 
@@ -170,6 +219,36 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	r.hists[name] = h
 	r.help[name] = help
 	return h
+}
+
+// HistogramVec returns the named single-label histogram family,
+// creating it on first use. Re-registering with a different label or
+// bucket count panics (a programming error, like Histogram).
+func (r *Registry) HistogramVec(name, label, help string, bounds []float64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "histogramvec")
+	if label == "" {
+		panic(fmt.Sprintf("obs: histogram vec %q needs a label name", name))
+	}
+	v, ok := r.vecs[name]
+	if ok {
+		if v.label != label || len(v.bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: histogram vec %q re-registered with a different label or buckets", name))
+		}
+		return v
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram vec %q buckets must be sorted", name))
+	}
+	v = &HistogramVec{
+		r: r, name: name, label: label, help: help,
+		bounds:   append([]float64(nil), bounds...),
+		children: map[string]*Histogram{},
+	}
+	r.vecs[name] = v
+	r.help[name] = help
+	return v
 }
 
 // Bucket is one cumulative histogram bucket in a snapshot. LE is
@@ -306,14 +385,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		writeHeader(name, "gauge")
 		fmt.Fprintf(&b, "%s %s\n", name, strconv.FormatFloat(s.Gauges[name], 'g', -1, 64))
 	}
+	// Histogram-vec children live in the snapshot under composite keys
+	// like `family{route="sim"}`; split those so the label rides inside
+	// the sample lines next to `le`, with one TYPE header per family.
+	headered := map[string]bool{}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		writeHeader(name, "histogram")
-		for _, bk := range h.Buckets {
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatLE(bk.LE), bk.Count)
+		family, labels := name, ""
+		if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+			family, labels = name[:i], name[i+1:len(name)-1]+","
 		}
-		fmt.Fprintf(&b, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum, 'g', -1, 64))
-		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+		if !headered[family] {
+			writeHeader(family, "histogram")
+			headered[family] = true
+		}
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", family, labels, formatLE(bk.LE), bk.Count)
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", family, suffix, strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count%s %d\n", family, suffix, h.Count)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramVecPrometheus(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("serve_request_seconds", "route", "request latency", []float64{0.1, 1})
+	v.With("sim").Observe(0.05)
+	v.With("sim").Observe(0.5)
+	v.With("sweep").Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP serve_request_seconds request latency
+# TYPE serve_request_seconds histogram
+serve_request_seconds_bucket{route="sim",le="0.1"} 1
+serve_request_seconds_bucket{route="sim",le="1"} 2
+serve_request_seconds_bucket{route="sim",le="+Inf"} 2
+serve_request_seconds_sum{route="sim"} 0.55
+serve_request_seconds_count{route="sim"} 2
+serve_request_seconds_bucket{route="sweep",le="0.1"} 0
+serve_request_seconds_bucket{route="sweep",le="1"} 0
+serve_request_seconds_bucket{route="sweep",le="+Inf"} 1
+serve_request_seconds_sum{route="sweep"} 2
+serve_request_seconds_count{route="sweep"} 1
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramVecJSONKeys(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramVec("lat", "route", "", []float64{1}).With("watch").Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("exported JSON does not parse: %v\n%s", err, buf.String())
+	}
+	hs, ok := decoded.Histograms[`lat{route="watch"}`]
+	if !ok {
+		t.Fatalf("no composite key in JSON snapshot: %s", buf.String())
+	}
+	if hs.Count != 1 {
+		t.Errorf("count = %d, want 1", hs.Count)
+	}
+}
+
+func TestHistogramVecSameChild(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("lat", "route", "", DurationBuckets)
+	if v.With("a") != v.With("a") {
+		t.Error("With must return the same child for the same label value")
+	}
+	if v2 := r.HistogramVec("lat", "route", "", DurationBuckets); v2 != v {
+		t.Error("re-registering a vec must return the same vec")
+	}
+	// Label values with quotes and backslashes must not corrupt the
+	// exposition format.
+	v.With(`we"ird\`).Observe(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `route="we\"ird\\"`) {
+		t.Errorf("label value not escaped:\n%s", buf.String())
+	}
+}
+
+func TestHistogramVecCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramVec("lat", "route", "", DurationBuckets)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a vec as a counter must panic")
+		}
+	}()
+	r.Counter("lat", "")
+}
+
+// TestObsConcurrentHammer drives the registry (all four metric kinds)
+// and the Chrome-trace recorder from many goroutines while exporters
+// snapshot both concurrently; it exists to run under -race and pins
+// that the final counts are exact (no lost updates).
+func TestObsConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTraceRecorder()
+	const workers, perWorker = 8, 500
+
+	var workersWG, exporterWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Exporter goroutine: snapshots everything in a tight loop while the
+	// workers write.
+	exporterWG.Add(1)
+	go func() {
+		defer exporterWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+			}
+			if err := r.WriteJSON(io.Discard); err != nil {
+				t.Error(err)
+			}
+			if err := tr.Write(io.Discard); err != nil {
+				t.Error(err)
+			}
+			_ = tr.Events()
+		}
+	}()
+	base := time.Now()
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func(w int) {
+			defer workersWG.Done()
+			c := r.Counter("c", "")
+			g := r.Gauge("g", "")
+			h := r.Histogram("h", "", DurationBuckets)
+			v := r.HistogramVec("lat", "route", "", DurationBuckets)
+			routes := [...]string{"sim", "sweep", "jobs", "watch"}
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) / 100)
+				v.With(routes[i%len(routes)]).Observe(float64(i%5) / 50)
+				tr.Span("cell", "sim", w, base, base.Add(time.Microsecond), nil)
+				tr.Counter("bw", map[string]float64{"util": float64(i)})
+			}
+		}(w)
+	}
+	workersWG.Wait()
+	close(stop)
+	exporterWG.Wait()
+
+	s := r.Snapshot()
+	if s.Counters["c"] != workers*perWorker {
+		t.Errorf("counter = %d, want %d", s.Counters["c"], workers*perWorker)
+	}
+	var vecTotal uint64
+	for name, hs := range s.Histograms {
+		if strings.HasPrefix(name, "lat{") {
+			vecTotal += hs.Count
+		}
+	}
+	if vecTotal != workers*perWorker {
+		t.Errorf("vec observations = %d, want %d", vecTotal, workers*perWorker)
+	}
+	if tr.Len() != workers*perWorker*2 {
+		t.Errorf("trace events = %d, want %d", tr.Len(), workers*perWorker*2)
+	}
+}

@@ -100,6 +100,26 @@ type Counters struct {
 	Panics      uint64
 }
 
+// LiveSample is one phase-telemetry window emitted by a cell while it
+// is still running: the in-flight twin of the Stats.Samples series a
+// finished cell returns. Cell and Key identify the emitting cell (the
+// same identities the rest of the stack uses — Job.Name for humans,
+// the content-addressed cache key for machines), and Seq numbers the
+// samples of one cell's run 0, 1, 2, … so downstream fan-out can
+// detect gaps per cell independently of any global ordering.
+type LiveSample struct {
+	// Cell is the emitting cell's Job.Name() ("workload/mode").
+	Cell string
+	// Key is the cell's full cache key, or "" for an uncacheable cell
+	// (a Traces override without a Key).
+	Key string
+	// Seq is the 0-based index of this sample within the cell's run.
+	Seq int
+	// Sample is the telemetry window, exactly as recorded into
+	// Stats.Samples.
+	Sample gpusim.Sample
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
@@ -113,6 +133,17 @@ type Options struct {
 	// engine counter tracks in Obs.Trace, and the per-cell log consumed
 	// by run manifests.
 	Obs *obs.Hub
+	// OnSample, when non-nil, receives every phase-telemetry sample of
+	// every cell the engine actually simulates, live, tagged with the
+	// cell's name and cache key (the gpusim.Config.OnSample hook,
+	// plumbed). It fires only for cells run with a non-zero
+	// SampleInterval; cached cells resolve without simulating and emit
+	// nothing. The callback runs on the simulation goroutine — with
+	// Workers > 1 it is invoked concurrently from several goroutines
+	// and must be safe for that; a slow callback slows its cell, so
+	// live-streaming sinks hand off immediately (see
+	// internal/serve/rooms).
+	OnSample func(LiveSample)
 }
 
 // Engine runs simulation cells over a fixed machine configuration.
@@ -295,8 +326,12 @@ func (e *Engine) runJob(ctx context.Context, job Job) Result {
 	res := Result{Job: job}
 	cacheable := e.cache != nil && (job.Traces == nil || job.Key != "")
 	var key string
-	if cacheable {
+	if job.Traces == nil || job.Key != "" {
+		// The content identity exists whether or not a cache directory
+		// is configured; the live-sample sink tags frames with it.
 		key = cacheKeyFor(e.cellConfig(job), job)
+	}
+	if cacheable {
 		if st, ok := e.cache.load(key); ok {
 			e.cacheHits.Add(1)
 			if e.mHits != nil {
@@ -310,7 +345,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) Result {
 			e.mMisses.Inc()
 		}
 	}
-	res.Stats, res.Err = e.simulate(ctx, job)
+	res.Stats, res.Err = e.simulate(ctx, job, key)
 	if res.Err == nil {
 		res.NsPerOp = res.Stats.HostNsPerOp
 		res.AllocsPerOp = res.Stats.HostAllocsPerOp
@@ -331,7 +366,9 @@ func (e *Engine) cellConfig(job Job) gpusim.Config {
 
 // simulate runs one cell, converting panics into cell errors so a
 // pathological (workload, mode) pair cannot take down the whole sweep.
-func (e *Engine) simulate(ctx context.Context, job Job) (st gpusim.Stats, err error) {
+// key is the cell's content identity ("" when it has none); it tags
+// the live samples forwarded to Options.OnSample.
+func (e *Engine) simulate(ctx context.Context, job Job, key string) (st gpusim.Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.panics.Add(1)
@@ -342,6 +379,14 @@ func (e *Engine) simulate(ctx context.Context, job Job) (st gpusim.Stats, err er
 		}
 	}()
 	cfg := e.cellConfig(job)
+	if sink := e.opts.OnSample; sink != nil {
+		name := job.Name()
+		seq := 0
+		cfg.OnSample = func(smp gpusim.Sample) {
+			sink(LiveSample{Cell: name, Key: key, Seq: seq, Sample: smp})
+			seq++
+		}
+	}
 	var traces []gpusim.Trace
 	if job.Traces != nil {
 		traces = job.Traces(cfg.NumSMs)

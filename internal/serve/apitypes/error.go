@@ -6,8 +6,13 @@ const (
 	// CodeBadRequest (400): malformed JSON, unknown field, unknown
 	// workload/suite/mode, empty grid, grid larger than the sweep cap.
 	CodeBadRequest = "bad_request"
-	// CodeNotFound (404): no such job, or the job queue is disabled.
+	// CodeNotFound (404): no such job, no such room (never created, or
+	// expired after close), or the job queue is disabled.
 	CodeNotFound = "not_found"
+	// CodeGone (410): the requested resume point has been evicted from a
+	// room's bounded history; re-attach with a later ?from (or 0 for
+	// whatever is still retained).
+	CodeGone = "gone"
 	// CodeBackpressure (429): the admission queue is full; retry after
 	// the hinted delay.
 	CodeBackpressure = "backpressure"

@@ -28,6 +28,10 @@ type SimRequest struct {
 	// values above the server maximum are clamped). An exceeded deadline
 	// returns 504.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Watch opens a telemetry room for the cell and returns its join
+	// code in the result's WatchRoom. Telemetry requires sampling, so a
+	// zero SampleInterval is raised to the server's watch default.
+	Watch bool `json:"watch,omitempty"`
 }
 
 // SweepRequest asks for a grid of cells, expanded server-side:
@@ -48,6 +52,12 @@ type SweepRequest struct {
 	MaxCycles      uint64 `json:"max_cycles,omitempty"`
 	SampleInterval uint64 `json:"sample_interval,omitempty"`
 	TimeoutMs      int64  `json:"timeout_ms,omitempty"`
+	// Watch opens a telemetry room covering every cell of the grid. For
+	// /v1/sweep the join code rides in the X-Watch-Room response header
+	// (available before the stream starts) and is echoed in the final
+	// SweepSummary; for a job it rides in the 202 JobInfo. A zero
+	// SampleInterval is raised to the server's watch default.
+	Watch bool `json:"watch,omitempty"`
 }
 
 // CellResult is one completed (or failed) cell. In a sweep stream,
@@ -67,6 +77,9 @@ type CellResult struct {
 	ElapsedMs float64       `json:"elapsed_ms"`
 	Error     string        `json:"error,omitempty"`
 	Stats     *gpusim.Stats `json:"stats,omitempty"`
+	// WatchRoom is the telemetry room's join code when the request set
+	// watch:true (GET /v1/watch/{room} replays and follows it).
+	WatchRoom string `json:"watch_room,omitempty"`
 }
 
 // SweepSummary is the final NDJSON line of a /v1/sweep stream.
@@ -77,6 +90,9 @@ type SweepSummary struct {
 	Cached    int     `json:"cached"`
 	Coalesced int     `json:"coalesced"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// WatchRoom echoes the telemetry room's join code when the request
+	// set watch:true (also sent early in the X-Watch-Room header).
+	WatchRoom string `json:"watch_room,omitempty"`
 }
 
 // WorkloadInfo is one catalog entry in the GET /v1/workloads listing.
@@ -110,7 +126,30 @@ type StatsSnapshot struct {
 	QueueDepth   int64     `json:"queue_depth"`
 	Draining     bool      `json:"draining"`
 	UptimeMs     float64   `json:"uptime_ms"`
-	Jobs         *JobStats `json:"jobs,omitempty"`
+	// UptimeSeconds duplicates UptimeMs in seconds for human readers and
+	// dashboards that bucket on seconds.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// ConfigHash / GoVersion / VCSRevision / VCSModified identify the
+	// build and simulator configuration a watcher is observing; they
+	// mirror the run manifest's identity fields.
+	ConfigHash  string     `json:"config_hash,omitempty"`
+	GoVersion   string     `json:"go_version,omitempty"`
+	VCSRevision string     `json:"vcs_revision,omitempty"`
+	VCSModified bool       `json:"vcs_modified,omitempty"`
+	Jobs        *JobStats  `json:"jobs,omitempty"`
+	Rooms       *RoomStats `json:"rooms,omitempty"`
+}
+
+// RoomStats is the telemetry-room section of StatsSnapshot, mirroring
+// the serve_rooms_* registry metrics.
+type RoomStats struct {
+	// Open and Subscribers are current gauges.
+	Open        int64 `json:"open"`
+	Subscribers int64 `json:"subscribers"`
+	// Frames and Drops are lifetime totals: frames published into rooms
+	// and subscribers evicted for falling behind.
+	Frames uint64 `json:"frames_total"`
+	Drops  uint64 `json:"drops_total"`
 }
 
 // JobStats is the job-queue section of StatsSnapshot.
@@ -201,6 +240,11 @@ type JobInfo struct {
 	SubmittedUnixMs int64  `json:"submitted_unix_ms"`
 	StartedUnixMs   int64  `json:"started_unix_ms,omitempty"`
 	FinishedUnixMs  int64  `json:"finished_unix_ms,omitempty"`
+	// WatchRoom is the telemetry room's join code when the job was
+	// submitted with watch:true. Rooms are in-memory: the field is
+	// present while the daemon that accepted the job is alive and the
+	// room has not expired; it does not survive a restart.
+	WatchRoom string `json:"watch_room,omitempty"`
 }
 
 // JobListResponse is the GET /v1/jobs body.

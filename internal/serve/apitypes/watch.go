@@ -1,0 +1,189 @@
+package apitypes
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/gpusim"
+)
+
+// SSE event names on a GET /v1/watch/{room} stream. Every event's id:
+// field carries the frame's room sequence number, so a standard
+// EventSource reconnect (Last-Event-ID) and the explicit ?from=N resume
+// agree on positions.
+const (
+	// WatchEventFrame carries one WatchFrame as JSON.
+	WatchEventFrame = "frame"
+	// WatchEventSummary carries one WatchSummary as JSON and ends the
+	// stream (room closed, or the daemon is draining).
+	WatchEventSummary = "summary"
+)
+
+// WatchFrame is one telemetry event of a room stream. Frames are
+// room-sequenced (Seq, the resume cursor) and cell-sequenced (CellSeq,
+// the sample's index within its cell run), so a watcher can both resume
+// gaplessly and demultiplex a sweep's interleaved cells.
+type WatchFrame struct {
+	// Seq is the room-wide sequence number, dense from 0.
+	Seq int `json:"seq"`
+	// Cell names the cell ("workload/mode") the frame belongs to.
+	Cell string `json:"cell"`
+	// Key is a prefix of the cell's content-addressed cache key ("" for
+	// cells without content identity).
+	Key string `json:"key,omitempty"`
+	// CellSeq is the 0-based sample index within the cell's run; -1 on
+	// lifecycle frames (Event != "").
+	CellSeq int `json:"cell_seq"`
+	// Sample is the telemetry window on sample frames.
+	Sample *gpusim.Sample `json:"sample,omitempty"`
+	// Event marks cell lifecycle frames: "cell-done" (Cached/Error
+	// qualify it). Cached cells emit no sample frames — their series was
+	// never re-simulated — so the done frame is all a watcher sees.
+	Event  string `json:"event,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// WatchEventCellDone is the Event value of a cell-completion frame.
+const WatchEventCellDone = "cell-done"
+
+// WatchSummary is the payload of the final "summary" SSE event. Done is
+// true when the room closed because its source finished; Draining ends
+// the stream early for daemon shutdown — re-attach at ?from=NextSeq
+// (the client library's FollowWatch does this automatically; it also
+// re-attaches after a slow-consumer eviction, which closes the stream
+// without a summary).
+type WatchSummary struct {
+	Done     bool `json:"done"`
+	Frames   int  `json:"frames"`
+	NextSeq  int  `json:"next_seq"`
+	Draining bool `json:"draining,omitempty"`
+}
+
+// SSEEvent is one wire event of a text/event-stream body: the subset of
+// the SSE framing the watch API uses (id/event/data fields, comment
+// lines for keep-alives).
+type SSEEvent struct {
+	ID    string
+	Event string
+	// Data is the event payload. Multi-line payloads are split across
+	// data: lines on the wire and rejoined with \n on read, per the SSE
+	// spec; watch payloads are single-line JSON.
+	Data []byte
+}
+
+// AppendSSEEvent appends the wire encoding of e to dst and returns the
+// extended slice (the append idiom keeps the hot broadcast path free of
+// per-event buffer allocations).
+func AppendSSEEvent(dst []byte, e SSEEvent) []byte {
+	if e.ID != "" {
+		dst = append(dst, "id: "...)
+		dst = append(dst, e.ID...)
+		dst = append(dst, '\n')
+	}
+	if e.Event != "" {
+		dst = append(dst, "event: "...)
+		dst = append(dst, e.Event...)
+		dst = append(dst, '\n')
+	}
+	for _, line := range bytes.Split(e.Data, []byte("\n")) {
+		dst = append(dst, "data: "...)
+		dst = append(dst, line...)
+		dst = append(dst, '\n')
+	}
+	return append(dst, '\n')
+}
+
+// ErrEventTooLarge reports an SSE event exceeding MaxRequestBytes; the
+// reader stops before buffering more than that (the decode-side
+// allocation cap, same contract as the JSON request decoders).
+var ErrEventTooLarge = errors.New("apitypes: SSE event exceeds size cap")
+
+// ReadSSEEvent reads one event from a text/event-stream body. It skips
+// comment lines and blank lines between events, joins repeated data:
+// fields with \n, ignores unknown fields, and returns io.EOF at a clean
+// end of stream. A single event never buffers more than MaxRequestBytes
+// regardless of input.
+func ReadSSEEvent(br *bufio.Reader) (SSEEvent, error) {
+	var e SSEEvent
+	var data []byte
+	sawField, sawData := false, false
+	total := 0
+	for {
+		line, err := readSSELine(br, &total)
+		if err != nil {
+			if err == io.EOF && sawField {
+				// Spec: an event not terminated by a blank line is not
+				// dispatched.
+				return SSEEvent{}, io.ErrUnexpectedEOF
+			}
+			return SSEEvent{}, err
+		}
+		if len(line) == 0 {
+			if !sawField {
+				continue // blank line between events
+			}
+			if sawData {
+				e.Data = data
+			}
+			return e, nil
+		}
+		if line[0] == ':' {
+			continue // comment / keep-alive
+		}
+		field, value := line, []byte(nil)
+		if i := bytes.IndexByte(line, ':'); i >= 0 {
+			field, value = line[:i], line[i+1:]
+			if len(value) > 0 && value[0] == ' ' {
+				value = value[1:]
+			}
+		}
+		sawField = true
+		switch string(field) {
+		case "id":
+			e.ID = string(value)
+		case "event":
+			e.Event = string(value)
+		case "data":
+			if sawData {
+				data = append(data, '\n')
+			}
+			data = append(data, value...)
+			sawData = true
+		default:
+			// Unknown fields (e.g. retry) are ignored per the SSE spec.
+		}
+	}
+}
+
+// readSSELine reads one \n-terminated line (without the terminator; a
+// trailing \r is stripped for CRLF senders), charging its length
+// against the caller's per-event budget.
+func readSSELine(br *bufio.Reader, total *int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		*total += len(chunk)
+		if *total > MaxRequestBytes {
+			return nil, fmt.Errorf("%w (> %d bytes)", ErrEventTooLarge, MaxRequestBytes)
+		}
+		line = append(line, chunk...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			if err == io.EOF && len(line) > 0 {
+				return nil, io.ErrUnexpectedEOF // truncated final line
+			}
+			return nil, err
+		}
+		line = line[:len(line)-1] // strip \n
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		return line, nil
+	}
+}

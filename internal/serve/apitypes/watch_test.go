@@ -1,0 +1,180 @@
+package apitypes
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestSSEEventRoundTrip(t *testing.T) {
+	smp := &gpusim.Sample{Cycle: 1000, Cycles: 1000, BandwidthUtil: 0.5}
+	frame := WatchFrame{Seq: 7, Cell: "stream-copy-16MB/imt", Key: "abcd1234", CellSeq: 3, Sample: smp}
+	blob, err := json.Marshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []SSEEvent{
+		{ID: "7", Event: WatchEventFrame, Data: blob},
+		{ID: "8", Event: WatchEventSummary, Data: []byte(`{"done":true,"frames":9,"next_seq":9}`)},
+		{Data: []byte("bare data")},
+		{ID: "1", Event: "x", Data: []byte("line1\nline2\n\nline4")},
+		{ID: "only-id"},
+	}
+	var wire []byte
+	for _, e := range events {
+		wire = AppendSSEEvent(wire, e)
+	}
+	br := bufio.NewReader(bytes.NewReader(wire))
+	for i, want := range events {
+		got, err := ReadSSEEvent(br)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got.ID != want.ID || got.Event != want.Event || !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("event %d round-trip drift:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := ReadSSEEvent(br); err != io.EOF {
+		t.Fatalf("after last event: err = %v, want io.EOF", err)
+	}
+
+	var decoded WatchFrame
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, frame) {
+		t.Errorf("frame JSON drift: %+v vs %+v", decoded, frame)
+	}
+}
+
+func TestReadSSEEventSkipsCommentsAndBlank(t *testing.T) {
+	wire := ": keep-alive\n\n: another\nid: 5\nretry: 1000\ndata: hi\n\n"
+	e, err := ReadSSEEvent(bufio.NewReader(strings.NewReader(wire)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "5" || string(e.Data) != "hi" {
+		t.Errorf("got %+v", e)
+	}
+}
+
+func TestReadSSEEventCRLF(t *testing.T) {
+	wire := "id: 1\r\ndata: x\r\n\r\n"
+	e, err := ReadSSEEvent(bufio.NewReader(strings.NewReader(wire)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "1" || string(e.Data) != "x" {
+		t.Errorf("got %+v", e)
+	}
+}
+
+func TestReadSSEEventTruncated(t *testing.T) {
+	for _, wire := range []string{"id: 5\ndata: hi\n", "data: no newline"} {
+		_, err := ReadSSEEvent(bufio.NewReader(strings.NewReader(wire)))
+		if err != io.ErrUnexpectedEOF {
+			t.Errorf("%q: err = %v, want io.ErrUnexpectedEOF", wire, err)
+		}
+	}
+}
+
+func TestReadSSEEventSizeCap(t *testing.T) {
+	// An endless line must fail with ErrEventTooLarge, not balloon.
+	endless := io.MultiReader(strings.NewReader("data: "), neverEnding('a'))
+	_, err := ReadSSEEvent(bufio.NewReader(endless))
+	if !errors.Is(err, ErrEventTooLarge) {
+		t.Fatalf("err = %v, want ErrEventTooLarge", err)
+	}
+	// Same for unbounded repetition of small lines within one event.
+	repeated := io.MultiReader(strings.NewReader(""), repeatReader("data: spam\n"))
+	_, err = ReadSSEEvent(bufio.NewReader(repeated))
+	if !errors.Is(err, ErrEventTooLarge) {
+		t.Fatalf("repeated lines: err = %v, want ErrEventTooLarge", err)
+	}
+}
+
+type neverEnding byte
+
+func (b neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(b)
+	}
+	return len(p), nil
+}
+
+type repeatReader string
+
+func (r repeatReader) Read(p []byte) (int, error) {
+	n := copy(p, r)
+	for n < len(p) {
+		n += copy(p[n:], r)
+	}
+	return n, nil
+}
+
+// FuzzWatchFrameDecode throws arbitrary bytes at the SSE reader. The
+// contract: never panic; never buffer more than MaxRequestBytes per
+// event; any event that reads back cleanly re-encodes to an event that
+// reads back identical (encode → decode is the identity on the decoded
+// set); frame payloads that parse as WatchFrame JSON survive a marshal
+// round trip.
+func FuzzWatchFrameDecode(f *testing.F) {
+	frame, _ := json.Marshal(WatchFrame{Seq: 1, Cell: "w/imt", CellSeq: 0,
+		Sample: &gpusim.Sample{Cycle: 50000, Cycles: 50000, BandwidthUtil: 0.25}})
+	f.Add(AppendSSEEvent(nil, SSEEvent{ID: "1", Event: WatchEventFrame, Data: frame}))
+	f.Add(AppendSSEEvent(nil, SSEEvent{ID: "2", Event: WatchEventSummary, Data: []byte(`{"done":true,"frames":3,"next_seq":3}`)}))
+	f.Add([]byte(": keep-alive\n\nid: 3\ndata: a\ndata: b\n\n"))
+	f.Add([]byte("id 5\nevent\ndata\n\n"))
+	f.Add([]byte("data: \xff\xfe\n\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("id: 1\r\ndata: x\r\n\r\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			e, err := ReadSSEEvent(br)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrEventTooLarge) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(e.Data) > MaxRequestBytes {
+				t.Fatalf("decoded payload %d bytes exceeds cap", len(e.Data))
+			}
+			// Re-encode and re-read: must be identical when the fields
+			// are representable (no newlines in id/event — the encoder
+			// would split them into invalid framing otherwise).
+			if strings.ContainsAny(e.ID, "\n\r") || strings.ContainsAny(e.Event, "\n\r") || bytes.IndexByte(e.Data, '\r') >= 0 {
+				continue
+			}
+			again, err := ReadSSEEvent(bufio.NewReader(bytes.NewReader(AppendSSEEvent(nil, e))))
+			if err != nil {
+				t.Fatalf("re-encoded event does not read back: %v", err)
+			}
+			// An empty Data round-trips as empty: the encoder always
+			// writes one data: line, so nil comes back as [].
+			if again.ID != e.ID || again.Event != e.Event || !bytes.Equal(again.Data, e.Data) {
+				t.Fatalf("round-trip drift:\n got %+v\nwant %+v", again, e)
+			}
+			var wf WatchFrame
+			if e.Event == WatchEventFrame && json.Unmarshal(e.Data, &wf) == nil {
+				if blob, err := json.Marshal(wf); err != nil {
+					t.Fatalf("decoded frame does not re-marshal: %v", err)
+				} else {
+					var wf2 WatchFrame
+					if err := json.Unmarshal(blob, &wf2); err != nil || !reflect.DeepEqual(wf, wf2) {
+						t.Fatalf("WatchFrame round-trip drift: %+v vs %+v (%v)", wf, wf2, err)
+					}
+				}
+			}
+		}
+	})
+}

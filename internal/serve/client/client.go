@@ -76,6 +76,19 @@ func (c *Client) Sim(ctx context.Context, req apitypes.SimRequest) (apitypes.Cel
 // stream is open there is nothing to retry — per-cell failures arrive
 // as CellResult.Error lines.
 func (c *Client) Sweep(ctx context.Context, req apitypes.SweepRequest, fn func(apitypes.CellResult) error) (apitypes.SweepSummary, error) {
+	return c.sweep(ctx, req, nil, fn)
+}
+
+// SweepWatch is Sweep for a watched run (req.Watch true): onRoom is
+// called with the telemetry room's join code as soon as the response
+// headers arrive — before any cell finishes — so watchers can attach
+// to the live broadcast while the sweep is still running.
+func (c *Client) SweepWatch(ctx context.Context, req apitypes.SweepRequest, onRoom func(room string), fn func(apitypes.CellResult) error) (apitypes.SweepSummary, error) {
+	req.Watch = true
+	return c.sweep(ctx, req, onRoom, fn)
+}
+
+func (c *Client) sweep(ctx context.Context, req apitypes.SweepRequest, onRoom func(string), fn func(apitypes.CellResult) error) (apitypes.SweepSummary, error) {
 	var summary apitypes.SweepSummary
 	err := c.retry(ctx, func() error {
 		resp, err := c.post(ctx, "/v1/sweep", req)
@@ -85,6 +98,11 @@ func (c *Client) Sweep(ctx context.Context, req apitypes.SweepRequest, fn func(a
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			return apiError(resp)
+		}
+		if onRoom != nil {
+			if room := resp.Header.Get("X-Watch-Room"); room != "" {
+				onRoom(room)
+			}
 		}
 		summary = apitypes.SweepSummary{}
 		sc := bufio.NewScanner(resp.Body)

@@ -41,6 +41,10 @@ var (
 	// ErrInternal: the simulation failed server-side (500, code
 	// "internal").
 	ErrInternal = errors.New("client: internal server error")
+	// ErrGone: a watch resume point fell out of the room's retained
+	// history (410, code "gone"). Never retryable — the missed frames
+	// are unrecoverable; re-attach with from=0 for the retained tail.
+	ErrGone = errors.New("client: resume point gone")
 )
 
 // APIError is a non-2xx response from the server: the HTTP status, the
@@ -84,6 +88,8 @@ func (e *APIError) Unwrap() error {
 		return ErrCanceled
 	case apitypes.CodeInternal:
 		return ErrInternal
+	case apitypes.CodeGone:
+		return ErrGone
 	}
 	// No (or unknown) code: a proxy or a pre-envelope server. Classify
 	// by status so Retryable and errors.Is still behave.
@@ -98,6 +104,8 @@ func (e *APIError) Unwrap() error {
 		return ErrTimeout
 	case http.StatusBadRequest:
 		return ErrBadRequest
+	case http.StatusGone:
+		return ErrGone
 	}
 	return ErrInternal
 }

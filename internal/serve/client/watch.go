@@ -1,0 +1,146 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/serve/apitypes"
+)
+
+// ErrWatchEvicted: the server ended a watch stream without a summary,
+// which means this subscriber fell behind the broadcast and was
+// evicted (or the connection was cut). The missed frames are still in
+// the room's history — re-attach at the last delivered sequence + 1.
+// FollowWatch does exactly that automatically.
+var ErrWatchEvicted = errors.New("client: watch stream ended without summary (evicted or cut)")
+
+// Watch attaches once to a telemetry room's SSE stream at sequence
+// from, calling fn for every frame in order (a non-nil fn error aborts
+// the attach) and returning the stream-ending summary: Done=true when
+// the room's run finished, Draining=true when the daemon is going away
+// (re-attach at NextSeq). An eviction ends the attach with
+// ErrWatchEvicted. The initial request is retried on backpressure;
+// once the stream is open there is nothing to retry at this layer —
+// FollowWatch handles reconnection.
+func (c *Client) Watch(ctx context.Context, room string, from int, fn func(apitypes.WatchFrame) error) (apitypes.WatchSummary, error) {
+	var summary apitypes.WatchSummary
+	// Only the attach is under the retry loop: once frames flow, a
+	// blind re-attempt at the same from would re-deliver them. Mid-
+	// stream failures surface to the caller; FollowWatch re-attaches
+	// at the advanced sequence instead.
+	var resp *http.Response
+	err := c.retry(ctx, func() error {
+		path := fmt.Sprintf("/v1/watch/%s?from=%d", url.PathEscape(room), from)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		r, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		if r.StatusCode != http.StatusOK {
+			defer r.Body.Close()
+			return apiError(r)
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return summary, err
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	for {
+		e, err := apitypes.ReadSSEEvent(br)
+		if err == io.EOF {
+			return summary, ErrWatchEvicted
+		}
+		if err != nil {
+			return summary, fmt.Errorf("client: bad watch stream: %w", err)
+		}
+		switch e.Event {
+		case apitypes.WatchEventFrame:
+			var f apitypes.WatchFrame
+			if err := json.Unmarshal(e.Data, &f); err != nil {
+				return summary, fmt.Errorf("client: bad watch frame: %w", err)
+			}
+			if fn != nil {
+				if err := fn(f); err != nil {
+					return summary, err
+				}
+			}
+		case apitypes.WatchEventSummary:
+			if err := json.Unmarshal(e.Data, &summary); err != nil {
+				return summary, fmt.Errorf("client: bad watch summary: %w", err)
+			}
+			return summary, nil
+		}
+		// Unknown event types are skipped for forward compatibility.
+	}
+}
+
+// FollowWatch streams a room to completion, transparently re-attaching
+// from the last delivered sequence across evictions, server drains and
+// connection cuts: every frame is delivered exactly once, in sequence
+// order, as long as the room's history still covers the resume point.
+// When it does not, the follow fails with an error wrapping ErrGone —
+// the gap is unrecoverable and silently skipping frames would betray
+// the gapless contract. from is the first sequence wanted (0 for the
+// oldest retained). Mirrors FollowJob.
+func (c *Client) FollowWatch(ctx context.Context, room string, from int, fn func(apitypes.WatchFrame) error) (apitypes.WatchSummary, error) {
+	next := from
+	backoff := c.BaseBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	for {
+		summary, err := c.Watch(ctx, room, next, func(f apitypes.WatchFrame) error {
+			if err := fn(f); err != nil {
+				return err
+			}
+			next = f.Seq + 1
+			return nil
+		})
+		switch {
+		case err == nil && summary.Done:
+			return summary, nil
+		case err == nil && summary.Draining:
+			// The daemon is going away; resume from its NextSeq (≥ our
+			// own high-water mark) after a pause.
+			if summary.NextSeq > next {
+				next = summary.NextSeq
+			}
+		case err == nil:
+			// A closed-without-done room (abandoned job): terminal.
+			return summary, nil
+		case errors.Is(err, ErrWatchEvicted):
+			// Fell behind; re-attach at next after the backoff —
+			// history replays what the live channel dropped.
+		case ctx.Err() != nil:
+			return summary, ctx.Err()
+		case !followRetryable(err):
+			return summary, err
+		}
+		select {
+		case <-time.After(c.jitter(backoff)):
+		case <-ctx.Done():
+			return apitypes.WatchSummary{}, ctx.Err()
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}

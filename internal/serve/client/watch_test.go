@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/serve/apitypes"
+)
+
+func watchFrame(seq int) apitypes.WatchFrame {
+	return apitypes.WatchFrame{Seq: seq, Cell: "w/imt", CellSeq: seq}
+}
+
+func writeSSEFrame(w http.ResponseWriter, f apitypes.WatchFrame) {
+	blob, _ := json.Marshal(f)
+	_, _ = w.Write(apitypes.AppendSSEEvent(nil, apitypes.SSEEvent{
+		ID: strconv.Itoa(f.Seq), Event: apitypes.WatchEventFrame, Data: blob,
+	}))
+}
+
+func writeSSESummary(w http.ResponseWriter, sum apitypes.WatchSummary) {
+	blob, _ := json.Marshal(sum)
+	_, _ = w.Write(apitypes.AppendSSEEvent(nil, apitypes.SSEEvent{
+		Event: apitypes.WatchEventSummary, Data: blob,
+	}))
+}
+
+func fromParam(t *testing.T, r *http.Request) int {
+	t.Helper()
+	n, err := strconv.Atoi(r.URL.Query().Get("from"))
+	if err != nil {
+		t.Errorf("bad from param %q", r.URL.Query().Get("from"))
+	}
+	return n
+}
+
+func TestWatchSingleAttach(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/watch/abc123" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, ": keep-alive\n\n") // comments must be transparent
+		for i := fromParam(t, r); i < 5; i++ {
+			writeSSEFrame(w, watchFrame(i))
+		}
+		writeSSESummary(w, apitypes.WatchSummary{Done: true, Frames: 5, NextSeq: 5})
+	}))
+	defer srv.Close()
+
+	var got []int
+	sum, err := New(srv.URL).Watch(context.Background(), "abc123", 2, func(f apitypes.WatchFrame) error {
+		got = append(got, f.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Done || sum.NextSeq != 5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("frames = %v", got)
+	}
+}
+
+func TestFollowWatchHealsEvictionAndDrain(t *testing.T) {
+	// Attach 1 (from=0): frames 0-2, then the stream just ends — an
+	// eviction. Attach 2 (from=3): frames 3-4, then a draining summary.
+	// Attach 3 (from=5): frame 5 and the real done summary. The client
+	// must deliver 0..5 exactly once, in order.
+	var attach int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attach++
+		from := fromParam(t, r)
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch attach {
+		case 1:
+			if from != 0 {
+				t.Errorf("attach 1 from = %d", from)
+			}
+			for i := 0; i < 3; i++ {
+				writeSSEFrame(w, watchFrame(i))
+			}
+			// no summary: evicted
+		case 2:
+			if from != 3 {
+				t.Errorf("attach 2 from = %d", from)
+			}
+			writeSSEFrame(w, watchFrame(3))
+			writeSSEFrame(w, watchFrame(4))
+			writeSSESummary(w, apitypes.WatchSummary{Frames: 5, NextSeq: 5, Draining: true})
+		default:
+			if from != 5 {
+				t.Errorf("attach 3 from = %d", from)
+			}
+			writeSSEFrame(w, watchFrame(5))
+			writeSSESummary(w, apitypes.WatchSummary{Done: true, Frames: 6, NextSeq: 6})
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.BaseBackoff = 1 // keep the test fast
+	var got []int
+	sum, err := c.FollowWatch(context.Background(), "abc123", 0, func(f apitypes.WatchFrame) error {
+		got = append(got, f.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Done || attach != 3 {
+		t.Fatalf("summary = %+v after %d attaches", sum, attach)
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("frames = %v, want 0..5 exactly once", got)
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d frames, want 6", len(got))
+	}
+}
+
+func TestFollowWatchGoneIsTerminal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusGone)
+		fmt.Fprint(w, `{"error":{"code":"gone","message":"resume point evicted"}}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.BaseBackoff = 1
+	_, err := c.FollowWatch(context.Background(), "abc123", 99, func(apitypes.WatchFrame) error { return nil })
+	if !errors.Is(err, ErrGone) {
+		t.Fatalf("err = %v, want ErrGone", err)
+	}
+}
+
+func TestWatchFnErrorAborts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i := 0; i < 10; i++ {
+			writeSSEFrame(w, watchFrame(i))
+		}
+		writeSSESummary(w, apitypes.WatchSummary{Done: true})
+	}))
+	defer srv.Close()
+
+	boom := errors.New("stop here")
+	n := 0
+	_, err := New(srv.URL).Watch(context.Background(), "abc123", 0, func(apitypes.WatchFrame) error {
+		if n++; n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 3 {
+		t.Fatalf("err = %v after %d frames", err, n)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/runner"
 	"repro/internal/serve/apitypes"
 	"repro/internal/serve/jobs"
+	"repro/internal/serve/rooms"
 )
 
 // drainPollInterval bounds how long a job stream keeps writing after
@@ -25,7 +27,7 @@ const drainPollInterval = 250 * time.Millisecond
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.count(s.mRequests)
-	defer s.observeLatency(t0)
+	defer s.observeLatency(t0, "jobs")
 	if s.rejectDraining(w) {
 		return
 	}
@@ -33,6 +35,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
 		return
+	}
+	if req.Watch && req.SampleInterval == 0 {
+		// Persisted with the job, so cells resumed after a restart
+		// sample at the same interval.
+		req.SampleInterval = s.opts.WatchSampleInterval
 	}
 	cells, err := s.expandSweep(req.SweepRequest)
 	if err != nil {
@@ -52,6 +59,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, apitypes.CodeInternal, err)
 		return
 	}
+	if req.Watch {
+		info.WatchRoom = s.roomForJob(info.ID).Code()
+	}
 	writeJSON(w, http.StatusAccepted, info)
 }
 
@@ -59,6 +69,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	s.count(s.mRequests)
 	list := s.jobStore.List(r.URL.Query().Get("tenant"))
+	for i := range list {
+		s.watchRoomForJob(&list[i])
+	}
 	writeJSON(w, http.StatusOK, apitypes.JobListResponse{Jobs: list})
 }
 
@@ -70,6 +83,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, apitypes.CodeNotFound, jobs.ErrNotFound)
 		return
 	}
+	s.watchRoomForJob(&info)
 	writeJSON(w, http.StatusOK, info)
 }
 
@@ -97,7 +111,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.count(s.mRequests)
-	defer s.observeLatency(t0)
+	defer s.observeLatency(t0, "jobs")
 	id := r.PathValue("id")
 	from := 0
 	if q := r.URL.Query().Get("from"); q != "" {
@@ -195,7 +209,20 @@ func (s *Server) runJobCell(ctx context.Context, info apitypes.JobInfo, ref apit
 	}
 	cctx, cancel := s.requestContext(ctx, info.Sweep.TimeoutMs, s.opts.MaxTimeout)
 	defer cancel()
-	res, err := s.runCell(cctx, cell, true)
+	var sink func(runner.LiveSample)
+	var room *rooms.Room
+	if info.Sweep.Watch {
+		room = s.roomForJob(info.ID)
+		sink = roomSink(room, cellName(cell))
+	}
+	res, err := s.runCell(cctx, cell, true, sink)
+	if room != nil {
+		done := res
+		if err != nil {
+			done.Error = err.Error()
+		}
+		publishCellDone(room, done, nil)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return apitypes.CellResult{}, ctx.Err()

@@ -1,0 +1,326 @@
+package rooms
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve/apitypes"
+)
+
+func frame(cell string, cellSeq int) apitypes.WatchFrame {
+	return apitypes.WatchFrame{Cell: cell, CellSeq: cellSeq}
+}
+
+// drain reads a subscriber to the end: replay first, then the live
+// channel until close. Returns every frame seen plus the summary (nil
+// if evicted).
+func drain(replay []apitypes.WatchFrame, sub *Subscriber, sum *apitypes.WatchSummary) ([]apitypes.WatchFrame, *apitypes.WatchSummary) {
+	out := append([]apitypes.WatchFrame(nil), replay...)
+	if sub == nil {
+		return out, sum
+	}
+	for f := range sub.Ch() {
+		out = append(out, f)
+	}
+	return out, sub.Summary()
+}
+
+func checkGapless(t *testing.T, frames []apitypes.WatchFrame, from, to int) {
+	t.Helper()
+	if len(frames) != to-from {
+		t.Fatalf("got %d frames, want %d", len(frames), to-from)
+	}
+	for i, f := range frames {
+		if f.Seq != from+i {
+			t.Fatalf("frame %d has seq %d, want %d (gap or duplicate)", i, f.Seq, from+i)
+		}
+	}
+}
+
+func TestFanOutIdenticalGapless(t *testing.T) {
+	// Buffer > frame count: this test is about identical gapless
+	// delivery, not eviction, so no subscriber may be dropped even if
+	// the scheduler starves a drainer.
+	reg := NewRegistry(obs.NewRegistry(), Options{Buffer: 1024})
+	rm := reg.Open()
+
+	const subscribers, frames = 8, 500
+	type result struct {
+		frames []apitypes.WatchFrame
+		sum    *apitypes.WatchSummary
+	}
+	results := make([]result, subscribers)
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		replay, sub, sum, err := rm.Subscribe(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, s := drain(replay, sub, sum)
+			results[i] = result{f, s}
+		}(i)
+	}
+	// Two concurrent publishers, like a sweep's parallel cells.
+	var pubs sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		pubs.Add(1)
+		go func(p int) {
+			defer pubs.Done()
+			for i := 0; i < frames/2; i++ {
+				rm.Publish(frame(fmt.Sprintf("cell-%d", p), i))
+			}
+		}(p)
+	}
+	pubs.Wait()
+	rm.Close(apitypes.WatchSummary{Done: true})
+	wg.Wait()
+
+	first := results[0]
+	checkGapless(t, first.frames, 0, frames)
+	if first.sum == nil || !first.sum.Done || first.sum.NextSeq != frames || first.sum.Frames != frames {
+		t.Fatalf("summary = %+v", first.sum)
+	}
+	for i, r := range results[1:] {
+		if len(r.frames) != len(first.frames) {
+			t.Fatalf("subscriber %d saw %d frames, subscriber 0 saw %d", i+1, len(r.frames), len(first.frames))
+		}
+		for j := range r.frames {
+			if r.frames[j] != first.frames[j] {
+				t.Fatalf("subscriber %d frame %d differs: %+v vs %+v", i+1, j, r.frames[j], first.frames[j])
+			}
+		}
+		if *r.sum != *first.sum {
+			t.Fatalf("subscriber %d summary differs: %+v vs %+v", i+1, *r.sum, *first.sum)
+		}
+	}
+	if st := reg.Stats(); st.Frames != frames || st.Drops != 0 || st.Open != 1 || st.Subscribers != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResumeFromSeq(t *testing.T) {
+	reg := NewRegistry(nil, Options{})
+	rm := reg.Open()
+	for i := 0; i < 100; i++ {
+		rm.Publish(frame("c", i))
+	}
+	// Let the broadcaster sequence everything before subscribing.
+	waitSeq(t, rm, 100)
+
+	replay, sub, sum, err := rm.Subscribe(40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != nil {
+		t.Fatal("room is still live, summary must be nil")
+	}
+	checkGapless(t, replay, 40, 100)
+	for i := 100; i < 120; i++ {
+		rm.Publish(frame("c", i))
+	}
+	rm.Close(apitypes.WatchSummary{Done: true})
+	got, gotSum := drain(replay, sub, sum)
+	checkGapless(t, got, 40, 120)
+	if gotSum == nil || gotSum.NextSeq != 120 {
+		t.Fatalf("summary = %+v", gotSum)
+	}
+}
+
+func TestSubscribeAfterClose(t *testing.T) {
+	reg := NewRegistry(nil, Options{})
+	rm := reg.Open()
+	for i := 0; i < 10; i++ {
+		rm.Publish(frame("c", i))
+	}
+	rm.Close(apitypes.WatchSummary{Done: true})
+
+	replay, sub, sum, err := rm.Subscribe(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != nil {
+		t.Fatal("closed room must not hand out a live subscriber")
+	}
+	checkGapless(t, replay, 0, 10)
+	if sum == nil || !sum.Done || sum.NextSeq != 10 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestHistoryEvictionAndErrGone(t *testing.T) {
+	reg := NewRegistry(nil, Options{History: 16})
+	rm := reg.Open()
+	for i := 0; i < 100; i++ {
+		rm.Publish(frame("c", i))
+	}
+	rm.Close(apitypes.WatchSummary{Done: true})
+
+	// Only the last 16 frames are retained: an explicit older resume
+	// point is Gone, from=0 means "oldest retained".
+	if _, _, _, err := rm.Subscribe(50, 0); err != ErrGone {
+		t.Fatalf("Subscribe(50) err = %v, want ErrGone", err)
+	}
+	replay, _, sum, err := rm.Subscribe(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGapless(t, replay, 84, 100)
+	if sum == nil {
+		t.Fatal("closed room must return its summary")
+	}
+	if replay2, _, _, err := rm.Subscribe(90, 0); err != nil || len(replay2) != 10 {
+		t.Fatalf("Subscribe(90): %d frames, err %v", len(replay2), err)
+	}
+}
+
+func TestSlowConsumerEvicted(t *testing.T) {
+	obsReg := obs.NewRegistry()
+	reg := NewRegistry(obsReg, Options{Buffer: 4})
+	rm := reg.Open()
+
+	_, slow, _, err := rm.Subscribe(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fast subscriber gets a per-subscriber buffer large enough that
+	// scheduling jitter cannot evict it; only the non-reading slow one
+	// may be dropped.
+	replayFast, fast, _, err := rm.Subscribe(0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []apitypes.WatchFrame)
+	go func() {
+		got, _ := drain(replayFast, fast, nil)
+		done <- got
+	}()
+
+	// The slow subscriber never reads: frame 5 overflows its 4-slot
+	// buffer and evicts it.
+	for i := 0; i < 50; i++ {
+		rm.Publish(frame("c", i))
+	}
+	waitSeq(t, rm, 50)
+	for range slow.Ch() {
+		// Drain what was buffered before eviction; the channel must be
+		// closed by now, without a summary.
+	}
+	if slow.Summary() != nil {
+		t.Fatal("evicted subscriber must not get a summary")
+	}
+	if st := reg.Stats(); st.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", st.Drops)
+	}
+	// The fast subscriber and the room are unharmed.
+	rm.Close(apitypes.WatchSummary{Done: true})
+	checkGapless(t, <-done, 0, 50)
+	if st := reg.Stats(); st.Subscribers != 0 {
+		t.Fatalf("subscribers = %d, want 0", st.Subscribers)
+	}
+}
+
+func TestUnsubscribeIdempotentWithEviction(t *testing.T) {
+	reg := NewRegistry(nil, Options{Buffer: 1})
+	rm := reg.Open()
+	_, sub, _, err := rm.Subscribe(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rm.Publish(frame("c", i))
+	}
+	waitSeq(t, rm, 10)
+	rm.Unsubscribe(sub) // already evicted: must not double-close
+	rm.Unsubscribe(sub) // and idempotent
+	rm.Close(apitypes.WatchSummary{Done: true})
+}
+
+func TestPublishAfterCloseIsNoop(t *testing.T) {
+	reg := NewRegistry(nil, Options{})
+	rm := reg.Open()
+	rm.Publish(frame("c", 0))
+	rm.Close(apitypes.WatchSummary{Done: true})
+	rm.Publish(frame("c", 1)) // must not panic or deadlock
+	rm.Close(apitypes.WatchSummary{})
+	if replay, _, _, _ := rm.Subscribe(0, 0); len(replay) != 1 {
+		t.Fatalf("retained %d frames, want 1", len(replay))
+	}
+}
+
+func TestRegistryGetAndTTL(t *testing.T) {
+	reg := NewRegistry(obs.NewRegistry(), Options{TTL: time.Millisecond})
+	rm := reg.Open()
+	if got, err := reg.Get(rm.Code()); err != nil || got != rm {
+		t.Fatalf("Get(%q) = %v, %v", rm.Code(), got, err)
+	}
+	if _, err := reg.Get("nosuch"); err != ErrNotFound {
+		t.Fatalf("Get(nosuch) err = %v, want ErrNotFound", err)
+	}
+	rm.Close(apitypes.WatchSummary{Done: true})
+	time.Sleep(5 * time.Millisecond)
+	if _, err := reg.Get(rm.Code()); err != ErrNotFound {
+		t.Fatalf("expired room still resolvable: err = %v", err)
+	}
+	if st := reg.Stats(); st.Open != 0 {
+		t.Fatalf("open = %d after GC, want 0", st.Open)
+	}
+}
+
+func TestConcurrentPublishSubscribeClose(t *testing.T) {
+	// Race smoke: publishers, subscribers and a closer all at once.
+	reg := NewRegistry(obs.NewRegistry(), Options{Buffer: 8})
+	rm := reg.Open()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rm.Publish(frame(fmt.Sprintf("p%d", p), i))
+			}
+		}(p)
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replay, sub, sum, err := rm.Subscribe(0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			drain(replay, sub, sum)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rm.Close(apitypes.WatchSummary{Done: true})
+	}()
+	wg.Wait()
+}
+
+// waitSeq blocks until the broadcaster has sequenced n frames (bounded
+// wait; publishing is async from sequencing).
+func waitSeq(t *testing.T, rm *Room, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rm.mu.Lock()
+		got := rm.nextSeq
+		rm.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("broadcaster sequenced %d frames, want %d", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/serve/apitypes"
 	"repro/internal/serve/jobs"
+	"repro/internal/serve/rooms"
 	"repro/internal/workload"
 )
 
@@ -48,6 +49,18 @@ type Options struct {
 	// a job still pass through admission control, so total simulation
 	// concurrency never exceeds Workers.
 	JobWorkers int
+	// WatchSampleInterval is the sampling interval forced onto watch:true
+	// requests that did not set one — live telemetry requires sampling
+	// (0 = 50000 cycles).
+	WatchSampleInterval uint64
+	// RoomBuffer is the per-watcher frame buffer; a watcher this far
+	// behind a room's broadcast is evicted (0 = the rooms default, 256).
+	RoomBuffer int
+	// RoomHistory bounds each room's replay history in frames
+	// (0 = 65536).
+	RoomHistory int
+	// RoomTTL is how long a closed room stays replayable (0 = 2m).
+	RoomTTL time.Duration
 	// Debug mounts the obs debug mux (pprof, expvar, /metrics) on the
 	// handler.
 	Debug bool
@@ -72,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSweepCells <= 0 {
 		o.MaxSweepCells = 4096
+	}
+	if o.WatchSampleInterval == 0 {
+		o.WatchSampleInterval = 50000
 	}
 	if o.Obs == nil {
 		o.Obs = obs.NewHub()
@@ -98,6 +114,13 @@ type Server struct {
 	manifest obs.Manifest
 	jobStore *jobs.Store
 	jobs     *jobs.Manager
+	rooms    *rooms.Registry
+
+	// jobRooms maps job ID → telemetry room for watch:true jobs. The
+	// mapping is in-memory like the rooms themselves: resumed jobs get a
+	// fresh room on their first post-restart cell.
+	jobRoomsMu sync.Mutex
+	jobRooms   map[string]*rooms.Room
 
 	mRequests  *obs.Counter
 	mCells     *obs.Counter
@@ -106,7 +129,7 @@ type Server struct {
 	mRejected  *obs.Counter
 	mTimeouts  *obs.Counter
 	mErrors    *obs.Counter
-	mLatency   *obs.Histogram
+	mLatency   *obs.HistogramVec
 	mQueueWait *obs.Histogram
 
 	// simHook, when non-nil, replaces the engine run inside execute —
@@ -145,9 +168,15 @@ func New(opts Options) (*Server, error) {
 		s.mRejected = reg.Counter("serve_rejected_total", "requests rejected with 429 (queue full)")
 		s.mTimeouts = reg.Counter("serve_timeouts_total", "requests that exceeded their deadline (504)")
 		s.mErrors = reg.Counter("serve_errors_total", "requests that failed with 500")
-		s.mLatency = reg.Histogram("serve_request_seconds", "end-to-end request latency", obs.DurationBuckets)
+		s.mLatency = reg.HistogramVec("serve_request_seconds", "route", "end-to-end request latency by route", obs.DurationBuckets)
 		s.mQueueWait = reg.Histogram("serve_queue_wait_seconds", "time spent waiting for an execution slot", obs.DurationBuckets)
 	}
+	s.rooms = rooms.NewRegistry(reg, rooms.Options{
+		Buffer:  opts.RoomBuffer,
+		History: opts.RoomHistory,
+		TTL:     opts.RoomTTL,
+	})
+	s.jobRooms = make(map[string]*rooms.Room)
 	s.manifest = obs.NewManifest("imtd", struct {
 		Workers, Queue int
 		CacheDir       string
@@ -195,6 +224,7 @@ func (s *Server) Hub() *obs.Hub { return s.hub }
 //	GET    /v1/jobs/{id}        job poll → JobInfo
 //	GET    /v1/jobs/{id}/stream NDJSON JobFrame stream (?from=N resumes)
 //	DELETE /v1/jobs/{id}        cancel → JobInfo
+//	GET    /v1/watch/{room}     SSE telemetry stream (?from=N resumes)
 //	GET    /v1/workloads        catalog listing
 //	GET    /v1/statsz           StatsSnapshot (activity counters)
 //	GET    /v1/healthz          200 ok / 503 draining
@@ -215,6 +245,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/v1/jobs", s.handleJobsDisabled)
 		mux.HandleFunc("/v1/jobs/", s.handleJobsDisabled)
 	}
+	mux.HandleFunc("GET /v1/watch/{room}", s.handleWatch)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -270,8 +301,11 @@ func (s *Server) cellConfig(cell cellSpec) gpusim.Config {
 // runCell executes one cell through the full serving path: cache fast
 // path, then singleflight coalescing on the cell's content key, then
 // admission, then the engine. It never writes HTTP — handlers map the
-// returned result + error to a status via statusFor.
-func (s *Server) runCell(ctx context.Context, cell cellSpec, patient bool) (CellResult, error) {
+// returned result + error to a status via statusFor. sink, when
+// non-nil, receives the run's live telemetry samples; cached and
+// coalesced-follower cells emit none (nothing is re-simulated — the
+// watcher sees their cell-done frame only).
+func (s *Server) runCell(ctx context.Context, cell cellSpec, patient bool, sink func(runner.LiveSample)) (CellResult, error) {
 	t0 := time.Now()
 	res := CellResult{Workload: cell.w.Name, Mode: cell.modeName}
 	job := runner.Job{
@@ -296,7 +330,7 @@ func (s *Server) runCell(ctx context.Context, cell cellSpec, patient bool) (Cell
 	}
 
 	out, shared, err := s.flights.do(ctx, key, func() outcome {
-		return s.execute(ctx, cfg, cell, job, patient)
+		return s.execute(ctx, cfg, cell, job, patient, sink)
 	})
 	res.Coalesced = shared
 	if shared {
@@ -323,7 +357,7 @@ func (s *Server) runCell(ctx context.Context, cell cellSpec, patient bool) (Cell
 // execute is the singleflight leader's body: acquire an execution slot
 // under the request's context, run the engine, and normalize the
 // result.
-func (s *Server) execute(ctx context.Context, cfg gpusim.Config, cell cellSpec, job runner.Job, patient bool) outcome {
+func (s *Server) execute(ctx context.Context, cfg gpusim.Config, cell cellSpec, job runner.Job, patient bool, sink func(runner.LiveSample)) outcome {
 	tQueue := time.Now()
 	release, err := s.adm.acquire(ctx, patient)
 	if s.mQueueWait != nil {
@@ -338,11 +372,15 @@ func (s *Server) execute(ctx context.Context, cfg gpusim.Config, cell cellSpec, 
 		return s.simHook(ctx, cell)
 	}
 	eng := s.eng
-	if cell.sampleInterval != 0 {
+	if cell.sampleInterval != 0 || sink != nil {
 		// Sampling changes the machine config (and the cache key), so a
 		// sampled cell runs on an ephemeral engine over the same hub and
 		// cache directory; the shared registry metrics still accumulate.
-		eng = runner.New(cfg, s.engineOptions(cfg))
+		// A live sink rides the same path: it is per-request state, so it
+		// must never be installed on the shared engine.
+		eopts := s.engineOptions(cfg)
+		eopts.OnSample = sink
+		eng = runner.New(cfg, eopts)
 	}
 	results, runErr := eng.Run(ctx, []runner.Job{job})
 	r := results[0]
@@ -377,7 +415,7 @@ func statusFor(err error) (int, string) {
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.count(s.mRequests)
-	defer s.observeLatency(t0)
+	defer s.observeLatency(t0, "sim")
 	if s.rejectDraining(w) {
 		return
 	}
@@ -386,6 +424,9 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
 		return
 	}
+	if req.Watch && req.SampleInterval == 0 {
+		req.SampleInterval = s.opts.WatchSampleInterval
+	}
 	cell, err := s.resolveCell(req.Workload, req.Mode, req.MaxCycles, req.SampleInterval)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
@@ -393,7 +434,22 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs, s.opts.DefaultTimeout)
 	defer cancel()
-	res, err := s.runCell(ctx, cell, false)
+	var sink func(runner.LiveSample)
+	var room *rooms.Room
+	if req.Watch {
+		// The join code rides in a header too, so a streaming-inclined
+		// client could attach before the cell finishes; the JSON result
+		// is the canonical carrier.
+		room = s.rooms.Open()
+		w.Header().Set("X-Watch-Room", room.Code())
+		sink = roomSink(room, cellName(cell))
+	}
+	res, err := s.runCell(ctx, cell, false, sink)
+	if room != nil {
+		publishCellDone(room, res, err)
+		room.Close(apitypes.WatchSummary{Done: true})
+		res.WatchRoom = room.Code()
+	}
 	if err != nil {
 		status, code := statusFor(err)
 		s.writeError(w, status, code, err)
@@ -403,10 +459,46 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// cellName is the cell label telemetry frames carry: the request's own
+// workload/mode spelling (not the runner's normalized mode name), so
+// watchers demultiplex on the strings they asked for.
+func cellName(cell cellSpec) string { return cell.w.Name + "/" + cell.modeName }
+
+// roomSink adapts a telemetry room into a runner live-sample sink for
+// one cell.
+func roomSink(room *rooms.Room, cell string) func(runner.LiveSample) {
+	return func(ls runner.LiveSample) {
+		smp := ls.Sample
+		room.Publish(apitypes.WatchFrame{
+			Cell:    cell,
+			Key:     shortKey(ls.Key),
+			CellSeq: ls.Seq,
+			Sample:  &smp,
+		})
+	}
+}
+
+// publishCellDone emits the lifecycle frame that ends a cell's series
+// (the only frame a cached or coalesced cell produces).
+func publishCellDone(room *rooms.Room, res CellResult, err error) {
+	f := apitypes.WatchFrame{
+		Cell:    res.Workload + "/" + res.Mode,
+		Key:     res.CacheKey,
+		CellSeq: -1,
+		Event:   apitypes.WatchEventCellDone,
+		Cached:  res.Cached,
+		Error:   res.Error,
+	}
+	if err != nil {
+		f.Error = err.Error()
+	}
+	room.Publish(f)
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.count(s.mRequests)
-	defer s.observeLatency(t0)
+	defer s.observeLatency(t0, "sweep")
 	if s.rejectDraining(w) {
 		return
 	}
@@ -415,6 +507,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
 		return
 	}
+	if req.Watch && req.SampleInterval == 0 {
+		req.SampleInterval = s.opts.WatchSampleInterval
+	}
 	cells, err := s.expandSweep(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
@@ -422,6 +517,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs, s.opts.MaxTimeout)
 	defer cancel()
+
+	var room *rooms.Room
+	if req.Watch {
+		// The join code must be available before the stream starts (the
+		// whole point is watching the sweep live), so it goes out as a
+		// response header ahead of the NDJSON body.
+		room = s.rooms.Open()
+		w.Header().Set("X-Watch-Room", room.Code())
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -446,7 +550,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := s.runCell(ctx, cell, true)
+			var sink func(runner.LiveSample)
+			if room != nil {
+				sink = roomSink(room, cellName(cell))
+			}
+			res, err := s.runCell(ctx, cell, true, sink)
 			done <- numbered{res, err}
 		}(cell)
 	}
@@ -466,6 +574,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.count(s.mCells)
 		}
+		if room != nil {
+			publishCellDone(room, res, nil)
+			res.WatchRoom = room.Code()
+		}
 		if res.Cached {
 			summary.Cached++
 		}
@@ -479,6 +591,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	if room != nil {
+		room.Close(apitypes.WatchSummary{Done: true})
+		summary.WatchRoom = room.Code()
 	}
 	summary.Done = true
 	summary.ElapsedMs = millisSince(t0)
@@ -559,9 +675,17 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 
 // Stats returns the server's activity snapshot (the /v1/statsz body).
 func (s *Server) Stats() StatsSnapshot {
+	up := time.Since(s.started)
 	snap := StatsSnapshot{
-		Draining: s.draining.Load(),
-		UptimeMs: millisSince(s.started),
+		Draining:      s.draining.Load(),
+		UptimeMs:      float64(up) / float64(time.Millisecond),
+		UptimeSeconds: up.Seconds(),
+		// Build identity, so a watcher can tell which binary and machine
+		// configuration it is observing.
+		ConfigHash:  s.manifest.ConfigHash,
+		GoVersion:   s.manifest.GoVersion,
+		VCSRevision: s.manifest.VCSRevision,
+		VCSModified: s.manifest.VCSModified,
 	}
 	if s.mRequests != nil {
 		snap.Requests = s.mRequests.Value()
@@ -579,6 +703,10 @@ func (s *Server) Stats() StatsSnapshot {
 	if s.jobs != nil {
 		js := s.jobs.Stats()
 		snap.Jobs = &js
+	}
+	if s.rooms != nil {
+		rs := s.rooms.Stats()
+		snap.Rooms = &rs
 	}
 	return snap
 }
@@ -701,9 +829,9 @@ func (s *Server) count(c *obs.Counter) {
 	}
 }
 
-func (s *Server) observeLatency(t0 time.Time) {
+func (s *Server) observeLatency(t0 time.Time, route string) {
 	if s.mLatency != nil {
-		s.mLatency.Observe(time.Since(t0).Seconds())
+		s.mLatency.With(route).Observe(time.Since(t0).Seconds())
 	}
 }
 

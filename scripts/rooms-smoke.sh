@@ -1,0 +1,68 @@
+#!/bin/sh
+# rooms-smoke: end-to-end gate for live telemetry rooms (make rooms-smoke).
+#
+# Boots imtd on an ephemeral port with deliberately small room buffers,
+# runs one watched sweep with 8 concurrent /v1/watch subscribers via
+# imtload, then SIGTERMs the daemon and asserts a clean drain.
+#
+# The run fails unless, per the live-telemetry contract:
+#   - every watcher sees the identical, gapless frame sequence;
+#   - watcher 0, killed mid-stream, re-attaches at its last sequence
+#     and still ends up with the same frames as everyone else;
+#   - a deliberately stalled watcher is evicted (>=1 room drop in the
+#     server's counters) instead of ever slowing the simulation;
+#   - /v1/statsz reports the serve_rooms_* counters and the flushed
+#     metrics file carries the room metric families;
+#   - the daemon exits 0 after SIGTERM.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+IMTD_PID=
+cleanup() {
+    [ -n "$IMTD_PID" ] && kill -9 "$IMTD_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "rooms-smoke: building imtd + imtload"
+$GO build -o "$WORK/imtd" ./cmd/imtd
+$GO build -o "$WORK/imtload" ./cmd/imtload
+
+echo "rooms-smoke: starting imtd (ephemeral port, -room-buffer 16)"
+"$WORK/imtd" -addr 127.0.0.1:0 -addr-file "$WORK/imtd.addr" \
+    -j 2 -room-buffer 16 \
+    -metrics-out "$WORK/metrics.prom" \
+    2>"$WORK/imtd.log" &
+IMTD_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$WORK/imtd.addr" ] && break
+    kill -0 "$IMTD_PID" 2>/dev/null || { cat "$WORK/imtd.log"; echo "rooms-smoke: FAILED: imtd died on startup"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/imtd.addr")
+echo "rooms-smoke: imtd listening on $ADDR"
+
+# A tiny sample interval makes the broadcast dense enough that the
+# mid-stream kill always lands and the stalled watcher always backs up.
+"$WORK/imtload" -addr "$ADDR" -n 4 -c 2 \
+    -sweep-suite STREAM -sweep-modes none,imt \
+    -watchers 8 -watch-sample-interval 50 -min-drops 1
+
+echo "rooms-smoke: draining imtd (SIGTERM)"
+kill -TERM "$IMTD_PID"
+DRAIN_OK=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$IMTD_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+    sleep 0.1
+done
+if [ "$DRAIN_OK" != 1 ]; then
+    echo "rooms-smoke: FAILED: imtd did not drain within 30s"
+    exit 1
+fi
+wait "$IMTD_PID" 2>/dev/null || { echo "rooms-smoke: FAILED: imtd exited nonzero"; cat "$WORK/imtd.log"; exit 1; }
+IMTD_PID=
+grep -q 'serve_room_frames_total' "$WORK/metrics.prom" || { echo "rooms-smoke: FAILED: room metrics missing from flushed registry"; exit 1; }
+grep -q 'serve_room_drops_total' "$WORK/metrics.prom" || { echo "rooms-smoke: FAILED: drop metric missing from flushed registry"; exit 1; }
+echo "rooms-smoke: PASS"
