@@ -13,10 +13,10 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/jobs ./internal/serve/rooms
+	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/jobs ./internal/serve/rooms ./internal/ecc/bitslice ./internal/reliability
 
 race:
-	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/jobs ./internal/serve/rooms
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/jobs ./internal/serve/rooms ./internal/ecc/bitslice ./internal/reliability ./internal/security
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -26,20 +26,24 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_results.json
 
-# Perf-regression gate over the gpusim hot path: reruns the steady-state
-# benchmarks (6 repetitions; the gate compares min ns/op on both sides,
-# so transient scheduler noise must survive every repetition to trip it)
-# and fails if any benchmark regressed beyond tolerance against the
-# committed BENCH_results.json baseline. On a pass it refreshes the
-# baseline in place, keeping the embedded before/after trajectory.
+# Perf-regression gate over the gpusim hot path and the bitsliced
+# fault-injection engine: reruns the steady-state simulator benchmarks
+# plus the injections-per-second pairs (bitsliced vs scalar; 6
+# repetitions; the gate compares min ns/op on both sides, so transient
+# scheduler noise must survive every repetition to trip it) and fails
+# if any benchmark regressed beyond tolerance against the committed
+# BENCH_results.json baseline. On a pass it refreshes the baseline in
+# place, keeping the embedded before/after trajectory.
 # Tolerance is 15% rather than benchjson's 10% default: shared runners
 # drift ±10% window-to-window even on min-of-6, while the regressions
 # this gate exists to catch (reintroducing per-access maps or per-op
-# allocations on the hot path) cost 2x and blow far past either bound.
+# allocations on the hot path, or de-bitslicing an injection loop)
+# cost 2x+ and blow far past either bound.
 bench-gate:
 	$(GO) run ./cmd/benchjson -out BENCH_results.json -gate BENCH_results.json \
 		-gate-tolerance 0.15 \
-		-bench 'BenchmarkSimSteady' -benchtime 5x -count 6 -pkg ./internal/gpusim
+		-bench 'BenchmarkSimSteady|BenchmarkInject' -benchtime 5x -count 6 \
+		-pkg './internal/gpusim ./internal/reliability'
 
 # Regenerate every paper table/figure into results/ (paper scale, ~3 min).
 repro:
@@ -84,6 +88,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz='^FuzzServeRequestDecode$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz='^FuzzJobWALReplay$$' -fuzztime=10s ./internal/serve/jobs
 	$(GO) test -run '^$$' -fuzz='^FuzzWatchFrameDecode$$' -fuzztime=10s ./internal/serve/apitypes
+	$(GO) test -run '^$$' -fuzz='^FuzzBitslicedDecode$$' -fuzztime=10s ./internal/ecc/bitslice
 
 # The conformance gate: golden-result regression, differential ECC
 # oracles and metamorphic simulator invariants (see DESIGN.md

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_results.json] [-bench regexp] [-benchtime 1x] [-count 1] [-pkg .]
-//	          [-prev old.json] [-gate BENCH_results.json] [-gate-tolerance 0.10]
+//	benchjson [-out BENCH_results.json] [-bench regexp] [-benchtime 1x] [-count 1]
+//	          [-pkg "./pkg1 ./pkg2"] [-prev old.json] [-gate BENCH_results.json]
+//	          [-gate-tolerance 0.10]
 //
 // The tool shells out to `go test -run ^$ -bench ... -benchmem`, streams
 // the raw output to stderr as it arrives, then parses every benchmark
@@ -194,7 +195,7 @@ func main() {
 		bench     = flag.String("bench", ".", "benchmark name regexp (go test -bench)")
 		benchtime = flag.String("benchtime", "1x", "per-benchmark time or iteration budget (go test -benchtime)")
 		count     = flag.Int("count", 1, "runs per benchmark (go test -count)")
-		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+		pkg       = flag.String("pkg", ".", "package pattern(s) to benchmark, space-separated")
 		prev      = flag.String("prev", "", "earlier report to embed under \"previous\"")
 		gate      = flag.String("gate", "", "baseline report; fail on ns/op regressions beyond -gate-tolerance")
 		gateTol   = flag.Float64("gate-tolerance", 0.10, "allowed fractional ns/op regression before -gate fails")
@@ -218,8 +219,12 @@ func main() {
 		}
 	}
 
-	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
-		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	pkgs := strings.Fields(*pkg)
+	if len(pkgs) == 0 {
+		pkgs = []string{"."}
+	}
+	args := append([]string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}, pkgs...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 
@@ -250,6 +255,11 @@ func main() {
 	}
 	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	rep.Command = "go " + strings.Join(args, " ")
+	if len(pkgs) > 1 {
+		// Multi-package runs emit one "pkg:" header per package; record
+		// the full pattern list instead of whichever came last.
+		rep.Pkg = strings.Join(pkgs, " ")
+	}
 	if *prev != "" {
 		rep.Previous = &PreviousReport{
 			CreatedAt:  prevRep.CreatedAt,

@@ -6,7 +6,8 @@
 //	imtrepro [-out results] [-only fig5,table2,...] [-quick] [-stride N] [-trials N]
 //	         [-j N] [-cache-dir DIR] [-modes carve-low,bounds,...]
 //
-// Experiment ids: fig1, fig5, fig8, fig9, table1, table2, table3, bloat,
+// Experiment ids: fig1, fig5, fig8, fig9, fig9ci (high-trial Figure 9
+// with 95% Wilson bounds), table1, table2, table3, bloat,
 // security, bounds, stealing, extsymbol (§7.1 symbol-code extension),
 // extcpu (§7.2 CPU-deployment extension), extalloc (§7.3 improved
 // allocators), extva57 (footnote-4 57-bit-VA evaluation), and sweep (a
@@ -156,6 +157,11 @@ func main() {
 		r, err := experiments.Fig9(opts)
 		check(err)
 		emit("fig9", r.Table())
+	})
+	timed("fig9ci", func() {
+		r, err := experiments.Fig9CI(opts)
+		check(err)
+		emit("fig9ci", r.CITable())
 	})
 	timed("table2", func() {
 		r, err := experiments.Table2(opts)

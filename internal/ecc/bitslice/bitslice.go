@@ -1,0 +1,359 @@
+package bitslice
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/gf2"
+)
+
+// Class is the decode class of one syndrome value, mirroring the scalar
+// classifier in internal/reliability: the zero/aliasing class, the
+// single-bit-correctable columns, the tag column space (AFT-ECC), and
+// everything else (detected uncorrectable). The two low bits are the
+// engine's classification planes, so the numeric values are load-bearing.
+type Class uint8
+
+const (
+	// ClassZero: the zero syndrome (or, for derived tables, any syndrome
+	// whose nonzero patterns should count as silent corruption).
+	ClassZero Class = iota
+	// ClassCorrectable: the syndrome matches a physical column.
+	ClassCorrectable
+	// ClassTag: the syndrome lies in the AFT-ECC tag column space.
+	ClassTag
+	// ClassOther: detected uncorrectable.
+	ClassOther
+)
+
+// Outcome is a per-lane injection outcome, ordered as in
+// reliability.Outcome.
+type Outcome uint8
+
+const (
+	OutcomeOK Outcome = iota
+	OutcomeCE
+	OutcomeDUE
+	OutcomeTMM
+	OutcomeSDC
+)
+
+// Counts tallies the outcomes of classified lanes.
+type Counts struct {
+	Total, OK, CE, DUE, TMM, SDC uint64
+}
+
+// Add accumulates another tally into c.
+func (c *Counts) Add(o Counts) {
+	c.Total += o.Total
+	c.OK += o.OK
+	c.CE += o.CE
+	c.DUE += o.DUE
+	c.TMM += o.TMM
+	c.SDC += o.SDC
+}
+
+// Engine classifies batches of error patterns against one code: nphys
+// physical bit positions with their H columns and a 2^r-entry syndrome
+// class table.
+type Engine struct {
+	nphys int
+	r     int
+	cols  []uint64
+	class []Class
+	// rows[j] lists the physical bits whose column has row bit j set —
+	// the XOR-fold recipe for syndrome plane j.
+	rows [][]int32
+	// detectOnly: the table holds only ClassZero/ClassOther, so
+	// classification needs no transpose or lookup.
+	detectOnly bool
+}
+
+// maxR bounds the class table at 2^24 entries; every code in the repo
+// is far below it, and scalar fallbacks in callers cover the rest.
+const maxR = 24
+
+// New builds an engine from a code's row count, physical H columns and
+// syndrome class table (the same data reliability.Target carries). The
+// slices are copied.
+func New(r int, cols []uint64, class []Class) (*Engine, error) {
+	if r < 1 || r > maxR {
+		return nil, fmt.Errorf("bitslice: r=%d out of range [1,%d]", r, maxR)
+	}
+	if len(class) != 1<<uint(r) {
+		return nil, fmt.Errorf("bitslice: class table has %d entries, want %d", len(class), 1<<uint(r))
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("bitslice: no columns")
+	}
+	if class[0] != ClassZero {
+		return nil, fmt.Errorf("bitslice: class[0] must be ClassZero")
+	}
+	mask := uint64(1)<<uint(r) - 1
+	e := &Engine{
+		nphys: len(cols),
+		r:     r,
+		cols:  append([]uint64(nil), cols...),
+		class: append([]Class(nil), class...),
+		rows:  make([][]int32, r),
+	}
+	for i, c := range cols {
+		if c&^mask != 0 {
+			return nil, fmt.Errorf("bitslice: column %d = %#x exceeds %d syndrome bits", i, c, r)
+		}
+		for c != 0 {
+			j := bits.TrailingZeros64(c)
+			e.rows[j] = append(e.rows[j], int32(i))
+			c &= c - 1
+		}
+	}
+	e.detectOnly = true
+	for _, cl := range class {
+		if cl > ClassOther {
+			return nil, fmt.Errorf("bitslice: invalid class value %d", cl)
+		}
+		if cl == ClassCorrectable || cl == ClassTag {
+			e.detectOnly = false
+		}
+	}
+	return e, nil
+}
+
+// NPhys returns the number of physical bit positions.
+func (e *Engine) NPhys() int { return e.nphys }
+
+// R returns the number of syndrome rows.
+func (e *Engine) R() int { return e.r }
+
+// Batch holds 64 error patterns in bit-plane form: bit L of plane i
+// means lane L flips physical bit i. The lane mask selects which of the
+// 64 lanes are live; dead lanes are ignored by classification.
+type Batch struct {
+	planes []uint64
+	lanes  uint64
+	// dirty tracks planes touched by Flip so Reset stays cheap for
+	// sparse fills; allDirty is set by the bulk fills.
+	dirty    []int32
+	allDirty bool
+}
+
+// NewBatch allocates a batch sized for the engine, with no live lanes.
+func (e *Engine) NewBatch() *Batch {
+	return &Batch{planes: make([]uint64, e.nphys)}
+}
+
+// Reset clears every pattern and the lane mask.
+func (b *Batch) Reset() {
+	if b.allDirty {
+		for i := range b.planes {
+			b.planes[i] = 0
+		}
+	} else {
+		for _, i := range b.dirty {
+			b.planes[i] = 0
+		}
+	}
+	b.dirty = b.dirty[:0]
+	b.allDirty = false
+	b.lanes = 0
+}
+
+// SetLaneRange marks lanes [lo, hi) live (0 ≤ lo < hi ≤ 64).
+func (b *Batch) SetLaneRange(lo, hi int) {
+	b.lanes = (^uint64(0) << uint(lo)) & (^uint64(0) >> uint(64-hi))
+}
+
+// Lanes returns the live-lane mask.
+func (b *Batch) Lanes() uint64 { return b.lanes }
+
+// Flip toggles physical bit `bit` in lane `lane`.
+func (b *Batch) Flip(lane, bit int) {
+	b.planes[bit] ^= 1 << uint(lane)
+	if !b.allDirty {
+		b.dirty = append(b.dirty, int32(bit))
+	}
+}
+
+// Get reports whether lane `lane` flips physical bit `bit`.
+func (b *Batch) Get(lane, bit int) bool {
+	return b.planes[bit]>>uint(lane)&1 == 1
+}
+
+// LaneBits returns the physical bit indices lane `lane` flips.
+func (b *Batch) LaneBits(lane int) []int {
+	var out []int
+	for i, p := range b.planes {
+		if p>>uint(lane)&1 == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Random fills every plane with one word from rng — each of the 64
+// lanes becomes an independent uniformly random error pattern (bit-flip
+// probability ½). The lane mask is untouched.
+func (b *Batch) Random(rng *Rand) {
+	for i := range b.planes {
+		b.planes[i] = rng.Uint64()
+	}
+	b.allDirty = true
+}
+
+// RandomNonzero is Random followed by rerolling any all-zero lane until
+// all 64 lanes hold a nonzero pattern — a uniform draw from the nonzero
+// patterns, lane by lane.
+func (b *Batch) RandomNonzero(rng *Rand) {
+	b.Random(rng)
+	for {
+		var nz uint64
+		for _, p := range b.planes {
+			nz |= p
+		}
+		zero := ^nz
+		if zero == 0 {
+			return
+		}
+		for i := range b.planes {
+			b.planes[i] = b.planes[i]&nz | rng.Uint64()&zero
+		}
+	}
+}
+
+// LaneMasks is the per-lane classification of one batch: bit L of each
+// mask reports lane L's outcome. The five outcome masks partition Live.
+type LaneMasks struct {
+	Live                  uint64
+	OK, CE, DUE, TMM, SDC uint64
+}
+
+// Outcome returns lane L's outcome and whether the lane was live.
+func (m LaneMasks) Outcome(lane int) (Outcome, bool) {
+	bit := uint64(1) << uint(lane)
+	switch {
+	case m.Live&bit == 0:
+		return OutcomeOK, false
+	case m.CE&bit != 0:
+		return OutcomeCE, true
+	case m.DUE&bit != 0:
+		return OutcomeDUE, true
+	case m.TMM&bit != 0:
+		return OutcomeTMM, true
+	case m.SDC&bit != 0:
+		return OutcomeSDC, true
+	default:
+		return OutcomeOK, true
+	}
+}
+
+// ClassifyMasks classifies all live lanes of a batch.
+//
+// The mask algebra mirrors the scalar classifier exactly: with zeroM /
+// corrM / tagM / otherM the per-lane class masks and w1 / w2 the
+// weight-≥1 / weight-≥2 planes,
+//
+//	OK  = zero ∧ ¬w1        (empty pattern)
+//	SDC = (zero ∧ w1) ∨ (corr ∧ w2)   (alias or miscorrection)
+//	CE  = corr ∧ ¬w2        (true single-bit correction)
+//	TMM = tag, DUE = other
+func (e *Engine) ClassifyMasks(b *Batch) LaneMasks {
+	live := b.lanes
+	m := LaneMasks{Live: live}
+	if live == 0 {
+		return m
+	}
+
+	// Weight planes: w2 |= w1 & p before w1 |= p per plane leaves w1 =
+	// "≥ 1 bit", w2 = "≥ 2 bits" — all the classifier needs.
+	var w1, w2 uint64
+	for _, p := range b.planes {
+		w2 |= w1 & p
+		w1 |= p
+	}
+
+	// Syndrome planes: row j is the XOR-fold of the planes in rows[j].
+	var syn [64]uint64
+	zero := live
+	for j, row := range e.rows {
+		var acc uint64
+		for _, i := range row {
+			acc ^= b.planes[i]
+		}
+		syn[j] = acc
+		zero &^= acc
+	}
+
+	if e.detectOnly {
+		m.OK = zero &^ w1
+		m.SDC = zero & w1
+		m.DUE = live &^ zero
+		return m
+	}
+
+	// Pivot the R row words into 64 per-lane syndromes, look each up in
+	// the class table, and re-slice the two class bits into planes.
+	gf2.Transpose64(&syn)
+	class := e.class
+	var b0, b1 uint64
+	for l := 0; l < 64; l++ {
+		c := uint64(class[syn[l]])
+		b0 |= (c & 1) << uint(l)
+		b1 |= (c >> 1) << uint(l)
+	}
+	corr := b0 &^ b1 & live
+	tag := b1 &^ b0 & live
+	other := b0 & b1 & live
+
+	m.OK = zero &^ w1
+	m.SDC = (zero & w1) | (corr & w2)
+	m.CE = corr &^ w2
+	m.TMM = tag
+	m.DUE = other
+	return m
+}
+
+// Classify tallies the live lanes of a batch.
+func (e *Engine) Classify(b *Batch) Counts {
+	m := e.ClassifyMasks(b)
+	return Counts{
+		Total: uint64(bits.OnesCount64(m.Live)),
+		OK:    uint64(bits.OnesCount64(m.OK)),
+		CE:    uint64(bits.OnesCount64(m.CE)),
+		DUE:   uint64(bits.OnesCount64(m.DUE)),
+		TMM:   uint64(bits.OnesCount64(m.TMM)),
+		SDC:   uint64(bits.OnesCount64(m.SDC)),
+	}
+}
+
+// ClassifyRun tallies the `count` error patterns prefix ∪ {base+i}
+// (i in [0, count)): a fixed prefix error with syndrome prefixSyn and
+// weight prefixWeight, extended by one distinct physical bit from a
+// consecutive run. This is the batched form of exhaustive k-bit
+// enumeration — the incremental prefix XOR already reduces the scalar
+// inner loop to one table lookup per pattern, so the run formulation is
+// tally-exact by construction and keeps that loop tight.
+func (e *Engine) ClassifyRun(prefixSyn uint64, prefixWeight, base, count int) Counts {
+	var zero, corr, tag uint64
+	class := e.class
+	for _, c := range e.cols[base : base+count] {
+		switch class[prefixSyn^c] {
+		case ClassZero:
+			zero++
+		case ClassCorrectable:
+			corr++
+		case ClassTag:
+			tag++
+		}
+	}
+	total := uint64(count)
+	out := Counts{Total: total, TMM: tag, DUE: total - zero - corr - tag}
+	if prefixWeight == 0 {
+		// Weight-1 patterns: correctable syndromes are true CEs; a zero
+		// syndrome from one flipped bit is silent corruption.
+		out.CE = corr
+		out.SDC = zero
+	} else {
+		out.SDC = zero + corr
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package bitslice
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// testEngine builds a small SECDED-shaped engine by hand: 12 physical
+// columns over r=5 rows with a class table marking each column
+// correctable, one extra syndrome as tag space, everything else other.
+func testEngine(t testing.TB) *Engine {
+	t.Helper()
+	cols := []uint64{0x03, 0x05, 0x06, 0x09, 0x0A, 0x0C, 0x11, 0x12, 0x14, 0x18, 0x07, 0x0B}
+	class := make([]Class, 1<<5)
+	for s := range class {
+		if s != 0 {
+			class[s] = ClassOther
+		}
+	}
+	for _, c := range cols {
+		class[c] = ClassCorrectable
+	}
+	class[0x1F] = ClassTag
+	eng, err := New(5, cols, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestNewValidation(t *testing.T) {
+	cols := []uint64{1, 2, 3}
+	okClass := make([]Class, 4)
+	cases := []struct {
+		name  string
+		r     int
+		cols  []uint64
+		class []Class
+	}{
+		{"r too small", 0, cols, []Class{0}},
+		{"r too large", 30, cols, okClass},
+		{"class size mismatch", 2, cols, make([]Class, 5)},
+		{"no columns", 2, nil, okClass},
+		{"class zero not ClassZero", 2, cols, []Class{ClassOther, 0, 0, 0}},
+		{"column out of range", 2, []uint64{1, 4}, okClass},
+		{"invalid class value", 2, cols, []Class{0, 7, 0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.r, c.cols, c.class); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := New(2, cols, okClass); err != nil {
+		t.Errorf("valid engine rejected: %v", err)
+	}
+}
+
+func TestNewCopiesInputs(t *testing.T) {
+	cols := []uint64{1, 2, 3}
+	class := make([]Class, 4)
+	eng, err := New(2, cols, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := eng.NewBatch()
+	b.Flip(0, 0)
+	b.SetLaneRange(0, 1)
+	before := eng.Classify(b)
+	cols[0] = 2
+	class[1] = ClassCorrectable
+	after := eng.Classify(b)
+	if before != after {
+		t.Fatal("engine must copy cols/class at construction")
+	}
+}
+
+// TestTallyConservation: the five outcome masks partition the live-lane
+// mask for random batches under random lane subsets.
+func TestTallyConservation(t *testing.T) {
+	eng := testEngine(t)
+	rng := rand.New(rand.NewSource(11))
+	batch := eng.NewBatch()
+	for trial := 0; trial < 500; trial++ {
+		batch.Reset()
+		r := NewRand(rng.Uint64())
+		batch.Random(r)
+		lo := rng.Intn(64)
+		hi := lo + 1 + rng.Intn(64-lo)
+		batch.SetLaneRange(lo, hi)
+
+		m := eng.ClassifyMasks(batch)
+		if m.OK|m.CE|m.DUE|m.TMM|m.SDC != m.Live {
+			t.Fatalf("trial %d: outcome masks do not cover live lanes", trial)
+		}
+		if m.OK&m.CE|m.OK&m.DUE|m.CE&m.DUE|m.TMM&m.SDC|m.OK&m.SDC|m.CE&m.SDC|m.DUE&m.SDC|m.OK&m.TMM|m.CE&m.TMM|m.DUE&m.TMM != 0 {
+			t.Fatalf("trial %d: outcome masks overlap", trial)
+		}
+		c := eng.Classify(batch)
+		if c.OK+c.CE+c.DUE+c.TMM+c.SDC != c.Total {
+			t.Fatalf("trial %d: counts do not sum to total: %+v", trial, c)
+		}
+		if c.Total != uint64(bits.OnesCount64(m.Live)) || c.Total != uint64(hi-lo) {
+			t.Fatalf("trial %d: total %d != live lanes %d", trial, c.Total, hi-lo)
+		}
+	}
+}
+
+// TestLanePermutationInvariance: shuffling patterns across lanes leaves
+// the summed tally unchanged.
+func TestLanePermutationInvariance(t *testing.T) {
+	eng := testEngine(t)
+	rng := rand.New(rand.NewSource(12))
+	a := eng.NewBatch()
+	b := eng.NewBatch()
+	for trial := 0; trial < 200; trial++ {
+		a.Reset()
+		b.Reset()
+		a.Random(NewRand(rng.Uint64()))
+		a.SetLaneRange(0, 64)
+		perm := rng.Perm(64)
+		for bit := 0; bit < eng.NPhys(); bit++ {
+			for lane := 0; lane < 64; lane++ {
+				if a.Get(lane, bit) {
+					b.Flip(perm[lane], bit)
+				}
+			}
+		}
+		b.SetLaneRange(0, 64)
+		if eng.Classify(a) != eng.Classify(b) {
+			t.Fatalf("trial %d: lane permutation changed the tally", trial)
+		}
+	}
+}
+
+// TestDetectOnlyFastPathMatchesGeneral: the detect-only shortcut and the
+// general transpose+lookup path agree on detect-only class tables.
+func TestDetectOnlyFastPathMatchesGeneral(t *testing.T) {
+	cols := []uint64{0x3, 0x5, 0x6, 0x7, 0x1, 0x2, 0x4}
+	class := make([]Class, 8)
+	for s := 1; s < 8; s++ {
+		class[s] = ClassOther
+	}
+	eng, err := New(3, cols, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.detectOnly {
+		t.Fatal("engine should take the detect-only fast path")
+	}
+	rng := rand.New(rand.NewSource(13))
+	batch := eng.NewBatch()
+	for trial := 0; trial < 300; trial++ {
+		batch.Reset()
+		batch.Random(NewRand(rng.Uint64()))
+		batch.SetLaneRange(0, 1+rng.Intn(64))
+		fast := eng.ClassifyMasks(batch)
+		eng.detectOnly = false
+		slow := eng.ClassifyMasks(batch)
+		eng.detectOnly = true
+		if fast != slow {
+			t.Fatalf("trial %d: fast path %+v != general path %+v", trial, fast, slow)
+		}
+	}
+}
+
+// TestClassifyRunMatchesBatch: the exhaustive-run formulation equals
+// classifying the same single-extra-bit patterns through batches.
+func TestClassifyRunMatchesBatch(t *testing.T) {
+	eng := testEngine(t)
+	n := eng.NPhys()
+	prefixes := []struct {
+		bits []int
+	}{
+		{nil},
+		{[]int{0}},
+		{[]int{2, 5}},
+		{[]int{1, 3, 7}},
+	}
+	for _, pre := range prefixes {
+		var prefixSyn uint64
+		for _, b := range pre.bits {
+			prefixSyn ^= eng.cols[b]
+		}
+		base := 0
+		if len(pre.bits) > 0 {
+			base = pre.bits[len(pre.bits)-1] + 1
+		}
+		count := n - base
+		run := eng.ClassifyRun(prefixSyn, len(pre.bits), base, count)
+
+		batch := eng.NewBatch()
+		var want Counts
+		for lane := 0; lane < count; lane++ {
+			for _, b := range pre.bits {
+				batch.Flip(lane, b)
+			}
+			batch.Flip(lane, base+lane)
+		}
+		batch.SetLaneRange(0, count)
+		want.Add(eng.Classify(batch))
+		// ClassifyRun counts weight-(len+1) patterns; the batch holds the
+		// same patterns, so the tallies must agree exactly — including
+		// the OK field, which is always 0 for nonempty patterns.
+		if run != want {
+			t.Fatalf("prefix %v: run %+v != batch %+v", pre.bits, run, want)
+		}
+	}
+}
+
+func TestBatchResetSparseAndBulk(t *testing.T) {
+	eng := testEngine(t)
+	b := eng.NewBatch()
+	b.Flip(3, 2)
+	b.Flip(9, 7)
+	b.Reset()
+	for lane := 0; lane < 64; lane++ {
+		if got := b.LaneBits(lane); len(got) != 0 {
+			t.Fatalf("lane %d not cleared after sparse reset: %v", lane, got)
+		}
+	}
+	b.Random(NewRand(1))
+	b.Reset()
+	for lane := 0; lane < 64; lane++ {
+		if got := b.LaneBits(lane); len(got) != 0 {
+			t.Fatalf("lane %d not cleared after bulk reset: %v", lane, got)
+		}
+	}
+}
+
+func TestRandomNonzero(t *testing.T) {
+	eng := testEngine(t)
+	b := eng.NewBatch()
+	for trial := 0; trial < 100; trial++ {
+		b.Reset()
+		b.RandomNonzero(NewRand(uint64(trial)))
+		for lane := 0; lane < 64; lane++ {
+			if len(b.LaneBits(lane)) == 0 {
+				t.Fatalf("trial %d: lane %d is zero after RandomNonzero", trial, lane)
+			}
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	if SeedForBatch(1, 0) == SeedForBatch(1, 1) || SeedForBatch(1, 0) == SeedForBatch(2, 0) {
+		t.Fatal("batch seeds must differ across batches and campaign seeds")
+	}
+}
+
+func TestOutcomeAccessor(t *testing.T) {
+	eng := testEngine(t)
+	b := eng.NewBatch()
+	// lane 0: empty (OK); lane 1: one correctable bit (CE); lane 2: an
+	// uncorrectable pattern or miscorrection (SDC/DUE/TMM — just live).
+	b.Flip(1, 0)
+	b.SetLaneRange(0, 3)
+	m := eng.ClassifyMasks(b)
+	if o, live := m.Outcome(0); !live || o != OutcomeOK {
+		t.Fatalf("lane 0: got (%v,%v), want (OK,true)", o, live)
+	}
+	if o, live := m.Outcome(1); !live || o != OutcomeCE {
+		t.Fatalf("lane 1: got (%v,%v), want (CE,true)", o, live)
+	}
+	if _, live := m.Outcome(63); live {
+		t.Fatal("lane 63 should be dead")
+	}
+}

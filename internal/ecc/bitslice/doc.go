@@ -1,0 +1,37 @@
+// Package bitslice is a bitsliced fault-injection engine for the GF(2)
+// linear codes in internal/ecc and internal/core: it classifies 64
+// error patterns per uint64 lane-step instead of decoding one codeword
+// at a time.
+//
+// # Bit-plane layout
+//
+// A Batch holds one uint64 plane per physical bit position; bit L of
+// plane i means "lane L flips physical bit i". With that layout a
+// syndrome row is the XOR-fold of the planes whose H column has the
+// row's bit set, yielding 64 syndromes simultaneously — one bit per
+// lane per row. The R row words are then pivoted with gf2.Transpose64
+// into 64 per-lane syndrome values for a class-table lookup, and the
+// per-lane outcomes (OK / CE / DUE / TMM / SDC) fall out of branch-free
+// mask algebra over the class bits and two weight planes (weight ≥ 1,
+// weight ≥ 2 — all the classifier distinguishes).
+//
+// Detect-only class tables (no correctable and no tag syndromes) skip
+// the transpose and table lookup entirely: "syndrome zero or not" is R
+// AND-NOT operations, which makes the R ≤ 8 points of the Figure 9
+// curve nearly free.
+//
+// # Determinism
+//
+// Rand is a SplitMix64 generator, and SeedForBatch derives an
+// independent stream per 64-lane batch from (campaign seed, batch
+// index). Campaigns built on it are therefore batch-splittable: any
+// partition of the trial range produces tallies that sum to the whole,
+// independent of worker count — the contract internal/reliability's
+// parallel drivers and metamorphic tests rely on.
+//
+// Correctness is established differentially: the test battery checks
+// every lane's outcome against scalar ecc.Code.Decode / core.Code
+// decoding across all code families, exhaustively for small weights and
+// randomized for mixed weights (see bitslice_test, differential_test,
+// FuzzBitslicedDecode).
+package bitslice

@@ -38,7 +38,13 @@ type Options struct {
 	GPU gpusim.Config
 	// SecurityTrials for the attack Monte Carlo.
 	SecurityTrials int
-	Seed           int64
+	// CITrials is the per-point Monte-Carlo budget of the high-trial
+	// Figure 9 mode (Fig9CI), which reports Wilson confidence bounds;
+	// 0 → 10× RandomTrials. The bitsliced injector sustains tens of
+	// millions of injections per second, so paper-scale CITrials cost
+	// seconds, not minutes.
+	CITrials int
+	Seed     int64
 }
 
 // Full returns paper-scale options (minutes of runtime).
@@ -48,6 +54,7 @@ func Full() Options {
 		Exhaustive4Bit: true,
 		WorkloadStride: 1,
 		SecurityTrials: 200_000,
+		CITrials:       20_000_000,
 		Seed:           1,
 	}
 }
@@ -81,6 +88,9 @@ func (o Options) fill() Options {
 	}
 	if o.SecurityTrials == 0 {
 		o.SecurityTrials = 20_000
+	}
+	if o.CITrials == 0 {
+		o.CITrials = 10 * o.RandomTrials
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

@@ -50,7 +50,7 @@ func Security(opts Options) (SecurityResult, error) {
 				tagger = tagalloc.ScudoTagger{TagBits: cfg.tb}
 				closed = security.Scudo(cfg.tb)
 			}
-			sim, err := security.SimulateAttacks(tagger, 32, opts.SecurityTrials, opts.Seed)
+			sim, err := security.SimulateAttacksWorkers(tagger, 32, opts.SecurityTrials, opts.Seed, opts.Parallelism)
 			if err != nil {
 				return res, err
 			}

@@ -1,0 +1,26 @@
+package gf2
+
+// Transpose64 transposes a 64×64 bit matrix in place. The convention
+// matches the rest of the package: bit j of a[i] is entry (i, j), so
+// after the call bit j of a[i] holds what bit i of a[j] held before.
+//
+// The implementation is the classic recursive block swap (Hacker's
+// Delight §7-3 generalized to 64 bits): six passes, each exchanging the
+// off-diagonal sub-blocks of every 2j×2j tile with shift-and-mask
+// delta swaps — 64 XOR/shift ops per pass, no branches on data.
+//
+// The bitsliced injection engine uses this to pivot R syndrome
+// bit-planes (one word per H row, one lane per bit) into 64 per-lane
+// syndrome words for table lookup.
+func Transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			// Swap the high half of row k with the low half of row k+j:
+			// entries (k, j..) ↔ (k+j, ..j) within the current tile.
+			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+	}
+}

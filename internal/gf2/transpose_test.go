@@ -1,0 +1,66 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// transposeNaive is the reference: bit j of out[i] = bit i of in[j].
+func transposeNaive(a [64]uint64) [64]uint64 {
+	var out [64]uint64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if a[j]>>uint(i)&1 == 1 {
+				out[i] |= 1 << uint(j)
+			}
+		}
+	}
+	return out
+}
+
+func TestTranspose64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var a [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		want := transposeNaive(a)
+		got := a
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: Transpose64 disagrees with naive reference", trial)
+		}
+	}
+}
+
+func TestTranspose64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var a [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+	}
+	b := a
+	Transpose64(&b)
+	Transpose64(&b)
+	if a != b {
+		t.Fatal("Transpose64 applied twice is not the identity")
+	}
+}
+
+func TestTranspose64SingleBit(t *testing.T) {
+	for _, pos := range [][2]int{{0, 0}, {0, 63}, {63, 0}, {17, 42}, {42, 17}, {31, 32}} {
+		var a [64]uint64
+		a[pos[0]] = 1 << uint(pos[1])
+		Transpose64(&a)
+		for i := 0; i < 64; i++ {
+			want := uint64(0)
+			if i == pos[1] {
+				want = 1 << uint(pos[0])
+			}
+			if a[i] != want {
+				t.Fatalf("bit (%d,%d): row %d = %#x, want %#x", pos[0], pos[1], i, a[i], want)
+			}
+		}
+	}
+}

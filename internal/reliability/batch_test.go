@@ -1,0 +1,277 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+)
+
+func testTargets(t *testing.T) []Target {
+	t.Helper()
+	var out []Target
+	out = append(out, TargetECC(ecc.NewParity(32)))
+	sec, err := ecc.NewSEC(32, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, TargetECC(sec))
+	det, err := ecc.NewDetectOnly(32, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, TargetECC(det))
+	h64, err := ecc.NewHsiao(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, TargetECC(h64))
+	aft, err := core.NewCode(64, 8, 5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, TargetAFT(aft))
+	return out
+}
+
+// TestExhaustiveKBitMatchesScalar: the ClassifyRun-based enumeration is
+// tally-exact against the scalar reference for every family.
+func TestExhaustiveKBitMatchesScalar(t *testing.T) {
+	for _, target := range testTargets(t) {
+		if target.Engine() == nil {
+			t.Fatalf("%s: no bitsliced engine", target.Name)
+		}
+		for k := 1; k <= 4; k++ {
+			got, err := ExhaustiveKBit(target, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ExhaustiveKBitScalar(target, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s k=%d: bitsliced %+v != scalar %+v", target.Name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomErrorsChunkSum: a 64k-injection campaign equals the sum of
+// its chunks under any contiguous partition (including ragged,
+// non-batch-aligned boundaries).
+func TestRandomErrorsChunkSum(t *testing.T) {
+	h64, err := ecc.NewHsiao(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := TargetECC(h64)
+	const trials = 65536
+	const seed = 777
+	whole := RandomErrors(target, trials, seed)
+	if whole.Total != trials {
+		t.Fatalf("total = %d, want %d", whole.Total, trials)
+	}
+	for _, cuts := range [][]int{
+		{trials},
+		{1, 63, 64, 65, 1000, trials - 1193},
+		{32768, 32768},
+		{17, 4096, 61423},
+	} {
+		var sum Tally
+		off := 0
+		for _, n := range cuts {
+			sum = sum.sum(RandomErrorsOffset(target, n, seed, off))
+			off += n
+		}
+		if off != trials {
+			t.Fatalf("bad partition %v", cuts)
+		}
+		if sum != whole {
+			t.Errorf("partition %v: sum %+v != whole %+v", cuts, sum, whole)
+		}
+	}
+}
+
+// TestRandomErrorsParallelWorkerIndependent: identical tallies for any
+// worker count — the reproducibility contract SDCCurve now documents.
+func TestRandomErrorsParallelWorkerIndependent(t *testing.T) {
+	for _, target := range testTargets(t) {
+		base := RandomErrorsParallel(target, 20_000, 1, 42)
+		for _, workers := range []int{2, 3, 7, 8} {
+			got := RandomErrorsParallel(target, 20_000, workers, 42)
+			if got != base {
+				t.Errorf("%s: workers=%d tally %+v != workers=1 %+v", target.Name, workers, got, base)
+			}
+		}
+	}
+}
+
+// TestSDCCurveWorkersRegression pins workers=1 against workers=8 — the
+// reproducibility footgun this PR removes (SDCCurve used to produce
+// machine-dependent tallies via GOMAXPROCS).
+func TestSDCCurveWorkersRegression(t *testing.T) {
+	one, err := SDCCurveWorkers(64, 12, 20_000, 1234, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := SDCCurveWorkers(64, 12, 20_000, 1234, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != len(eight) {
+		t.Fatalf("point count %d != %d", len(one), len(eight))
+	}
+	for i := range one {
+		if one[i] != eight[i] {
+			t.Errorf("R=%d: workers=1 %+v != workers=8 %+v", one[i].R, one[i], eight[i])
+		}
+	}
+}
+
+// TestSampledKBitDeterministicAndConserving: fixed seed → fixed tally;
+// tally totals always equal the requested trials.
+func TestSampledKBitDeterministicAndConserving(t *testing.T) {
+	for _, target := range testTargets(t) {
+		for _, k := range []int{1, 3, 4} {
+			a, err := SampledKBit(target, k, 10_001, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := SampledKBit(target, k, 10_001, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("%s k=%d: same seed gave %+v then %+v", target.Name, k, a, b)
+			}
+			if a.Total != 10_001 {
+				t.Errorf("%s k=%d: total %d != trials", target.Name, k, a.Total)
+			}
+			if a.CE+a.DUE+a.TMM+a.SDC > a.Total {
+				t.Errorf("%s k=%d: outcome counts exceed total: %+v", target.Name, k, a)
+			}
+		}
+	}
+}
+
+// TestSampledKBitMatchesScalarStatistically: the bitsliced sampler and
+// the math/rand reference draw from the same distribution.
+func TestSampledKBitMatchesScalarStatistically(t *testing.T) {
+	aft, err := core.NewCode(64, 8, 5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := TargetAFT(aft)
+	const trials = 200_000
+	a, err := SampledKBit(target, 3, trials, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampledKBitScalar(target, 3, trials, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{
+		a.TMMRate() - b.TMMRate(),
+		a.DERate() - b.DERate(),
+		a.SDCRate() - b.SDCRate(),
+	} {
+		if math.Abs(d) > 0.01 {
+			t.Errorf("samplers disagree beyond tolerance: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// TestTagCorruptionsExhaustiveMatchesScalar: the tag-difference
+// multiplicity enumeration is bit-identical to the full lock/key pair
+// loop.
+func TestTagCorruptionsExhaustiveMatchesScalar(t *testing.T) {
+	for _, geom := range []struct{ k, r, ts int }{{64, 8, 5}, {256, 10, 9}} {
+		c, err := core.NewCode(geom.k, geom.r, geom.ts, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := TagCorruptions(c, 0, 1)
+		want := TagCorruptionsScalar(c, 0, 1)
+		if got != want {
+			t.Errorf("TS=%d: difference enumeration %+v != pair enumeration %+v", geom.ts, got, want)
+		}
+		space := uint64(1) << uint(geom.ts)
+		if got.Total != space*(space-1) {
+			t.Errorf("TS=%d: total %d != pair count %d", geom.ts, got.Total, space*(space-1))
+		}
+	}
+}
+
+// TestTagCorruptionsSampledDeterministic: sampled tag campaigns are a
+// pure function of (code, limit, seed), and for a verified construction
+// remain 100% TMM.
+func TestTagCorruptionsSampledDeterministic(t *testing.T) {
+	c, err := core.NewCode(256, 16, 15, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := TagCorruptions(c, 20_000, 42)
+	b := TagCorruptions(c, 20_000, 42)
+	if a != b {
+		t.Fatalf("same seed gave %+v then %+v", a, b)
+	}
+	if a.Total != 20_000 || a.TMM != 20_000 {
+		t.Fatalf("IMT-16 sampled tag corruptions must be all-TMM: %+v", a)
+	}
+}
+
+// TestRandomErrorsMatchesScalarStatistically: the SplitMix64 batched
+// campaign agrees with the math/rand scalar reference in distribution
+// and with the analytic SDC rate.
+func TestRandomErrorsMatchesScalarStatistically(t *testing.T) {
+	h64, err := ecc.NewHsiao(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := TargetECC(h64)
+	const trials = 500_000
+	a := RandomErrors(target, trials, 1)
+	b := RandomErrorsScalar(target, trials, 2)
+	analytic := AnalyticRandomSDC(64, 8, ecc.SECDED)
+	for name, d := range map[string]float64{
+		"bitsliced vs scalar SDC": a.SDCRate() - b.SDCRate(),
+		"bitsliced vs analytic":   a.SDCRate() - analytic,
+		"bitsliced vs scalar DE":  a.DERate() - b.DERate(),
+	} {
+		if math.Abs(d) > 0.005 {
+			t.Errorf("%s: |Δ| = %v beyond tolerance (%+v vs %+v)", name, d, a, b)
+		}
+	}
+}
+
+func TestWilson(t *testing.T) {
+	lo, hi := Wilson(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("no trials: want the vacuous interval [0,1], got [%v,%v]", lo, hi)
+	}
+	lo, hi = Wilson(50, 100, 1.96)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("p=0.5 interval [%v,%v] must contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval [%v,%v] too wide for n=100", lo, hi)
+	}
+	// Extremes stay inside [0,1] and remain nondegenerate.
+	lo, hi = Wilson(0, 1000, 1.96)
+	if lo != 0 || hi <= 0 || hi > 0.01 {
+		t.Errorf("0/1000 interval [%v,%v]", lo, hi)
+	}
+	lo, hi = Wilson(1000, 1000, 1.96)
+	if hi != 1 || lo >= 1 || lo < 0.99 {
+		t.Errorf("1000/1000 interval [%v,%v]", lo, hi)
+	}
+	// Width shrinks like 1/sqrt(n).
+	lo1, hi1 := Wilson(100, 10_000, 1.96)
+	lo2, hi2 := Wilson(10_000, 1_000_000, 1.96)
+	if (hi2 - lo2) >= (hi1-lo1)/5 {
+		t.Errorf("interval must tighten with n: n=1e4 width %v, n=1e6 width %v", hi1-lo1, hi2-lo2)
+	}
+}

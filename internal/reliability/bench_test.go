@@ -1,0 +1,105 @@
+package reliability
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+)
+
+// curveK64RandomInjections is the Monte-Carlo half of the K=64 Figure 9
+// campaign (the part the bitsliced engine accelerates; the exhaustive
+// 3-bit half is an incremental table loop in both engines): the random
+// corruption campaign of every R=1..12 curve code.
+func curveK64Targets(b *testing.B) []Target {
+	b.Helper()
+	var out []Target
+	for r := 1; r <= 12; r++ {
+		var (
+			code *ecc.Code
+			err  error
+		)
+		switch {
+		case r >= 10:
+			code, err = ecc.NewHsiao(64, r)
+		case r == 9:
+			code, err = ecc.NewSEC(64, r, 1234)
+		case r == 1:
+			code = ecc.NewParity(64)
+		default:
+			code, err = ecc.NewDetectOnly(64, r, 1234+int64(r))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, TargetECC(code))
+	}
+	return out
+}
+
+const benchCurveTrials = 50_000
+
+// BenchmarkInjectCurveK64 measures the bitsliced K=64 reliability
+// campaign; the custom metric is sustained injections per second.
+func BenchmarkInjectCurveK64(b *testing.B) {
+	targets := curveK64Targets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, t := range targets {
+			RandomErrors(t, benchCurveTrials, 1234+int64(100+j))
+		}
+	}
+	b.StopTimer()
+	inj := float64(b.N) * float64(len(targets)) * benchCurveTrials
+	b.ReportMetric(inj/b.Elapsed().Seconds(), "inj/s")
+}
+
+// BenchmarkInjectCurveK64Scalar is the scalar baseline of the same
+// campaign — the bench gate records the bitsliced/scalar inj/s ratio.
+func BenchmarkInjectCurveK64Scalar(b *testing.B) {
+	targets := curveK64Targets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, t := range targets {
+			RandomErrorsScalar(t, benchCurveTrials, 1234+int64(100+j))
+		}
+	}
+	b.StopTimer()
+	inj := float64(b.N) * float64(len(targets)) * benchCurveTrials
+	b.ReportMetric(inj/b.Elapsed().Seconds(), "inj/s")
+}
+
+func imt16Target(b *testing.B) Target {
+	b.Helper()
+	code, err := core.NewCode(256, 16, 15, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return TargetAFT(code)
+}
+
+const benchIMT16Trials = 100_000
+
+// BenchmarkInjectRandomIMT16 measures random corruption of the
+// paper-scale IMT-16 code (272 physical bits, R=16) — the Table 2 /
+// security-evaluation hot path.
+func BenchmarkInjectRandomIMT16(b *testing.B) {
+	target := imt16Target(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomErrors(target, benchIMT16Trials, 42)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*benchIMT16Trials/b.Elapsed().Seconds(), "inj/s")
+}
+
+// BenchmarkInjectRandomIMT16Scalar is the scalar baseline.
+func BenchmarkInjectRandomIMT16Scalar(b *testing.B) {
+	target := imt16Target(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomErrorsScalar(target, benchIMT16Trials, 42)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*benchIMT16Trials/b.Elapsed().Seconds(), "inj/s")
+}

@@ -2,6 +2,7 @@ package reliability
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/ecc"
@@ -16,6 +17,11 @@ type CurvePoint struct {
 	// RandomSDC is the silent-corruption probability under uniformly
 	// random corruption.
 	RandomSDC float64
+	// RandomSDCLow/High bound RandomSDC with the 95% Wilson score
+	// interval over RandomTrials Monte-Carlo samples.
+	RandomSDCLow  float64
+	RandomSDCHigh float64
+	RandomTrials  uint64
 	// ThreeBitSDC is the exhaustive 3-bit-error SDC probability; NaN-free:
 	// it is 0 for detect-only codes, which detect all odd-weight errors
 	// only when R=1 parity — so we simply don't report it (HasThreeBit).
@@ -28,17 +34,23 @@ type CurvePoint struct {
 // and SEC-DED codes from R=10 (matching the paper's sweep for K=256,
 // where R=9 is the first SEC-capable and R=10 the first SEC-DED-capable
 // redundancy). Random corruption uses `trials` samples; 3-bit errors are
-// exhaustive. The Monte-Carlo campaign fans out over GOMAXPROCS workers,
-// so the sampled values depend on the machine's core count; use
-// SDCCurveWorkers with a fixed count when results must be reproducible
-// bit-for-bit across machines (the conformance goldens do).
+// exhaustive.
+//
+// The Monte-Carlo campaign fans out over GOMAXPROCS workers; since the
+// batched injector derives every 64-lane batch's stream from (seed,
+// batch index) alone, the result is identical for every worker count —
+// SDCCurve(k, maxR, trials, seed) equals SDCCurveWorkers(..., w) for
+// all w. Callers that want explicit control of the fan-out (or CPU
+// budget) should still use SDCCurveWorkers.
 func SDCCurve(k, maxR, trials int, seed int64) ([]CurvePoint, error) {
 	return SDCCurveWorkers(k, maxR, trials, seed, runtime.GOMAXPROCS(0))
 }
 
-// SDCCurveWorkers is SDCCurve with an explicit Monte-Carlo worker count.
-// The per-worker seeds and trial split are functions of `workers`, so a
-// fixed count yields identical curves on every machine.
+// SDCCurveWorkers is SDCCurve with an explicit Monte-Carlo worker
+// count. The tallies are a function of (k, maxR, trials, seed) only:
+// the deterministic per-batch seed splitting makes every worker count
+// produce bit-identical curves on every machine (a regression test
+// pins workers=1 against workers=8).
 func SDCCurveWorkers(k, maxR, trials int, seed int64, workers int) ([]CurvePoint, error) {
 	var out []CurvePoint
 	for r := 1; r <= maxR; r++ {
@@ -61,7 +73,10 @@ func SDCCurveWorkers(k, maxR, trials int, seed int64, workers int) ([]CurvePoint
 		}
 		t := TargetECC(code)
 		pt := CurvePoint{R: r, Kind: code.Kind()}
-		pt.RandomSDC = RandomErrorsParallel(t, trials, workers, seed+int64(100+r)).SDCRate()
+		tally := RandomErrorsParallel(t, trials, workers, seed+int64(100+r))
+		pt.RandomSDC = tally.SDCRate()
+		pt.RandomSDCLow, pt.RandomSDCHigh = Wilson(tally.SDC, tally.Total, 1.96)
+		pt.RandomTrials = tally.Total
 		if code.Kind() != ecc.DetectOnly {
 			tally, err := ExhaustiveKBit(t, 3)
 			if err != nil {
@@ -73,6 +88,32 @@ func SDCCurveWorkers(k, maxR, trials int, seed int64, workers int) ([]CurvePoint
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// Wilson returns the Wilson score interval for a binomial proportion:
+// `successes` out of `trials` at critical value z (1.96 for 95%). It is
+// well-behaved at the extremes (0 or trials successes) where the normal
+// approximation collapses — exactly the regime of SDC rates around
+// 1e-5 that the high-trial Figure 9 mode reports.
+func Wilson(successes, trials uint64, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := p + z2/(2*n)
+	spread := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = (center - spread) / denom
+	hi = (center + spread) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
 }
 
 // AnalyticRandomSDC returns the closed-form random-corruption SDC

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ecc"
+	"repro/internal/ecc/bitslice"
 )
 
 // Outcome classifies a single injection.
@@ -61,25 +62,50 @@ func (t Tally) String() string {
 		t.Total, 100*t.CERate(), 100*t.DERate(), 100*t.TMMRate(), 100*t.SDCRate())
 }
 
+// sum accumulates another tally (all fields added).
+func (t Tally) sum(o Tally) Tally {
+	t.Total += o.Total
+	t.CE += o.CE
+	t.DUE += o.DUE
+	t.TMM += o.TMM
+	t.SDC += o.SDC
+	return t
+}
+
+// fromCounts converts a bitsliced tally: OK lanes count toward Total
+// only, exactly as OutcomeOK does in Tally.Add.
+func fromCounts(c bitslice.Counts) Tally {
+	return Tally{Total: c.Total, CE: c.CE, DUE: c.DUE, TMM: c.TMM, SDC: c.SDC}
+}
+
 // Target is an injectable decoder: N physical bit positions, their H
-// columns, and a syndrome classification table.
+// columns, and a syndrome classification table. Construction also
+// builds the bitsliced engine the batched campaigns run on.
 type Target struct {
 	Name  string
 	NPhys int
 	R     int
 	cols  []uint64
 	// class maps each of the 2^R syndromes to its decode class.
-	class []synClass
+	class []bitslice.Class
+	// eng is the bitsliced classifier over the same (cols, class) data;
+	// nil only when R exceeds the engine's table bound, in which case
+	// the campaigns fall back to their scalar reference paths.
+	eng *bitslice.Engine
 }
 
-type synClass uint8
+// Engine exposes the target's bitsliced classifier (nil when the code
+// is too wide for a class table; see bitslice.New).
+func (t Target) Engine() *bitslice.Engine { return t.eng }
 
-const (
-	classZero synClass = iota
-	classCorrectable
-	classTag
-	classOther
-)
+// Columns returns the target's physical H columns (a copy).
+func (t Target) Columns() []uint64 { return append([]uint64(nil), t.cols...) }
+
+func (t *Target) attachEngine() {
+	if eng, err := bitslice.New(t.R, t.cols, t.class); err == nil {
+		t.eng = eng
+	}
+}
 
 // TargetECC wraps an untagged linear code for injection.
 func TargetECC(c *ecc.Code) Target {
@@ -88,15 +114,16 @@ func TargetECC(c *ecc.Code) Target {
 	for i := range t.cols {
 		t.cols[i] = c.Column(i)
 	}
-	t.class = make([]synClass, 1<<uint(c.R()))
-	t.class[0] = classZero
+	t.class = make([]bitslice.Class, 1<<uint(c.R()))
+	t.class[0] = bitslice.ClassZero
 	for s := uint64(1); s < uint64(len(t.class)); s++ {
 		if _, ok := c.CorrectableSyndrome(s); ok {
-			t.class[s] = classCorrectable
+			t.class[s] = bitslice.ClassCorrectable
 		} else {
-			t.class[s] = classOther
+			t.class[s] = bitslice.ClassOther
 		}
 	}
+	t.attachEngine()
 	return t
 }
 
@@ -110,18 +137,19 @@ func TargetAFT(c *core.Code) Target {
 	for i := range t.cols {
 		t.cols[i] = c.Column(c.TS() + i)
 	}
-	t.class = make([]synClass, 1<<uint(c.R()))
-	t.class[0] = classZero
+	t.class = make([]bitslice.Class, 1<<uint(c.R()))
+	t.class[0] = bitslice.ClassZero
 	for s := uint64(1); s < uint64(len(t.class)); s++ {
 		switch {
 		case correctableAFT(c, s):
-			t.class[s] = classCorrectable
+			t.class[s] = bitslice.ClassCorrectable
 		case isTagSyn(c, s):
-			t.class[s] = classTag
+			t.class[s] = bitslice.ClassTag
 		default:
-			t.class[s] = classOther
+			t.class[s] = bitslice.ClassOther
 		}
 	}
+	t.attachEngine()
 	return t
 }
 
@@ -138,17 +166,17 @@ func isTagSyn(c *core.Code, s uint64) bool {
 // classify maps (syndrome, error weight) to an outcome.
 func (t Target) classify(s uint64, weight int) Outcome {
 	switch t.class[s] {
-	case classZero:
+	case bitslice.ClassZero:
 		if weight == 0 {
 			return OutcomeOK
 		}
 		return OutcomeSDC
-	case classCorrectable:
+	case bitslice.ClassCorrectable:
 		if weight == 1 {
 			return OutcomeCE
 		}
 		return OutcomeSDC // miscorrection of a multi-bit error
-	case classTag:
+	case bitslice.ClassTag:
 		return OutcomeTMM
 	default:
 		return OutcomeDUE
@@ -171,11 +199,52 @@ func (t Tally) Add(o Outcome) Tally {
 	return t
 }
 
-// ExhaustiveKBit enumerates every k-bit error pattern (k in 1..4) over the
-// target's physical bits, classifying each. The paper evaluates these
-// patterns exhaustively; C(272,4) ≈ 2.3e8 patterns run in a few seconds
-// thanks to incremental syndrome updates.
+// ExhaustiveKBit enumerates every k-bit error pattern (k in 1..4) over
+// the target's physical bits, classifying each. The paper evaluates
+// these patterns exhaustively; the enumeration factors every pattern as
+// (prefix of k−1 bits, run of final bits) and tallies each run through
+// the bitsliced engine's ClassifyRun — tally-exact with respect to
+// ExhaustiveKBitScalar (the differential suite asserts it).
 func ExhaustiveKBit(t Target, k int) (Tally, error) {
+	if t.eng == nil {
+		return ExhaustiveKBitScalar(t, k)
+	}
+	eng := t.eng
+	n := t.NPhys
+	var c bitslice.Counts
+	switch k {
+	case 1:
+		c = eng.ClassifyRun(0, 0, 0, n)
+	case 2:
+		for i := 0; i < n-1; i++ {
+			c.Add(eng.ClassifyRun(t.cols[i], 1, i+1, n-i-1))
+		}
+	case 3:
+		for i := 0; i < n-2; i++ {
+			si := t.cols[i]
+			for j := i + 1; j < n-1; j++ {
+				c.Add(eng.ClassifyRun(si^t.cols[j], 2, j+1, n-j-1))
+			}
+		}
+	case 4:
+		for i := 0; i < n-3; i++ {
+			si := t.cols[i]
+			for j := i + 1; j < n-2; j++ {
+				sij := si ^ t.cols[j]
+				for l := j + 1; l < n-1; l++ {
+					c.Add(eng.ClassifyRun(sij^t.cols[l], 3, l+1, n-l-1))
+				}
+			}
+		}
+	default:
+		return Tally{}, fmt.Errorf("reliability: ExhaustiveKBit supports k in [1,4], got %d", k)
+	}
+	return fromCounts(c), nil
+}
+
+// ExhaustiveKBitScalar is the scalar reference enumeration, kept as the
+// oracle the differential test battery holds ExhaustiveKBit to.
+func ExhaustiveKBitScalar(t Target, k int) (Tally, error) {
 	var tally Tally
 	n := t.NPhys
 	switch k {
@@ -202,11 +271,11 @@ func ExhaustiveKBit(t Target, k int) (Tally, error) {
 					s := sij ^ t.cols[l]
 					total++
 					switch t.class[s] {
-					case classZero:
+					case bitslice.ClassZero:
 						zero++
-					case classCorrectable:
+					case bitslice.ClassCorrectable:
 						corr++
-					case classTag:
+					case bitslice.ClassTag:
 						tag++
 					}
 				}
@@ -226,11 +295,11 @@ func ExhaustiveKBit(t Target, k int) (Tally, error) {
 						s := sijl ^ t.cols[m]
 						total++
 						switch t.class[s] {
-						case classZero:
+						case bitslice.ClassZero:
 							zero++
-						case classCorrectable:
+						case bitslice.ClassCorrectable:
 							corr++
-						case classTag:
+						case bitslice.ClassTag:
 							tag++
 						}
 					}
@@ -246,8 +315,54 @@ func ExhaustiveKBit(t Target, k int) (Tally, error) {
 
 // SampledKBit estimates the k-bit tally from `trials` uniformly sampled
 // k-subsets — used when exhaustive enumeration is too expensive for the
-// caller's budget.
+// caller's budget. Trials run bitsliced, 64 lanes per batch, each batch
+// on its own SplitMix64 stream derived from (seed, batch index); the
+// result is deterministic for a given seed, independent of callers'
+// parallelism.
 func SampledKBit(t Target, k, trials int, seed int64) (Tally, error) {
+	if k < 1 || k > t.NPhys {
+		return Tally{}, fmt.Errorf("reliability: k=%d out of range", k)
+	}
+	if t.eng == nil {
+		return SampledKBitScalar(t, k, trials, seed)
+	}
+	eng := t.eng
+	batch := eng.NewBatch()
+	idx := make([]int, 0, k)
+	var counts bitslice.Counts
+	for done, bi := 0, uint64(0); done < trials; bi++ {
+		batch.Reset()
+		n := trials - done
+		if n > 64 {
+			n = 64
+		}
+		rng := bitslice.NewRand(bitslice.SeedForBatch(seed, bi))
+		for lane := 0; lane < n; lane++ {
+			// Floyd's algorithm for a uniform k-subset per lane.
+			idx = idx[:0]
+			for i := t.NPhys - k; i < t.NPhys; i++ {
+				j := rng.Intn(i + 1)
+				for _, prev := range idx {
+					if prev == j {
+						j = i
+						break
+					}
+				}
+				idx = append(idx, j)
+				batch.Flip(lane, j)
+			}
+		}
+		batch.SetLaneRange(0, n)
+		counts.Add(eng.Classify(batch))
+		done += n
+	}
+	return fromCounts(counts), nil
+}
+
+// SampledKBitScalar is the scalar reference sampler (math/rand based;
+// its draws differ from SampledKBit's, so only distributions — not
+// tallies — are comparable).
+func SampledKBitScalar(t Target, k, trials int, seed int64) (Tally, error) {
 	if k < 1 || k > t.NPhys {
 		return Tally{}, fmt.Errorf("reliability: k=%d out of range", k)
 	}
@@ -279,7 +394,53 @@ func SampledKBit(t Target, k, trials int, seed int64) (Tally, error) {
 // flipped with probability ½ — the paper's "random data corruption",
 // equivalent to replacing the codeword with random bits). Per §3.6 /
 // Table 2, this also models a simultaneous tag mismatch plus data error.
+//
+// Trials occupy campaign positions [0, trials); see RandomErrorsOffset
+// for the batch-splitting contract.
 func RandomErrors(t Target, trials int, seed int64) Tally {
+	return RandomErrorsOffset(t, trials, seed, 0)
+}
+
+// RandomErrorsOffset runs `trials` random injections occupying campaign
+// positions [offset, offset+trials). Position p lives in lane p mod 64
+// of batch p/64, and batch b's patterns come from the SplitMix64 stream
+// SeedForBatch(seed, b) regardless of which positions are live — so for
+// any partition of [0, n) into contiguous chunks, the chunk tallies sum
+// exactly to RandomErrors(t, n, seed). RandomErrorsParallel and the
+// batch-splitting metamorphic tests are built on this contract.
+func RandomErrorsOffset(t Target, trials int, seed int64, offset int) Tally {
+	if trials <= 0 {
+		return Tally{}
+	}
+	if t.eng == nil {
+		return RandomErrorsScalar(t, trials, seed+int64(offset))
+	}
+	eng := t.eng
+	batch := eng.NewBatch()
+	var counts bitslice.Counts
+	pos, end := offset, offset+trials
+	for pos < end {
+		bi := pos / 64
+		lo := pos - bi*64
+		hi := 64
+		if batchEnd := (bi + 1) * 64; batchEnd > end {
+			hi = end - bi*64
+		}
+		rng := bitslice.NewRand(bitslice.SeedForBatch(seed, uint64(bi)))
+		batch.Random(rng)
+		batch.SetLaneRange(lo, hi)
+		counts.Add(eng.Classify(batch))
+		pos = bi*64 + hi
+	}
+	return fromCounts(counts)
+}
+
+// RandomErrorsScalar is the scalar reference implementation, kept as
+// the oracle for the differential suite and the baseline for the
+// injections/sec benchmark. Its math/rand stream differs from the
+// bitsliced SplitMix64 stream, so tallies are comparable only in
+// distribution.
+func RandomErrorsScalar(t Target, trials int, seed int64) Tally {
 	rng := rand.New(rand.NewSource(seed))
 	var tally Tally
 	words := (t.NPhys + 63) / 64
@@ -307,7 +468,55 @@ func RandomErrors(t Target, trials int, seed int64) Tally {
 // TagCorruptions verifies the alias-free guarantee by decoding every (or,
 // above `limit` pairs, a sampled set of) lock/key mismatches with no data
 // error. For a correct AFT-ECC construction the result is 100% TMM.
+//
+// The exhaustive path enumerates tag differences rather than pairs: by
+// linearity the pair (lock, key) decodes as T·(lock⊕key), and every
+// nonzero difference d arises from exactly 2^TS ordered pairs — so
+// 2^TS−1 decodes with multiplicity 2^TS reproduce the pair enumeration
+// bit-identically (TagCorruptionsScalar is the reference). The sampled
+// path runs bitsliced over uniform nonzero tag differences.
 func TagCorruptions(c *core.Code, limit int, seed int64) Tally {
+	space := uint64(1) << uint(c.TS())
+	if total := space * (space - 1); limit <= 0 || uint64(limit) >= total {
+		var tally Tally
+		for d := uint64(1); d < space; d++ {
+			var one Tally
+			one = one.Add(classifyTagOnly(c, c.TagSyndrome(d)))
+			one.Total *= space
+			one.CE *= space
+			one.DUE *= space
+			one.TMM *= space
+			one.SDC *= space
+			tally = tally.sum(one)
+		}
+		return tally
+	}
+	if eng := tagEngine(c); eng != nil {
+		batch := eng.NewBatch()
+		var counts bitslice.Counts
+		for done, bi := 0, uint64(0); done < limit; bi++ {
+			n := limit - done
+			if n > 64 {
+				n = 64
+			}
+			rng := bitslice.NewRand(bitslice.SeedForBatch(seed, bi))
+			batch.RandomNonzero(rng)
+			batch.SetLaneRange(0, n)
+			counts.Add(eng.Classify(batch))
+			done += n
+		}
+		// All lanes carry a nonzero tag difference, so any ClassZero
+		// (aliased or miscorrecting) lane is silent corruption; CE and
+		// OK cannot occur by construction of the tag class table.
+		return Tally{Total: counts.Total, DUE: counts.DUE, TMM: counts.TMM,
+			SDC: counts.SDC + counts.OK + counts.CE}
+	}
+	return TagCorruptionsScalar(c, limit, seed)
+}
+
+// TagCorruptionsScalar is the scalar pair-enumeration reference for
+// TagCorruptions (exhaustive below `limit`, math/rand-sampled above).
+func TagCorruptionsScalar(c *core.Code, limit int, seed int64) Tally {
 	var tally Tally
 	space := uint64(1) << uint(c.TS())
 	if total := space * (space - 1); limit <= 0 || uint64(limit) >= total {
@@ -335,6 +544,36 @@ func TagCorruptions(c *core.Code, limit int, seed int64) Tally {
 	return tally
 }
 
+// tagEngine builds a bitsliced classifier over the TS tag columns with
+// a class table matching classifyTagOnly: corrected tag aliases count
+// as ClassZero so that nonzero-difference lanes classify as SDC (the
+// data-corrupting alias), tag syndromes as TMM, the rest as DUE.
+func tagEngine(c *core.Code) *bitslice.Engine {
+	cols := make([]uint64, c.TS())
+	for i := range cols {
+		cols[i] = c.Column(i)
+	}
+	if c.R() > 24 {
+		return nil
+	}
+	class := make([]bitslice.Class, 1<<uint(c.R()))
+	for s := uint64(1); s < uint64(len(class)); s++ {
+		switch {
+		case correctableAFT(c, s):
+			class[s] = bitslice.ClassZero // StatusCorrected → SDC under weight ≥ 1
+		case isTagSyn(c, s):
+			class[s] = bitslice.ClassTag
+		default:
+			class[s] = bitslice.ClassOther
+		}
+	}
+	eng, err := bitslice.New(c.R(), cols, class)
+	if err != nil {
+		return nil
+	}
+	return eng
+}
+
 func classifyTagOnly(c *core.Code, s uint64) Outcome {
 	res := c.DecodeSyndrome(s, 0)
 	switch res.Status {
@@ -354,7 +593,10 @@ func classifyTagOnly(c *core.Code, s uint64) Outcome {
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // RandomErrorsParallel splits a random-corruption campaign across
-// workers (deterministic per-worker seeds, tallies summed). Use for
+// workers. Because RandomErrorsOffset seeds each 64-lane batch purely
+// from (seed, batch index), the contiguous chunks sum to exactly
+// RandomErrors(t, trials, seed) for every worker count — the same seed
+// gives the same tally on every machine, any parallelism. Use for
 // paper-scale (1e8) trial counts.
 func RandomErrorsParallel(t Target, trials, workers int, seed int64) Tally {
 	if workers < 2 || trials < workers {
@@ -364,24 +606,20 @@ func RandomErrorsParallel(t Target, trials, workers int, seed int64) Tally {
 	var wg sync.WaitGroup
 	per := trials / workers
 	for w := 0; w < workers; w++ {
-		n := per
+		n, off := per, per*w
 		if w == workers-1 {
 			n = trials - per*(workers-1)
 		}
 		wg.Add(1)
-		go func(w, n int) {
+		go func(w, n, off int) {
 			defer wg.Done()
-			tallies[w] = RandomErrors(t, n, seed+int64(w)*7919)
-		}(w, n)
+			tallies[w] = RandomErrorsOffset(t, n, seed, off)
+		}(w, n, off)
 	}
 	wg.Wait()
 	var sum Tally
 	for _, x := range tallies {
-		sum.Total += x.Total
-		sum.CE += x.CE
-		sum.DUE += x.DUE
-		sum.TMM += x.TMM
-		sum.SDC += x.SDC
+		sum = sum.sum(x)
 	}
 	return sum
 }

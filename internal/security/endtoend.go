@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/imt"
 	"repro/internal/tagalloc"
@@ -33,29 +34,99 @@ type CampaignResult struct {
 // use-after-free. It cross-validates the closed forms end to end —
 // through pointer arithmetic, sector decode, fault delivery and driver
 // diagnosis — rather than over bare tag vectors.
+//
+// Every trial is independently seeded from (seed, trial index), so the
+// campaign is trial-splittable: RunHeapCampaignWorkers produces the
+// same counts for every worker count.
 func RunHeapCampaign(cfg imt.Config, tagger tagalloc.Tagger, objects, trials int, seed int64) (CampaignResult, error) {
+	return RunHeapCampaignWorkers(cfg, tagger, objects, trials, seed, 1)
+}
+
+// heapHits are the raw counters of a slice of end-to-end trials.
+type heapHits struct {
+	adj, nonadj, uaf, tmmDiag, detected int
+}
+
+// RunHeapCampaignWorkers is RunHeapCampaign fanned out over `workers`
+// goroutines, with trials statically partitioned into contiguous
+// ranges. Per-trial seeding makes the result identical for every
+// worker count.
+func RunHeapCampaignWorkers(cfg imt.Config, tagger tagalloc.Tagger, objects, trials int, seed int64, workers int) (CampaignResult, error) {
 	if objects < 4 {
 		return CampaignResult{}, fmt.Errorf("security: need ≥ 4 objects")
 	}
-	rng := rand.New(rand.NewSource(seed))
 	var res CampaignResult
 	res.Trials = trials
-	var adj, nonadj, uaf, tmmDiag, detected int
+	if trials <= 0 {
+		return res, nil
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var total heapHits
+	if workers < 2 {
+		var err error
+		if total, err = runHeapTrials(cfg, tagger, objects, seed, 0, trials); err != nil {
+			return res, err
+		}
+	} else {
+		parts := make([]heapHits, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		per := trials / workers
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			hi := lo + per
+			if w == workers-1 {
+				hi = trials
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				parts[w], errs[w] = runHeapTrials(cfg, tagger, objects, seed, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			if errs[w] != nil {
+				return res, errs[w]
+			}
+			total.adj += parts[w].adj
+			total.nonadj += parts[w].nonadj
+			total.uaf += parts[w].uaf
+			total.tmmDiag += parts[w].tmmDiag
+			total.detected += parts[w].detected
+		}
+	}
+	res.AdjacentDetected = float64(total.adj) / float64(trials)
+	res.NonAdjacentDetected = float64(total.nonadj) / float64(trials)
+	res.UAFDetected = float64(total.uaf) / float64(trials)
+	if total.detected > 0 {
+		res.DiagnosedTMM = float64(total.tmmDiag) / float64(total.detected)
+	}
+	return res, nil
+}
 
-	for trial := 0; trial < trials; trial++ {
+// runHeapTrials executes trials [lo, hi) of a campaign. Each trial gets
+// its own attack RNG derived from (seed, trial) and its own heap seeded
+// seed+trial, so the counters depend only on the trial range.
+func runHeapTrials(cfg imt.Config, tagger tagalloc.Tagger, objects int, seed int64, lo, hi int) (heapHits, error) {
+	var h heapHits
+	for trial := lo; trial < hi; trial++ {
+		rng := rand.New(rand.NewSource(chunkSeed(seed, trial)))
 		mem, err := imt.NewMemory(cfg)
 		if err != nil {
-			return res, err
+			return h, err
 		}
 		drv := imt.NewDriver(mem)
 		heap, err := tagalloc.New(mem, drv, tagger, 0x100000, uint64(objects*64+1<<12), seed+int64(trial))
 		if err != nil {
-			return res, err
+			return h, err
 		}
 		ptrs := make([]imt.Pointer, objects)
 		for i := range ptrs {
 			if ptrs[i], err = heap.Malloc(32); err != nil {
-				return res, err
+				return h, err
 			}
 		}
 		check := func(err error) bool {
@@ -63,9 +134,9 @@ func RunHeapCampaign(cfg imt.Config, tagger tagalloc.Tagger, objects, trials int
 			if !errors.As(err, &f) {
 				return false
 			}
-			detected++
+			h.detected++
 			if drv.Diagnose(*f).Kind == imt.DiagnosisTMM {
-				tmmDiag++
+				h.tmmDiag++
 			}
 			return true
 		}
@@ -74,7 +145,7 @@ func RunHeapCampaign(cfg imt.Config, tagger tagalloc.Tagger, objects, trials int
 
 		// 1. Adjacent overflow: one granule past the end.
 		if _, err := mem.Read(cfg.WithOffset(ptrs[victim], 32), 1); check(err) {
-			adj++
+			h.adj++
 		}
 
 		// 2. Non-adjacent: an even object displacement (worst case for
@@ -88,23 +159,17 @@ func RunHeapCampaign(cfg imt.Config, tagger tagalloc.Tagger, objects, trials int
 		}
 		disp := int64(cfg.Addr(ptrs[target])) - int64(cfg.Addr(ptrs[victim]))
 		if _, err := mem.Read(cfg.WithOffset(ptrs[victim], disp), 1); check(err) {
-			nonadj++
+			h.nonadj++
 		}
 
 		// 3. Use-after-free on the last object.
 		stale := ptrs[objects-1]
 		if err := heap.Free(stale); err != nil {
-			return res, err
+			return h, err
 		}
 		if _, err := mem.Read(stale, 1); check(err) {
-			uaf++
+			h.uaf++
 		}
 	}
-	res.AdjacentDetected = float64(adj) / float64(trials)
-	res.NonAdjacentDetected = float64(nonadj) / float64(trials)
-	res.UAFDetected = float64(uaf) / float64(trials)
-	if detected > 0 {
-		res.DiagnosedTMM = float64(tmmDiag) / float64(detected)
-	}
-	return res, nil
+	return h, nil
 }

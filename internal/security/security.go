@@ -3,7 +3,9 @@ package security
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"repro/internal/ecc/bitslice"
 	"repro/internal/tagalloc"
 )
 
@@ -77,62 +79,134 @@ type AttackResult struct {
 //
 // Detection means the key and lock tags differ. This validates the closed
 // forms in Glibc/Scudo against the executable policy implementations.
+//
+// The campaign is chunked: every attackChunk trials draw from a fresh
+// deterministic stream derived from (seed, chunk index), so the result
+// depends only on (seed, trials) — SimulateAttacksWorkers returns the
+// same counts for every worker count.
 func SimulateAttacks(tagger tagalloc.Tagger, objects, trials int, seed int64) (AttackResult, error) {
+	return SimulateAttacksWorkers(tagger, objects, trials, seed, 1)
+}
+
+// attackChunk is the deterministic seeding granule of the tag-level and
+// end-to-end campaigns: trial t draws from the stream of chunk t/attackChunk.
+const attackChunk = 1024
+
+// chunkSeed derives the math/rand seed for one chunk of a campaign.
+func chunkSeed(seed int64, chunk int) int64 {
+	return int64(bitslice.SeedForBatch(seed, uint64(chunk)))
+}
+
+// SimulateAttacksWorkers is SimulateAttacks fanned out over `workers`
+// goroutines. Chunks of attackChunk trials are independently seeded from
+// (seed, chunk index) and statically partitioned, so the tally — not
+// just the distribution — is identical for every worker count.
+func SimulateAttacksWorkers(tagger tagalloc.Tagger, objects, trials int, seed int64, workers int) (AttackResult, error) {
 	if objects < 2 {
 		return AttackResult{}, fmt.Errorf("security: need ≥ 2 objects, got %d", objects)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	var res AttackResult
 	res.Trials = trials
-	adjHit, nonHit, uafHit := 0, 0, 0
+	if trials <= 0 {
+		return res, nil
+	}
+	chunks := (trials + attackChunk - 1) / attackChunk
+	if workers < 2 || chunks < 2 {
+		adj, non, uaf := simulateAttackChunks(tagger, objects, trials, seed, 0, chunks)
+		res.AdjacentDetected = float64(adj) / float64(trials)
+		res.NonAdjacentDetected = float64(non) / float64(trials)
+		res.UseAfterFreeCaught = float64(uaf) / float64(trials)
+		return res, nil
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	type hits struct{ adj, non, uaf int }
+	parts := make([]hits, workers)
+	var wg sync.WaitGroup
+	per := chunks / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if w == workers-1 {
+			hi = chunks
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			a, n, u := simulateAttackChunks(tagger, objects, trials, seed, lo, hi)
+			parts[w] = hits{a, n, u}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var adj, non, uaf int
+	for _, p := range parts {
+		adj += p.adj
+		non += p.non
+		uaf += p.uaf
+	}
+	res.AdjacentDetected = float64(adj) / float64(trials)
+	res.NonAdjacentDetected = float64(non) / float64(trials)
+	res.UseAfterFreeCaught = float64(uaf) / float64(trials)
+	return res, nil
+}
+
+// simulateAttackChunks runs chunks [chunkLo, chunkHi) of a campaign of
+// `trials` total trials and returns the three hit counters.
+func simulateAttackChunks(tagger tagalloc.Tagger, objects, trials int, seed int64, chunkLo, chunkHi int) (adjHit, nonHit, uafHit int) {
 	tags := make([]uint64, objects)
-	for trial := 0; trial < trials; trial++ {
-		for i := range tags {
-			if i == 0 {
-				tags[i] = tagger.NextTag(rng, 0, false, i)
-			} else {
-				tags[i] = tagger.NextTag(rng, tags[i-1], true, i)
+	for chunk := chunkLo; chunk < chunkHi; chunk++ {
+		rng := rand.New(rand.NewSource(chunkSeed(seed, chunk)))
+		first := chunk * attackChunk
+		last := first + attackChunk
+		if last > trials {
+			last = trials
+		}
+		for trial := first; trial < last; trial++ {
+			for i := range tags {
+				if i == 0 {
+					tags[i] = tagger.NextTag(rng, 0, false, i)
+				} else {
+					tags[i] = tagger.NextTag(rng, tags[i-1], true, i)
+				}
 			}
-		}
-		victim := rng.Intn(objects - 1)
+			victim := rng.Intn(objects - 1)
 
-		// Adjacent overflow into victim+1.
-		if tags[victim] != tags[victim+1] {
-			adjHit++
-		}
-
-		// Non-adjacent overflow with attacker-controlled displacement.
-		// The worst-case attacker chooses an even object displacement so
-		// the target shares the victim's parity class — this is the
-		// adversary the paper's 1 − 1/NumTags closed form describes (for
-		// glibc the parity restriction changes nothing).
-		target := victim
-		for target == victim {
-			target = rng.Intn(objects)
-			if (target-victim)%2 != 0 {
-				target = victim // resample: stay in the parity class
+			// Adjacent overflow into victim+1.
+			if tags[victim] != tags[victim+1] {
+				adjHit++
 			}
-		}
-		if tags[victim] != tags[target] {
-			nonHit++
-		}
 
-		// Use-after-free: the allocator requarantines with a fresh tag
-		// drawn until it differs, so a dangling access is always caught
-		// until reallocation; model the reallocation draw instead — the
-		// dangerous case is a reuse that redraws the old tag.
-		left := uint64(0)
-		hasLeft := false
-		if victim > 0 {
-			left, hasLeft = tags[victim-1], true
-		}
-		reuse := tagger.NextTag(rng, left, hasLeft, objects+trial)
-		if reuse != tags[victim] {
-			uafHit++
+			// Non-adjacent overflow with attacker-controlled displacement.
+			// The worst-case attacker chooses an even object displacement so
+			// the target shares the victim's parity class — this is the
+			// adversary the paper's 1 − 1/NumTags closed form describes (for
+			// glibc the parity restriction changes nothing).
+			target := victim
+			for target == victim {
+				target = rng.Intn(objects)
+				if (target-victim)%2 != 0 {
+					target = victim // resample: stay in the parity class
+				}
+			}
+			if tags[victim] != tags[target] {
+				nonHit++
+			}
+
+			// Use-after-free: the allocator requarantines with a fresh tag
+			// drawn until it differs, so a dangling access is always caught
+			// until reallocation; model the reallocation draw instead — the
+			// dangerous case is a reuse that redraws the old tag.
+			left := uint64(0)
+			hasLeft := false
+			if victim > 0 {
+				left, hasLeft = tags[victim-1], true
+			}
+			reuse := tagger.NextTag(rng, left, hasLeft, objects+trial)
+			if reuse != tags[victim] {
+				uafHit++
+			}
 		}
 	}
-	res.AdjacentDetected = float64(adjHit) / float64(trials)
-	res.NonAdjacentDetected = float64(nonHit) / float64(trials)
-	res.UseAfterFreeCaught = float64(uafHit) / float64(trials)
-	return res, nil
+	return adjHit, nonHit, uafHit
 }

@@ -1,0 +1,69 @@
+package security
+
+import (
+	"testing"
+
+	"repro/internal/imt"
+	"repro/internal/tagalloc"
+)
+
+// TestSimulateAttacksWorkerIndependent: the chunked seeding scheme makes
+// the tally a pure function of (seed, trials) — every worker count must
+// return identical results.
+func TestSimulateAttacksWorkerIndependent(t *testing.T) {
+	for _, tagger := range []tagalloc.Tagger{
+		tagalloc.GlibcTagger{TagBits: 8},
+		tagalloc.ScudoTagger{TagBits: 8},
+	} {
+		base, err := SimulateAttacksWorkers(tagger, 16, 10_000, 99, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			got, err := SimulateAttacksWorkers(tagger, 16, 10_000, 99, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Errorf("workers=%d: %+v != workers=1 %+v", workers, got, base)
+			}
+		}
+	}
+}
+
+// TestSimulateAttacksLegacyEntryPoint: SimulateAttacks is the workers=1
+// path and keeps validating its inputs.
+func TestSimulateAttacksLegacyEntryPoint(t *testing.T) {
+	a, err := SimulateAttacks(tagalloc.GlibcTagger{TagBits: 4}, 8, 5_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateAttacksWorkers(tagalloc.GlibcTagger{TagBits: 4}, 8, 5_000, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("SimulateAttacks %+v != SimulateAttacksWorkers %+v", a, b)
+	}
+	if _, err := SimulateAttacks(tagalloc.GlibcTagger{TagBits: 4}, 1, 10, 1); err == nil {
+		t.Error("objects < 2 must fail")
+	}
+}
+
+// TestRunHeapCampaignWorkerIndependent: per-trial seeding makes the
+// end-to-end campaign identical for any worker count.
+func TestRunHeapCampaignWorkerIndependent(t *testing.T) {
+	base, err := RunHeapCampaignWorkers(imt.IMT16, tagalloc.GlibcTagger{TagBits: 4}, 8, 60, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7} {
+		got, err := RunHeapCampaignWorkers(imt.IMT16, tagalloc.GlibcTagger{TagBits: 4}, 8, 60, 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Errorf("workers=%d: %+v != workers=1 %+v", workers, got, base)
+		}
+	}
+}
