@@ -56,6 +56,19 @@ const (
 type Options struct {
 	Strategy DataStrategy
 	Genetic  ecc.GeneticOptions
+	// TagMatrix overrides the Equation 6 staircase with a custom R×TS tag
+	// submatrix. The alias-free validation still runs unless AllowAlias is
+	// set; Verify reports the structural properties of whatever matrix is
+	// supplied.
+	TagMatrix *gf2.Matrix
+	// AllowAlias skips the alias-free validation of the tag column space
+	// (zero-syndrome tag patterns, collisions with correctable columns).
+	// Aliased syndromes are left out of the TMM table, so the decoder
+	// silently accepts or miscorrects them — the failure mode the paper's
+	// construction rules out. Use it to build the deliberately aliasing
+	// baselines the negative tests and the injection harness's
+	// differential suite exercise; such codes fail MustVerify.
+	AllowAlias bool
 }
 
 // Code is an Alias-Free Tagged ECC code with k data bits, r check bits and
@@ -88,9 +101,17 @@ func NewCode(k, r, ts int, opts Options) (*Code, error) {
 	if ts > maxTS {
 		return nil, fmt.Errorf("core: TS=%d exceeds the alias-free bound %d for (K=%d, R=%d)", ts, maxTS, k, r)
 	}
-	tag, err := StaircaseTagMatrix(r, ts)
-	if err != nil {
-		return nil, err
+	tag := opts.TagMatrix
+	if tag == nil {
+		tag, err = StaircaseTagMatrix(r, ts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if tag.Rows() != r || tag.Cols() != ts {
+			return nil, fmt.Errorf("core: custom tag matrix is %d×%d, want %d×%d", tag.Rows(), tag.Cols(), r, ts)
+		}
+		tag = tag.Clone()
 	}
 
 	var base *ecc.Code
@@ -125,12 +146,25 @@ func NewCode(k, r, ts int, opts Options) (*Code, error) {
 	for pattern := uint64(1); pattern < 1<<uint(ts); pattern++ {
 		s := tag.MulBits(pattern)
 		if s == 0 {
+			if opts.AllowAlias {
+				// An undetectable tag mismatch: the decoder sees a clean
+				// codeword. Leaving it out of the table reproduces that.
+				continue
+			}
 			return nil, fmt.Errorf("core: tag submatrix is not alias-free: pattern %#x has zero syndrome", pattern)
 		}
 		if _, clash := c.synToBit[s]; clash {
+			if opts.AllowAlias {
+				// The decoder miscorrects this mismatch as a single-bit
+				// data error — silent corruption, by design of the test.
+				continue
+			}
 			return nil, fmt.Errorf("core: tag syndrome %#x collides with a correctable column; SEC would be lost", s)
 		}
 		if _, dup := c.tagSyn[s]; dup {
+			if opts.AllowAlias {
+				continue
+			}
 			return nil, fmt.Errorf("core: tag syndrome %#x maps to two tag-error patterns", s)
 		}
 		c.tagSyn[s] = pattern

@@ -15,8 +15,11 @@ import (
 type Class uint8
 
 const (
-	// ClassZero: the zero syndrome (or, for derived tables, any syndrome
-	// whose nonzero patterns should count as silent corruption).
+	// ClassZero: the zero syndrome — or, for derived tables, a nonzero
+	// syndrome the decoder silently accepts or miscorrects (an aliasing
+	// construction). ClassifyMasks derives the zero-class mask from the
+	// table, so any nonempty pattern landing in this class counts as
+	// silent corruption.
 	ClassZero Class = iota
 	// ClassCorrectable: the syndrome matches a physical column.
 	ClassCorrectable
@@ -64,8 +67,9 @@ type Engine struct {
 	// rows[j] lists the physical bits whose column has row bit j set —
 	// the XOR-fold recipe for syndrome plane j.
 	rows [][]int32
-	// detectOnly: the table holds only ClassZero/ClassOther, so
-	// classification needs no transpose or lookup.
+	// detectOnly: every nonzero syndrome maps to ClassOther, so
+	// classification needs no transpose or lookup (the zero class is
+	// exactly the zero-syndrome lanes).
 	detectOnly bool
 }
 
@@ -108,11 +112,14 @@ func New(r int, cols []uint64, class []Class) (*Engine, error) {
 		}
 	}
 	e.detectOnly = true
-	for _, cl := range class {
+	for i, cl := range class {
 		if cl > ClassOther {
 			return nil, fmt.Errorf("bitslice: invalid class value %d", cl)
 		}
-		if cl == ClassCorrectable || cl == ClassTag {
+		// A nonzero syndrome in the zero class (aliasing table) needs the
+		// table-lookup path: the fast path equates zero class with zero
+		// syndrome.
+		if cl == ClassCorrectable || cl == ClassTag || (cl == ClassZero && i != 0) {
 			e.detectOnly = false
 		}
 	}
@@ -248,14 +255,18 @@ func (m LaneMasks) Outcome(lane int) (Outcome, bool) {
 
 // ClassifyMasks classifies all live lanes of a batch.
 //
-// The mask algebra mirrors the scalar classifier exactly: with zeroM /
-// corrM / tagM / otherM the per-lane class masks and w1 / w2 the
-// weight-≥1 / weight-≥2 planes,
+// The mask algebra mirrors the scalar classifier exactly: with zero /
+// corr / tag / other the per-lane class masks — derived from the class
+// table, so a nonzero syndrome whose entry is ClassZero (an aliasing
+// construction) lands in the zero class — and w1 / w2 the weight-≥1 /
+// weight-≥2 planes,
 //
 //	OK  = zero ∧ ¬w1        (empty pattern)
 //	SDC = (zero ∧ w1) ∨ (corr ∧ w2)   (alias or miscorrection)
 //	CE  = corr ∧ ¬w2        (true single-bit correction)
 //	TMM = tag, DUE = other
+//
+// The five outcome masks always partition Live.
 func (e *Engine) ClassifyMasks(b *Batch) LaneMasks {
 	live := b.lanes
 	m := LaneMasks{Live: live}
@@ -300,12 +311,16 @@ func (e *Engine) ClassifyMasks(b *Batch) LaneMasks {
 		b0 |= (c & 1) << uint(l)
 		b1 |= (c >> 1) << uint(l)
 	}
+	// The zero-class mask comes from the table bits, not the syndrome:
+	// class[0] is always ClassZero, so it covers the zero-syndrome lanes,
+	// plus any aliased nonzero syndromes the table assigns to ClassZero.
+	zeroC := live &^ (b0 | b1)
 	corr := b0 &^ b1 & live
 	tag := b1 &^ b0 & live
 	other := b0 & b1 & live
 
-	m.OK = zero &^ w1
-	m.SDC = (zero & w1) | (corr & w2)
+	m.OK = zeroC &^ w1
+	m.SDC = (zeroC & w1) | (corr & w2)
 	m.CE = corr &^ w2
 	m.TMM = tag
 	m.DUE = other

@@ -133,6 +133,62 @@ func TestLanePermutationInvariance(t *testing.T) {
 	}
 }
 
+// TestAliasClassZeroTable: a table assigning ClassZero to a nonzero
+// syndrome (an aliasing construction, as tagEngine builds for
+// correctable tag aliases) must classify lanes hitting that syndrome as
+// SDC and keep the partition/conservation invariants — regression for
+// the sampled TagCorruptions path silently dropping aliased lanes.
+func TestAliasClassZeroTable(t *testing.T) {
+	cols := []uint64{1, 2, 4, 3, 5}
+	class := make([]Class, 8)
+	for s := 1; s < 8; s++ {
+		class[s] = ClassOther
+	}
+	class[3] = ClassZero // aliased: the decoder silently accepts it
+	eng, err := New(3, cols, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.detectOnly {
+		t.Fatal("aliasing table must not take the detect-only fast path")
+	}
+
+	b := eng.NewBatch()
+	b.Flip(0, 3) // weight 1, syndrome 3 → aliased → SDC
+	b.Flip(1, 0) // weight 2, syndrome 1^2=3 → aliased → SDC
+	b.Flip(1, 1)
+	b.Flip(2, 0) // weight 1, syndrome 1 → ClassOther → DUE
+	b.SetLaneRange(0, 4)
+	m := eng.ClassifyMasks(b)
+	if m.OK|m.CE|m.DUE|m.TMM|m.SDC != m.Live {
+		t.Fatalf("outcome masks do not partition live lanes: %+v", m)
+	}
+	for lane, want := range []Outcome{OutcomeSDC, OutcomeSDC, OutcomeDUE, OutcomeOK} {
+		if got, live := m.Outcome(lane); !live || got != want {
+			t.Errorf("lane %d: got (%v, live=%v), want %v", lane, got, live, want)
+		}
+	}
+	c := eng.Classify(b)
+	if c.OK+c.CE+c.DUE+c.TMM+c.SDC != c.Total || c.Total != 4 {
+		t.Fatalf("counts do not sum to total: %+v", c)
+	}
+	if c.SDC != 2 {
+		t.Fatalf("aliased lanes must land in SDC: %+v", c)
+	}
+
+	// Conservation holds for random batches against the aliasing table.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		b.Reset()
+		b.Random(NewRand(rng.Uint64()))
+		b.SetLaneRange(0, 64)
+		c := eng.Classify(b)
+		if c.OK+c.CE+c.DUE+c.TMM+c.SDC != c.Total {
+			t.Fatalf("trial %d: counts do not sum to total: %+v", trial, c)
+		}
+	}
+}
+
 // TestDetectOnlyFastPathMatchesGeneral: the detect-only shortcut and the
 // general transpose+lookup path agree on detect-only class tables.
 func TestDetectOnlyFastPathMatchesGeneral(t *testing.T) {

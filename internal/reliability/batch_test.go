@@ -94,6 +94,50 @@ func TestRandomErrorsChunkSum(t *testing.T) {
 	}
 }
 
+// TestRandomErrorsChunkSumEngineless: the partition contract holds for
+// targets with no bitsliced engine — the scalar fallback replays the
+// same per-batch SplitMix64 plane stream instead of reseeding per
+// chunk, so it is also bit-identical to the engine path.
+func TestRandomErrorsChunkSumEngineless(t *testing.T) {
+	h64, err := ecc.NewHsiao(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineBacked := TargetECC(h64)
+	target := TargetECC(h64)
+	target.eng = nil // simulate a code too wide for a class-table engine
+	const trials = 10_000
+	const seed = 99
+	whole := RandomErrors(target, trials, seed)
+	if whole.Total != trials {
+		t.Fatalf("total = %d, want %d", whole.Total, trials)
+	}
+	if viaEngine := RandomErrors(engineBacked, trials, seed); whole != viaEngine {
+		t.Errorf("scalar fallback %+v != engine path %+v", whole, viaEngine)
+	}
+	for _, cuts := range [][]int{
+		{17, 4096, trials - 17 - 4096},
+		{1, 63, 64, 65, trials - 193},
+	} {
+		var sum Tally
+		off := 0
+		for _, n := range cuts {
+			sum = sum.sum(RandomErrorsOffset(target, n, seed, off))
+			off += n
+		}
+		if sum != whole {
+			t.Errorf("partition %v: sum %+v != whole %+v", cuts, sum, whole)
+		}
+	}
+	// Worker independence rides on the same contract.
+	base := RandomErrorsParallel(target, trials, 1, seed)
+	for _, workers := range []int{3, 8} {
+		if got := RandomErrorsParallel(target, trials, workers, seed); got != base {
+			t.Errorf("workers=%d: %+v != workers=1 %+v", workers, got, base)
+		}
+	}
+}
+
 // TestRandomErrorsParallelWorkerIndependent: identical tallies for any
 // worker count — the reproducibility contract SDCCurve now documents.
 func TestRandomErrorsParallelWorkerIndependent(t *testing.T) {
@@ -220,6 +264,69 @@ func TestTagCorruptionsSampledDeterministic(t *testing.T) {
 	}
 	if a.Total != 20_000 || a.TMM != 20_000 {
 		t.Fatalf("IMT-16 sampled tag corruptions must be all-TMM: %+v", a)
+	}
+}
+
+// aliasingAFTCode builds a deliberately aliasing tagged code: the
+// Equation 6 staircase with tag column 0 replaced by the code's first
+// data column, so some tag mismatches decode as "correctable"
+// single-bit data errors — the silent corruption AFT-ECC exists to rule
+// out. core.Verify must flag the construction.
+func aliasingAFTCode(t *testing.T, k, r, ts int) *core.Code {
+	t.Helper()
+	base, err := core.NewCode(k, r, ts, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := base.TagMatrix()
+	tag.SetCol(0, base.Column(ts)) // first data column
+	c, err := core.NewCode(k, r, ts, core.Options{TagMatrix: tag, AllowAlias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := core.Verify(c); p.SECPreserved {
+		t.Fatal("construction was supposed to alias")
+	}
+	return c
+}
+
+// TestTagCorruptionsAliasingDifferential: on a deliberately aliasing
+// construction, the sampled (bitsliced) tag campaign agrees with the
+// scalar pair sampler in distribution and with the exhaustive
+// enumeration, conserves its buckets, and reports the aliases as SDC —
+// the silent-corruption events the engine path must never drop.
+func TestTagCorruptionsAliasingDifferential(t *testing.T) {
+	c := aliasingAFTCode(t, 256, 10, 9)
+	exact := TagCorruptionsScalar(c, 0, 1)
+	if exact.SDC == 0 {
+		t.Fatal("aliasing construction must produce silent corruption exhaustively")
+	}
+	if gotEx := TagCorruptions(c, 0, 1); gotEx != exact {
+		t.Errorf("exhaustive difference enumeration %+v != pair enumeration %+v", gotEx, exact)
+	}
+
+	const limit = 100_000
+	got := TagCorruptions(c, limit, 7)
+	if got.Total != limit {
+		t.Fatalf("total %d != limit %d", got.Total, limit)
+	}
+	if got.CE+got.DUE+got.TMM+got.SDC != got.Total {
+		t.Fatalf("buckets do not sum to total: %+v", got)
+	}
+	if got.SDC == 0 {
+		t.Fatal("sampled engine path dropped the aliased lanes")
+	}
+	want := TagCorruptionsScalar(c, limit, 8)
+	for name, d := range map[string]float64{
+		"SDC vs scalar":     got.SDCRate() - want.SDCRate(),
+		"TMM vs scalar":     got.TMMRate() - want.TMMRate(),
+		"DE vs scalar":      got.DERate() - want.DERate(),
+		"SDC vs exhaustive": got.SDCRate() - exact.SDCRate(),
+	} {
+		if math.Abs(d) > 0.01 {
+			t.Errorf("%s: |Δ| = %v beyond tolerance (sampled %+v, scalar %+v, exhaustive %+v)",
+				name, d, got, want, exact)
+		}
 	}
 }
 

@@ -406,14 +406,16 @@ func RandomErrors(t Target, trials int, seed int64) Tally {
 // of batch p/64, and batch b's patterns come from the SplitMix64 stream
 // SeedForBatch(seed, b) regardless of which positions are live — so for
 // any partition of [0, n) into contiguous chunks, the chunk tallies sum
-// exactly to RandomErrors(t, n, seed). RandomErrorsParallel and the
+// exactly to RandomErrors(t, n, seed). The contract holds for every
+// target: engineless (wide-code) targets run a scalar loop over the
+// same per-batch plane stream. RandomErrorsParallel and the
 // batch-splitting metamorphic tests are built on this contract.
 func RandomErrorsOffset(t Target, trials int, seed int64, offset int) Tally {
 	if trials <= 0 {
 		return Tally{}
 	}
 	if t.eng == nil {
-		return RandomErrorsScalar(t, trials, seed+int64(offset))
+		return randomErrorsScalarOffset(t, trials, seed, offset)
 	}
 	eng := t.eng
 	batch := eng.NewBatch()
@@ -433,6 +435,44 @@ func RandomErrorsOffset(t Target, trials int, seed int64, offset int) Tally {
 		pos = bi*64 + hi
 	}
 	return fromCounts(counts)
+}
+
+// randomErrorsScalarOffset is the engineless fallback behind
+// RandomErrorsOffset. It reproduces the engine path's batch layout
+// exactly — batch b draws one plane word per physical bit from
+// SeedForBatch(seed, b), just as Batch.Random does, and lane L's error
+// pattern is bit L of each plane — so the chunk-sum/partition contract
+// (and therefore RandomErrorsParallel's worker independence) holds even
+// for targets too wide for a class-table engine.
+func randomErrorsScalarOffset(t Target, trials int, seed int64, offset int) Tally {
+	planes := make([]uint64, t.NPhys)
+	var tally Tally
+	pos, end := offset, offset+trials
+	for pos < end {
+		bi := pos / 64
+		lo := pos - bi*64
+		hi := 64
+		if batchEnd := (bi + 1) * 64; batchEnd > end {
+			hi = end - bi*64
+		}
+		rng := bitslice.NewRand(bitslice.SeedForBatch(seed, uint64(bi)))
+		for i := range planes {
+			planes[i] = rng.Uint64()
+		}
+		for lane := lo; lane < hi; lane++ {
+			var s uint64
+			weight := 0
+			for i, p := range planes {
+				if p>>uint(lane)&1 == 1 {
+					s ^= t.cols[i]
+					weight++
+				}
+			}
+			tally = tally.Add(t.classify(s, weight))
+		}
+		pos = bi*64 + hi
+	}
+	return tally
 }
 
 // RandomErrorsScalar is the scalar reference implementation, kept as
@@ -505,9 +545,12 @@ func TagCorruptions(c *core.Code, limit int, seed int64) Tally {
 			counts.Add(eng.Classify(batch))
 			done += n
 		}
-		// All lanes carry a nonzero tag difference, so any ClassZero
-		// (aliased or miscorrecting) lane is silent corruption; CE and
-		// OK cannot occur by construction of the tag class table.
+		// All lanes carry a nonzero tag difference, so aliased or
+		// miscorrecting (ClassZero) lanes classify as SDC via the
+		// engine's table-derived zero class; OK and CE cannot occur by
+		// construction (no empty lanes, no ClassCorrectable entries) but
+		// fold into SDC defensively so a table change can never drop
+		// silent-corruption events.
 		return Tally{Total: counts.Total, DUE: counts.DUE, TMM: counts.TMM,
 			SDC: counts.SDC + counts.OK + counts.CE}
 	}
@@ -546,8 +589,9 @@ func TagCorruptionsScalar(c *core.Code, limit int, seed int64) Tally {
 
 // tagEngine builds a bitsliced classifier over the TS tag columns with
 // a class table matching classifyTagOnly: corrected tag aliases count
-// as ClassZero so that nonzero-difference lanes classify as SDC (the
-// data-corrupting alias), tag syndromes as TMM, the rest as DUE.
+// as ClassZero — the engine's table-derived zero class puts every
+// nonzero-difference lane of that class in SDC (the data-corrupting
+// alias) — tag syndromes as TMM, the rest as DUE.
 func tagEngine(c *core.Code) *bitslice.Engine {
 	cols := make([]uint64, c.TS())
 	for i := range cols {
@@ -560,7 +604,11 @@ func tagEngine(c *core.Code) *bitslice.Engine {
 	for s := uint64(1); s < uint64(len(class)); s++ {
 		switch {
 		case correctableAFT(c, s):
-			class[s] = bitslice.ClassZero // StatusCorrected → SDC under weight ≥ 1
+			// StatusCorrected under a pure tag mismatch flips a data bit:
+			// silent corruption for every nonzero difference, which is
+			// exactly the aliasing-ClassZero semantics ClassifyMasks
+			// implements.
+			class[s] = bitslice.ClassZero
 		case isTagSyn(c, s):
 			class[s] = bitslice.ClassTag
 		default:
