@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke jobs-smoke rooms-smoke check clean
+.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke jobs-smoke rooms-smoke cluster-smoke check-docs check clean
 
 all: build test
 
@@ -13,10 +13,10 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/jobs ./internal/serve/rooms ./internal/ecc/bitslice ./internal/reliability
+	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/cluster ./internal/serve/jobs ./internal/serve/rooms ./internal/ecc/bitslice ./internal/reliability
 
 race:
-	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/jobs ./internal/serve/rooms ./internal/ecc/bitslice ./internal/reliability ./internal/security
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/cluster ./internal/serve/jobs ./internal/serve/rooms ./internal/ecc/bitslice ./internal/reliability ./internal/security
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -120,9 +120,23 @@ jobs-smoke:
 rooms-smoke:
 	sh scripts/rooms-smoke.sh
 
+# End-to-end gate for the multi-node layer: three imtd shards behind one
+# imtgw gateway, a shard SIGKILLed mid-sweep, every cell still delivered
+# exactly once with >=1 reroute, the merged results byte-identical to a
+# single-node baseline, and a clean gateway drain with serve_gw_*
+# metrics flushed (see scripts/cluster-smoke.sh).
+cluster-smoke:
+	sh scripts/cluster-smoke.sh
+
+# Documentation drift gate: fails if docs reference flags no binary
+# prints, point at paths outside the repo, or miss required sections
+# (see scripts/check_docs.sh).
+check-docs:
+	sh scripts/check_docs.sh
+
 # Pre-merge gate: everything that must be green before a change lands.
 # bench-gate runs last: correctness gates first, perf regression after.
-check: build test fuzz-short conformance serve-smoke jobs-smoke rooms-smoke bench-gate
+check: build test fuzz-short conformance serve-smoke jobs-smoke rooms-smoke cluster-smoke check-docs bench-gate
 
 clean:
 	rm -rf results results-quick .sweep-cache

@@ -25,6 +25,22 @@
 // crashed-and-resumed run can be byte-compared against an
 // uninterrupted baseline.
 //
+// Cluster mode (-cluster) also replaces the traffic phases: one
+// streaming sweep with exactly-once delivery assertions, designed to
+// point at an imtgw gateway (but valid against a plain imtd too):
+//
+//	imtload -addr GW -cluster -sweep-suite STREAM -sweep-modes none,imt \
+//	        -kill-pid $SHARD_PID -kill-after 1 -min-rerouted 1 \
+//	        -sweep-out cluster.txt
+//
+// -kill-pid SIGKILLs a shard once -kill-after cells have streamed; the
+// run then asserts that every cell of the grid still arrived exactly
+// once (the gateway rerouted the dead shard's remainder), that the
+// summary's rerouted count matches the per-cell flags, and that the
+// gateway's statsz reports the shard down. -sweep-out writes the same
+// canonical result shape as -job-out, so a gateway run byte-compares
+// against a single-node baseline.
+//
 // Phases:
 //
 //  1. Load: -n requests for the same cell across -c concurrent
@@ -91,6 +107,12 @@ func main() {
 		minCoalesce = flag.Uint64("min-coalesce", 0, "fail unless the server reports at least this many coalesce hits")
 		minCache    = flag.Uint64("min-cache", 0, "fail unless the server reports at least this many cache hits")
 
+		clusterMode = flag.Bool("cluster", false, "cluster mode: one streaming sweep with exactly-once assertions (point -addr at an imtgw gateway)")
+		killPid     = flag.Int("kill-pid", 0, "cluster mode: SIGKILL this pid once -kill-after cells have streamed (a shard dying mid-sweep)")
+		killAfter   = flag.Int("kill-after", 1, "cluster mode: cells to receive before firing -kill-pid")
+		minRerouted = flag.Int("min-rerouted", 0, "cluster mode: fail unless the sweep summary reports at least this many rerouted cells")
+		sweepOut    = flag.String("sweep-out", "", "cluster mode: write canonical sorted result lines here (for byte-comparing gateway vs single-node runs)")
+
 		tenant       = flag.String("tenant", "imtload", "tenant the job phase submits under")
 		jobs         = flag.Bool("jobs", false, "job mode: submit a durable job for -sweep-suite/-sweep-modes and follow it to completion")
 		jobSubmit    = flag.Bool("job-submit", false, "job mode: submit a job, print its id on stdout, exit")
@@ -111,6 +133,22 @@ func main() {
 
 	if err := waitHealthy(ctx, cl, *wait); err != nil {
 		fatal(err)
+	}
+
+	// Cluster mode replaces the traffic phases: one streaming sweep with
+	// exactly-once delivery assertions, optionally killing a shard
+	// process mid-stream to exercise the gateway's reroute path.
+	if *clusterMode {
+		os.Exit(runClusterMode(ctx, cl, clusterOpts{
+			suite:       *sweepSuite,
+			modes:       strings.Split(*sweepModes, ","),
+			maxCycles:   *maxCycles,
+			timeoutMs:   *timeoutMs,
+			killPid:     *killPid,
+			killAfter:   *killAfter,
+			minRerouted: *minRerouted,
+			out:         *sweepOut,
+		}))
 	}
 
 	// Job mode replaces the load/sweep/overload phases: imtload acts as
@@ -387,6 +425,152 @@ func runOverload(ctx context.Context, cl *client.Client, name, mode string, k in
 	close(start)
 	wg.Wait()
 	return or
+}
+
+// clusterOpts configures cluster mode (-cluster).
+type clusterOpts struct {
+	suite       string
+	modes       []string
+	maxCycles   uint64
+	timeoutMs   int64
+	killPid     int
+	killAfter   int
+	minRerouted int
+	out         string
+}
+
+// runClusterMode streams one sweep and enforces the cluster delivery
+// contract: every cell of the grid arrives exactly once and cleanly,
+// even when -kill-pid takes a shard down mid-stream (the gateway must
+// reroute the dead shard's remainder, visible in summary.rerouted and
+// the per-cell rerouted flags). With -sweep-out the canonical result
+// set is written for byte-comparison against a single-node run.
+func runClusterMode(ctx context.Context, cl *client.Client, o clusterOpts) int {
+	if o.suite == "" {
+		fatal(errors.New("imtload: -cluster needs -sweep-suite"))
+	}
+	failures := 0
+	var (
+		cells    []apitypes.CellResult
+		seen     = map[apitypes.CellRef]bool{}
+		dups     int
+		rerouted int
+		killed   bool
+	)
+	t0 := time.Now()
+	summary, err := cl.Sweep(ctx, apitypes.SweepRequest{
+		Suite: o.suite, Modes: o.modes,
+		MaxCycles: o.maxCycles, TimeoutMs: o.timeoutMs,
+	}, func(res apitypes.CellResult) error {
+		cells = append(cells, res)
+		ref := apitypes.CellRef{Workload: res.Workload, Mode: res.Mode}
+		if seen[ref] {
+			dups++
+		}
+		seen[ref] = true
+		if res.Rerouted {
+			rerouted++
+		}
+		if o.killPid != 0 && !killed && len(cells) >= o.killAfter {
+			killed = true
+			fmt.Fprintf(os.Stderr, "cluster: killing pid %d after %d cells\n", o.killPid, len(cells))
+			if err := syscall.Kill(o.killPid, syscall.SIGKILL); err != nil {
+				return fmt.Errorf("imtload: kill %d: %w", o.killPid, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("cluster: FAILED: sweep:", err)
+		return 1
+	}
+	fmt.Printf("cluster: %d cells streamed in %.0fms (%d cached, %d coalesced, %d failed, %d rerouted, %d shards)\n",
+		len(cells), float64(time.Since(t0))/float64(time.Millisecond),
+		summary.Cached, summary.Coalesced, summary.Failed, summary.Rerouted, summary.Shards)
+
+	if dups > 0 {
+		fmt.Printf("cluster: FAILED: %d cells delivered more than once\n", dups)
+		failures++
+	}
+	if len(cells) != summary.Cells {
+		fmt.Printf("cluster: FAILED: streamed %d cells, summary says %d\n", len(cells), summary.Cells)
+		failures++
+	}
+	if summary.Failed > 0 {
+		for _, c := range cells {
+			if c.Error != "" {
+				fmt.Printf("cluster: FAILED: cell %s|%s: %s\n", c.Workload, c.Mode, c.Error)
+			}
+		}
+		failures++
+	}
+	if rerouted != summary.Rerouted {
+		fmt.Printf("cluster: FAILED: %d rerouted flags on lines, summary says %d\n", rerouted, summary.Rerouted)
+		failures++
+	}
+	if o.killPid != 0 && !killed {
+		fmt.Printf("cluster: FAILED: sweep finished before %d cells arrived; -kill-pid never fired\n", o.killAfter)
+		failures++
+	}
+	if summary.Rerouted < o.minRerouted {
+		fmt.Printf("cluster: FAILED: rerouted cells %d < required %d\n", summary.Rerouted, o.minRerouted)
+		failures++
+	}
+
+	// Gateway-side truth: the aggregate plus the per-shard breakdown
+	// with breaker states (against a plain imtd both sections are
+	// simply absent).
+	snap, err := cl.GatewayStats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if g := snap.Gateway; g != nil {
+		fmt.Printf("gateway: %d requests, %d cells, %d rerouted, %d shard errors, %d breaker opens, %d/%d shards up\n",
+			g.Requests, g.Cells, g.Rerouted, g.ShardErrors, g.BreakerOpens, g.ShardsUp, g.ShardsTotal)
+		for _, row := range snap.Shards {
+			line := fmt.Sprintf("gateway: shard %s: breaker %s, %d rerouted away", row.Shard, row.Breaker, row.Rerouted)
+			if row.Error != "" {
+				line += ", statsz error: " + row.Error
+			} else if row.Stats != nil {
+				line += fmt.Sprintf(", %d cells served", row.Stats.Cells)
+			}
+			fmt.Println(line)
+		}
+		if o.killPid != 0 && killed && g.ShardsUp >= g.ShardsTotal {
+			fmt.Println("cluster: FAILED: a shard was killed but the gateway still reports the whole fleet up")
+			failures++
+		}
+	}
+
+	if o.out != "" {
+		if err := os.WriteFile(o.out, canonicalCells(cells), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cluster: wrote %d canonical lines to %s\n", len(cells), o.out)
+	}
+	return failures
+}
+
+// canonicalCells renders sweep results as sorted {workload, mode,
+// stats, error} JSON lines — the same canonical shape as job frames:
+// completion order, shard placement and cache provenance legitimately
+// differ between runs, the simulator stats must not.
+func canonicalCells(cells []apitypes.CellResult) []byte {
+	lines := make([]string, 0, len(cells))
+	for _, c := range cells {
+		b, err := json.Marshal(struct {
+			Workload string        `json:"workload"`
+			Mode     string        `json:"mode"`
+			Stats    *gpusim.Stats `json:"stats,omitempty"`
+			Error    string        `json:"error,omitempty"`
+		}{c.Workload, c.Mode, c.Stats, c.Error})
+		if err != nil {
+			fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n") + "\n")
 }
 
 // jobOpts configures job mode (-jobs / -job-submit / -job-id).

@@ -35,9 +35,10 @@ type SimRequest struct {
 }
 
 // SweepRequest asks for a grid of cells, expanded server-side:
-// (workloads ∪ suite) × modes. POSTed to /v1/sweep the results stream
-// back synchronously as NDJSON; wrapped in a JobRequest the same grid
-// runs as a durable background job.
+// (workloads ∪ suite) × modes, plus any explicitly listed Cells.
+// POSTed to /v1/sweep the results stream back synchronously as NDJSON;
+// wrapped in a JobRequest the same grid runs as a durable background
+// job.
 type SweepRequest struct {
 	// Workloads names individual catalog workloads.
 	Workloads []string `json:"workloads,omitempty"`
@@ -45,7 +46,12 @@ type SweepRequest struct {
 	// STREAM). Workloads and Suite may be combined.
 	Suite string `json:"suite,omitempty"`
 	// Modes lists tagging modes; the grid is workloads × modes.
-	Modes []string `json:"modes"`
+	Modes []string `json:"modes,omitempty"`
+	// Cells names explicit cells, appended to (and deduplicated against)
+	// the workloads × modes product. A sweep may consist of Cells alone —
+	// this is how the imtgw gateway scatters an arbitrary subset of a
+	// grid to one shard, which is never a clean product.
+	Cells []CellRef `json:"cells,omitempty"`
 	// MaxCycles / SampleInterval apply to every cell. TimeoutMs bounds
 	// the whole sweep for /v1/sweep (0 = the server maximum); for a job
 	// it bounds each cell instead, since a job's lifetime is unbounded.
@@ -80,6 +86,13 @@ type CellResult struct {
 	// WatchRoom is the telemetry room's join code when the request set
 	// watch:true (GET /v1/watch/{room} replays and follows it).
 	WatchRoom string `json:"watch_room,omitempty"`
+	// Shard is the imtd shard that served the cell, annotated by the
+	// imtgw gateway (absent on single-node responses).
+	Shard string `json:"shard,omitempty"`
+	// Rerouted marks a cell the gateway moved off its ring-preferred
+	// shard — because that shard's stream failed mid-sweep or its
+	// breaker was open when the cell was routed.
+	Rerouted bool `json:"rerouted,omitempty"`
 }
 
 // SweepSummary is the final NDJSON line of a /v1/sweep stream.
@@ -89,6 +102,12 @@ type SweepSummary struct {
 	Failed    int     `json:"failed"`
 	Cached    int     `json:"cached"`
 	Coalesced int     `json:"coalesced"`
+	// Rerouted counts cells a gateway moved to another shard after
+	// their assigned shard failed mid-sweep (always 0 single-node).
+	Rerouted  int     `json:"rerouted,omitempty"`
+	// Shards counts the distinct shards that served cells of this sweep
+	// (0 on single-node responses).
+	Shards    int     `json:"shards,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// WatchRoom echoes the telemetry room's join code when the request
 	// set watch:true (also sent early in the X-Watch-Room header).
@@ -262,6 +281,60 @@ type JobFrame struct {
 	// restart (WAL replay or cache hit inside a resumed job).
 	Resumed bool       `json:"resumed,omitempty"`
 	Cell    CellResult `json:"cell"`
+}
+
+// GatewaySnapshot is the imtgw gateway's GET /v1/statsz body: the
+// embedded StatsSnapshot aggregates the counters of every reachable
+// shard (so fleet-unaware tooling like imtload keeps working when
+// pointed at a gateway), Gateway carries the gateway's own routing
+// counters, and Shards is the per-shard breakdown.
+type GatewaySnapshot struct {
+	StatsSnapshot
+	Gateway *GatewayStats   `json:"gateway,omitempty"`
+	Shards  []ShardSnapshot `json:"shards,omitempty"`
+}
+
+// GatewayStats is the gateway's own activity: requests it routed and
+// cells it delivered (as opposed to the aggregated shard counters).
+type GatewayStats struct {
+	Requests uint64 `json:"requests"`
+	Cells    uint64 `json:"cells"`
+	// Rerouted counts cells moved to another shard after a transport
+	// failure or drain; ShardErrors counts the underlying shard
+	// stream/request failures that caused rerouting.
+	Rerouted    uint64 `json:"rerouted"`
+	ShardErrors uint64 `json:"shard_errors"`
+	// BreakerOpens counts closed/half-open → open transitions across the
+	// fleet since gateway start.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// ShardsUp / ShardsTotal summarize fleet health (up = breaker not
+	// open).
+	ShardsUp    int `json:"shards_up"`
+	ShardsTotal int `json:"shards_total"`
+}
+
+// Breaker states as rendered in ShardSnapshot.Breaker. A closed
+// breaker routes normally; an open one is excluded from routing until
+// a background health probe succeeds (→ half-open, tentatively
+// routable); a second consecutive success closes it.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// ShardSnapshot is one shard's row in a GatewaySnapshot.
+type ShardSnapshot struct {
+	// Shard is the shard's base URL as configured on the gateway.
+	Shard string `json:"shard"`
+	// Breaker is the shard's breaker state (Breaker* constants).
+	Breaker string `json:"breaker"`
+	// Rerouted counts cells moved *away* from this shard.
+	Rerouted uint64 `json:"rerouted"`
+	// Error is set when the shard's /v1/statsz could not be fetched;
+	// Stats is then nil and the shard is excluded from the aggregate.
+	Error string         `json:"error,omitempty"`
+	Stats *StatsSnapshot `json:"stats,omitempty"`
 }
 
 // JobStreamSummary is the final NDJSON line of a job stream. Done is

@@ -138,9 +138,20 @@ func (c *Client) sweep(ctx context.Context, req apitypes.SweepRequest, onRoom fu
 	return summary, err
 }
 
-// Stats fetches the server's activity counters.
+// Stats fetches the server's activity counters. Against an imtgw
+// gateway the counters are the fleet-wide aggregate; GatewayStats
+// additionally exposes the per-shard breakdown.
 func (c *Client) Stats(ctx context.Context) (apitypes.StatsSnapshot, error) {
 	var snap apitypes.StatsSnapshot
+	err := c.getJSON(ctx, "/v1/statsz", &snap)
+	return snap, err
+}
+
+// GatewayStats fetches /v1/statsz decoded as a gateway snapshot: the
+// aggregate counters plus the gateway section and per-shard breakdown.
+// Against a plain imtd shard, Gateway is nil and Shards empty.
+func (c *Client) GatewayStats(ctx context.Context) (apitypes.GatewaySnapshot, error) {
+	var snap apitypes.GatewaySnapshot
 	err := c.getJSON(ctx, "/v1/statsz", &snap)
 	return snap, err
 }

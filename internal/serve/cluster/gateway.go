@@ -1,0 +1,859 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpusim"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/serve/apitypes"
+	"repro/internal/serve/client"
+	"repro/internal/workload"
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Shards is the fleet of imtd base URLs (e.g.
+	// "http://127.0.0.1:8866"). At least one is required.
+	Shards []string
+	// Replicas is the virtual-node count per shard on the hash ring
+	// (0 = DefaultReplicas).
+	Replicas int
+	// ProbeInterval is the background health-probe period (0 = 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /v1/healthz probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// DefaultTimeout applies to /v1/sim requests without timeout_ms
+	// (0 = 30s); MaxTimeout clamps per-request deadlines and bounds
+	// whole sweeps (0 = 5m). They should match the shards' settings:
+	// the gateway's deadline is the outer bound, the shard's the inner.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSweepCells caps the gateway-side grid expansion (0 = 4096).
+	MaxSweepCells int
+	// StatszTimeout bounds each shard's statsz fetch during aggregation
+	// (0 = 2s).
+	StatszTimeout time.Duration
+	// Debug mounts the obs debug mux on the handler.
+	Debug bool
+	// Obs receives gateway telemetry (nil = a fresh hub).
+	Obs *obs.Hub
+	// Config is the simulated machine the shards run (zero NumSMs =
+	// gpusim.DefaultConfig). It must match the fleet's config: cache
+	// keys — and therefore routing — are computed from it.
+	Config gpusim.Config
+	// Pool supplies per-shard clients (nil = a fresh Pool). Tests
+	// inject one to tune retry policy.
+	Pool *client.Pool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = DefaultReplicas
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.MaxSweepCells <= 0 {
+		o.MaxSweepCells = 4096
+	}
+	if o.StatszTimeout <= 0 {
+		o.StatszTimeout = 2 * time.Second
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewHub()
+	}
+	if o.Config.NumSMs == 0 {
+		o.Config = gpusim.DefaultConfig()
+	}
+	if o.Pool == nil {
+		o.Pool = client.NewPool()
+	}
+	return o
+}
+
+// Gateway is a stateless sharding front for a fleet of imtd shards: it
+// consistent-hashes cells across the fleet on their runner cache keys,
+// scatters sweep grids as per-shard POST /v1/sweep cell lists, merges
+// the shards' NDJSON streams in completion order into one client
+// stream, and reroutes cells off shards that fail mid-flight. Construct
+// with New, mount Handler, stop with Close.
+type Gateway struct {
+	opts     Options
+	hub      *obs.Hub
+	ring     *Ring
+	pool     *client.Pool
+	shards   []*shardState
+	byURL    map[string]*shardState
+	byName   map[string]workload.Workload
+	draining atomic.Bool
+	started  time.Time
+	manifest obs.Manifest
+
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+
+	mRequests      *obs.Counter
+	mCells         *obs.Counter
+	mRerouted      *obs.Counter
+	mShardErrors   *obs.Counter
+	mBreakerOpens  *obs.Counter
+	mProbes        *obs.Counter
+	mProbeFailures *obs.Counter
+	mShardsUp      *obs.Gauge
+	mLatency       *obs.HistogramVec
+}
+
+// New builds a gateway over opts.Shards and starts its background
+// health prober (one immediate synchronous round, so routing state is
+// populated before the first request).
+func New(opts Options) (*Gateway, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(opts.Shards, opts.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		opts:      opts,
+		hub:       opts.Obs,
+		ring:      ring,
+		pool:      opts.Pool,
+		byURL:     make(map[string]*shardState),
+		byName:    make(map[string]workload.Workload),
+		started:   time.Now(),
+		stopProbe: make(chan struct{}),
+	}
+	for _, w := range workload.Catalog() {
+		g.byName[w.Name] = w
+	}
+	for _, url := range ring.Shards() {
+		ss := &shardState{url: url, br: newBreaker()}
+		g.shards = append(g.shards, ss)
+		g.byURL[url] = ss
+	}
+	if reg := g.hub.Metrics; reg != nil {
+		g.mRequests = reg.Counter("serve_gw_requests_total", "API requests received by the gateway")
+		g.mCells = reg.Counter("serve_gw_cells_total", "cells delivered to clients through the gateway")
+		g.mRerouted = reg.Counter("serve_gw_rerouted_total", "cells rerouted to another shard after a shard failure")
+		g.mShardErrors = reg.Counter("serve_gw_shard_errors_total", "shard request/stream failures observed by the gateway")
+		g.mBreakerOpens = reg.Counter("serve_gw_breaker_opens_total", "shard breaker transitions to open")
+		g.mProbes = reg.Counter("serve_gw_probes_total", "shard health probes sent")
+		g.mProbeFailures = reg.Counter("serve_gw_probe_failures_total", "shard health probes that failed")
+		g.mShardsUp = reg.Gauge("serve_gw_shards_up", "shards currently routable (breaker not open)")
+		g.mLatency = reg.HistogramVec("serve_gw_request_seconds", "route", "gateway end-to-end request latency by route", obs.DurationBuckets)
+	}
+	g.manifest = obs.NewManifest("imtgw", struct {
+		Shards   []string
+		Replicas int
+	}{ring.Shards(), opts.Replicas})
+	g.probeAll(context.Background())
+	g.probeWG.Add(1)
+	go g.prober()
+	return g, nil
+}
+
+// Hub returns the gateway's observability hub.
+func (g *Gateway) Hub() *obs.Hub { return g.hub }
+
+// Ring returns the gateway's hash ring (read-only).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// SetDraining flips the gateway into (or out of) drain mode: new work
+// is refused with 503 + Retry-After while in-flight streams complete.
+func (g *Gateway) SetDraining(v bool) { g.draining.Store(v) }
+
+// Close stops the background prober and drops idle shard connections.
+// Idempotent.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		close(g.stopProbe)
+		g.probeWG.Wait()
+		g.pool.CloseIdle()
+	})
+}
+
+// Handler returns the gateway's HTTP handler:
+//
+//	POST /v1/sim        route one cell to its shard (reroute on failure)
+//	POST /v1/sweep      scatter the grid, merge shard NDJSON streams
+//	GET  /v1/workloads  catalog listing (served locally; same binary)
+//	GET  /v1/statsz     GatewaySnapshot: aggregate + per-shard breakdown
+//	GET  /v1/healthz    200 while ≥1 shard is routable and not draining
+//
+// plus the obs debug mux when Options.Debug is set. Jobs and telemetry
+// rooms are shard-scoped resources (a WAL and a broadcast live on one
+// shard); their routes answer 404 with a hint to address a shard
+// directly.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sim", g.handleSim)
+	mux.HandleFunc("POST /v1/sweep", g.handleSweep)
+	mux.HandleFunc("GET /v1/workloads", g.handleWorkloads)
+	mux.HandleFunc("GET /v1/statsz", g.handleStatsz)
+	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	mux.HandleFunc("/v1/jobs", g.handleShardScoped)
+	mux.HandleFunc("/v1/jobs/", g.handleShardScoped)
+	mux.HandleFunc("/v1/watch/", g.handleShardScoped)
+	if g.opts.Debug {
+		dbg := obs.DebugMux(g.hub.Metrics)
+		mux.Handle("/debug/", dbg)
+		mux.Handle("GET /metrics", dbg)
+		mux.Handle("GET /metrics.json", dbg)
+	}
+	return mux
+}
+
+// gwCell is one routed cell: its wire identity plus the runner cache
+// key it hashes to the ring with.
+type gwCell struct {
+	ref apitypes.CellRef
+	key string
+}
+
+// resolveCell validates one cell against the local catalog and mode
+// table and computes its cache key — the identical bytes every shard
+// hashes, so gateway routing and shard caching can never disagree.
+func (g *Gateway) resolveCell(name, mode string, maxCycles, sampleInterval uint64) (gwCell, error) {
+	w, ok := g.byName[name]
+	if !ok {
+		return gwCell{}, fmt.Errorf("cluster: unknown workload %q (GET /v1/workloads lists the catalog)", name)
+	}
+	tm, carve, err := gpusim.ParseTagMode(mode)
+	if err != nil {
+		return gwCell{}, err
+	}
+	cfg := g.opts.Config
+	cfg.SampleInterval = sampleInterval
+	key, _ := runner.CacheKeyFor(cfg, runner.Job{
+		Workload:  w,
+		Mode:      tm,
+		Carve:     carve,
+		MaxCycles: maxCycles,
+	})
+	return gwCell{ref: apitypes.CellRef{Workload: name, Mode: mode}, key: key}, nil
+}
+
+// expandSweep mirrors the shard-side grid expansion ((workloads ∪
+// suite) × modes plus explicit cells, deduplicated) so the gateway
+// can scatter exactly the cells a single shard would have run.
+func (g *Gateway) expandSweep(req apitypes.SweepRequest) ([]gwCell, error) {
+	var ws []workload.Workload
+	seen := make(map[string]bool)
+	add := func(w workload.Workload) {
+		if !seen[w.Name] {
+			seen[w.Name] = true
+			ws = append(ws, w)
+		}
+	}
+	for _, name := range req.Workloads {
+		w, ok := g.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown workload %q", name)
+		}
+		add(w)
+	}
+	if req.Suite != "" {
+		suite := workload.BySuite(req.Suite)
+		if len(suite) == 0 {
+			return nil, fmt.Errorf("cluster: unknown suite %q (valid: %v)", req.Suite, workload.Suites())
+		}
+		for _, w := range suite {
+			add(w)
+		}
+	}
+	if len(ws) == 0 && len(req.Cells) == 0 {
+		return nil, errors.New("cluster: sweep needs workloads, a suite, and/or explicit cells")
+	}
+	if len(ws) > 0 && len(req.Modes) == 0 {
+		return nil, errors.New("cluster: sweep needs at least one mode")
+	}
+	var cells []gwCell
+	inGrid := make(map[apitypes.CellRef]bool)
+	appendCell := func(name, mode string) error {
+		cell, err := g.resolveCell(name, mode, req.MaxCycles, req.SampleInterval)
+		if err != nil {
+			return err
+		}
+		if !inGrid[cell.ref] {
+			inGrid[cell.ref] = true
+			cells = append(cells, cell)
+		}
+		return nil
+	}
+	for _, w := range ws {
+		for _, mode := range req.Modes {
+			if err := appendCell(w.Name, mode); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, ref := range req.Cells {
+		if err := appendCell(ref.Workload, ref.Mode); err != nil {
+			return nil, err
+		}
+	}
+	if len(cells) > g.opts.MaxSweepCells {
+		return nil, fmt.Errorf("cluster: sweep expands to %d cells, gateway cap is %d", len(cells), g.opts.MaxSweepCells)
+	}
+	return cells, nil
+}
+
+// assign groups cells by their first routable shard in ring order.
+// Cells with no routable shard at all land in the second return value.
+func (g *Gateway) assign(cells []gwCell) (map[string][]gwCell, []gwCell) {
+	groups := make(map[string][]gwCell)
+	var unroutable []gwCell
+	for _, c := range cells {
+		placed := false
+		for _, url := range g.ring.Order(c.key) {
+			if g.byURL[url].br.routable() {
+				groups[url] = append(groups[url], c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			unroutable = append(unroutable, c)
+		}
+	}
+	return groups, unroutable
+}
+
+func (g *Gateway) handleSim(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	g.count(g.mRequests)
+	defer g.observeLatency(t0, "sim")
+	if g.rejectDraining(w) {
+		return
+	}
+	req, err := decodeRequest[apitypes.SimRequest](r)
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
+		return
+	}
+	if req.Watch {
+		g.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest,
+			errors.New("cluster: watch rooms are shard-scoped; submit the watched request to a shard directly"))
+		return
+	}
+	cell, err := g.resolveCell(req.Workload, req.Mode, req.MaxCycles, req.SampleInterval)
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
+		return
+	}
+	ctx, cancel := g.requestContext(r.Context(), req.TimeoutMs, g.opts.DefaultTimeout)
+	defer cancel()
+
+	hops := 0
+	for _, url := range g.ring.Order(cell.key) {
+		ss := g.byURL[url]
+		if !ss.br.routable() {
+			continue
+		}
+		res, err := g.pool.For(url).Sim(ctx, req)
+		if err == nil {
+			ss.br.onSuccess(false)
+			res.Shard = url
+			res.Rerouted = hops > 0
+			if hops > 0 {
+				g.countN(g.mRerouted, 1)
+			}
+			g.count(g.mCells)
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+		if !reroutable(err) {
+			// Semantic failure (4xx, 504, 500): the shard answered; its
+			// verdict stands. Cells are deterministic, so another shard
+			// would fail identically — and a 4xx must never be retried.
+			g.writeShardError(w, err)
+			return
+		}
+		g.shardFailed(ss)
+		ss.rerouted.Add(1)
+		hops++
+	}
+	// Every shard is open or failed this request.
+	g.writeError(w, http.StatusServiceUnavailable, apitypes.CodeDraining,
+		errors.New("cluster: no healthy shard available"))
+}
+
+// reroutable: transport failures and shard drains move a cell to
+// another shard; anything the shard actually answered (including 429
+// after the per-shard client exhausted its backpressure retries) does
+// not — never retry a 4xx on another shard. Context expiry is the
+// caller's budget, not the shard's failure.
+func reroutable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return errors.Is(apiErr, client.ErrDraining)
+	}
+	return true // transport error: refused, reset, shard died mid-body
+}
+
+// shardFailed records a request-path failure on ss: breaker opens,
+// counters bump.
+func (g *Gateway) shardFailed(ss *shardState) {
+	g.count(g.mShardErrors)
+	if ss.br.onFailure() {
+		g.count(g.mBreakerOpens)
+	}
+	g.gaugeShardsUp()
+}
+
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	g.count(g.mRequests)
+	defer g.observeLatency(t0, "sweep")
+	if g.rejectDraining(w) {
+		return
+	}
+	req, err := decodeRequest[apitypes.SweepRequest](r)
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
+		return
+	}
+	if req.Watch {
+		g.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest,
+			errors.New("cluster: watch rooms are shard-scoped; submit the watched sweep to a shard directly"))
+		return
+	}
+	cells, err := g.expandSweep(req)
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
+		return
+	}
+	ctx, cancel := g.requestContext(r.Context(), req.TimeoutMs, g.opts.MaxTimeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Scatter: one NDJSON sweep stream per shard carrying exactly that
+	// shard's cells; merge in completion order. A failed stream's
+	// undelivered cells are reassigned to the surviving shards (their
+	// lines arrive flagged rerouted); the merge loop deduplicates by
+	// cell identity so a client sees every cell exactly once no matter
+	// how many times a shard died mid-flight.
+	lines := make(chan apitypes.CellResult, 64)
+	var wg sync.WaitGroup
+	groups, unroutable := g.assign(cells)
+	for url, group := range groups {
+		wg.Add(1)
+		go g.sweepShard(ctx, &wg, lines, url, group, req, 0)
+	}
+	if len(unroutable) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.failCells(lines, unroutable, 0)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+
+	summary := apitypes.SweepSummary{Cells: len(cells)}
+	delivered := make(map[apitypes.CellRef]bool, len(cells))
+	shardsSeen := make(map[string]bool)
+	clientGone := false
+	for res := range lines {
+		ref := apitypes.CellRef{Workload: res.Workload, Mode: res.Mode}
+		if delivered[ref] {
+			continue
+		}
+		delivered[ref] = true
+		if res.Error != "" {
+			summary.Failed++
+		} else {
+			g.count(g.mCells)
+		}
+		if res.Cached {
+			summary.Cached++
+		}
+		if res.Coalesced {
+			summary.Coalesced++
+		}
+		if res.Rerouted {
+			summary.Rerouted++
+			g.countN(g.mRerouted, 1)
+		}
+		if res.Shard != "" {
+			shardsSeen[res.Shard] = true
+		}
+		if clientGone {
+			continue
+		}
+		if err := enc.Encode(res); err != nil {
+			// The client hung up; drain the workers and stop writing.
+			clientGone = true
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	summary.Done = true
+	summary.Shards = len(shardsSeen)
+	summary.ElapsedMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	_ = enc.Encode(summary)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// sweepShard streams one shard's share of a sweep, forwarding each
+// line annotated with the shard and reroute status. When the stream
+// fails, the undelivered remainder is reassigned across the surviving
+// fleet and streamed by freshly spawned workers; after maxHops (one
+// per shard) the remainder is reported failed instead, bounding the
+// reroute cascade even if breakers heal mid-sweep.
+func (g *Gateway) sweepShard(ctx context.Context, wg *sync.WaitGroup, lines chan<- apitypes.CellResult, url string, cells []gwCell, req apitypes.SweepRequest, hops int) {
+	defer wg.Done()
+	shardReq := apitypes.SweepRequest{
+		Cells:          refsOf(cells),
+		MaxCycles:      req.MaxCycles,
+		SampleInterval: req.SampleInterval,
+		TimeoutMs:      req.TimeoutMs,
+	}
+	seen := make(map[apitypes.CellRef]bool, len(cells))
+	ss := g.byURL[url]
+	_, err := g.pool.Raw(url).Sweep(ctx, shardReq, func(res apitypes.CellResult) error {
+		res.Shard = url
+		res.Rerouted = hops > 0
+		seen[apitypes.CellRef{Workload: res.Workload, Mode: res.Mode}] = true
+		select {
+		case lines <- res:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err == nil {
+		ss.br.onSuccess(false)
+		return
+	}
+	if ctx.Err() != nil {
+		// The sweep's own deadline expired; report the remainder as
+		// timed out rather than rerouting against a spent budget.
+		g.failCellsErr(lines, remainder(cells, seen), hops+1, "cluster: sweep deadline exceeded")
+		return
+	}
+	remaining := remainder(cells, seen)
+	if !reroutable(err) {
+		// The shard answered with a semantic failure (e.g. it rejected
+		// the cell list). Surfacing it per cell keeps the merge exact.
+		g.failCellsErr(lines, remaining, hops, fmt.Sprintf("cluster: shard %s: %v", url, err))
+		return
+	}
+	g.shardFailed(ss)
+	ss.rerouted.Add(uint64(len(remaining)))
+	if hops+1 >= len(g.shards) {
+		g.failCellsErr(lines, remaining, hops+1, fmt.Sprintf("cluster: shard %s: %v (reroute budget exhausted)", url, err))
+		return
+	}
+	groups, unroutable := g.assign(remaining)
+	for nextURL, group := range groups {
+		wg.Add(1)
+		go g.sweepShard(ctx, wg, lines, nextURL, group, req, hops+1)
+	}
+	g.failCells(lines, unroutable, hops+1)
+}
+
+// failCells reports cells that could not be placed on any shard.
+func (g *Gateway) failCells(lines chan<- apitypes.CellResult, cells []gwCell, hops int) {
+	g.failCellsErr(lines, cells, hops, "cluster: no healthy shard available")
+}
+
+func (g *Gateway) failCellsErr(lines chan<- apitypes.CellResult, cells []gwCell, hops int, msg string) {
+	for _, c := range cells {
+		lines <- apitypes.CellResult{
+			Workload: c.ref.Workload,
+			Mode:     c.ref.Mode,
+			Error:    msg,
+			Rerouted: hops > 0,
+		}
+	}
+}
+
+func refsOf(cells []gwCell) []apitypes.CellRef {
+	refs := make([]apitypes.CellRef, len(cells))
+	for i, c := range cells {
+		refs[i] = c.ref
+	}
+	return refs
+}
+
+func remainder(cells []gwCell, seen map[apitypes.CellRef]bool) []gwCell {
+	var rest []gwCell
+	for _, c := range cells {
+		if !seen[c.ref] {
+			rest = append(rest, c)
+		}
+	}
+	return rest
+}
+
+func (g *Gateway) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	cat := workload.Catalog()
+	resp := apitypes.CatalogResponse{
+		Workloads: make([]apitypes.WorkloadInfo, 0, len(cat)),
+		Suites:    workload.Suites(),
+		Modes:     gpusim.TagModeNames(),
+	}
+	for _, wl := range cat {
+		resp.Workloads = append(resp.Workloads, apitypes.WorkloadInfo{
+			Name:           wl.Name,
+			Suite:          wl.Suite,
+			Pattern:        wl.Pattern.String(),
+			FootprintBytes: wl.FootprintBytes,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Stats assembles the gateway snapshot: every shard's /v1/statsz
+// fetched concurrently (bounded by StatszTimeout each), summed into
+// the aggregate, with the per-shard breakdown carrying breaker states
+// and reroute counts. Unreachable shards stay in the breakdown with an
+// error and are excluded from the aggregate.
+func (g *Gateway) Stats(ctx context.Context) apitypes.GatewaySnapshot {
+	up := time.Since(g.started)
+	snap := apitypes.GatewaySnapshot{
+		StatsSnapshot: apitypes.StatsSnapshot{
+			Draining:      g.draining.Load(),
+			UptimeMs:      float64(up) / float64(time.Millisecond),
+			UptimeSeconds: up.Seconds(),
+			ConfigHash:    g.manifest.ConfigHash,
+			GoVersion:     g.manifest.GoVersion,
+			VCSRevision:   g.manifest.VCSRevision,
+			VCSModified:   g.manifest.VCSModified,
+		},
+		Shards: make([]apitypes.ShardSnapshot, len(g.shards)),
+	}
+	var wg sync.WaitGroup
+	for i, ss := range g.shards {
+		wg.Add(1)
+		go func(i int, ss *shardState) {
+			defer wg.Done()
+			row := apitypes.ShardSnapshot{
+				Shard:    ss.url,
+				Breaker:  ss.br.State(),
+				Rerouted: ss.rerouted.Load(),
+			}
+			sctx, cancel := context.WithTimeout(ctx, g.opts.StatszTimeout)
+			defer cancel()
+			st, err := g.pool.Raw(ss.url).Stats(sctx)
+			if err != nil {
+				row.Error = err.Error()
+			} else {
+				row.Stats = &st
+			}
+			snap.Shards[i] = row
+		}(i, ss)
+	}
+	wg.Wait()
+	gw := apitypes.GatewayStats{ShardsTotal: len(g.shards)}
+	for _, row := range snap.Shards {
+		if row.Breaker != apitypes.BreakerOpen {
+			gw.ShardsUp++
+		}
+		if row.Stats == nil {
+			continue
+		}
+		st := row.Stats
+		snap.Requests += st.Requests
+		snap.Cells += st.Cells
+		snap.CacheHits += st.CacheHits
+		snap.CoalesceHits += st.CoalesceHits
+		snap.Rejected += st.Rejected
+		snap.Timeouts += st.Timeouts
+		snap.Errors += st.Errors
+		snap.Inflight += st.Inflight
+		snap.QueueDepth += st.QueueDepth
+	}
+	if g.mRequests != nil {
+		gw.Requests = g.mRequests.Value()
+		gw.Cells = g.mCells.Value()
+		gw.Rerouted = g.mRerouted.Value()
+		gw.ShardErrors = g.mShardErrors.Value()
+		gw.BreakerOpens = g.mBreakerOpens.Value()
+	}
+	snap.Gateway = &gw
+	return snap
+}
+
+func (g *Gateway) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	g.count(g.mRequests)
+	defer g.observeLatency(t0, "statsz")
+	writeJSON(w, http.StatusOK, g.Stats(r.Context()))
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	routable := 0
+	for _, ss := range g.shards {
+		if ss.br.routable() {
+			routable++
+		}
+	}
+	if g.draining.Load() || routable == 0 {
+		status := "draining"
+		if routable == 0 {
+			status = "no healthy shards"
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": status, "shards_up": routable})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards_up": routable})
+}
+
+func (g *Gateway) handleShardScoped(w http.ResponseWriter, _ *http.Request) {
+	g.writeError(w, http.StatusNotFound, apitypes.CodeNotFound,
+		errors.New("cluster: jobs and watch rooms are shard-scoped; address an imtd shard directly"))
+}
+
+// Manifest pins this gateway run: fleet identity plus current routing
+// counters and the metrics snapshot. Call at drain time.
+func (g *Gateway) Manifest() obs.Manifest {
+	m := g.manifest
+	m.WallSeconds = time.Since(g.started).Seconds()
+	if g.mRequests != nil {
+		m.Counters = map[string]uint64{
+			"requests":      g.mRequests.Value(),
+			"cells":         g.mCells.Value(),
+			"rerouted":      g.mRerouted.Value(),
+			"shard_errors":  g.mShardErrors.Value(),
+			"breaker_opens": g.mBreakerOpens.Value(),
+		}
+	}
+	if g.hub.Metrics != nil {
+		snap := g.hub.Metrics.Snapshot()
+		m.Metrics = &snap
+	}
+	return m
+}
+
+// retryAfterSeconds mirrors the shard-side backpressure hint.
+const retryAfterSeconds = 1
+
+func (g *Gateway) rejectDraining(w http.ResponseWriter) bool {
+	if !g.draining.Load() {
+		return false
+	}
+	g.writeError(w, http.StatusServiceUnavailable, apitypes.CodeDraining, errors.New("cluster: draining"))
+	return true
+}
+
+func (g *Gateway) requestContext(parent context.Context, timeoutMs int64, fallback time.Duration) (context.Context, context.CancelFunc) {
+	d := fallback
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > g.opts.MaxTimeout {
+		d = g.opts.MaxTimeout
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// writeShardError propagates a shard's own verdict: the APIError's
+// status, envelope code and backoff hint pass through unchanged, so a
+// client cannot tell a gateway-fronted 429/504 from a direct one.
+func (g *Gateway) writeShardError(w http.ResponseWriter, err error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int((apiErr.RetryAfter+time.Second-1)/time.Second)))
+		}
+		code := apiErr.Code
+		if code == "" {
+			code = apitypes.CodeInternal
+		}
+		writeJSON(w, apiErr.StatusCode, apitypes.ErrorResponse{Error: apitypes.ErrorBody{
+			Code:         code,
+			Message:      apiErr.Message,
+			RetryAfterMs: apiErr.RetryAfter.Milliseconds(),
+		}})
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		g.writeError(w, http.StatusGatewayTimeout, apitypes.CodeTimeout, err)
+		return
+	}
+	g.writeError(w, http.StatusInternalServerError, apitypes.CodeInternal, err)
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, status int, code string, err error) {
+	body := apitypes.ErrorBody{Code: code, Message: err.Error()}
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		body.RetryAfterMs = retryAfterSeconds * 1000
+	}
+	writeJSON(w, status, apitypes.ErrorResponse{Error: body})
+}
+
+func (g *Gateway) count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (g *Gateway) countN(c *obs.Counter, n uint64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+func (g *Gateway) observeLatency(t0 time.Time, route string) {
+	if g.mLatency != nil {
+		g.mLatency.With(route).Observe(time.Since(t0).Seconds())
+	}
+}
+
+// decodeRequest decodes one JSON value with the same hostile-input
+// posture as the shard-side decoder: capped read, unknown fields
+// rejected, trailing data rejected.
+func decodeRequest[T any](r *http.Request) (T, error) {
+	var v T
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, apitypes.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, fmt.Errorf("cluster: decoding request: %w", err)
+	}
+	if dec.More() {
+		return v, errors.New("cluster: trailing data after request body")
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/serve/apitypes"
+)
+
+// TestBreakerLifecycle pins the state machine: closed → open on any
+// failure, open → half-open on a probe success, half-open → closed on
+// the second consecutive probe success, reopened by any failure.
+func TestBreakerLifecycle(t *testing.T) {
+	b := newBreaker()
+	if got := b.State(); got != apitypes.BreakerClosed {
+		t.Fatalf("new breaker state = %q, want closed", got)
+	}
+	if !b.routable() {
+		t.Fatal("closed breaker must be routable")
+	}
+
+	if !b.onFailure() {
+		t.Fatal("first failure must report a transition")
+	}
+	if got := b.State(); got != apitypes.BreakerOpen {
+		t.Fatalf("after failure state = %q, want open", got)
+	}
+	if b.routable() {
+		t.Fatal("open breaker must not be routable")
+	}
+	if b.onFailure() {
+		t.Fatal("failure on an open breaker must not report a second transition")
+	}
+
+	b.onSuccess(true)
+	if got := b.State(); got != apitypes.BreakerHalfOpen {
+		t.Fatalf("after one probe success state = %q, want half-open", got)
+	}
+	if !b.routable() {
+		t.Fatal("half-open breaker must be routable (that is the point)")
+	}
+
+	b.onSuccess(true)
+	if got := b.State(); got != apitypes.BreakerClosed {
+		t.Fatalf("after two probe successes state = %q, want closed", got)
+	}
+}
+
+// TestBreakerRequestSuccessClosesHalfOpen: a real routed request
+// succeeding is at least as strong a signal as a probe — one is enough
+// to close a half-open breaker.
+func TestBreakerRequestSuccessClosesHalfOpen(t *testing.T) {
+	b := newBreaker()
+	b.onFailure()
+	b.onSuccess(true) // probe: open → half-open
+	b.onSuccess(false)
+	if got := b.State(); got != apitypes.BreakerClosed {
+		t.Fatalf("request success on half-open: state = %q, want closed", got)
+	}
+}
+
+// TestBreakerFailureReopensHalfOpen: a half-open breaker is a trial
+// balloon; any failure pops it straight back to open.
+func TestBreakerFailureReopensHalfOpen(t *testing.T) {
+	b := newBreaker()
+	b.onFailure()
+	b.onSuccess(true)
+	if !b.onFailure() {
+		t.Fatal("half-open → open must report a transition")
+	}
+	if got := b.State(); got != apitypes.BreakerOpen {
+		t.Fatalf("state = %q, want open", got)
+	}
+	// And the walk out must start over: one probe success is half-open
+	// again, not closed.
+	b.onSuccess(true)
+	if got := b.State(); got != apitypes.BreakerHalfOpen {
+		t.Fatalf("state = %q, want half-open", got)
+	}
+}

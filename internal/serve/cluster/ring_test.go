@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cachekey-%04d", i)
+	}
+	return keys
+}
+
+func mustRing(t *testing.T, shards []string) *Ring {
+	t.Helper()
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingDeterminism: ownership is a pure function of the fleet set —
+// configuration order must not matter, or two imtgw processes fronting
+// the same fleet would route the same cell to different shards and
+// destroy cache affinity.
+func TestRingDeterminism(t *testing.T) {
+	a := mustRing(t, []string{"http://s1", "http://s2", "http://s3", "http://s4"})
+	b := mustRing(t, []string{"http://s3", "http://s1", "http://s4", "http://s2"})
+	for _, key := range testKeys(500) {
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("owner(%q) differs across configuration orders: %q vs %q", key, ao, bo)
+		}
+	}
+}
+
+// TestRingOrder: Order must be a permutation of the fleet starting at
+// the owner — it is the gateway's reroute preference list, so a missing
+// or duplicated shard would strand or double-route cells.
+func TestRingOrder(t *testing.T) {
+	shards := []string{"http://s1", "http://s2", "http://s3"}
+	r := mustRing(t, shards)
+	for _, key := range testKeys(100) {
+		order := r.Order(key)
+		if len(order) != len(shards) {
+			t.Fatalf("order(%q) = %v, want %d distinct shards", key, order, len(shards))
+		}
+		seen := map[string]bool{}
+		for _, s := range order {
+			if seen[s] {
+				t.Fatalf("order(%q) repeats %q: %v", key, s, order)
+			}
+			seen[s] = true
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("order(%q)[0] = %q, owner = %q", key, order[0], r.Owner(key))
+		}
+	}
+}
+
+// TestRingMinimalMovement: growing the fleet N→N+1 may move keys only
+// onto the new shard; any key hopping between two surviving shards is
+// a consistent-hashing bug (it would invalidate both shards' caches).
+func TestRingMinimalMovement(t *testing.T) {
+	old := []string{"http://s1", "http://s2", "http://s3", "http://s4"}
+	grown := append(append([]string(nil), old...), "http://s5")
+	rOld, rNew := mustRing(t, old), mustRing(t, grown)
+	keys := testKeys(2000)
+	moved := 0
+	for _, key := range keys {
+		was, is := rOld.Owner(key), rNew.Owner(key)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "http://s5" {
+			t.Fatalf("key %q moved %q → %q, not to the new shard", key, was, is)
+		}
+	}
+	// The new shard takes ~1/5 of the keyspace; allow a wide band.
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("moved %d/%d keys to the new shard, want ~1/5", moved, len(keys))
+	}
+}
+
+// TestRingBalance: virtual nodes must keep the ownership split roughly
+// uniform — a starved shard wastes capacity, an overloaded one becomes
+// the sweep's straggler.
+func TestRingBalance(t *testing.T) {
+	shards := []string{"http://s1", "http://s2", "http://s3", "http://s4"}
+	r := mustRing(t, shards)
+	counts := map[string]int{}
+	keys := testKeys(4000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for _, s := range shards {
+		frac := float64(counts[s]) / float64(len(keys))
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("shard %s owns %.1f%% of keys, outside [10%%, 45%%] (counts %v)", s, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty fleet must be rejected")
+	}
+	if _, err := NewRing([]string{"http://s1", "http://s1"}, 0); err == nil {
+		t.Error("duplicate shard must be rejected")
+	}
+}

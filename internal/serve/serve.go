@@ -606,7 +606,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // expandSweep turns a SweepRequest into its grid of cells:
 // (named workloads ∪ suite members) × modes, deduplicated by workload
-// name, order-preserving.
+// name, order-preserving — plus any explicit req.Cells, appended in
+// order and deduplicated against the product by (workload, mode). An
+// explicit cell list is how a gateway scatters one shard's share of a
+// grid, which is rarely a clean product.
 func (s *Server) expandSweep(req SweepRequest) ([]cellSpec, error) {
 	var ws []workload.Workload
 	seen := make(map[string]bool)
@@ -632,13 +635,13 @@ func (s *Server) expandSweep(req SweepRequest) ([]cellSpec, error) {
 			add(w)
 		}
 	}
-	if len(ws) == 0 {
-		return nil, errors.New("serve: sweep needs workloads and/or a suite")
+	if len(ws) == 0 && len(req.Cells) == 0 {
+		return nil, errors.New("serve: sweep needs workloads, a suite, and/or explicit cells")
 	}
-	if len(req.Modes) == 0 {
+	if len(ws) > 0 && len(req.Modes) == 0 {
 		return nil, errors.New("serve: sweep needs at least one mode")
 	}
-	cells := make([]cellSpec, 0, len(ws)*len(req.Modes))
+	cells := make([]cellSpec, 0, len(ws)*len(req.Modes)+len(req.Cells))
 	for _, w := range ws {
 		for _, mode := range req.Modes {
 			cell, err := s.resolveCell(w.Name, mode, req.MaxCycles, req.SampleInterval)
@@ -647,6 +650,21 @@ func (s *Server) expandSweep(req SweepRequest) ([]cellSpec, error) {
 			}
 			cells = append(cells, cell)
 		}
+	}
+	inGrid := make(map[apitypes.CellRef]bool, len(cells))
+	for _, c := range cells {
+		inGrid[apitypes.CellRef{Workload: c.w.Name, Mode: c.modeName}] = true
+	}
+	for _, ref := range req.Cells {
+		if inGrid[ref] {
+			continue
+		}
+		inGrid[ref] = true
+		cell, err := s.resolveCell(ref.Workload, ref.Mode, req.MaxCycles, req.SampleInterval)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
 	}
 	if len(cells) > s.opts.MaxSweepCells {
 		return nil, fmt.Errorf("serve: sweep expands to %d cells, server cap is %d", len(cells), s.opts.MaxSweepCells)

@@ -1,0 +1,74 @@
+#!/bin/sh
+# check_docs: documentation drift gate (make check-docs).
+#
+# Fails when the docs and the binaries disagree:
+#   1. a doc references a path outside the repo (/root/related/ came
+#      from the original working notes and does not exist in a
+#      checkout) — SNIPPETS.md and ISSUE.md quote external material
+#      and are exempt;
+#   2. OPERATIONS.md misses a flag that imtd -h or imtgw -h prints,
+#      or documents a flag no serving binary defines;
+#   3. README.md / DESIGN.md / EXPERIMENTS.md / OPERATIONS.md mention
+#      a backticked `-flag` that no cmd/* binary defines;
+#   4. a required doc section or cross-link is missing.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+err() { echo "check-docs: FAIL: $*" >&2; fail=1; }
+tick=$(printf '\140') # backtick, kept out of shell quoting trouble
+
+# ---- 1. out-of-repo path references ---------------------------------
+if grep -rn "/root/related" --include='*.md' . \
+        | grep -v '^\./SNIPPETS\.md:' | grep -v '^\./ISSUE\.md:'; then
+    err "docs reference /root/related/ paths that do not exist in a checkout"
+fi
+
+# ---- flag extraction helpers ----------------------------------------
+# Flags a binary defines: flag.String("name", ...) etc., one per line.
+flags_of() {
+    grep -hoE 'flag\.(String|Bool|Int|Int64|Uint64|Duration|Float64|Func)\("[a-z][a-z0-9-]*"' "$@" \
+        | sed -E 's/.*\("([^"]*)"$/\1/' | sort -u
+}
+# Backticked `-flag` tokens a doc mentions, one per line (bare names).
+doc_flags() {
+    grep -hoE "${tick}-[a-z][a-z0-9-]*${tick}" "$@" 2>/dev/null \
+        | sed -E "s/^${tick}-//; s/${tick}\$//" | sort -u
+}
+
+# ---- 2. OPERATIONS.md covers the serving binaries exactly -----------
+for bin in imtd imtgw; do
+    for f in $(flags_of "cmd/$bin/main.go"); do
+        grep -q -- "${tick}-$f${tick}" OPERATIONS.md \
+            || err "OPERATIONS.md does not document $bin flag -$f"
+    done
+done
+serving_flags=$(flags_of cmd/imtd/main.go cmd/imtgw/main.go cmd/imtload/main.go)
+for f in $(doc_flags OPERATIONS.md); do
+    echo "$serving_flags" | grep -Fxq "$f" \
+        || err "OPERATIONS.md documents -$f, which no serving binary defines"
+done
+
+# ---- 3. no doc mentions a flag no binary defines --------------------
+# Union of every cmd/* flag and test-file flag (e.g. conformance
+# -update), plus standard go-test flags docs may cite.
+all_flags=$(flags_of cmd/*/main.go internal/*/*_test.go; printf 'h\nbench\nbenchmem\nrace\nrun\nfuzz\nfuzztime\n')
+for f in $(doc_flags README.md DESIGN.md EXPERIMENTS.md OPERATIONS.md); do
+    echo "$all_flags" | grep -Fxq "$f" \
+        || err "docs mention -$f, which no cmd/* binary defines"
+done
+
+# ---- 4. required sections and cross-links ---------------------------
+grep -q 'OPERATIONS.md' README.md    || err "README.md does not link OPERATIONS.md"
+grep -q '^## Cluster' DESIGN.md      || err "DESIGN.md is missing the Cluster section"
+grep -q 'Reproduce at scale' EXPERIMENTS.md \
+    || err "EXPERIMENTS.md is missing the 'Reproduce at scale' section"
+grep -q 'cluster-smoke' README.md    || err "README.md does not mention make cluster-smoke"
+for series in serve_requests_total serve_jobs_submitted_total \
+              serve_room_frames_total serve_gw_rerouted_total; do
+    grep -q "$series" OPERATIONS.md \
+        || err "OPERATIONS.md metrics reference is missing $series"
+done
+
+[ "$fail" = 0 ] && echo "check-docs: PASS"
+exit "$fail"

@@ -1,0 +1,106 @@
+#!/bin/sh
+# cluster-smoke: end-to-end gate for the multi-node layer (make cluster-smoke).
+#
+# Boots three imtd shards and one imtgw gateway on ephemeral ports,
+# then:
+#   1. runs a single-node baseline sweep (STREAM x none,imt,carve-low)
+#      against shard 1 directly, writing canonical results;
+#   2. runs the same sweep through the gateway while SIGKILLing shard 3
+#      after the first streamed cell — imtload -cluster asserts every
+#      cell of the grid still arrives exactly once, with >=1 cell
+#      rerouted off the dead shard and the gateway reporting the fleet
+#      degraded;
+#   3. byte-compares the gateway run's canonical results against the
+#      single-node baseline — sharding, rerouting and merging must not
+#      change a single result bit;
+#   4. SIGTERMs the gateway and asserts a clean drain with serve_gw_*
+#      metrics and the gateway manifest flushed.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "cluster-smoke: building imtd + imtgw + imtload"
+$GO build -o "$WORK/imtd" ./cmd/imtd
+$GO build -o "$WORK/imtgw" ./cmd/imtgw
+$GO build -o "$WORK/imtload" ./cmd/imtload
+
+start_shard() { # $1 = index
+    "$WORK/imtd" -addr 127.0.0.1:0 -addr-file "$WORK/shard$1.addr" \
+        -j 2 -cache-dir "$WORK/cache$1" 2>"$WORK/shard$1.log" &
+    eval "SHARD$1_PID=$!"
+    PIDS="$PIDS $!"
+}
+
+wait_addr() { # $1 = file, $2 = pid, $3 = name
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        kill -0 "$2" 2>/dev/null || { cat "${1%.addr}.log" 2>/dev/null; echo "cluster-smoke: FAILED: $3 died on startup"; exit 1; }
+        sleep 0.1
+    done
+    echo "cluster-smoke: FAILED: $3 never wrote its address file"; exit 1
+}
+
+echo "cluster-smoke: starting 3 imtd shards (ephemeral ports)"
+start_shard 1; start_shard 2; start_shard 3
+wait_addr "$WORK/shard1.addr" "$SHARD1_PID" "shard 1"
+wait_addr "$WORK/shard2.addr" "$SHARD2_PID" "shard 2"
+wait_addr "$WORK/shard3.addr" "$SHARD3_PID" "shard 3"
+S1=$(cat "$WORK/shard1.addr"); S2=$(cat "$WORK/shard2.addr"); S3=$(cat "$WORK/shard3.addr")
+echo "cluster-smoke: shards on $S1 $S2 $S3"
+
+echo "cluster-smoke: starting imtgw over the fleet"
+"$WORK/imtgw" -addr 127.0.0.1:0 -addr-file "$WORK/imtgw.addr" \
+    -shards "http://$S1,http://$S2,http://$S3" \
+    -probe-interval 250ms \
+    -metrics-out "$WORK/gw-metrics.prom" -manifest-out "$WORK/gw-manifest.json" \
+    2>"$WORK/imtgw.log" &
+GW_PID=$!
+PIDS="$PIDS $GW_PID"
+wait_addr "$WORK/imtgw.addr" "$GW_PID" "imtgw"
+GW=$(cat "$WORK/imtgw.addr")
+echo "cluster-smoke: imtgw listening on $GW"
+
+SUITE=STREAM
+MODES=none,imt,carve-low
+
+echo "cluster-smoke: single-node baseline sweep against shard 1"
+"$WORK/imtload" -addr "$S1" -cluster -sweep-suite "$SUITE" -sweep-modes "$MODES" \
+    -sweep-out "$WORK/single.txt"
+
+echo "cluster-smoke: gateway sweep, SIGKILLing shard 3 (pid $SHARD3_PID) mid-stream"
+"$WORK/imtload" -addr "$GW" -cluster -sweep-suite "$SUITE" -sweep-modes "$MODES" \
+    -kill-pid "$SHARD3_PID" -kill-after 1 -min-rerouted 1 \
+    -sweep-out "$WORK/cluster.txt"
+
+echo "cluster-smoke: byte-comparing gateway results against the single-node baseline"
+if ! cmp -s "$WORK/single.txt" "$WORK/cluster.txt"; then
+    echo "cluster-smoke: FAILED: gateway results differ from single-node baseline"
+    diff "$WORK/single.txt" "$WORK/cluster.txt" | head -20 || true
+    exit 1
+fi
+
+echo "cluster-smoke: draining imtgw (SIGTERM)"
+kill -TERM "$GW_PID"
+DRAIN_OK=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$GW_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+    sleep 0.1
+done
+if [ "$DRAIN_OK" != 1 ]; then
+    echo "cluster-smoke: FAILED: imtgw did not drain within 30s"
+    exit 1
+fi
+wait "$GW_PID" 2>/dev/null || { echo "cluster-smoke: FAILED: imtgw exited nonzero"; cat "$WORK/imtgw.log"; exit 1; }
+grep -q 'imtgw: drained:' "$WORK/imtgw.log" || { echo "cluster-smoke: FAILED: no drain line in imtgw log"; cat "$WORK/imtgw.log"; exit 1; }
+[ -s "$WORK/gw-metrics.prom" ] || { echo "cluster-smoke: FAILED: gateway metrics not flushed on drain"; exit 1; }
+grep -q 'serve_gw_rerouted_total' "$WORK/gw-metrics.prom" || { echo "cluster-smoke: FAILED: serve_gw_* series missing from flushed metrics"; exit 1; }
+[ -s "$WORK/gw-manifest.json" ] || { echo "cluster-smoke: FAILED: gateway manifest not flushed on drain"; exit 1; }
+grep 'imtgw: drained:' "$WORK/imtgw.log"
+echo "cluster-smoke: PASS"
