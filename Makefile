@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke jobs-smoke rooms-smoke cluster-smoke check-docs check clean
+.PHONY: all build test race bench bench-json bench-gate repro repro-quick sweep-quick sweep-trace examples fuzz fuzz-short conformance serve-smoke jobs-smoke rooms-smoke cluster-smoke traces-smoke check-docs check clean
 
 all: build test
 
@@ -13,10 +13,10 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/cluster ./internal/serve/jobs ./internal/serve/rooms ./internal/ecc/bitslice ./internal/reliability
+	$(GO) test -race ./internal/obs ./internal/runner ./internal/gpusim ./internal/serve ./internal/serve/client ./internal/serve/cluster ./internal/serve/jobs ./internal/serve/rooms ./internal/tracestore ./internal/ecc/bitslice ./internal/reliability
 
 race:
-	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/cluster ./internal/serve/jobs ./internal/serve/rooms ./internal/ecc/bitslice ./internal/reliability ./internal/security
+	$(GO) test -race ./internal/imt ./internal/tagalloc ./internal/gpusim ./internal/runner ./internal/obs ./internal/serve ./internal/serve/client ./internal/serve/cluster ./internal/serve/jobs ./internal/serve/rooms ./internal/tracestore ./internal/ecc/bitslice ./internal/reliability ./internal/security
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -42,7 +42,7 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/benchjson -out BENCH_results.json -gate BENCH_results.json \
 		-gate-tolerance 0.15 \
-		-bench 'BenchmarkSimSteady|BenchmarkInject' -benchtime 5x -count 6 \
+		-bench 'BenchmarkSimSteady|BenchmarkInject|BenchmarkTraceDecodeStream' -benchtime 5x -count 6 \
 		-pkg './internal/gpusim ./internal/reliability'
 
 # Regenerate every paper table/figure into results/ (paper scale, ~3 min).
@@ -85,6 +85,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz='^FuzzAllocatorScript$$' -fuzztime=10s ./internal/tagalloc
 	$(GO) test -run '^$$' -fuzz='^FuzzECCDecode$$' -fuzztime=10s ./internal/ecc
 	$(GO) test -run '^$$' -fuzz='^FuzzParseTraceFile$$' -fuzztime=10s ./internal/gpusim
+	$(GO) test -run '^$$' -fuzz='^FuzzTraceChunkDecode$$' -fuzztime=10s ./internal/gpusim
 	$(GO) test -run '^$$' -fuzz='^FuzzServeRequestDecode$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz='^FuzzJobWALReplay$$' -fuzztime=10s ./internal/serve/jobs
 	$(GO) test -run '^$$' -fuzz='^FuzzWatchFrameDecode$$' -fuzztime=10s ./internal/serve/apitypes
@@ -128,6 +129,17 @@ rooms-smoke:
 cluster-smoke:
 	sh scripts/cluster-smoke.sh
 
+# End-to-end gate for the trace-ingest subsystem: two trace-store
+# shards behind a gateway, a recorded trace uploaded through it twice
+# (second must content-address hit), a trace:<digest> sweep whose
+# streamed results byte-compare against an in-process replay, a ~1GB
+# synthetic upload that must leave every process's peak RSS bounded
+# (streaming decode, no materialization), and a drain with tracestore_*
+# metrics flushed (see scripts/traces-smoke.sh; TRACES_SMOKE_BIG_OPS
+# shrinks the big upload for quick local runs).
+traces-smoke:
+	sh scripts/traces-smoke.sh
+
 # Documentation drift gate: fails if docs reference flags no binary
 # prints, point at paths outside the repo, or miss required sections
 # (see scripts/check_docs.sh).
@@ -136,7 +148,7 @@ check-docs:
 
 # Pre-merge gate: everything that must be green before a change lands.
 # bench-gate runs last: correctness gates first, perf regression after.
-check: build test fuzz-short conformance serve-smoke jobs-smoke rooms-smoke cluster-smoke check-docs bench-gate
+check: build test fuzz-short conformance serve-smoke jobs-smoke rooms-smoke cluster-smoke traces-smoke check-docs bench-gate
 
 clean:
 	rm -rf results results-quick .sweep-cache

@@ -30,6 +30,19 @@
 // -job-ttl bounds how long finished jobs are retained; -job-workers
 // bounds concurrently running jobs.
 //
+// With -trace-dir the daemon also keeps a content-addressed store of
+// uploaded warp-op traces (see internal/tracestore): POST a raw trace
+// blob to /v1/traces (imtsim -record writes one) and simulate it by
+// naming the workload "trace:<digest>" in any sim, sweep or job.
+// Uploads stream to disk — a multi-GB trace never resides in memory —
+// and re-uploading the same bytes is a cheap content-address hit.
+// -trace-quota-bytes bounds the store (idle blobs are LRU-evicted,
+// over-quota uploads get 413) and -trace-ttl ages idle blobs out:
+//
+//	imtd -addr :8866 -cache-dir .serve-cache -trace-dir .serve-traces
+//	imtsim -workload sla-spmv13 -record spmv.trc -upload http://localhost:8866
+//	curl -s -X POST localhost:8866/v1/sim -d '{"workload":"trace:<digest>","mode":"imt"}'
+//
 // Any sim, sweep or job submitted with "watch":true opens a live
 // telemetry room: in-flight engine samples broadcast to every watcher
 // of GET /v1/watch/{room} as Server-Sent Events, with gapless
@@ -82,6 +95,10 @@ func main() {
 		jobTTL     = flag.Duration("job-ttl", time.Hour, "how long finished jobs are retained before GC")
 		jobWorkers = flag.Int("job-workers", 0, "concurrently running jobs (0 = 2)")
 
+		traceDir   = flag.String("trace-dir", "", "uploaded-trace store directory; enables /v1/traces and trace:<digest> workloads (\"\" disables)")
+		traceQuota = flag.Int64("trace-quota-bytes", 0, "trace store size quota; over it idle traces are LRU-evicted (0 = unlimited)")
+		traceTTL   = flag.Duration("trace-ttl", 0, "idle traces older than this are GC'd (0 = never)")
+
 		roomBuffer  = flag.Int("room-buffer", 0, "telemetry room per-subscriber buffer; overflow evicts the subscriber (0 = 256)")
 		roomHistory = flag.Int("room-history", 0, "telemetry room retained frames for resume-from-seq (0 = 65536)")
 		roomTTL     = flag.Duration("room-ttl", 0, "how long closed rooms stay attachable (0 = 2m)")
@@ -103,6 +120,10 @@ func main() {
 		JobTTL:         *jobTTL,
 		JobWorkers:     *jobWorkers,
 		Debug:          *debug,
+
+		TraceDir:        *traceDir,
+		TraceQuotaBytes: *traceQuota,
+		TraceTTL:        *traceTTL,
 
 		RoomBuffer:          *roomBuffer,
 		RoomHistory:         *roomHistory,
@@ -150,6 +171,10 @@ func main() {
 	if j := stats.Jobs; j != nil {
 		fmt.Fprintf(os.Stderr, "imtd: jobs: %d submitted, %d done, %d failed, %d canceled, %d resumed, %d queued, %d cells (%d resumed)\n",
 			j.Submitted, j.Done, j.Failed, j.Canceled, j.ResumedJobs, j.Queued, j.Cells, j.CellsResumed)
+	}
+	if tr := stats.Traces; tr != nil {
+		fmt.Fprintf(os.Stderr, "imtd: traces: %d blobs (%d bytes), %d puts (%d hits), %d rejected, %d evicted, %d deleted\n",
+			tr.Blobs, tr.Bytes, tr.Puts, tr.PutHits, tr.Rejected, tr.Evictions, tr.Deletes)
 	}
 	if *metricsOut != "" {
 		if err := srv.Hub().Metrics.WriteFile(*metricsOut); err != nil {

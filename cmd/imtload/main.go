@@ -25,6 +25,18 @@
 // crashed-and-resumed run can be byte-compared against an
 // uninterrupted baseline.
 //
+// Trace mode (-traces) replaces the traffic phases with trace-store
+// round-trip assertions: a recorded trace file is uploaded twice (the
+// second upload must be a content-address hit), a sweep of
+// trace:<digest> cells streams back through -addr (imtd or imtgw),
+// and the results are byte-compared against an in-process replay of
+// the same file. -trace-big-ops streams a large synthetic trace
+// through an io.Pipe — never materialized in memory — then deletes it:
+//
+//	imtsim -workload stream-copy-16MB -record copy.trc
+//	imtload -addr HOST -traces -trace-file copy.trc -sweep-modes none,imt \
+//	        -trace-big-ops 2000000
+//
 // Cluster mode (-cluster) also replaces the traffic phases: one
 // streaming sweep with exactly-once delivery assertions, designed to
 // point at an imtgw gateway (but valid against a plain imtd too):
@@ -113,6 +125,10 @@ func main() {
 		minRerouted = flag.Int("min-rerouted", 0, "cluster mode: fail unless the sweep summary reports at least this many rerouted cells")
 		sweepOut    = flag.String("sweep-out", "", "cluster mode: write canonical sorted result lines here (for byte-comparing gateway vs single-node runs)")
 
+		tracesMode  = flag.Bool("traces", false, "trace mode: upload -trace-file twice (second must content-address hit), sweep trace:<digest> cells, byte-compare against an in-process replay")
+		traceFile   = flag.String("trace-file", "", "trace mode: recorded trace file (imtsim -record) to upload and simulate")
+		traceBigOps = flag.Int("trace-big-ops", 0, "trace mode: also stream-upload a synthetic trace with this many ops per SM, stat it and delete it (0 skips)")
+
 		tenant       = flag.String("tenant", "imtload", "tenant the job phase submits under")
 		jobs         = flag.Bool("jobs", false, "job mode: submit a durable job for -sweep-suite/-sweep-modes and follow it to completion")
 		jobSubmit    = flag.Bool("job-submit", false, "job mode: submit a job, print its id on stdout, exit")
@@ -148,6 +164,18 @@ func main() {
 			killAfter:   *killAfter,
 			minRerouted: *minRerouted,
 			out:         *sweepOut,
+		}))
+	}
+
+	// Trace mode also replaces the traffic phases: record→upload→serve
+	// round-trip assertions against a trace-store-enabled imtd or imtgw.
+	if *tracesMode {
+		os.Exit(runTracesMode(ctx, cl, traceOpts{
+			file:      *traceFile,
+			modes:     strings.Split(*sweepModes, ","),
+			maxCycles: *maxCycles,
+			timeoutMs: *timeoutMs,
+			bigOps:    *traceBigOps,
 		}))
 	}
 

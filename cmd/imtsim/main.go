@@ -12,6 +12,7 @@
 //	imtsim -suite STREAM -mode carve-low -metrics-out m.prom -trace-out sweep.trace.json
 //	imtsim -workload sla-spmv13 -mode carve-low -sample-interval 50000
 //	imtsim -workload sla-spmv13 -record spmv.trc
+//	imtsim -workload sla-spmv13 -record spmv.trc -upload http://localhost:8080
 //	imtsim -replay spmv.trc -mode carve-low
 //
 // Modes: none, imt, ecc-steal, carve-out, carve-low, carve-high,
@@ -40,6 +41,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/serve/client"
 	"repro/internal/workload"
 )
 
@@ -50,6 +52,7 @@ func main() {
 		suite    = flag.String("suite", "", "simulate every workload of a suite (see -list)")
 		mode     = flag.String("mode", "carve-low", "tagging mode: "+strings.Join(gpusim.TagModeNames(), "|"))
 		record   = flag.String("record", "", "record the selected workload's trace to this file and exit")
+		upload   = flag.String("upload", "", "after -record, upload the trace to this imtd/imtgw URL and print its digest")
 		replay   = flag.String("replay", "", "simulate a recorded trace file instead of a catalog workload")
 		workers  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (\"\" disables caching)")
@@ -136,7 +139,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("recorded %s to %s\n", selected[0].Name, *record)
+		if *upload != "" {
+			up, err := client.New(*upload).UploadTraceFile(ctx, *record)
+			if err != nil {
+				fatal(err)
+			}
+			verb := "stored as"
+			if !up.Created {
+				verb = "already stored as" // content-address hit
+			}
+			fmt.Printf("uploaded to %s: %s trace:%s (%d bytes)\n", *upload, verb, up.Digest, up.Bytes)
+		}
 		return
+	}
+	if *upload != "" {
+		fatal(fmt.Errorf("-upload requires -record"))
 	}
 
 	// Two cells per workload — baseline and the requested mode — fanned

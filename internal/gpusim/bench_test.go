@@ -17,6 +17,7 @@ package gpusim_test
 // warp instruction), the per-cell unit the runner telemetry exposes.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -117,6 +118,63 @@ func BenchmarkSimSteady(b *testing.B) {
 				reportWarpOp(b, warpOps)
 			})
 		}
+	}
+}
+
+// BenchmarkTraceDecodeStream tracks the chunked IMTTRC decoder — the
+// upload-validation and store-replay hot path. One iteration scans a
+// full recorded stream-copy-16MB trace blob through TraceScanner in
+// 512-op chunks (the same bounded-memory walk IndexTraceStream and the
+// trace store's Put perform), reporting MB/s via b.SetBytes plus
+// ns/trace-op. Gated by `make bench-gate`.
+func BenchmarkTraceDecodeStream(b *testing.B) {
+	ops := benchOps(b, "stream-copy-16MB", gpusim.DefaultConfig().NumSMs)
+	traces := make([]gpusim.Trace, len(ops))
+	for j := range ops {
+		traces[j] = &gpusim.SliceTrace{Ops: ops[j]}
+	}
+	var blob bytes.Buffer
+	if err := gpusim.WriteTraces(&blob, traces); err != nil {
+		b.Fatal(err)
+	}
+	data := blob.Bytes()
+	chunk := make([]gpusim.WarpOp, 512)
+	var totalOps uint64
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := gpusim.NewTraceScanner(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, ok, err := sc.NextSM()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			for {
+				n, err := sc.ReadOps(chunk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+			}
+		}
+		idx, err := sc.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalOps = idx.TotalOps
+	}
+	b.StopTimer()
+	if totalOps > 0 && b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(totalOps), "ns/trace-op")
 	}
 }
 

@@ -20,8 +20,14 @@ import (
 //	  addrs   uvarint each (raw; generators emit small, local values)
 const traceMagic = "IMTTRC1\n"
 
-// WriteTraces drains the given traces and writes them to w. The traces
-// are consumed in the process (Trace is a one-shot stream).
+// WriteTraces drains the given traces and writes them to w.
+//
+// CONSUMPTION CONTRACT: a Trace is a one-shot stream, and WriteTraces
+// reads every trace to exhaustion — afterwards the inputs yield no
+// further ops and cannot drive a simulation. Callers that need the
+// traces again (record-then-replay, record-then-upload) must either
+// re-materialize them or use WriteTracesClone, which snapshots clones
+// and leaves the originals untouched.
 func WriteTraces(w io.Writer, traces []Trace) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(traceMagic); err != nil {
@@ -77,6 +83,20 @@ func WriteTraces(w io.Writer, traces []Trace) error {
 	return bw.Flush()
 }
 
+// WriteTracesClone writes the traces to w WITHOUT consuming them: each
+// input is deep-copied via CloneTraces first, so the originals remain
+// fully replayable afterwards. It inherits CloneTraces' requirement
+// that every non-nil trace implement Clone() Trace (SliceTrace and
+// ReadTraces results do; generator-backed FuncTraces do not — drain
+// those with WriteTraces and re-read the file instead).
+func WriteTracesClone(w io.Writer, traces []Trace) error {
+	cloned, err := CloneTraces(traces)
+	if err != nil {
+		return err
+	}
+	return WriteTraces(w, cloned)
+}
+
 // ReadTraces loads a trace file into replayable per-SM traces.
 func ReadTraces(r io.Reader) ([]Trace, error) {
 	br := bufio.NewReader(r)
@@ -91,7 +111,7 @@ func ReadTraces(r io.Reader) ([]Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if numSMs > 1<<16 {
+	if numSMs > maxTraceSMs {
 		return nil, fmt.Errorf("gpusim: implausible SM count %d", numSMs)
 	}
 	out := make([]Trace, numSMs)
@@ -100,7 +120,7 @@ func ReadTraces(r io.Reader) ([]Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("gpusim: SM %d op count: %w", sm, err)
 		}
-		if numOps > 1<<28 {
+		if numOps > maxTraceOps {
 			return nil, fmt.Errorf("gpusim: implausible op count %d", numOps)
 		}
 		// Grow instead of trusting the header: a truncated or hostile
@@ -121,7 +141,7 @@ func ReadTraces(r io.Reader) ([]Trace, error) {
 			if err != nil {
 				return nil, err
 			}
-			if nAddrs > 1024 {
+			if nAddrs > maxTraceAddrs {
 				return nil, fmt.Errorf("gpusim: implausible address count %d", nAddrs)
 			}
 			op := WarpOp{

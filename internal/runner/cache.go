@@ -52,7 +52,13 @@ func cacheKeyFor(cfg gpusim.Config, job Job) string {
 		Config:    cfg,
 		MaxCycles: job.MaxCycles,
 	}
-	if job.Traces != nil {
+	// A non-empty Key is a trace identity (e.g. "trace:<digest>" from
+	// the trace store) and replaces the workload parameter set in the
+	// key material whether or not a Traces override is attached: a
+	// gateway that knows only the digest and a shard holding the open
+	// replay must derive the same key, or routing-by-cache-affinity
+	// breaks for trace-backed cells.
+	if job.Traces != nil || job.Key != "" {
 		id.TraceKey = job.Key
 	} else {
 		id.Workload = job.Workload

@@ -13,6 +13,11 @@ import (
 // Traces override without a Key has no content identity (see Job.Key)
 // and returns ("", false).
 //
+// A job with a non-empty Key is keyed by that trace identity even when
+// Traces is nil: callers that know a stored trace's digest but do not
+// hold its blob (the cluster gateway computing routing keys) get the
+// exact key a shard with the open replay computes.
+//
 // cfg's Mode and Carve are ignored, mirroring Engine semantics: the
 // job's own Mode and Carve are applied on top of cfg before hashing.
 func CacheKeyFor(cfg gpusim.Config, job Job) (string, bool) {

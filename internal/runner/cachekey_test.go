@@ -118,6 +118,46 @@ func TestCacheKeyForUncacheable(t *testing.T) {
 	}
 }
 
+// TestCacheKeyTraceParity is the cluster-routing contract for trace-
+// backed cells: a gateway that knows only "trace:<digest>" (no Traces
+// func) and a shard holding the open replay (Traces attached) must
+// compute identical keys, and the digest — not the blob — is the
+// identity.
+func TestCacheKeyTraceParity(t *testing.T) {
+	cfg := gpusim.DefaultConfig()
+	src := func(numSMs int) []gpusim.Trace { return nil }
+	name := "trace:" + "ab12" // digest spelling is opaque to the key
+
+	gateway, ok := CacheKeyFor(cfg, Job{Key: name, Mode: gpusim.ModeIMT})
+	if !ok {
+		t.Fatal("keyed job without Traces must be cacheable")
+	}
+	shard, ok := CacheKeyFor(cfg, Job{Key: name, Mode: gpusim.ModeIMT, Traces: src})
+	if !ok || shard != gateway {
+		t.Fatalf("gateway key %q != shard key %q", gateway, shard)
+	}
+	// The trace identity replaces the workload in the key material: a
+	// stray Workload on a keyed job must not perturb the key.
+	stray, _ := CacheKeyFor(cfg, Job{Key: name, Mode: gpusim.ModeIMT, Workload: tinyWorkload(31, "stray")})
+	if stray != gateway {
+		t.Error("workload leaked into a trace-keyed cache key")
+	}
+	// And the key still moves with everything behavioral.
+	if k, _ := CacheKeyFor(cfg, Job{Key: "trace:cd34", Mode: gpusim.ModeIMT}); k == gateway {
+		t.Error("digest change did not change the key")
+	}
+	if k, _ := CacheKeyFor(cfg, Job{Key: name, Mode: gpusim.ModeNone}); k == gateway {
+		t.Error("mode change did not change the key")
+	}
+	if k, _ := CacheKeyFor(cfg, Job{Key: name, Mode: gpusim.ModeIMT, MaxCycles: 99}); k == gateway {
+		t.Error("cycle cap did not change the key")
+	}
+	// A trace-keyed job and a catalog job can never collide.
+	if k := CacheKey(cfg, tinyWorkload(32, "cat"), gpusim.ModeIMT, gpusim.CarveOut{}); k == gateway {
+		t.Error("catalog key collided with a trace key")
+	}
+}
+
 func TestCacheLookupMissOnAbsentDir(t *testing.T) {
 	cache := OpenCache(t.TempDir() + "/never-created")
 	if _, ok := cache.Lookup(CacheKey(gpusim.DefaultConfig(), tinyWorkload(1, "x"), gpusim.ModeNone, gpusim.CarveOut{})); ok {

@@ -26,6 +26,18 @@ const (
 	// CodeInternal (500): simulation failure (config rejected, simulator
 	// error, panic).
 	CodeInternal = "internal"
+	// CodeTraceNotFound (404): a trace:<digest> workload names a digest
+	// this daemon's trace store does not hold (or the store is
+	// disabled). Distinct from CodeNotFound so a gateway can react by
+	// re-uploading the blob to the shard and retrying.
+	CodeTraceNotFound = "trace_not_found"
+	// CodeTraceQuota (413): a trace upload exceeds the store quota and
+	// eviction could not make room (every resident blob is pinned or
+	// job-referenced, or the upload alone is larger than the quota).
+	CodeTraceQuota = "trace_quota"
+	// CodeTraceInUse (409): DELETE refused because the trace is pinned
+	// by a running replay or referenced by a queued job.
+	CodeTraceInUse = "trace_in_use"
 )
 
 // ErrorBody is the payload of the uniform error envelope.

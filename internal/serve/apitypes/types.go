@@ -157,6 +157,9 @@ type StatsSnapshot struct {
 	VCSModified bool       `json:"vcs_modified,omitempty"`
 	Jobs        *JobStats  `json:"jobs,omitempty"`
 	Rooms       *RoomStats `json:"rooms,omitempty"`
+	// Traces is present only when the trace store is enabled
+	// (-trace-dir); on a gateway it aggregates every reachable shard.
+	Traces *TraceStoreStats `json:"traces,omitempty"`
 }
 
 // RoomStats is the telemetry-room section of StatsSnapshot, mirroring
@@ -201,6 +204,58 @@ type JobStats struct {
 type CellRef struct {
 	Workload string `json:"workload"`
 	Mode     string `json:"mode"`
+}
+
+// TraceInfo describes one stored trace: the resource body of
+// GET /v1/traces/{digest} and DELETE /v1/traces/{digest}, and a row of
+// the list response. Digest is the SHA-256 of the IMTTRC blob — the
+// trace's content address and the spelling after "trace:" in workload
+// names.
+type TraceInfo struct {
+	Digest   string `json:"digest"`
+	Bytes    int64  `json:"bytes"`
+	NumSMs   int    `json:"num_sms"`
+	TotalOps uint64 `json:"total_ops"`
+	// CreatedUnixMs is when the blob was first committed; LastUsedUnixMs
+	// advances on re-upload and replay and drives LRU eviction.
+	CreatedUnixMs  int64 `json:"created_unix_ms"`
+	LastUsedUnixMs int64 `json:"last_used_unix_ms"`
+}
+
+// TraceUploadResponse is the POST /v1/traces body. Created
+// distinguishes a fresh commit (201) from a content-address hit on a
+// blob the store already held (200) — re-uploading is always safe and
+// never re-spills the blob.
+type TraceUploadResponse struct {
+	TraceInfo
+	Created bool `json:"created"`
+}
+
+// TraceListResponse is the GET /v1/traces body. Traces is sorted by
+// digest; QuotaBytes is 0 when the store is unbounded.
+type TraceListResponse struct {
+	Traces     []TraceInfo `json:"traces"`
+	TotalBytes int64       `json:"total_bytes"`
+	QuotaBytes int64       `json:"quota_bytes,omitempty"`
+}
+
+// TraceStoreStats is the trace-store section of StatsSnapshot,
+// mirroring the tracestore_* registry metrics.
+type TraceStoreStats struct {
+	// Blobs and Bytes are current gauges; QuotaBytes is the configured
+	// cap (0 = unbounded).
+	Blobs      int64 `json:"blobs"`
+	Bytes      int64 `json:"bytes"`
+	QuotaBytes int64 `json:"quota_bytes,omitempty"`
+	// Puts..Deletes are lifetime totals since daemon start. PutHits
+	// counts uploads that content-addressed an existing blob; Rejected
+	// counts uploads refused (invalid stream or over quota); Evictions
+	// counts LRU evictions making room for new uploads.
+	Puts      uint64 `json:"puts"`
+	PutHits   uint64 `json:"put_hits"`
+	Rejected  uint64 `json:"rejected"`
+	Evictions uint64 `json:"evictions"`
+	Deletes   uint64 `json:"deletes"`
 }
 
 // JobRequest is the POST /v1/jobs body: a sweep grid to run as a

@@ -45,6 +45,18 @@ var (
 	// history (410, code "gone"). Never retryable — the missed frames
 	// are unrecoverable; re-attach with from=0 for the retained tail.
 	ErrGone = errors.New("client: resume point gone")
+	// ErrTraceNotFound: a trace digest the shard's store does not hold
+	// (404, code "trace_not_found"). Recoverable by re-uploading the
+	// blob — the imtgw gateway does this automatically.
+	ErrTraceNotFound = errors.New("client: trace not found")
+	// ErrTraceQuota: a trace upload exceeds the store quota and eviction
+	// could not make room (413, code "trace_quota"). Not retryable until
+	// traces are deleted or the quota is raised.
+	ErrTraceQuota = errors.New("client: trace store over quota")
+	// ErrTraceInUse: DELETE refused because the trace is pinned by a
+	// running replay or referenced by a queued job (409, code
+	// "trace_in_use"). Retry after the job or replay finishes.
+	ErrTraceInUse = errors.New("client: trace in use")
 )
 
 // APIError is a non-2xx response from the server: the HTTP status, the
@@ -90,6 +102,12 @@ func (e *APIError) Unwrap() error {
 		return ErrInternal
 	case apitypes.CodeGone:
 		return ErrGone
+	case apitypes.CodeTraceNotFound:
+		return ErrTraceNotFound
+	case apitypes.CodeTraceQuota:
+		return ErrTraceQuota
+	case apitypes.CodeTraceInUse:
+		return ErrTraceInUse
 	}
 	// No (or unknown) code: a proxy or a pre-envelope server. Classify
 	// by status so Retryable and errors.Is still behave.
@@ -106,6 +124,10 @@ func (e *APIError) Unwrap() error {
 		return ErrBadRequest
 	case http.StatusGone:
 		return ErrGone
+	case http.StatusRequestEntityTooLarge:
+		return ErrTraceQuota
+	case http.StatusConflict:
+		return ErrTraceInUse
 	}
 	return ErrInternal
 }

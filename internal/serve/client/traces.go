@@ -1,0 +1,115 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/serve/apitypes"
+)
+
+// UploadTrace streams an IMTTRC blob to POST /v1/traces and returns the
+// store's response: the content address (SHA-256 digest) plus whether
+// the blob was freshly committed or already resident. The body is read
+// exactly once, so there are no retries — callers that can re-open the
+// source should use UploadTraceFile, which retries with a fresh reader
+// per attempt. Uploading the same bytes twice is always safe: the
+// second call is a content-address hit (Created false).
+func (c *Client) UploadTrace(ctx context.Context, r io.Reader) (apitypes.TraceUploadResponse, error) {
+	var out apitypes.TraceUploadResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/traces", r)
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return out, apiError(resp)
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, apitypes.MaxRequestBytes)).Decode(&out)
+	return out, err
+}
+
+// UploadTraceFile uploads the trace blob at path, re-opening the file
+// for each attempt so backpressure responses retry under the client's
+// normal policy.
+func (c *Client) UploadTraceFile(ctx context.Context, path string) (apitypes.TraceUploadResponse, error) {
+	var out apitypes.TraceUploadResponse
+	err := c.retry(ctx, func() error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out, err = c.UploadTrace(ctx, f)
+		return err
+	})
+	return out, err
+}
+
+// Traces lists the server's stored traces. Against an imtgw gateway the
+// listing is the digest-deduplicated union across reachable shards.
+func (c *Client) Traces(ctx context.Context) (apitypes.TraceListResponse, error) {
+	var out apitypes.TraceListResponse
+	err := c.getJSON(ctx, "/v1/traces", &out)
+	return out, err
+}
+
+// TraceStat fetches one stored trace's metadata. An absent digest is
+// ErrTraceNotFound.
+func (c *Client) TraceStat(ctx context.Context, digest string) (apitypes.TraceInfo, error) {
+	var out apitypes.TraceInfo
+	err := c.getJSON(ctx, "/v1/traces/"+digest, &out)
+	return out, err
+}
+
+// DeleteTrace removes a stored trace, returning the deleted trace's
+// metadata. A trace pinned by a running replay or referenced by a
+// queued job is ErrTraceInUse; an absent digest is ErrTraceNotFound.
+func (c *Client) DeleteTrace(ctx context.Context, digest string) (apitypes.TraceInfo, error) {
+	var out apitypes.TraceInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/traces/"+digest, nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, apiError(resp)
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, apitypes.MaxRequestBytes)).Decode(&out)
+	return out, err
+}
+
+// DownloadTrace streams a stored trace's raw IMTTRC bytes into w and
+// returns the byte count. The blob is written incrementally — a
+// multi-GB trace never materializes in memory on either side.
+func (c *Client) DownloadTrace(ctx context.Context, digest string, w io.Writer) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/traces/"+digest+"?raw=1", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, apiError(resp)
+	}
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		return n, fmt.Errorf("client: trace download: %w", err)
+	}
+	return n, nil
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/serve/apitypes"
 	"repro/internal/serve/client"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -113,6 +115,7 @@ type Gateway struct {
 
 	mRequests      *obs.Counter
 	mCells         *obs.Counter
+	mTracePushes   *obs.Counter
 	mRerouted      *obs.Counter
 	mShardErrors   *obs.Counter
 	mBreakerOpens  *obs.Counter
@@ -152,6 +155,7 @@ func New(opts Options) (*Gateway, error) {
 	if reg := g.hub.Metrics; reg != nil {
 		g.mRequests = reg.Counter("serve_gw_requests_total", "API requests received by the gateway")
 		g.mCells = reg.Counter("serve_gw_cells_total", "cells delivered to clients through the gateway")
+		g.mTracePushes = reg.Counter("serve_gw_trace_pushes_total", "trace blobs pushed shard-to-shard after a trace_not_found miss")
 		g.mRerouted = reg.Counter("serve_gw_rerouted_total", "cells rerouted to another shard after a shard failure")
 		g.mShardErrors = reg.Counter("serve_gw_shard_errors_total", "shard request/stream failures observed by the gateway")
 		g.mBreakerOpens = reg.Counter("serve_gw_breaker_opens_total", "shard breaker transitions to open")
@@ -194,6 +198,10 @@ func (g *Gateway) Close() {
 //
 //	POST /v1/sim        route one cell to its shard (reroute on failure)
 //	POST /v1/sweep      scatter the grid, merge shard NDJSON streams
+//	POST /v1/traces     stream the blob to the first routable shard
+//	GET  /v1/traces     digest-deduplicated union across the fleet
+//	GET  /v1/traces/{d} stat (or ?raw=1 stream) from whichever shard holds it
+//	DELETE /v1/traces/{d} fan-out delete (409 if any shard holds it in use)
 //	GET  /v1/workloads  catalog listing (served locally; same binary)
 //	GET  /v1/statsz     GatewaySnapshot: aggregate + per-shard breakdown
 //	GET  /v1/healthz    200 while ≥1 shard is routable and not draining
@@ -206,6 +214,10 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sim", g.handleSim)
 	mux.HandleFunc("POST /v1/sweep", g.handleSweep)
+	mux.HandleFunc("POST /v1/traces", g.handleTraceUpload)
+	mux.HandleFunc("GET /v1/traces", g.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{digest}", g.handleTraceGet)
+	mux.HandleFunc("DELETE /v1/traces/{digest}", g.handleTraceDelete)
 	mux.HandleFunc("GET /v1/workloads", g.handleWorkloads)
 	mux.HandleFunc("GET /v1/statsz", g.handleStatsz)
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
@@ -222,53 +234,69 @@ func (g *Gateway) Handler() http.Handler {
 }
 
 // gwCell is one routed cell: its wire identity plus the runner cache
-// key it hashes to the ring with.
+// key it hashes to the ring with. digest is set for trace-backed cells
+// ("trace:<digest>" workloads), enabling the push-on-miss fallback.
 type gwCell struct {
-	ref apitypes.CellRef
-	key string
+	ref    apitypes.CellRef
+	key    string
+	digest string
 }
 
 // resolveCell validates one cell against the local catalog and mode
 // table and computes its cache key — the identical bytes every shard
-// hashes, so gateway routing and shard caching can never disagree.
+// hashes, so gateway routing and shard caching can never disagree. A
+// trace:<digest> cell is keyed by its trace identity alone (the
+// gateway never holds the blob): runner.CacheKeyFor computes the same
+// key from Job.Key that a shard computes with the replay attached, so
+// trace cells route to the shard whose cache (and trace store) already
+// holds them.
 func (g *Gateway) resolveCell(name, mode string, maxCycles, sampleInterval uint64) (gwCell, error) {
-	w, ok := g.byName[name]
-	if !ok {
-		return gwCell{}, fmt.Errorf("cluster: unknown workload %q (GET /v1/workloads lists the catalog)", name)
-	}
 	tm, carve, err := gpusim.ParseTagMode(mode)
 	if err != nil {
 		return gwCell{}, err
 	}
 	cfg := g.opts.Config
 	cfg.SampleInterval = sampleInterval
-	key, _ := runner.CacheKeyFor(cfg, runner.Job{
-		Workload:  w,
+	job := runner.Job{
 		Mode:      tm,
 		Carve:     carve,
 		MaxCycles: maxCycles,
-	})
-	return gwCell{ref: apitypes.CellRef{Workload: name, Mode: mode}, key: key}, nil
+	}
+	cell := gwCell{ref: apitypes.CellRef{Workload: name, Mode: mode}}
+	if digest, ok := strings.CutPrefix(name, "trace:"); ok {
+		if !tracestore.ValidDigest(digest) {
+			return gwCell{}, fmt.Errorf("cluster: malformed trace workload %q (want trace:<64 lowercase hex sha-256>)", name)
+		}
+		cell.digest = digest
+		job.Key = name
+	} else {
+		w, ok := g.byName[name]
+		if !ok {
+			return gwCell{}, fmt.Errorf("cluster: unknown workload %q (GET /v1/workloads lists the catalog)", name)
+		}
+		job.Workload = w
+	}
+	cell.key, _ = runner.CacheKeyFor(cfg, job)
+	return cell, nil
 }
 
 // expandSweep mirrors the shard-side grid expansion ((workloads ∪
 // suite) × modes plus explicit cells, deduplicated) so the gateway
 // can scatter exactly the cells a single shard would have run.
 func (g *Gateway) expandSweep(req apitypes.SweepRequest) ([]gwCell, error) {
-	var ws []workload.Workload
+	var names []string
 	seen := make(map[string]bool)
-	add := func(w workload.Workload) {
-		if !seen[w.Name] {
-			seen[w.Name] = true
-			ws = append(ws, w)
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
 		}
 	}
 	for _, name := range req.Workloads {
-		w, ok := g.byName[name]
-		if !ok {
+		if _, ok := g.byName[name]; !ok && !strings.HasPrefix(name, "trace:") {
 			return nil, fmt.Errorf("cluster: unknown workload %q", name)
 		}
-		add(w)
+		add(name)
 	}
 	if req.Suite != "" {
 		suite := workload.BySuite(req.Suite)
@@ -276,13 +304,13 @@ func (g *Gateway) expandSweep(req apitypes.SweepRequest) ([]gwCell, error) {
 			return nil, fmt.Errorf("cluster: unknown suite %q (valid: %v)", req.Suite, workload.Suites())
 		}
 		for _, w := range suite {
-			add(w)
+			add(w.Name)
 		}
 	}
-	if len(ws) == 0 && len(req.Cells) == 0 {
+	if len(names) == 0 && len(req.Cells) == 0 {
 		return nil, errors.New("cluster: sweep needs workloads, a suite, and/or explicit cells")
 	}
-	if len(ws) > 0 && len(req.Modes) == 0 {
+	if len(names) > 0 && len(req.Modes) == 0 {
 		return nil, errors.New("cluster: sweep needs at least one mode")
 	}
 	var cells []gwCell
@@ -298,9 +326,9 @@ func (g *Gateway) expandSweep(req apitypes.SweepRequest) ([]gwCell, error) {
 		}
 		return nil
 	}
-	for _, w := range ws {
+	for _, name := range names {
 		for _, mode := range req.Modes {
-			if err := appendCell(w.Name, mode); err != nil {
+			if err := appendCell(name, mode); err != nil {
 				return nil, err
 			}
 		}
@@ -363,7 +391,10 @@ func (g *Gateway) handleSim(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	hops := 0
-	for _, url := range g.ring.Order(cell.key) {
+	ensured := false
+	order := g.ring.Order(cell.key)
+	for i := 0; i < len(order); i++ {
+		url := order[i]
 		ss := g.byURL[url]
 		if !ss.br.routable() {
 			continue
@@ -379,6 +410,18 @@ func (g *Gateway) handleSim(w http.ResponseWriter, r *http.Request) {
 			g.count(g.mCells)
 			writeJSON(w, http.StatusOK, res)
 			return
+		}
+		if cell.digest != "" && !ensured && errors.Is(err, client.ErrTraceNotFound) {
+			// The ring-preferred shard does not hold the blob (evicted,
+			// fresh shard, or the trace was uploaded elsewhere). Push it
+			// from whichever shard has it and retry the same shard once.
+			if pushErr := g.ensureTrace(ctx, url, cell.digest); pushErr == nil {
+				ensured = true
+				i--
+				continue
+			}
+			// No shard holds the blob: the shard's 404 stands — the
+			// client must re-upload.
 		}
 		if !reroutable(err) {
 			// Semantic failure (4xx, 504, 500): the shard answered; its
@@ -463,7 +506,7 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 	groups, unroutable := g.assign(cells)
 	for url, group := range groups {
 		wg.Add(1)
-		go g.sweepShard(ctx, &wg, lines, url, group, req, 0)
+		go g.sweepShard(ctx, &wg, lines, url, group, req, 0, false)
 	}
 	if len(unroutable) > 0 {
 		wg.Add(1)
@@ -531,8 +574,11 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 // fails, the undelivered remainder is reassigned across the surviving
 // fleet and streamed by freshly spawned workers; after maxHops (one
 // per shard) the remainder is reported failed instead, bounding the
-// reroute cascade even if breakers heal mid-sweep.
-func (g *Gateway) sweepShard(ctx context.Context, wg *sync.WaitGroup, lines chan<- apitypes.CellResult, url string, cells []gwCell, req apitypes.SweepRequest, hops int) {
+// reroute cascade even if breakers heal mid-sweep. A trace_not_found
+// verdict gets one push-and-retry on the same shard (ensured bounds
+// it): the gateway copies the missing blobs over from whichever shard
+// holds them, then resubmits the same cell list.
+func (g *Gateway) sweepShard(ctx context.Context, wg *sync.WaitGroup, lines chan<- apitypes.CellResult, url string, cells []gwCell, req apitypes.SweepRequest, hops int, ensured bool) {
 	defer wg.Done()
 	shardReq := apitypes.SweepRequest{
 		Cells:          refsOf(cells),
@@ -564,6 +610,23 @@ func (g *Gateway) sweepShard(ctx context.Context, wg *sync.WaitGroup, lines chan
 		return
 	}
 	remaining := remainder(cells, seen)
+	if !ensured && errors.Is(err, client.ErrTraceNotFound) {
+		// The shard rejected the whole cell list because a trace blob is
+		// missing there. Push every trace the group references, then
+		// retry the same shard exactly once.
+		pushed := true
+		for _, digest := range traceDigests(remaining) {
+			if pushErr := g.ensureTrace(ctx, url, digest); pushErr != nil {
+				pushed = false
+				break
+			}
+		}
+		if pushed {
+			wg.Add(1)
+			go g.sweepShard(ctx, wg, lines, url, remaining, req, hops, true)
+			return
+		}
+	}
 	if !reroutable(err) {
 		// The shard answered with a semantic failure (e.g. it rejected
 		// the cell list). Surfacing it per cell keeps the merge exact.
@@ -579,9 +642,25 @@ func (g *Gateway) sweepShard(ctx context.Context, wg *sync.WaitGroup, lines chan
 	groups, unroutable := g.assign(remaining)
 	for nextURL, group := range groups {
 		wg.Add(1)
-		go g.sweepShard(ctx, wg, lines, nextURL, group, req, hops+1)
+		// ensured resets: the replacement shard may be missing the blob
+		// too, and deserves its own push-and-retry.
+		go g.sweepShard(ctx, wg, lines, nextURL, group, req, hops+1, false)
 	}
 	g.failCells(lines, unroutable, hops+1)
+}
+
+// traceDigests returns the distinct trace digests the cells reference,
+// in first-appearance order.
+func traceDigests(cells []gwCell) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if c.digest != "" && !seen[c.digest] {
+			seen[c.digest] = true
+			out = append(out, c.digest)
+		}
+	}
+	return out
 }
 
 // failCells reports cells that could not be placed on any shard.
@@ -695,6 +774,19 @@ func (g *Gateway) Stats(ctx context.Context) apitypes.GatewaySnapshot {
 		snap.Errors += st.Errors
 		snap.Inflight += st.Inflight
 		snap.QueueDepth += st.QueueDepth
+		if st.Traces != nil {
+			if snap.Traces == nil {
+				snap.Traces = &apitypes.TraceStoreStats{}
+			}
+			snap.Traces.Blobs += st.Traces.Blobs
+			snap.Traces.Bytes += st.Traces.Bytes
+			snap.Traces.QuotaBytes += st.Traces.QuotaBytes
+			snap.Traces.Puts += st.Traces.Puts
+			snap.Traces.PutHits += st.Traces.PutHits
+			snap.Traces.Rejected += st.Traces.Rejected
+			snap.Traces.Evictions += st.Traces.Evictions
+			snap.Traces.Deletes += st.Traces.Deletes
+		}
 	}
 	if g.mRequests != nil {
 		gw.Requests = g.mRequests.Value()

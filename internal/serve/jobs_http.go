@@ -43,12 +43,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	cells, err := s.expandSweep(req.SweepRequest)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
+		status, code := resolveStatus(err)
+		s.writeError(w, status, code, err)
 		return
 	}
 	refs := make([]apitypes.CellRef, len(cells))
 	for i, c := range cells {
-		refs[i] = apitypes.CellRef{Workload: c.w.Name, Mode: c.modeName}
+		refs[i] = apitypes.CellRef{Workload: c.name, Mode: c.modeName}
 	}
 	tenant := req.Tenant
 	if tenant == "" {

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/serve/apitypes"
 	"repro/internal/serve/jobs"
 	"repro/internal/serve/rooms"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -61,6 +63,16 @@ type Options struct {
 	RoomHistory int
 	// RoomTTL is how long a closed room stays replayable (0 = 2m).
 	RoomTTL time.Duration
+	// TraceDir enables the content-addressed trace store (POST /v1/traces
+	// and trace:<digest> workloads; "" disables them — the trace routes
+	// then answer 404).
+	TraceDir string
+	// TraceQuotaBytes caps the store's total blob bytes; over the cap the
+	// least-recently-used unreferenced trace is evicted to make room
+	// (0 = unbounded).
+	TraceQuotaBytes int64
+	// TraceTTL expires traces unused for this long (0 = keep forever).
+	TraceTTL time.Duration
 	// Debug mounts the obs debug mux (pprof, expvar, /metrics) on the
 	// handler.
 	Debug bool
@@ -115,6 +127,7 @@ type Server struct {
 	jobStore *jobs.Store
 	jobs     *jobs.Manager
 	rooms    *rooms.Registry
+	traces   *tracestore.Store
 
 	// jobRooms maps job ID → telemetry room for watch:true jobs. The
 	// mapping is in-memory like the rooms themselves: resumed jobs get a
@@ -200,7 +213,49 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	if opts.TraceDir != "" {
+		// Opened after the job store so the InUse guard can see resumed
+		// jobs: a trace referenced by a queued or running job is never
+		// evicted or deleted out from under it.
+		ts, err := tracestore.Open(tracestore.Options{
+			Dir:        opts.TraceDir,
+			QuotaBytes: opts.TraceQuotaBytes,
+			TTL:        opts.TraceTTL,
+			InUse:      s.traceInUse,
+			Registry:   reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.traces = ts
+	}
 	return s, nil
+}
+
+// traceInUse reports whether any non-terminal job references the trace:
+// the store's eviction/delete guard. Jobs name trace cells as
+// "trace:<digest>" in their sweep's Workloads or expanded Cells.
+func (s *Server) traceInUse(digest string) bool {
+	if s.jobStore == nil {
+		return false
+	}
+	name := "trace:" + digest
+	for _, info := range s.jobStore.List("") {
+		if info.State.Terminal() {
+			continue
+		}
+		for _, w := range info.Sweep.Workloads {
+			if w == name {
+				return true
+			}
+		}
+		for _, ref := range info.Sweep.Cells {
+			if ref.Workload == name {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // engineOptions: the engine runs one job per call under serve's own
@@ -245,6 +300,15 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/v1/jobs", s.handleJobsDisabled)
 		mux.HandleFunc("/v1/jobs/", s.handleJobsDisabled)
 	}
+	if s.traces != nil {
+		mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+		mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+		mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceGet)
+		mux.HandleFunc("DELETE /v1/traces/{digest}", s.handleTraceDelete)
+	} else {
+		mux.HandleFunc("/v1/traces", s.handleTracesDisabled)
+		mux.HandleFunc("/v1/traces/", s.handleTracesDisabled)
+	}
 	mux.HandleFunc("GET /v1/watch/{room}", s.handleWatch)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
@@ -258,10 +322,16 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// cellSpec is one validated cell: a resolved workload and tagging
-// configuration plus the request's knobs.
+// cellSpec is one validated cell: a resolved workload (or stored-trace
+// reference) and tagging configuration plus the request's knobs.
 type cellSpec struct {
+	// name is the request's workload spelling: a catalog name, or
+	// "trace:<digest>" for a stored-trace cell.
+	name string
+	// w is the catalog workload; zero for trace cells, which carry the
+	// store digest in traceDigest instead.
 	w              workload.Workload
+	traceDigest    string
 	modeName       string
 	mode           gpusim.TagMode
 	carve          gpusim.CarveOut
@@ -270,22 +340,52 @@ type cellSpec struct {
 }
 
 func (s *Server) resolveCell(name, mode string, maxCycles, sampleInterval uint64) (cellSpec, error) {
-	w, ok := s.byName[name]
-	if !ok {
-		return cellSpec{}, fmt.Errorf("serve: unknown workload %q (GET /v1/workloads lists the catalog)", name)
-	}
 	tm, carve, err := gpusim.ParseTagMode(mode)
 	if err != nil {
 		return cellSpec{}, err
 	}
-	return cellSpec{
-		w:              w,
+	cell := cellSpec{
+		name:           name,
 		modeName:       mode,
 		mode:           tm,
 		carve:          carve,
 		maxCycles:      maxCycles,
 		sampleInterval: sampleInterval,
-	}, nil
+	}
+	if digest, ok := strings.CutPrefix(name, "trace:"); ok {
+		if s.traces == nil {
+			return cellSpec{}, fmt.Errorf("%w: trace store disabled (start the daemon with -trace-dir)", tracestore.ErrNotFound)
+		}
+		if !tracestore.ValidDigest(digest) {
+			return cellSpec{}, fmt.Errorf("serve: malformed trace workload %q (want trace:<64 lowercase hex sha-256>)", name)
+		}
+		info, err := s.traces.Stat(digest)
+		if err != nil {
+			return cellSpec{}, err
+		}
+		if info.NumSMs > s.opts.Config.NumSMs {
+			return cellSpec{}, fmt.Errorf("serve: trace %s… carries %d SM streams, machine has %d SMs",
+				digest[:12], info.NumSMs, s.opts.Config.NumSMs)
+		}
+		cell.traceDigest = digest
+		return cell, nil
+	}
+	w, ok := s.byName[name]
+	if !ok {
+		return cellSpec{}, fmt.Errorf("serve: unknown workload %q (GET /v1/workloads lists the catalog)", name)
+	}
+	cell.w = w
+	return cell, nil
+}
+
+// resolveStatus maps a resolveCell/expandSweep failure onto the failure
+// table: an absent trace digest is the typed 404 a gateway reacts to by
+// re-uploading the blob; everything else is the client's 400.
+func resolveStatus(err error) (int, string) {
+	if errors.Is(err, tracestore.ErrNotFound) {
+		return http.StatusNotFound, apitypes.CodeTraceNotFound
+	}
+	return http.StatusBadRequest, apitypes.CodeBadRequest
 }
 
 // cellConfig is the machine configuration the cell simulates under —
@@ -307,15 +407,22 @@ func (s *Server) cellConfig(cell cellSpec) gpusim.Config {
 // watcher sees their cell-done frame only).
 func (s *Server) runCell(ctx context.Context, cell cellSpec, patient bool, sink func(runner.LiveSample)) (CellResult, error) {
 	t0 := time.Now()
-	res := CellResult{Workload: cell.w.Name, Mode: cell.modeName}
+	res := CellResult{Workload: cell.name, Mode: cell.modeName}
 	job := runner.Job{
-		Workload:  cell.w,
 		Mode:      cell.mode,
 		Carve:     cell.carve,
 		MaxCycles: cell.maxCycles,
 	}
+	if cell.traceDigest != "" {
+		// The trace identity is the key material; the replay itself is
+		// attached by the singleflight leader inside execute, so cache
+		// hits and coalesced followers never pin the blob.
+		job.Key = cell.name
+	} else {
+		job.Workload = cell.w
+	}
 	cfg := s.cellConfig(cell)
-	key, _ := runner.CacheKeyFor(cfg, job) // catalog cells are always cacheable
+	key, _ := runner.CacheKeyFor(cfg, job) // catalog and keyed trace cells are always cacheable
 	res.CacheKey = shortKey(key)
 
 	// Fast path: a warm cell costs one file read, no queue slot.
@@ -371,6 +478,17 @@ func (s *Server) execute(ctx context.Context, cfg gpusim.Config, cell cellSpec, 
 	if s.simHook != nil {
 		return s.simHook(ctx, cell)
 	}
+	if cell.traceDigest != "" {
+		// Pin the blob for exactly the duration of the run. A digest that
+		// resolved but is gone now was evicted in between; the typed
+		// not-found propagates so a gateway can re-upload and retry.
+		rep, err := s.traces.OpenReplay(cell.traceDigest)
+		if err != nil {
+			return outcome{err: err}
+		}
+		defer rep.Close()
+		job.Traces = rep.Traces
+	}
 	eng := s.eng
 	if cell.sampleInterval != 0 || sink != nil {
 		// Sampling changes the machine config (and the cache key), so a
@@ -401,6 +519,10 @@ func statusFor(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, apitypes.CodeBackpressure
+	case errors.Is(err, tracestore.ErrNotFound):
+		// The trace was evicted between resolve and execute; the typed
+		// 404 tells a gateway to re-upload the blob and retry.
+		return http.StatusNotFound, apitypes.CodeTraceNotFound
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, apitypes.CodeTimeout
 	case errors.Is(err, context.Canceled):
@@ -429,7 +551,8 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	cell, err := s.resolveCell(req.Workload, req.Mode, req.MaxCycles, req.SampleInterval)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
+		status, code := resolveStatus(err)
+		s.writeError(w, status, code, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs, s.opts.DefaultTimeout)
@@ -462,7 +585,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 // cellName is the cell label telemetry frames carry: the request's own
 // workload/mode spelling (not the runner's normalized mode name), so
 // watchers demultiplex on the strings they asked for.
-func cellName(cell cellSpec) string { return cell.w.Name + "/" + cell.modeName }
+func cellName(cell cellSpec) string { return cell.name + "/" + cell.modeName }
 
 // roomSink adapts a telemetry room into a runner live-sample sink for
 // one cell.
@@ -512,7 +635,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	cells, err := s.expandSweep(req)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, apitypes.CodeBadRequest, err)
+		status, code := resolveStatus(err)
+		s.writeError(w, status, code, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs, s.opts.MaxTimeout)
@@ -611,20 +735,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // explicit cell list is how a gateway scatters one shard's share of a
 // grid, which is rarely a clean product.
 func (s *Server) expandSweep(req SweepRequest) ([]cellSpec, error) {
-	var ws []workload.Workload
+	// names is the deduplicated workload axis: catalog names and
+	// trace:<digest> references mix freely (resolveCell dispatches on
+	// the prefix; validation happens per cell in the product loop).
+	var names []string
 	seen := make(map[string]bool)
-	add := func(w workload.Workload) {
-		if !seen[w.Name] {
-			seen[w.Name] = true
-			ws = append(ws, w)
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
 		}
 	}
 	for _, name := range req.Workloads {
-		w, ok := s.byName[name]
-		if !ok {
+		if _, ok := s.byName[name]; !ok && !strings.HasPrefix(name, "trace:") {
 			return nil, fmt.Errorf("serve: unknown workload %q", name)
 		}
-		add(w)
+		add(name)
 	}
 	if req.Suite != "" {
 		suite := workload.BySuite(req.Suite)
@@ -632,19 +758,19 @@ func (s *Server) expandSweep(req SweepRequest) ([]cellSpec, error) {
 			return nil, fmt.Errorf("serve: unknown suite %q (valid: %v)", req.Suite, workload.Suites())
 		}
 		for _, w := range suite {
-			add(w)
+			add(w.Name)
 		}
 	}
-	if len(ws) == 0 && len(req.Cells) == 0 {
+	if len(names) == 0 && len(req.Cells) == 0 {
 		return nil, errors.New("serve: sweep needs workloads, a suite, and/or explicit cells")
 	}
-	if len(ws) > 0 && len(req.Modes) == 0 {
+	if len(names) > 0 && len(req.Modes) == 0 {
 		return nil, errors.New("serve: sweep needs at least one mode")
 	}
-	cells := make([]cellSpec, 0, len(ws)*len(req.Modes)+len(req.Cells))
-	for _, w := range ws {
+	cells := make([]cellSpec, 0, len(names)*len(req.Modes)+len(req.Cells))
+	for _, name := range names {
 		for _, mode := range req.Modes {
-			cell, err := s.resolveCell(w.Name, mode, req.MaxCycles, req.SampleInterval)
+			cell, err := s.resolveCell(name, mode, req.MaxCycles, req.SampleInterval)
 			if err != nil {
 				return nil, err
 			}
@@ -653,7 +779,7 @@ func (s *Server) expandSweep(req SweepRequest) ([]cellSpec, error) {
 	}
 	inGrid := make(map[apitypes.CellRef]bool, len(cells))
 	for _, c := range cells {
-		inGrid[apitypes.CellRef{Workload: c.w.Name, Mode: c.modeName}] = true
+		inGrid[apitypes.CellRef{Workload: c.name, Mode: c.modeName}] = true
 	}
 	for _, ref := range req.Cells {
 		if inGrid[ref] {
@@ -725,6 +851,19 @@ func (s *Server) Stats() StatsSnapshot {
 	if s.rooms != nil {
 		rs := s.rooms.Stats()
 		snap.Rooms = &rs
+	}
+	if s.traces != nil {
+		ts := s.traces.Stats()
+		snap.Traces = &apitypes.TraceStoreStats{
+			Blobs:      ts.Blobs,
+			Bytes:      ts.Bytes,
+			QuotaBytes: ts.QuotaBytes,
+			Puts:       ts.Puts,
+			PutHits:    ts.PutHits,
+			Rejected:   ts.Rejected,
+			Evictions:  ts.Evictions,
+			Deletes:    ts.Deletes,
+		}
 	}
 	return snap
 }
@@ -818,8 +957,10 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code string, err 
 		body.RetryAfterMs = retryAfterSeconds * 1000
 	case http.StatusGatewayTimeout:
 		s.count(s.mTimeouts)
-	case http.StatusBadRequest, http.StatusNotFound, 499:
-		// Client-side mistakes and hangups are not server failures.
+	case http.StatusBadRequest, http.StatusNotFound, 499,
+		http.StatusRequestEntityTooLarge, http.StatusConflict:
+		// Client-side mistakes, hangups, over-quota uploads and in-use
+		// deletes are not server failures.
 	default:
 		s.count(s.mErrors)
 	}

@@ -4,8 +4,8 @@
 # Fails when the docs and the binaries disagree:
 #   1. a doc references a path outside the repo (/root/related/ came
 #      from the original working notes and does not exist in a
-#      checkout) — SNIPPETS.md and ISSUE.md quote external material
-#      and are exempt;
+#      checkout) — SNIPPETS.md and ISSUE.md quote external material,
+#      CHANGES.md quotes past work verbatim; all three are exempt;
 #   2. OPERATIONS.md misses a flag that imtd -h or imtgw -h prints,
 #      or documents a flag no serving binary defines;
 #   3. README.md / DESIGN.md / EXPERIMENTS.md / OPERATIONS.md mention
@@ -20,7 +20,8 @@ tick=$(printf '\140') # backtick, kept out of shell quoting trouble
 
 # ---- 1. out-of-repo path references ---------------------------------
 if grep -rn "/root/related" --include='*.md' . \
-        | grep -v '^\./SNIPPETS\.md:' | grep -v '^\./ISSUE\.md:'; then
+        | grep -v '^\./SNIPPETS\.md:' | grep -v '^\./ISSUE\.md:' \
+        | grep -v '^\./CHANGES\.md:'; then
     err "docs reference /root/related/ paths that do not exist in a checkout"
 fi
 
@@ -64,8 +65,14 @@ grep -q '^## Cluster' DESIGN.md      || err "DESIGN.md is missing the Cluster se
 grep -q 'Reproduce at scale' EXPERIMENTS.md \
     || err "EXPERIMENTS.md is missing the 'Reproduce at scale' section"
 grep -q 'cluster-smoke' README.md    || err "README.md does not mention make cluster-smoke"
+grep -q 'traces-smoke' README.md     || err "README.md does not mention make traces-smoke"
+grep -q '^## Trace store' OPERATIONS.md \
+    || err "OPERATIONS.md is missing the Trace store section"
+grep -q 'trace_not_found' OPERATIONS.md && grep -q 'trace_quota' OPERATIONS.md && grep -q 'trace_in_use' OPERATIONS.md \
+    || err "OPERATIONS.md failure-code table is missing the trace codes"
 for series in serve_requests_total serve_jobs_submitted_total \
-              serve_room_frames_total serve_gw_rerouted_total; do
+              serve_room_frames_total serve_gw_rerouted_total \
+              serve_gw_trace_pushes_total tracestore_puts_total; do
     grep -q "$series" OPERATIONS.md \
         || err "OPERATIONS.md metrics reference is missing $series"
 done
